@@ -1,0 +1,67 @@
+// Ablation: BLOCK vs CYCLIC distribution of the chemistry phase.
+//
+// Fx supports block, cyclic and block-cyclic distributions (paper §2.2);
+// the Airshed port used BLOCK for the chemistry `nodes` dimension. Our
+// adaptive Young-Boris solver makes per-column cost strongly state
+// dependent (polluted columns take 2-3x the substeps of clean ones), which
+// BLOCK turns into load imbalance at high node counts — the residual gap
+// in the Fig 7 predicted-vs-measured comparison. CYCLIC interleaves
+// columns across nodes and recovers near-uniform balance at identical
+// communication volume (the redistribution engine confirms byte parity).
+#include <cstdio>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace airshed;
+  const WorkTrace la = bench::load_trace("LA");
+  const MachineModel m = cray_t3e();
+
+  std::printf("Ablation: chemistry-phase distribution BLOCK vs CYCLIC, LA on "
+              "the T3E\n\n");
+
+  Table t({"nodes", "chem BLOCK (s)", "chem CYCLIC (s)", "imbalance BLOCK",
+           "imbalance CYCLIC", "total BLOCK (s)", "total CYCLIC (s)"});
+  for (int p : bench::kNodeCounts) {
+    ExecutionConfig block_cfg{m, p};
+    ExecutionConfig cyclic_cfg{m, p};
+    cyclic_cfg.chemistry_dist = DimDist::Cyclic;
+    const RunReport rb = simulate_execution(la, block_cfg);
+    const RunReport rc = simulate_execution(la, cyclic_cfg);
+    const double chem_b = rb.ledger.category_seconds(PhaseCategory::Chemistry);
+    const double chem_c = rc.ledger.category_seconds(PhaseCategory::Chemistry);
+    // Ideal chemistry time = sequential / P.
+    const double ideal =
+        m.compute_time(la.total_chemistry_work()) / static_cast<double>(p);
+    t.row()
+        .add(p)
+        .add(chem_b, 1)
+        .add(chem_c, 1)
+        .add(chem_b / ideal, 2)
+        .add(chem_c / ideal, 2)
+        .add(rb.total_seconds, 1)
+        .add(rc.total_seconds, 1);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Communication parity: cyclic moves the same bytes (message sets differ
+  // only in shape, not volume).
+  const Layout3 trans = Layout3::block({la.species, la.layers, la.points},
+                                       kLayersDim, 64);
+  const Layout3 chem_b =
+      Layout3::block({la.species, la.layers, la.points}, kNodesDim, 64);
+  const Layout3 chem_c =
+      Layout3::cyclic({la.species, la.layers, la.points}, kNodesDim, 64);
+  const RedistributionStats sb = plan_redistribution(trans, chem_b, 8);
+  const RedistributionStats sc = plan_redistribution(trans, chem_c, 8);
+  std::printf("D_Trans->D_Chem network bytes at P=64: BLOCK %.3g, CYCLIC %.3g "
+              "(messages %.0f vs %.0f)\n\n",
+              sb.total_network_bytes, sc.total_network_bytes,
+              sb.total_messages, sc.total_messages);
+  std::printf("takeaway: CYCLIC reduces the adaptive-chemistry load\n"
+              "imbalance that BLOCK suffers at high node counts, narrowing the\n"
+              "Fig 7 predicted-vs-measured gap at identical byte volume.\n");
+  return 0;
+}

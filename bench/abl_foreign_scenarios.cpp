@@ -1,0 +1,91 @@
+// Ablation (paper §6, Fig 11): the three foreign-module communication
+// implementations.
+//
+//   A — data staged through the representative task and a designated
+//       interface node (simplest; the paper's prototype);
+//   B — direct transfer to all module nodes (module topology exposed to
+//       the native compiler);
+//   C — direct variable-to-variable transfer (most complex, potentially
+//       most efficient).
+//
+// The paper implements A and argues "a more aggressive implementation
+// could reduce this extra overhead if needed" — this bench quantifies how
+// much each step of aggressiveness buys for the Airshed->PopExp hourly
+// exchange.
+#include <cstdio>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace airshed;
+  const WorkTrace la = bench::load_trace("LA");
+  const MachineModel m = intel_paragon();
+  const std::size_t bytes = la.species * la.points * m.word_size;
+
+  std::printf("Ablation: foreign-module transfer scenarios (Fig 11), hourly "
+              "Airshed->PopExp exchange (%zu bytes) on the Paragon\n\n",
+              bytes);
+
+  Table t({"main nodes", "popexp nodes", "native (ms)", "A (ms)", "B (ms)",
+           "C (ms)", "A/native", "B/native", "C/native"});
+  for (int p : bench::kNodeCounts) {
+    if (p < 8) continue;
+    const PopExpAllocation alloc = allocate_popexp_nodes(p);
+    const double native = native_transfer_seconds(
+        m, bytes, alloc.main_nodes, alloc.popexp_nodes);
+    ForeignCouplingOptions opts;
+    opts.scenario = ForeignScenario::A;
+    const double a = foreign_transfer_seconds(m, bytes, alloc.main_nodes,
+                                              alloc.popexp_nodes, opts);
+    opts.scenario = ForeignScenario::B;
+    const double b = foreign_transfer_seconds(m, bytes, alloc.main_nodes,
+                                              alloc.popexp_nodes, opts);
+    opts.scenario = ForeignScenario::C;
+    const double c = foreign_transfer_seconds(m, bytes, alloc.main_nodes,
+                                              alloc.popexp_nodes, opts);
+    t.row()
+        .add(alloc.main_nodes)
+        .add(alloc.popexp_nodes)
+        .add(native * 1e3, 2)
+        .add(a * 1e3, 2)
+        .add(b * 1e3, 2)
+        .add(c * 1e3, 2)
+        .add(a / native, 2)
+        .add(b / native, 2)
+        .add(c / native, 2);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // End-to-end impact of choosing a more aggressive scenario.
+  std::printf("whole-application impact at 64 nodes (24 h, pipelined):\n");
+  Table e({"scenario", "total (s)", "vs native task"});
+  PopExpExecutionConfig cfg;
+  cfg.machine = m;
+  cfg.nodes = 64;
+  cfg.raster_cells = 64 * 64;
+  cfg.coupling = PopExpCoupling::NativeTask;
+  const double native_total = simulate_airshed_popexp(la, cfg).total_seconds;
+  e.row().add("native task").add(native_total, 1).add(0.0, 2);
+  cfg.coupling = PopExpCoupling::ForeignModule;
+  for (ForeignScenario sc :
+       {ForeignScenario::A, ForeignScenario::B, ForeignScenario::C}) {
+    cfg.foreign.scenario = sc;
+    const double total = simulate_airshed_popexp(la, cfg).total_seconds;
+    e.row()
+        .add(std::string(to_string(sc)))
+        .add(total, 1)
+        .add(total - native_total, 2);
+  }
+  std::printf("%s\n", e.to_string().c_str());
+
+  // Task-mapping search (refs [26, 27]): best PopExp subgroup size.
+  const PopExpAllocationSearch search = optimize_popexp_allocation(la, cfg);
+  std::printf("optimal task mapping at 64 nodes: PopExp subgroup of %d "
+              "(makespan %.1f s) vs heuristic P/8 = %d (%.1f s)\n",
+              search.best.popexp_nodes, search.best_makespan_s,
+              allocate_popexp_nodes(64).popexp_nodes,
+              search.heuristic_makespan_s);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation (end-to-end version of the §3 trade): the full uniform-grid
+// 1-D Airshed variant vs the multiscale 2-D model, run through the
+// complete execution simulation (I/O, communication and all phases
+// included, unlike abl_transport_operators' kernel-level comparison).
+//
+// Both models simulate the same LA geography/meteorology/emissions for the
+// same episode; the uniform grid matches the multiscale urban-core
+// resolution (40 x 40 = 4 km).
+#include <cstdio>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace airshed;
+  const int hours = std::min(airshed::bench::kHours, 4);
+  const std::string dir = bench::trace_dir();
+  std::filesystem::create_directories(dir);
+
+  const WorkTrace multiscale = WorkTrace::cached(
+      bench::trace_path(dir, "LA-ms", hours), [&] {
+        Dataset ds = la_basin_dataset();
+        ModelOptions opts;
+        opts.hours = hours;
+        return AirshedModel(ds, opts).run().trace;
+      });
+  const WorkTrace uniform = WorkTrace::cached(
+      bench::trace_path(dir, "LA-uniform", hours), [&] {
+        UniformDataset ds = la_uniform_dataset();
+        ModelOptions opts;
+        opts.hours = hours;
+        return UniformAirshedModel(ds, opts).run().trace;
+      });
+
+  std::printf("Ablation: full multiscale 2-D model vs uniform-grid 1-D model, "
+              "LA geography, %d hours, Cray T3E\n\n", hours);
+  std::printf("multiscale: %zu points, transport row parallelism %zu, "
+              "chemistry work %.3g\n", multiscale.points,
+              multiscale.transport_row_parallelism,
+              multiscale.total_chemistry_work());
+  std::printf("uniform:    %zu cells,  transport row parallelism %zu, "
+              "chemistry work %.3g (%.2fx)\n\n", uniform.points,
+              uniform.transport_row_parallelism,
+              uniform.total_chemistry_work(),
+              uniform.total_chemistry_work() /
+                  multiscale.total_chemistry_work());
+
+  const MachineModel m = cray_t3e();
+  Table t({"nodes", "multiscale (s)", "uniform (s)", "ms transport (s)",
+           "uni transport (s)", "uniform/multiscale"});
+  for (int p : bench::kNodeCounts) {
+    const RunReport rm = simulate_execution(multiscale, {m, p});
+    const RunReport ru = simulate_execution(uniform, {m, p});
+    t.row()
+        .add(p)
+        .add(rm.total_seconds, 1)
+        .add(ru.total_seconds, 1)
+        .add(rm.ledger.category_seconds(PhaseCategory::Transport), 1)
+        .add(ru.ledger.category_seconds(PhaseCategory::Transport), 1)
+        .add(ru.total_seconds / rm.total_seconds, 2);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("paper [6, 23]: the uniform 1-D model's transport keeps\n"
+              "scaling past the layer count, but its uniform resolution\n"
+              "costs more total chemistry — so the multiscale model keeps\n"
+              "the absolute advantage over the machine sizes studied.\n");
+  return 0;
+}

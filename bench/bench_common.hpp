@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+namespace airshed::bench {
+
+/// Default episode length (hours). The paper's LA/NE episodes are full-day
+/// runs; override with AIRSHED_BENCH_HOURS for quick checks.
+inline constexpr int kDefaultHours = 24;
+
+inline int env_hours() {
+  if (const char* e = std::getenv("AIRSHED_BENCH_HOURS")) {
+    const int h = std::atoi(e);
+    if (h >= 1) return h;
+  }
+  return kDefaultHours;
+}
+
+inline const int kHours = env_hours();
+
+/// Node counts swept by the paper's figures.
+inline const std::vector<int> kNodeCounts = {4, 8, 16, 32, 64, 128};
+
+/// Trace cache directory: AIRSHED_TRACE_DIR or ./traces.
+inline std::string trace_dir() {
+  if (const char* e = std::getenv("AIRSHED_TRACE_DIR")) return e;
+  return "traces";
+}
+
+inline std::string trace_path(const std::string& dir, const std::string& name,
+                              int hours) {
+  return dir + "/" + name + "_" + std::to_string(hours) + "h.trace";
+}
+
+/// Runs the physics for the named dataset ("LA" or "NE") and returns the
+/// trace.
+inline WorkTrace generate_trace(const std::string& name, int hours) {
+  const Dataset ds = name == "NE" ? northeast_dataset() : la_basin_dataset();
+  ModelOptions opts;
+  opts.hours = hours;
+  AirshedModel model(ds, opts);
+  return model.run().trace;
+}
+
+/// Loads the cached trace, generating (and caching) it if missing.
+inline WorkTrace load_trace(const std::string& name, int hours = kHours) {
+  const std::string dir = trace_dir();
+  std::filesystem::create_directories(dir);
+  return WorkTrace::cached(trace_path(dir, name, hours),
+                           [&] { return generate_trace(name, hours); });
+}
+
+}  // namespace airshed::bench

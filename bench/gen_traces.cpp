@@ -1,0 +1,40 @@
+// Generates and caches the physics work traces used by the figure benches.
+//
+// The physics of a run is identical regardless of machine or node count
+// (paper §4: performance = work metadata x machine model), so each dataset
+// is simulated once and its WorkTrace cached under traces/. All fig*
+// benches load these caches; run this tool first (or let any bench trigger
+// the same generation through WorkTrace::cached).
+//
+// Usage: gen_traces [trace_dir] [hours]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : airshed::bench::trace_dir();
+  const int hours = argc > 2 ? std::atoi(argv[2]) : airshed::bench::kHours;
+  std::filesystem::create_directories(dir);
+
+  for (const char* name : {"LA", "NE"}) {
+    const std::string path = airshed::bench::trace_path(dir, name, hours);
+    if (airshed::trace_file_exists(path)) {
+      std::printf("%s: cached at %s\n", name, path.c_str());
+      continue;
+    }
+    std::printf("%s: simulating %d hours...\n", name, hours);
+    std::fflush(stdout);
+    const airshed::WorkTrace trace =
+        airshed::bench::generate_trace(name, hours);
+    trace.save(path);
+    std::printf("%s: %zu points, %lld steps, saved to %s\n", name,
+                trace.points, trace.total_steps(), path.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

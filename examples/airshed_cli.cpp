@@ -1,0 +1,177 @@
+// airshed_cli: command-line driver around the library.
+//
+//   airshed_cli run <dataset> [hours] [--archive file] [--trace file]
+//       Run the physics, print hourly statistics, optionally archive the
+//       hourly fields and/or save the work trace.
+//   airshed_cli simulate <trace> <machine> [--nodes a,b,c] [--task-parallel]
+//       Replay a saved trace on a simulated machine.
+//   airshed_cli series <archive>
+//       Print the per-hour ozone series of a saved archive.
+//
+// Datasets: TEST, LA, NE, LA-uniform. Machines: paragon, t3d, t3e.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+namespace {
+
+using namespace airshed;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  airshed_cli run <TEST|LA|NE|LA-uniform> [hours]"
+               " [--archive file] [--trace file]\n"
+               "  airshed_cli simulate <trace> <paragon|t3d|t3e>"
+               " [--nodes a,b,c] [--task-parallel] [--cyclic]\n"
+               "  airshed_cli series <archive>\n");
+  return 2;
+}
+
+std::vector<int> parse_nodes(const std::string& arg) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string name = argv[0];
+  int hours = 6;
+  std::string archive_path, trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--archive") == 0 && i + 1 < argc) {
+      archive_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      hours = std::atoi(argv[i]);
+      if (hours < 1) return usage();
+    }
+  }
+
+  ModelOptions opts;
+  opts.hours = hours;
+  ModelRunResult run;
+  std::unique_ptr<RunArchive> archive;
+  const HourCallback on_hour = [&](const HourlyStats& st,
+                                   const ConcentrationField& conc) {
+    std::printf("hour %02d: max O3 %.4f ppm at (%.0f, %.0f), mean O3 %.4f, "
+                "mean NO2 %.5f\n",
+                st.hour, st.max_surface_o3_ppm, st.max_o3_location.x,
+                st.max_o3_location.y, st.mean_surface_o3_ppm,
+                st.mean_surface_no2_ppm);
+    if (archive) archive->append(st, conc);
+  };
+
+  if (name == "LA-uniform") {
+    UniformDataset ds = la_uniform_dataset();
+    std::printf("running %s: %zu cells, %d layers, %d hours\n",
+                ds.name.c_str(), ds.points(), ds.layers, hours);
+    if (!archive_path.empty()) {
+      archive = std::make_unique<RunArchive>(ds.name, kSpeciesCount,
+                                             ds.layers, ds.points());
+    }
+    run = UniformAirshedModel(ds, opts).run(on_hour);
+  } else {
+    Dataset ds = name == "LA"   ? la_basin_dataset()
+                 : name == "NE" ? northeast_dataset()
+                                : test_basin_dataset();
+    std::printf("running %s: %zu points, %d layers, %d hours\n",
+                ds.name.c_str(), ds.points(), ds.layers, hours);
+    if (!archive_path.empty()) {
+      archive = std::make_unique<RunArchive>(ds.name, kSpeciesCount,
+                                             ds.layers, ds.points());
+    }
+    run = AirshedModel(ds, opts).run(on_hour);
+  }
+
+  if (archive) {
+    archive->save(archive_path);
+    std::printf("archived %zu hours to %s\n", archive->hour_count(),
+                archive_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    run.trace.save(trace_path);
+    std::printf("work trace saved to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const WorkTrace trace = WorkTrace::load(argv[0]);
+  const MachineModel machine = machine_by_name(argv[1]);
+  std::vector<int> nodes = {4, 8, 16, 32, 64, 128};
+  Strategy strategy = Strategy::DataParallel;
+  DimDist chem_dist = DimDist::Block;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = parse_nodes(argv[++i]);
+    } else if (std::strcmp(argv[i], "--task-parallel") == 0) {
+      strategy = Strategy::TaskAndDataParallel;
+    } else if (std::strcmp(argv[i], "--cyclic") == 0) {
+      chem_dist = DimDist::Cyclic;
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("trace: %s — %zu points, %zu layers, %lld steps, %zu hours\n",
+              trace.dataset.c_str(), trace.points, trace.layers,
+              trace.total_steps(), trace.hours.size());
+  for (int p : nodes) {
+    ExecutionConfig cfg{machine, p, strategy};
+    cfg.chemistry_dist = chem_dist;
+    const RunReport rep = simulate_execution(trace, cfg);
+    std::printf("%s\n", summarize_report(rep).c_str());
+  }
+  return 0;
+}
+
+int cmd_series(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const RunArchive archive = RunArchive::load(argv[0]);
+  std::printf("archive %s: %zu hours\n", archive.dataset_name().c_str(),
+              archive.hour_count());
+  const std::vector<double> max_o3 = archive.series_max_o3();
+  const std::vector<double> mean_o3 = archive.series_mean_o3();
+  for (std::size_t h = 0; h < archive.hour_count(); ++h) {
+    std::printf("hour %02d: max O3 %.4f, mean O3 %.4f\n",
+                archive.hour(h).stats.hour, max_o3[h], mean_o3[h]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "run") == 0) {
+      return cmd_run(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "simulate") == 0) {
+      return cmd_simulate(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "series") == 0) {
+      return cmd_series(argc - 2, argv + 2);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

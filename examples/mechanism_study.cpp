@@ -1,0 +1,75 @@
+// Mechanism study: EKMA-style ozone isopleths from the box model.
+//
+// The classic photochemical analysis behind NOx-vs-VOC control policy
+// (the question the Airshed policy studies answer at the regional scale):
+// sweep initial NOx and VOC loadings in a 0-D box through a full daylight
+// cycle and tabulate the peak ozone. The ridge structure — ozone rising
+// with VOC at high NOx (VOC-limited) and with NOx at low NOx
+// (NOx-limited) — is the fingerprint of a working mechanism.
+//
+//   $ ./mechanism_study [nox_levels] [voc_levels]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+int main(int argc, char** argv) {
+  using namespace airshed;
+  const int n_nox = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int n_voc = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  std::vector<double> nox_ppm(n_nox), voc_ppm(n_voc);
+  for (int i = 0; i < n_nox; ++i) {
+    nox_ppm[i] = 0.005 * std::pow(2.0, i);  // 5 ppb .. 160 ppb
+  }
+  for (int j = 0; j < n_voc; ++j) {
+    voc_ppm[j] = 0.05 * std::pow(2.0, j);   // 50 ppbC-ish .. 1.6 ppm
+  }
+
+  std::printf("EKMA-style peak-O3 surface (ppm) from the 35-species "
+              "mechanism, 05:00-19:00 box runs\n");
+  std::printf("rows: initial NOx; columns: initial VOC (as PAR-equivalent "
+              "mix)\n\n");
+
+  std::vector<std::string> headers = {"NOx \\ VOC"};
+  for (int j = 0; j < n_voc; ++j) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", voc_ppm[j]);
+    headers.push_back(buf);
+  }
+  Table t(headers);
+
+  for (int i = 0; i < n_nox; ++i) {
+    char row_label[32];
+    std::snprintf(row_label, sizeof row_label, "%.4f", nox_ppm[i]);
+    t.row().add(row_label);
+    for (int j = 0; j < n_voc; ++j) {
+      BoxModel box(Mechanism::cb4_condensed(), MetParams{});
+      box.reset_to_background();
+      box.set(Species::NO, 0.85 * nox_ppm[i]);
+      box.set(Species::NO2, 0.15 * nox_ppm[i]);
+      // Urban VOC split (mole fractions of the total loading).
+      box.set(Species::PAR, 0.62 * voc_ppm[j]);
+      box.set(Species::OLE, 0.04 * voc_ppm[j]);
+      box.set(Species::ETH, 0.06 * voc_ppm[j]);
+      box.set(Species::TOL, 0.08 * voc_ppm[j]);
+      box.set(Species::XYL, 0.06 * voc_ppm[j]);
+      box.set(Species::FORM, 0.08 * voc_ppm[j]);
+      box.set(Species::ALD2, 0.06 * voc_ppm[j]);
+
+      double peak_o3 = 0.0;
+      for (int hour = 5; hour < 19; ++hour) {
+        box.advance_hour(hour);
+        peak_o3 = std::max(peak_o3, box.get(Species::O3));
+      }
+      t.add(peak_o3, 4);
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("reading the surface: moving right (more VOC) raises O3 in the\n"
+              "VOC-limited regime (high NOx rows); moving down (more NOx)\n"
+              "raises O3 in the NOx-limited regime (high VOC columns) and\n"
+              "suppresses it at low VOC (NO titration).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Policy study: the motivating use of Airshed (paper §2.1) — "the effect
+// of air pollution control measures can be evaluated at a low cost making
+// it possible to select the best strategy under a given set of
+// constraints."
+//
+// Runs the same episode under four emission-control scenarios and compares
+// the resulting peak ozone, CO and particulate nitrate.
+//
+//   $ ./policy_study [dataset=TEST|LA|NE] [hours]
+#include <cstdio>
+#include <cstring>
+
+#include <airshed/airshed.h>
+
+namespace {
+
+airshed::DatasetSpec spec_for(const char* name) {
+  if (std::strcmp(name, "LA") == 0) return airshed::la_basin_spec();
+  if (std::strcmp(name, "NE") == 0) return airshed::northeast_spec();
+  return airshed::test_basin_spec();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace airshed;
+  const char* dataset = argc > 1 ? argv[1] : "TEST";
+  const int hours = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  struct Scenario {
+    const char* name;
+    ControlScenario controls;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"baseline", ControlScenario::baseline()});
+  {
+    ControlScenario c;
+    c.nox_scale = 0.5;
+    scenarios.push_back({"NOx -50%", c});
+  }
+  {
+    ControlScenario c;
+    c.voc_scale = 0.5;
+    scenarios.push_back({"VOC -50%", c});
+  }
+  {
+    ControlScenario c;
+    c.nox_scale = 0.5;
+    c.voc_scale = 0.5;
+    c.co_scale = 0.5;
+    c.so2_scale = 0.5;
+    scenarios.push_back({"all -50%", c});
+  }
+
+  std::printf("Policy study on dataset %s, %d simulated hours "
+              "(start 05:00)\n\n", dataset, hours);
+
+  Table t({"scenario", "peak O3 (ppm)", "mean O3 (ppm)", "mean CO (ppm)",
+           "surface PM nitrate", "peak location"});
+  for (const Scenario& sc : scenarios) {
+    DatasetSpec spec = spec_for(dataset);
+    spec.controls = sc.controls;
+    Dataset ds = build_dataset(spec);
+    ModelOptions opts;
+    opts.hours = hours;
+    AirshedModel model(ds, opts);
+    const ModelRunResult run = model.run();
+
+    double peak_o3 = 0.0, mean_o3 = 0.0, mean_co = 0.0, pm = 0.0;
+    Point2 peak_at;
+    for (const HourlyStats& st : run.outputs.hourly) {
+      if (st.max_surface_o3_ppm > peak_o3) {
+        peak_o3 = st.max_surface_o3_ppm;
+        peak_at = st.max_o3_location;
+      }
+      mean_o3 = std::max(mean_o3, st.mean_surface_o3_ppm);
+      mean_co = std::max(mean_co, st.mean_surface_co_ppm);
+      pm = std::max(pm, st.total_pm_nitrate);
+    }
+    char loc[48];
+    std::snprintf(loc, sizeof loc, "(%.0f, %.0f) km", peak_at.x, peak_at.y);
+    t.row()
+        .add(sc.name)
+        .add(peak_o3, 4)
+        .add(mean_o3, 4)
+        .add(mean_co, 3)
+        .add(pm, 4)
+        .add(loc);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Note: ozone responds non-linearly to NOx/VOC controls\n"
+              "(NOx cuts can raise urban ozone in VOC-limited regimes);\n"
+              "CO and sulfate respond near-linearly to their emissions.\n");
+  return 0;
+}

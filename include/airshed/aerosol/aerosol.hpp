@@ -1,0 +1,53 @@
+// Inorganic aerosol partitioning step.
+//
+// In the paper's Airshed the aerosol computation runs at the end of every
+// chemistry phase, "cannot be parallelized and is therefore replicated"
+// (§2.2) — a tiny fraction of total time, but it forces the concentration
+// array back to the replicated distribution and thereby fixes the
+// redistribution sequence D_Chem -> D_Repl -> D_Trans that dominates the
+// communication analysis. We implement a compact inorganic equilibrium:
+//   * H2SO4 (SULF) condenses irreversibly onto particulate sulfate,
+//     neutralized by available ammonia;
+//   * NH3 + HNO3 <-> NH4NO3(p) with the temperature-dependent equilibrium
+//     product Kp(T) (Mozurkewich-style parameterization).
+//
+// The particulate phase is a 3-component field (nitrate, ammonium,
+// sulfate), shaped (3, layers, nodes), in ppm-equivalent mixing ratio.
+#pragma once
+
+#include <cstddef>
+
+#include "airshed/util/array.hpp"
+
+namespace airshed {
+
+/// Particulate component indices in the PM field's first dimension.
+enum class PmComponent : std::size_t { Nitrate = 0, Ammonium = 1, Sulfate = 2 };
+inline constexpr std::size_t kPmComponents = 3;
+
+struct AerosolResult {
+  double work_flops = 0.0;
+  std::size_t cells = 0;
+};
+
+/// Sequential gas/particle equilibrium over the whole domain.
+class AerosolModule {
+ public:
+  /// NH4NO3 dissociation constant Kp(T) in ppm^2.
+  static double kp_nh4no3_ppm2(double temp_k);
+
+  /// Equilibrates every (layer, node) cell. `gas` is the 35-species field;
+  /// `pm` must be shaped (kPmComponents, layers, nodes). `temp_k` is
+  /// sampled per layer via the provided per-layer temperatures.
+  AerosolResult equilibrate(ConcentrationField& gas, Array3<double>& pm,
+                            std::span<const double> layer_temp_k) const;
+
+  /// Equilibrates a single cell; exposed for unit tests.
+  /// Returns the moles (ppm) moved from gas to particle (negative =
+  /// evaporation) for the NH4NO3 couple.
+  double equilibrate_cell(double& nh3, double& hno3, double& sulf,
+                          double& pm_no3, double& pm_nh4, double& pm_so4,
+                          double temp_k) const;
+};
+
+}  // namespace airshed

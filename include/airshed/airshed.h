@@ -1,0 +1,52 @@
+// Umbrella header: the Airshed public API.
+//
+// Typical use:
+//
+//   #include <airshed/airshed.h>
+//
+//   airshed::Dataset ds = airshed::la_basin_dataset();
+//   airshed::AirshedModel model(ds, {.hours = 24});
+//   airshed::ModelRunResult run = model.run();           // physics, once
+//
+//   airshed::ExecutionConfig cfg{airshed::cray_t3e(), 64,
+//                                airshed::Strategy::DataParallel};
+//   airshed::RunReport rep = airshed::simulate_execution(run.trace, cfg);
+//   // rep.total_seconds, rep.ledger (per-phase breakdown), rep.comm ...
+#pragma once
+
+#include "airshed/aerosol/aerosol.hpp"
+#include "airshed/chem/boxmodel.hpp"
+#include "airshed/chem/mechanism.hpp"
+#include "airshed/chem/reference.hpp"
+#include "airshed/chem/species.hpp"
+#include "airshed/chem/youngboris.hpp"
+#include "airshed/core/executor.hpp"
+#include "airshed/core/model.hpp"
+#include "airshed/core/report.hpp"
+#include "airshed/core/uniform_model.hpp"
+#include "airshed/core/worktrace.hpp"
+#include "airshed/dist/airshed_layouts.hpp"
+#include "airshed/dist/distarray.hpp"
+#include "airshed/dist/layout.hpp"
+#include "airshed/emis/emissions.hpp"
+#include "airshed/fxsim/comm_cost.hpp"
+#include "airshed/fxsim/foreign.hpp"
+#include "airshed/fxsim/ledger.hpp"
+#include "airshed/fxsim/pipeline.hpp"
+#include "airshed/grid/multiscale.hpp"
+#include "airshed/grid/trimesh.hpp"
+#include "airshed/grid/uniform.hpp"
+#include "airshed/io/dataset.hpp"
+#include "airshed/io/archive.hpp"
+#include "airshed/io/hourly.hpp"
+#include "airshed/machine/machine.hpp"
+#include "airshed/met/meteorology.hpp"
+#include "airshed/perf/model.hpp"
+#include "airshed/popexp/popexp.hpp"
+#include "airshed/transport/onedim.hpp"
+#include "airshed/transport/supg.hpp"
+#include "airshed/util/array.hpp"
+#include "airshed/util/stats.hpp"
+#include "airshed/util/table.hpp"
+#include "airshed/util/tridiag.hpp"
+#include "airshed/vert/vertical.hpp"

@@ -1,0 +1,30 @@
+// Reference integrators used only for validation of the Young-Boris solver.
+//
+// * qssa_integrate: first-order semi-implicit (QSSA) update
+//       c <- (c + h P(c)) / (1 + h L(c)),
+//   unconditionally positive and stable; converges to the true solution as
+//   h -> 0 through a *different* discretization family than Young-Boris,
+//   making it a meaningful cross-check on the full stiff mechanism.
+// * rk4_integrate: classic explicit RK4, usable on non-stiff reduced
+//   systems (tests with analytic solutions).
+#pragma once
+
+#include <span>
+
+#include "airshed/chem/mechanism.hpp"
+
+namespace airshed {
+
+/// Fixed-step semi-implicit integration of the mechanism over
+/// `dt_total_min` using `steps` equal substeps.
+void qssa_integrate(const Mechanism& mech, std::span<double> c,
+                    double dt_total_min, int steps, double temp_k, double sun,
+                    std::span<const double> source_ppm_min = {});
+
+/// Fixed-step RK4 integration (explicit; caller must ensure the step
+/// resolves the fastest timescale).
+void rk4_integrate(const Mechanism& mech, std::span<double> c,
+                   double dt_total_min, int steps, double temp_k, double sun,
+                   std::span<const double> source_ppm_min = {});
+
+}  // namespace airshed

@@ -1,0 +1,58 @@
+// Chemical species registry.
+//
+// The paper's datasets carry 35 species (§2.1: A(35, 5, 700) for LA). We use
+// a condensed carbon-bond style photochemical mechanism (CB-IV family) with
+// exactly 35 transported species: the classic 32 CB-IV gas-phase species plus
+// SO2 / sulfate / ammonia, which feed the aerosol partitioning step that runs
+// at the end of the chemistry phase (§2.2).
+//
+// Concentration units are ppm throughout the gas-phase chemistry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace airshed {
+
+enum class Species : std::uint8_t {
+  NO, NO2, O3, O, O1D, OH, HO2, H2O2, NO3, N2O5,
+  HNO3, HONO, PNA, CO, FORM, ALD2, C2O3, PAN, PAR, ROR,
+  OLE, ETH, TOL, CRES, TO2, CRO, XYL, MGLY, ISOP, XO2,
+  XO2N, NTR, SO2, SULF, NH3,
+};
+
+/// Number of transported species (the first array dimension of the
+/// concentration field).
+inline constexpr int kSpeciesCount = 35;
+
+inline constexpr int index_of(Species s) { return static_cast<int>(s); }
+
+/// Canonical short name ("NO2", "O3", ...).
+std::string_view species_name(Species s);
+std::string_view species_name(int index);
+
+/// Inverse of species_name; throws ConfigError for unknown names.
+Species species_by_name(std::string_view name);
+
+/// Number of nitrogen atoms in one molecule of s (for the N-conservation
+/// invariant the mechanism maintains exactly).
+int nitrogen_atoms(Species s);
+
+/// Number of sulfur atoms in one molecule of s.
+int sulfur_atoms(Species s);
+
+/// True for species injected by the emission inventory.
+bool is_emitted_species(Species s);
+
+/// Default clean-continental background concentration (ppm), used for
+/// initial conditions and inflow boundaries.
+double background_ppm(Species s);
+
+/// Dry deposition velocity (m/s) of the species at the surface.
+double deposition_velocity_ms(Species s);
+
+/// All species, in index order.
+std::array<Species, kSpeciesCount> all_species();
+
+}  // namespace airshed

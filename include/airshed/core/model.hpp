@@ -1,0 +1,72 @@
+// The Airshed model: the Fig 1 main loop.
+//
+//   DO i = 1, nhrs
+//     CALL inputhour(A); CALL pretrans(A)
+//     DO j = 1, nsteps
+//       CALL transport(A)   ! Lxy, dt/2
+//       CALL chemistry(A)   ! Lcz (chemistry + vertical transport) + aerosol
+//       CALL transport(A)   ! Lxy, dt/2
+//     ENDDO
+//     CALL outputhour(A)
+//   ENDDO
+//
+// This class runs the physics sequentially (the numerics are identical on
+// any machine) and records the WorkTrace that the parallel executor replays
+// on simulated machines. It also produces the scientific outputs (hourly
+// statistics, final fields) used by the example applications.
+#pragma once
+
+#include <functional>
+
+#include "airshed/chem/youngboris.hpp"
+#include "airshed/core/worktrace.hpp"
+#include "airshed/io/hourly.hpp"
+
+namespace airshed {
+
+struct ModelOptions {
+  int hours = 24;
+  double start_hour = 5.0;  ///< local time of simulation start (pre-dawn)
+  TransportOptions transport;
+  YoungBorisOptions chem;
+  InputGenerator::WorkModel io_work;
+};
+
+struct RunOutputs {
+  ConcentrationField conc;        ///< final gas concentrations
+  Array3<double> pm;              ///< final particulate field (3 components)
+  std::vector<HourlyStats> hourly;
+};
+
+struct ModelRunResult {
+  WorkTrace trace;
+  RunOutputs outputs;
+};
+
+/// Called after each simulated hour with the hour's statistics and the
+/// live concentration field — the coupling point consumers like PopExp
+/// attach to (paper §6).
+using HourCallback =
+    std::function<void(const HourlyStats&, const ConcentrationField&)>;
+
+/// Sequential Airshed model bound to one dataset.
+class AirshedModel {
+ public:
+  explicit AirshedModel(const Dataset& dataset, ModelOptions opts = {});
+
+  const Dataset& dataset() const { return *dataset_; }
+  const ModelOptions& options() const { return opts_; }
+
+  /// Uniform background initial conditions.
+  static ConcentrationField initial_conditions(const Dataset& dataset);
+
+  /// Runs the full simulation, invoking `on_hour` after every simulated
+  /// hour (outputhour publication, the PopExp attachment point).
+  ModelRunResult run(const HourCallback& on_hour = {});
+
+ private:
+  const Dataset* dataset_;
+  ModelOptions opts_;
+};
+
+}  // namespace airshed

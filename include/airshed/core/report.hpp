@@ -1,0 +1,29 @@
+// Report formatting: render RunReports and sweeps as aligned tables.
+//
+// Shared by the bench harness and the examples so every consumer prints
+// the same phase decomposition the paper's Fig 4 uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "airshed/core/executor.hpp"
+#include "airshed/util/table.hpp"
+
+namespace airshed {
+
+/// One-line phase decomposition of a report:
+/// "total 545.7 s = chemistry 429.1 + transport 71.8 + I/O 30.0 + ...".
+std::string summarize_report(const RunReport& report);
+
+/// Table of one report's phase records (name, category, seconds, count),
+/// sorted by descending time.
+Table phase_table(const RunReport& report);
+
+/// Node-count sweep for one machine: rows of (P, total, per-category
+/// seconds, speedup vs the first row).
+Table sweep_table(const WorkTrace& trace, const MachineModel& machine,
+                  const std::vector<int>& node_counts,
+                  Strategy strategy = Strategy::DataParallel);
+
+}  // namespace airshed

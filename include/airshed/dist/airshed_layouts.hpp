@@ -1,0 +1,59 @@
+// The three layouts of the Airshed main loop and the communication plan of
+// one model step (paper §2.2):
+//   Transport -> Chemistry -> Aerosol -> Transport
+// giving the redistribution sequence
+//   D_Repl -> D_Trans, D_Trans -> D_Chem, D_Chem -> D_Repl
+// (no direct D_Chem -> D_Trans: the replicated aerosol computation stands
+// between chemistry and the next transport).
+#pragma once
+
+#include "airshed/dist/distarray.hpp"
+#include "airshed/dist/layout.hpp"
+
+namespace airshed {
+
+/// Dimension roles in the concentration array A(species, layers, nodes).
+inline constexpr int kSpeciesDim = 0;
+inline constexpr int kLayersDim = 1;
+inline constexpr int kNodesDim = 2;
+
+struct AirshedLayouts {
+  Layout3 repl;   ///< A(*,*,*)
+  Layout3 trans;  ///< A(*,BLOCK,*)
+  Layout3 chem;   ///< A(*,*,BLOCK)
+
+  static AirshedLayouts make(std::size_t species, std::size_t layers,
+                             std::size_t nodes, int P) {
+    const std::array<std::size_t, 3> shape{species, layers, nodes};
+    return AirshedLayouts{Layout3::replicated(shape, P),
+                          Layout3::block(shape, kLayersDim, P),
+                          Layout3::block(shape, kNodesDim, P)};
+  }
+};
+
+/// Planned traffic of the three redistribution steps of one model step.
+struct MainLoopCommPlan {
+  RedistributionStats repl_to_trans;
+  RedistributionStats trans_to_chem;
+  RedistributionStats chem_to_repl;
+
+  static MainLoopCommPlan plan(std::size_t species, std::size_t layers,
+                               std::size_t nodes, int P,
+                               std::size_t word_size) {
+    const AirshedLayouts l = AirshedLayouts::make(species, layers, nodes, P);
+    MainLoopCommPlan p;
+    p.repl_to_trans = plan_redistribution(l.repl, l.trans, word_size);
+    p.trans_to_chem = plan_redistribution(l.trans, l.chem, word_size);
+    p.chem_to_repl = plan_redistribution(l.chem, l.repl, word_size);
+    return p;
+  }
+
+  /// Total seconds of all three steps on the given machine.
+  double step_seconds(const MachineModel& machine) const {
+    return repl_to_trans.phase_seconds(machine) +
+           trans_to_chem.phase_seconds(machine) +
+           chem_to_repl.phase_seconds(machine);
+  }
+};
+
+}  // namespace airshed

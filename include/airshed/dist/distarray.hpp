@@ -1,0 +1,78 @@
+// Distributed 3-D array with per-node local storage, and the
+// redistribution engine that moves data between layouts while counting the
+// exact per-node message/byte/copy traffic the cost model charges.
+//
+// The engine is the "measured" side of the paper's predicted-vs-measured
+// communication comparison (Fig 6): predictions come from the closed-form
+// equations in airshed/perf, measurements from the traffic this engine
+// actually generates.
+#pragma once
+
+#include <vector>
+
+#include "airshed/dist/layout.hpp"
+#include "airshed/fxsim/comm_cost.hpp"
+#include "airshed/util/array.hpp"
+
+namespace airshed {
+
+/// A 3-D double array distributed over simulated nodes; each node owns a
+/// dense local block (replicated dimensions are fully present locally).
+class DistArray3 {
+ public:
+  explicit DistArray3(Layout3 layout);
+
+  const Layout3& layout() const { return layout_; }
+
+  /// Fills every node's local block from a global array.
+  void scatter_from(const Array3<double>& global);
+
+  /// Assembles the global array from the local blocks (taking each element
+  /// from its lowest-ranked owner).
+  Array3<double> gather() const;
+
+  /// Local storage of one node (row-major over its owned ranges).
+  std::span<double> local(int node) { return locals_[node]; }
+  std::span<const double> local(int node) const { return locals_[node]; }
+
+  /// Element (i, j, k) as stored on `node`; the node must own it.
+  double at(int node, std::size_t i, std::size_t j, std::size_t k) const;
+  double& at(int node, std::size_t i, std::size_t j, std::size_t k);
+
+  /// Linear index of (i, j, k) within node's local block.
+  std::size_t local_index(int node, std::size_t i, std::size_t j,
+                          std::size_t k) const;
+
+ private:
+  Layout3 layout_;
+  std::vector<std::vector<double>> locals_;
+};
+
+/// Traffic statistics of one executed redistribution.
+struct RedistributionStats {
+  std::vector<NodeTraffic> traffic;  ///< per node
+  double total_messages = 0.0;
+  double total_network_bytes = 0.0;
+  double total_copied_bytes = 0.0;
+
+  /// Phase time under the given machine's cost model (max over nodes).
+  double phase_seconds(const MachineModel& machine) const {
+    return phase_comm_time(machine, traffic);
+  }
+};
+
+/// Moves the contents of `src` into `dst` (same shape, any layouts),
+/// actually copying element data between local blocks and recording one
+/// message per communicating node pair. An element already present on the
+/// destination node is a local copy (H-cost), not a message — so
+/// D_Repl -> D_Trans generates zero network traffic, as in the paper.
+RedistributionStats redistribute(const DistArray3& src, DistArray3& dst,
+                                 std::size_t word_size);
+
+/// Computes the traffic statistics of a redistribution between two layouts
+/// without allocating or copying array data (used by sweeps over large P).
+/// Produces exactly the stats redistribute() would report.
+RedistributionStats plan_redistribution(const Layout3& from, const Layout3& to,
+                                        std::size_t word_size);
+
+}  // namespace airshed

@@ -1,0 +1,123 @@
+// HPF-style data layouts for the 3-D concentration array.
+//
+// Fx / HPF distribute arrays over the machine with per-dimension
+// directives; Fx supports BLOCK, CYCLIC and block-cyclic distributions
+// (paper §2.2). Airshed's main loop uses exactly three layouts of
+// A(species, layers, nodes):
+//   D_Repl  = A(*, *, *)       replicated (I/O processing, aerosol)
+//   D_Trans = A(*, BLOCK, *)   distributed over layers (transport phase)
+//   D_Chem  = A(*, *, BLOCK)   distributed over grid nodes (chemistry phase)
+// BLOCK uses the HPF block size ceil(n/P): when the extent (e.g. 5 layers)
+// is smaller than P, the trailing nodes own nothing — which is precisely
+// why the transport phase's useful parallelism saturates at `layers`.
+//
+// CYCLIC (element i owned by node i mod P) and BLOCK-CYCLIC (blocks of a
+// chosen size dealt round-robin) are supported as well — CYCLIC is the
+// classic remedy for the chemistry phase's load imbalance when per-column
+// cost varies (see bench/abl_cyclic_chemistry), BLOCK-CYCLIC trades that
+// balance against message fragmentation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <utility>
+
+namespace airshed {
+
+enum class DimDist { Replicated, Block, Cyclic, BlockCyclic };
+
+/// Half-open index range [lo, hi).
+struct IndexRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// Intersection of two ranges (possibly empty).
+IndexRange intersect(IndexRange a, IndexRange b);
+
+/// Layout of a (d0, d1, d2) array over P nodes, with at most one
+/// distributed (BLOCK or CYCLIC) dimension (HPF 1-D processor arrangement,
+/// as Fx generates for Airshed).
+class Layout3 {
+ public:
+  /// `cycle_block` is the round-robin block size of a BlockCyclic
+  /// dimension (ignored otherwise; Cyclic always uses 1).
+  Layout3(std::array<std::size_t, 3> shape, std::array<DimDist, 3> dist,
+          int nodes, std::size_t cycle_block = 1);
+
+  /// Fully replicated layout A(*,*,*).
+  static Layout3 replicated(std::array<std::size_t, 3> shape, int nodes);
+  /// BLOCK on dimension `dim`, replicated elsewhere.
+  static Layout3 block(std::array<std::size_t, 3> shape, int dim, int nodes);
+  /// CYCLIC on dimension `dim`, replicated elsewhere.
+  static Layout3 cyclic(std::array<std::size_t, 3> shape, int dim, int nodes);
+  /// BLOCK-CYCLIC with the given block size on dimension `dim`.
+  static Layout3 block_cyclic(std::array<std::size_t, 3> shape, int dim,
+                              int nodes, std::size_t block);
+
+  const std::array<std::size_t, 3>& shape() const { return shape_; }
+  const std::array<DimDist, 3>& dist() const { return dist_; }
+  int nodes() const { return nodes_; }
+
+  /// Index of the distributed (BLOCK or CYCLIC) dimension, or -1 if fully
+  /// replicated.
+  int distributed_dim() const { return dist_dim_; }
+  /// Back-compat alias for distributed_dim().
+  int block_dim() const { return dist_dim_; }
+
+  /// True when the distributed dimension (if any) is CYCLIC or
+  /// BLOCK-CYCLIC (non-contiguous ownership).
+  bool is_cyclic() const {
+    return dist_dim_ >= 0 && (dist_[dist_dim_] == DimDist::Cyclic ||
+                              dist_[dist_dim_] == DimDist::BlockCyclic);
+  }
+
+  /// Round-robin block size: 1 for CYCLIC, the configured size for
+  /// BLOCK-CYCLIC, 0 otherwise.
+  std::size_t cycle_block() const { return cycle_block_; }
+
+  /// HPF block size ceil(extent / P) of a BLOCK-distributed dimension
+  /// (0 when fully replicated or cyclic).
+  std::size_t block_size() const { return block_size_; }
+
+  /// For BLOCK (or replicated) dimensions: the contiguous range owned by
+  /// `node`. Throws for a CYCLIC dimension (ownership is not contiguous;
+  /// use owns()/owner_of()).
+  IndexRange owned_range(int node, int dim) const;
+
+  /// Owner of index `i` along the distributed dimension. For replicated
+  /// layouts there is no unique owner and -1 is returned.
+  int owner_of(std::size_t index) const;
+
+  /// Number of indices of dimension `dim` owned by `node`.
+  std::size_t owned_count(int node, int dim) const;
+
+  /// Number of elements stored locally by node p.
+  std::size_t local_elements(int node) const;
+
+  /// True if node p stores element (i, j, k).
+  bool owns(int node, std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// Number of nodes with at least one element — the layout's degree of
+  /// useful parallelism (min(extent, P) for BLOCK and CYCLIC layouts).
+  int active_nodes() const;
+
+  std::size_t total_elements() const {
+    return shape_[0] * shape_[1] * shape_[2];
+  }
+
+  friend bool operator==(const Layout3&, const Layout3&) = default;
+
+ private:
+  std::array<std::size_t, 3> shape_;
+  std::array<DimDist, 3> dist_;
+  int nodes_ = 1;
+  int dist_dim_ = -1;
+  std::size_t block_size_ = 0;
+  std::size_t cycle_block_ = 0;  ///< round-robin block (1 for CYCLIC)
+};
+
+}  // namespace airshed

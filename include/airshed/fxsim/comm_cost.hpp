@@ -1,0 +1,44 @@
+// Communication cost evaluation for redistribution phases.
+//
+// Implements the paper's end-point cost model (§4.2):
+//   Ct = L * m + G * b + H * c        (Eq. 2)
+// per node, with the phase cost given by the most loaded node. Message
+// latencies accrue for both sends and receives; the bandwidth term is
+// dominated by the heavier direction (the paper's analyses use the send
+// side for D_Trans -> D_Chem and the receive side for D_Chem -> D_Repl).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "airshed/machine/machine.hpp"
+
+namespace airshed {
+
+/// Traffic of one node during one communication phase.
+struct NodeTraffic {
+  double messages_sent = 0.0;
+  double bytes_sent = 0.0;
+  double messages_received = 0.0;
+  double bytes_received = 0.0;
+  double bytes_copied = 0.0;  ///< local copies (no network transfer)
+
+  NodeTraffic& operator+=(const NodeTraffic& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    bytes_copied += o.bytes_copied;
+    return *this;
+  }
+};
+
+/// Eq. 2 evaluated for one node: latency on all messages, bandwidth on the
+/// dominant direction, copy cost on local bytes.
+double node_comm_time(const MachineModel& machine, const NodeTraffic& t);
+
+/// Phase time: the maximum node_comm_time over all participating nodes.
+double phase_comm_time(const MachineModel& machine,
+                       std::span<const NodeTraffic> traffic);
+
+}  // namespace airshed

@@ -1,0 +1,50 @@
+// Foreign-module coupling cost model.
+//
+// The paper integrates the PVM-parallel PopExp with the Fx Airshed through
+// a shared communication library (§6). Our simulated runtime reproduces
+// the prototype's scenario A (Fig 11): data flows from the native program
+// to a representative task, then to a designated interface node of the
+// foreign module, which scatters it to the module's nodes. Each staging
+// hop pays latency, bandwidth and a local copy — the "fixed, relatively
+// small, extra overhead" visible in Fig 13. The native-task path transfers
+// directly between the two distributions.
+#pragma once
+
+#include <cstddef>
+
+#include "airshed/machine/machine.hpp"
+
+namespace airshed {
+
+/// The implementation strategies of Fig 11.
+enum class ForeignScenario {
+  A,  ///< staged: native -> representative task -> interface node -> module
+  B,  ///< direct to all module nodes (module topology exposed to compiler)
+  C,  ///< direct variable-to-variable transfer (most complex, fastest)
+};
+
+std::string to_string(ForeignScenario s);
+
+struct ForeignCouplingOptions {
+  /// Fixed per-exchange handshake/synchronization overhead between the two
+  /// runtime systems (seconds).
+  double sync_overhead_s = 0.1;
+  /// Extra staging copies per hop (representative task and interface node).
+  int staging_copies = 2;
+  /// Which Fig 11 implementation is modeled (the paper's prototype uses A).
+  ForeignScenario scenario = ForeignScenario::A;
+};
+
+/// Seconds to move `bytes` from a native task distributed over `src_nodes`
+/// to a foreign module on `dst_nodes` via scenario A staging.
+double foreign_transfer_seconds(const MachineModel& machine,
+                                std::size_t bytes, int src_nodes,
+                                int dst_nodes,
+                                const ForeignCouplingOptions& opts = {});
+
+/// Seconds for the equivalent native-task transfer (direct redistribution
+/// from the source subgroup's distribution to the destination subgroup's).
+double native_transfer_seconds(const MachineModel& machine, std::size_t bytes,
+                               int src_nodes, int dst_nodes);
+
+}  // namespace airshed

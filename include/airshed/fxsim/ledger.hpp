@@ -1,0 +1,73 @@
+// Virtual-time accounting for the simulated Fx runtime.
+//
+// The data-parallel Airshed is a sequence of barrier-synchronized phases;
+// each phase's contribution to wall-clock time is the maximum over the
+// participating nodes of that node's phase duration (computation work /
+// node rate, or the communication cost model). The ledger accumulates
+// those contributions per category, which is exactly the decomposition the
+// paper plots in Fig 4 (chemistry / transport / I/O processing /
+// communication).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace airshed {
+
+enum class PhaseCategory {
+  IoProcessing,   ///< inputhour / pretrans / outputhour (sequential)
+  Transport,      ///< Lxy horizontal transport computation
+  Chemistry,      ///< Lcz chemistry + vertical transport computation
+  Aerosol,        ///< replicated aerosol computation
+  Communication,  ///< array redistribution
+  Exposure,       ///< PopExp computation
+  Coupling,       ///< foreign-module data transfer overhead
+};
+
+/// Human-readable category name.
+std::string to_string(PhaseCategory cat);
+
+/// Aggregated record of one named phase across the run.
+struct PhaseRecord {
+  std::string name;
+  PhaseCategory category = PhaseCategory::IoProcessing;
+  double seconds = 0.0;  ///< total virtual seconds charged
+  long long count = 0;   ///< number of times the phase executed
+};
+
+/// Accumulates virtual time per phase and per category.
+class RunLedger {
+ public:
+  /// Charges `seconds` of critical-path time to the named phase.
+  void charge(PhaseCategory cat, const std::string& name, double seconds);
+
+  /// Total virtual time charged (the run's wall-clock estimate when phases
+  /// are serialized, i.e. the pure data-parallel execution).
+  double total_seconds() const { return total_; }
+
+  double category_seconds(PhaseCategory cat) const;
+
+  /// All phase records, sorted by descending time.
+  std::vector<PhaseRecord> phases() const;
+
+  /// Number of times phases of a category executed (e.g. the paper's "77
+  /// communication steps").
+  long long category_count(PhaseCategory cat) const;
+
+  void merge(const RunLedger& other);
+
+ private:
+  struct Key {
+    PhaseCategory cat;
+    std::string name;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.cat != b.cat) return a.cat < b.cat;
+      return a.name < b.name;
+    }
+  };
+  std::map<Key, PhaseRecord> records_;
+  double total_ = 0.0;
+};
+
+}  // namespace airshed

@@ -1,0 +1,37 @@
+// Pipelined task-parallel scheduling.
+//
+// Fx supports task parallelism via node subgroups (paper §5); Airshed uses
+// it to break each simulated hour into a 3-stage pipeline (Fig 8):
+//   input processing (hour i+1) | transport+chemistry (hour i) | output (i-1)
+// each stage bound to its own subgroup. This module computes the makespan
+// of such a pipeline from per-stage per-item durations, and the subgroup
+// allocation used by the task-parallel executor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace airshed {
+
+/// Makespan of a linear pipeline: stage s starts item i when stage s-1 has
+/// finished item i and stage s has finished item i-1 (classic permutation
+/// flow-shop recurrence).
+/// `stage_times[s][i]` is the duration of stage s on item i; all stages
+/// must process the same number of items.
+double pipeline_makespan(const std::vector<std::vector<double>>& stage_times);
+
+/// Node subgroup allocation for the 3-stage Airshed pipeline on P nodes:
+/// one node each for input and output processing (they are sequential
+/// computations) and the remainder for the main transport/chemistry task.
+struct PipelineAllocation {
+  int input_nodes = 1;
+  int main_nodes = 1;
+  int output_nodes = 1;
+
+  int total() const { return input_nodes + main_nodes + output_nodes; }
+};
+
+/// Allocation for P total nodes; requires P >= 3.
+PipelineAllocation allocate_pipeline_nodes(int total_nodes);
+
+}  // namespace airshed

@@ -1,0 +1,40 @@
+// Basic 2-D geometry types for the horizontal grids.
+#pragma once
+
+#include <cmath>
+
+namespace airshed {
+
+/// A point / vector in the horizontal plane (km east, km north).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(double s, Point2 a) { return {s * a.x, s * a.y}; }
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+inline double dot(Point2 a, Point2 b) { return a.x * b.x + a.y * b.y; }
+inline double norm(Point2 a) { return std::sqrt(dot(a, a)); }
+
+/// Axis-aligned bounding box.
+struct BBox {
+  double xmin = 0.0, ymin = 0.0, xmax = 0.0, ymax = 0.0;
+
+  double width() const { return xmax - xmin; }
+  double height() const { return ymax - ymin; }
+  double area() const { return width() * height(); }
+  Point2 center() const { return {0.5 * (xmin + xmax), 0.5 * (ymin + ymax)}; }
+  bool contains(Point2 p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+};
+
+/// Signed area of triangle (a, b, c); positive when counter-clockwise.
+inline double signed_area(Point2 a, Point2 b, Point2 c) {
+  return 0.5 * ((b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y));
+}
+
+}  // namespace airshed

@@ -1,0 +1,106 @@
+// Multiscale (quadtree) horizontal grid.
+//
+// Airshed uses a multiscale grid instead of a uniform grid (paper §2.1): a
+// well-chosen multiscale grid needs far fewer chemistry evaluations for the
+// same accuracy, because resolution is concentrated where gradients are
+// strong (city cores) and kept coarse over open space. We realize it as a
+// 2:1-balanced quadtree over a rectangular domain; the conforming
+// triangulation (one fan of triangles per leaf, centered on the leaf
+// centroid, with hanging midpoints absorbed as fan vertices) feeds the SUPG
+// transport operator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "airshed/grid/geometry.hpp"
+#include "airshed/grid/trimesh.hpp"
+
+namespace airshed {
+
+/// Identifies a quadtree cell: `level` 0 is the base grid; cell (i, j) spans
+/// lattice coordinates [i, i+1) x [j, j+1) at that level's resolution.
+struct CellKey {
+  int level = 0;
+  int i = 0;
+  int j = 0;
+
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+  friend auto operator<=>(const CellKey&, const CellKey&) = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    std::uint64_t h = static_cast<std::uint64_t>(k.level) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.i)) * 0xc2b2ae3d27d4eb4full;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.j)) * 0x165667b19e3779f9ull;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+/// 2:1-balanced quadtree grid over a rectangular domain.
+class MultiscaleGrid {
+ public:
+  /// Creates the base grid of `base_nx` x `base_ny` level-0 cells covering
+  /// `domain`. `max_level` bounds refinement depth (cells can be split
+  /// max_level times).
+  MultiscaleGrid(BBox domain, int base_nx, int base_ny, int max_level);
+
+  const BBox& domain() const { return domain_; }
+  int base_nx() const { return base_nx_; }
+  int base_ny() const { return base_ny_; }
+  int max_level() const { return max_level_; }
+
+  bool is_leaf(CellKey k) const { return cells_.contains(k) && !cells_.at(k); }
+  bool is_interior(CellKey k) const { return cells_.contains(k) && cells_.at(k); }
+  bool exists(CellKey k) const { return cells_.contains(k); }
+
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Leaves in deterministic (level, i, j) order.
+  std::vector<CellKey> leaves() const;
+
+  /// Geometric bounds of a cell.
+  BBox cell_bbox(CellKey k) const;
+
+  /// Splits a leaf into 4 children, first refining any coarser edge
+  /// neighbors needed to maintain the 2:1 balance invariant.
+  /// Throws ConfigError when `k` is not a leaf or already at max_level.
+  void refine(CellKey k);
+
+  /// Number of vertices the conforming triangulation would have right now
+  /// (distinct leaf corners + one centroid per leaf; hanging midpoints are
+  /// corners of the finer leaves and thus already counted).
+  std::size_t vertex_count() const;
+
+  /// Greedy refinement: repeatedly split the leaf with the highest
+  /// priority(centroid) * area until vertex_count() >= target_vertices or
+  /// no leaf can be refined further. Deterministic.
+  void refine_to_target(const std::function<double(Point2)>& priority,
+                        std::size_t target_vertices);
+
+  /// Builds the conforming triangulation: fan of triangles per leaf.
+  TriMesh triangulate() const;
+
+  /// Checks the 2:1 balance invariant (adjacent leaves differ by at most
+  /// one level); used by tests.
+  bool is_balanced() const;
+
+ private:
+  // Maps every allocated cell to subdivided? (true = interior, false = leaf).
+  std::unordered_map<CellKey, bool, CellKeyHash> cells_;
+  BBox domain_;
+  int base_nx_, base_ny_, max_level_;
+  std::size_t leaf_count_ = 0;
+
+  bool in_domain(CellKey k) const;
+  // The existing cell covering same-level neighbor `k`, possibly an
+  // ancestor; returns false if outside the domain.
+  bool find_covering(CellKey k, CellKey& out) const;
+  // Lattice coordinate (at 2x the max-level resolution) of a leaf corner.
+  std::uint64_t corner_coord(CellKey k, int di, int dj) const;
+};
+
+}  // namespace airshed

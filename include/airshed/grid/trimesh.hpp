@@ -1,0 +1,82 @@
+// Conforming triangular mesh for the SUPG horizontal transport operator.
+//
+// The multiscale grid (paper §2.1) is represented, after triangulation, as an
+// unstructured conforming triangle mesh. The mesh owns precomputed per-element
+// linear-basis gradients and per-vertex lumped (dual) areas so the transport
+// kernel does no geometry work per step.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "airshed/grid/geometry.hpp"
+
+namespace airshed {
+
+/// One triangle: vertex indices in counter-clockwise order.
+struct Triangle {
+  std::array<std::uint32_t, 3> v;
+};
+
+/// Precomputed element geometry for linear (P1) finite elements.
+struct ElementGeometry {
+  double area = 0.0;
+  /// Gradients of the three nodal basis functions: grad phi_i = (bx[i], by[i]).
+  std::array<double, 3> bx{};
+  std::array<double, 3> by{};
+  /// Characteristic element length used for the SUPG stabilization parameter.
+  double h = 0.0;
+  Point2 centroid;
+};
+
+/// Immutable conforming triangle mesh with FE precomputation.
+class TriMesh {
+ public:
+  TriMesh() = default;
+
+  /// Builds the mesh and precomputes element geometry and lumped areas.
+  /// Requires all triangles CCW with positive area; throws ConfigError
+  /// otherwise.
+  TriMesh(std::vector<Point2> points, std::vector<Triangle> triangles);
+
+  std::size_t vertex_count() const { return points_.size(); }
+  std::size_t triangle_count() const { return triangles_.size(); }
+
+  std::span<const Point2> points() const { return points_; }
+  std::span<const Triangle> triangles() const { return triangles_; }
+  std::span<const ElementGeometry> element_geometry() const { return geom_; }
+
+  /// Lumped (dual) area of each vertex: one third of incident triangle areas.
+  std::span<const double> lumped_area() const { return lumped_area_; }
+
+  /// True for vertices on the mesh boundary (an edge used by one triangle).
+  std::span<const std::uint8_t> boundary_vertex() const { return boundary_; }
+
+  /// Total mesh area (sum of triangle areas).
+  double total_area() const { return total_area_; }
+
+  /// Bounding box of all vertices.
+  BBox bounds() const { return bounds_; }
+
+  /// Number of boundary edges (edges used by exactly one triangle).
+  std::size_t boundary_edge_count() const { return boundary_edge_count_; }
+
+  /// Returns a mesh with vertices renumbered by `new_of_old` (a
+  /// permutation: new index of each old vertex). Triangle connectivity is
+  /// rewritten accordingly.
+  TriMesh renumbered(std::span<const std::uint32_t> new_of_old) const;
+
+ private:
+  std::vector<Point2> points_;
+  std::vector<Triangle> triangles_;
+  std::vector<ElementGeometry> geom_;
+  std::vector<double> lumped_area_;
+  std::vector<std::uint8_t> boundary_;
+  double total_area_ = 0.0;
+  BBox bounds_;
+  std::size_t boundary_edge_count_ = 0;
+};
+
+}  // namespace airshed

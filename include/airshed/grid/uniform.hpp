@@ -1,0 +1,44 @@
+// Uniform rectangular grid, the substrate of the 1-D operator-split
+// transport baseline (Dabdub & Seinfeld style; paper §3 discusses the
+// trade-off against the multiscale 2-D operator).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "airshed/grid/geometry.hpp"
+
+namespace airshed {
+
+/// A regular nx x ny grid of cells over a rectangular domain; state lives
+/// at cell centers.
+class UniformGrid {
+ public:
+  UniformGrid(BBox domain, std::size_t nx, std::size_t ny);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t cell_count() const { return nx_ * ny_; }
+  const BBox& domain() const { return domain_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+
+  /// Center of cell (i, j) with i in [0, nx), j in [0, ny).
+  Point2 center(std::size_t i, std::size_t j) const {
+    return {domain_.xmin + (static_cast<double>(i) + 0.5) * dx_,
+            domain_.ymin + (static_cast<double>(j) + 0.5) * dy_};
+  }
+
+  /// Row-major linear cell index: j * nx + i.
+  std::size_t index(std::size_t i, std::size_t j) const { return j * nx_ + i; }
+
+  /// Centers of all cells in linear-index order.
+  std::vector<Point2> all_centers() const;
+
+ private:
+  BBox domain_;
+  std::size_t nx_, ny_;
+  double dx_, dy_;
+};
+
+}  // namespace airshed

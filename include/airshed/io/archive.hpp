@@ -1,0 +1,54 @@
+// Concentration-field archiving.
+//
+// The original Airshed's outputhour wrote hourly concentration files that
+// downstream consumers (PopExp, GEMS visualization) read back. This module
+// provides the equivalent: a versioned, self-describing on-disk format for
+// a run's hourly fields and statistics, with full round-trip fidelity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "airshed/io/hourly.hpp"
+#include "airshed/util/array.hpp"
+
+namespace airshed {
+
+/// One archived hour: the statistics plus the full 3-D field snapshot.
+struct ArchivedHour {
+  HourlyStats stats;
+  ConcentrationField conc;
+};
+
+/// An append-only archive of a run's hourly outputs.
+class RunArchive {
+ public:
+  RunArchive() = default;
+
+  /// Creates an archive for fields of the given shape.
+  RunArchive(std::string dataset_name, std::size_t species,
+             std::size_t layers, std::size_t points);
+
+  const std::string& dataset_name() const { return dataset_; }
+  std::size_t hour_count() const { return hours_.size(); }
+  const ArchivedHour& hour(std::size_t i) const;
+
+  /// Appends one hour (field shape must match the archive's).
+  void append(const HourlyStats& stats, const ConcentrationField& conc);
+
+  /// Per-hour time series of a statistic extractor, e.g. peak ozone.
+  std::vector<double> series_max_o3() const;
+  std::vector<double> series_mean_o3() const;
+
+  /// Writes the archive (versioned text format, exact doubles).
+  void save(const std::string& path) const;
+  /// Loads an archive; throws Error on malformed/mismatched files.
+  static RunArchive load(const std::string& path);
+
+ private:
+  std::string dataset_;
+  std::size_t species_ = 0, layers_ = 0, points_ = 0;
+  std::vector<ArchivedHour> hours_;
+};
+
+}  // namespace airshed

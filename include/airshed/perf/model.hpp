@@ -1,0 +1,122 @@
+// The paper's §4 performance model, in closed form.
+//
+// Computation (§4.1): a communication-free data-parallel phase takes
+//   T = (sequential work / units) * ceil(units / P) / node rate,
+// i.e. sequential time divided by the useful parallelism min(units, P),
+// with the ceil capturing uneven blocks.
+//
+// Communication (§4.2-4.3): Ct = L m + G b + H c evaluated for the most
+// loaded node of each redistribution step:
+//   D_Repl -> D_Trans:  Ct = H * ceil(layers/min(layers,P)) * S * N * W
+//   D_Trans -> D_Chem:  Ct = L * P + G * ceil(layers/min(layers,P)) * S * N * W
+//   D_Chem -> D_Repl:  Ct = 2 L * P + G * layers * S * N * W
+// (S = species, N = grid points, W = word size). These are the *predicted*
+// curves of Fig 6; the measured curves come from the redistribution engine.
+//
+// §4.3 also notes the parameters can be estimated from measurements on a
+// small number of nodes: estimate_comm_params fits (L, G, H) by least
+// squares from observed phase times.
+#pragma once
+
+#include <span>
+
+#include "airshed/core/worktrace.hpp"
+#include "airshed/machine/machine.hpp"
+
+namespace airshed {
+
+/// Computation phase prediction: sequential work over `units` independent
+/// work units, BLOCK-distributed over P nodes.
+double predict_compute_seconds(double seq_work_flops, std::size_t units,
+                               const MachineModel& machine, int nodes);
+
+/// The three §4.2 redistribution-cost equations (and the hour-boundary
+/// gather analog). S/N/W taken from the arguments; P from `nodes`.
+double predict_repl_to_trans_seconds(const MachineModel& machine,
+                                     std::size_t species, std::size_t layers,
+                                     std::size_t points, int nodes);
+double predict_trans_to_chem_seconds(const MachineModel& machine,
+                                     std::size_t species, std::size_t layers,
+                                     std::size_t points, int nodes);
+double predict_chem_to_repl_seconds(const MachineModel& machine,
+                                    std::size_t species, std::size_t layers,
+                                    std::size_t points, int nodes);
+double predict_trans_to_repl_seconds(const MachineModel& machine,
+                                     std::size_t species, std::size_t layers,
+                                     std::size_t points, int nodes);
+
+/// Sequential work summary of a run, extracted from its trace.
+struct AppWorkSummary {
+  std::size_t species = 0, layers = 0, points = 0;
+  long long hours = 0;
+  long long steps = 0;  ///< total model steps across all hours
+  double io_work = 0.0;
+  double transport_work = 0.0;
+  double chemistry_work = 0.0;
+  double aerosol_work = 0.0;
+
+  static AppWorkSummary from_trace(const WorkTrace& trace);
+};
+
+/// Whole-application prediction (the Fig 7 decomposition).
+struct AppPrediction {
+  double io_s = 0.0;
+  double transport_s = 0.0;
+  double chemistry_s = 0.0;
+  double aerosol_s = 0.0;
+  double comm_s = 0.0;
+  double total_s = 0.0;
+};
+
+AppPrediction predict_run(const AppWorkSummary& work,
+                          const MachineModel& machine, int nodes);
+
+/// One observed communication phase: the most-loaded node's message count,
+/// communicated bytes, locally copied bytes, and the measured time.
+struct CommObservation {
+  double messages = 0.0;
+  double bytes = 0.0;
+  double copied_bytes = 0.0;
+  double seconds = 0.0;
+};
+
+/// Estimated cost-model parameters.
+struct CommParams {
+  double latency_per_message_s = 0.0;  ///< L
+  double cost_per_byte_s = 0.0;        ///< G
+  double copy_per_byte_s = 0.0;        ///< H
+};
+
+/// Least-squares fit of (L, G, H) from observed phases (normal equations
+/// with a small ridge for degenerate designs). Needs >= 3 observations.
+CommParams estimate_comm_params(std::span<const CommObservation> obs);
+
+/// One end-to-end measurement: total run time at a node count.
+struct TotalObservation {
+  int nodes = 0;
+  double seconds = 0.0;
+};
+
+/// §4.3's extrapolation workflow: "measurements obtained by executing an
+/// application on a small number of nodes can be used to extrapolate the
+/// performance to larger numbers of nodes". The model fits three
+/// coefficients to small-P totals —
+///   T(P) = constant + transport_seq * f_L(P) + chem_seq / P
+/// where f_L(P) = ceil(L / min(L, P)) / L is the layer-saturation factor —
+/// then predicts any node count.
+struct ExtrapolationModel {
+  double constant_s = 0.0;    ///< I/O + other non-scaling time
+  double transport_seq_s = 0.0;
+  double chem_seq_s = 0.0;
+  std::size_t layers = 0;
+
+  double predict(int nodes) const;
+};
+
+/// Fits the extrapolation model from >= 3 measurements (typically P <= 8,
+/// the "small parallel computers widely available as development
+/// platforms" of §4.3).
+ExtrapolationModel fit_extrapolation(
+    std::span<const TotalObservation> measured, std::size_t layers);
+
+}  // namespace airshed

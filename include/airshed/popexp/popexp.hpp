@@ -1,0 +1,117 @@
+// PopExp: the population exposure model coupled with Airshed (paper §6).
+//
+// PopExp consumes the hourly surface-layer concentrations produced by
+// Airshed and computes population dose over a population raster. In the
+// paper it is a separately developed PVM program; here it is a real
+// computation (raster, nearest-vertex sampling, dose accumulation) plus an
+// execution-simulation config that couples it to the Airshed pipeline
+// either as a native Fx task or as a foreign module (Fig 12/13).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "airshed/core/executor.hpp"
+#include "airshed/fxsim/foreign.hpp"
+#include "airshed/grid/trimesh.hpp"
+#include "airshed/grid/uniform.hpp"
+#include "airshed/util/array.hpp"
+
+namespace airshed {
+
+/// Gridded population counts over the model domain.
+struct PopulationRaster {
+  UniformGrid grid;
+  std::vector<double> population;  ///< persons per cell, linear index order
+
+  double total_population() const;
+
+  /// Builds a raster by integrating a density kernel (typically the
+  /// emission inventory's urban_density) normalized to `total_people`.
+  static PopulationRaster from_density(
+      BBox domain, std::size_t nx, std::size_t ny,
+      const std::function<double(Point2)>& density, double total_people);
+};
+
+/// Result of one hour of exposure accumulation.
+struct ExposureResult {
+  double person_ppm_hours_o3 = 0.0;
+  double person_ppm_hours_no2 = 0.0;
+  double max_cell_o3_ppm = 0.0;
+  double work_flops = 0.0;
+};
+
+/// The exposure computation: per raster cell, sample the nearest grid
+/// vertex's surface concentrations and accumulate population dose.
+class ExposureModel {
+ public:
+  ExposureModel(PopulationRaster raster, const TriMesh& mesh);
+
+  const PopulationRaster& raster() const { return raster_; }
+
+  /// Accumulates one hour of exposure from the concentration field.
+  ExposureResult accumulate_hour(const ConcentrationField& conc);
+
+  /// Cumulative dose per raster cell (person-ppm-hours of O3).
+  std::span<const double> cumulative_o3_dose() const { return dose_o3_; }
+
+  /// Per-cell work (flops) of one hour, for the execution simulator.
+  static constexpr double kWorkPerCellFlops = 220.0;
+
+ private:
+  PopulationRaster raster_;
+  std::vector<std::uint32_t> nearest_vertex_;  ///< per raster cell
+  std::vector<double> dose_o3_;
+};
+
+/// How PopExp is attached to the Airshed pipeline.
+enum class PopExpCoupling {
+  NativeTask,     ///< all-Fx version: direct redistribution into the task
+  ForeignModule,  ///< PVM module behind the foreign-module interface
+};
+
+std::string to_string(PopExpCoupling c);
+
+struct PopExpExecutionConfig {
+  MachineModel machine;
+  int nodes = 8;  ///< total nodes, split across the four pipeline stages
+  PopExpCoupling coupling = PopExpCoupling::NativeTask;
+  std::size_t raster_cells = 0;
+  double work_per_cell_flops = ExposureModel::kWorkPerCellFlops;
+  ForeignCouplingOptions foreign;
+};
+
+/// Node split for the 4-stage Airshed+PopExp pipeline (Fig 12):
+/// input | transport/chemistry | output | PopExp.
+struct PopExpAllocation {
+  int input_nodes = 1;
+  int main_nodes = 1;
+  int output_nodes = 1;
+  int popexp_nodes = 1;
+};
+PopExpAllocation allocate_popexp_nodes(int total_nodes);
+
+/// Simulates the coupled Airshed+PopExp execution (pipelined, Fig 12) and
+/// reports the makespan; the coupling choice changes only the per-hour
+/// transfer cost into the PopExp stage. The overload with an explicit
+/// allocation skips the default heuristic split.
+RunReport simulate_airshed_popexp(const WorkTrace& trace,
+                                  const PopExpExecutionConfig& config);
+RunReport simulate_airshed_popexp(const WorkTrace& trace,
+                                  const PopExpExecutionConfig& config,
+                                  const PopExpAllocation& alloc);
+
+/// Result of searching the task-mapping space (the Fx optimal-mapping
+/// problem of the paper's refs [26, 27], specialized to the 4-stage
+/// Airshed+PopExp pipeline): the best PopExp subgroup size and its
+/// makespan, vs the default P/8 heuristic.
+struct PopExpAllocationSearch {
+  PopExpAllocation best;
+  double best_makespan_s = 0.0;
+  double heuristic_makespan_s = 0.0;
+};
+
+PopExpAllocationSearch optimize_popexp_allocation(
+    const WorkTrace& trace, const PopExpExecutionConfig& config);
+
+}  // namespace airshed

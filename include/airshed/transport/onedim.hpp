@@ -1,0 +1,66 @@
+// 1-D operator-split transport baseline on a uniform grid.
+//
+// The paper (§3, §7) contrasts Airshed's 2-D multiscale SUPG operator with
+// uniform-grid models that split horizontal transport into 1-D Lx and Ly
+// sweeps (Dabdub & Seinfeld). The 1-D scheme parallelizes over layers AND
+// over one grid dimension (much higher degree of parallelism) but needs a
+// finer, uniform grid — i.e. more total work — for the same accuracy. The
+// ablation bench abl_transport_operators reproduces that trade-off.
+//
+// Scheme: van-Leer (MUSCL) flux-limited upwind finite volume per sweep,
+// with explicit diffusion, under a per-sweep CFL bound.
+#pragma once
+
+#include <span>
+
+#include "airshed/grid/uniform.hpp"
+#include "airshed/transport/supg.hpp"
+#include "airshed/util/array.hpp"
+
+namespace airshed {
+
+/// Operator-split (Lx then Ly) transport on a uniform grid. Concentrations
+/// live at cell centers, linear index j * nx + i in the `nodes` dimension
+/// of the concentration field.
+class OneDimTransport {
+ public:
+  explicit OneDimTransport(const UniformGrid& grid, TransportOptions opts = {});
+
+  const UniformGrid& grid() const { return *grid_; }
+
+  /// Largest stable substep (hours) for the given cell-center velocities.
+  double stable_dt_hours(std::span<const Point2> velocity_kmh,
+                         double kh_km2h) const;
+
+  /// Advances every species of one layer by dt_hours using Lx(dt/2) Ly(dt)
+  /// Lx(dt/2) Strang splitting per substep. `velocity_kmh` has one entry
+  /// per cell (linear index order).
+  TransportStepResult advance_layer(ConcentrationField& conc,
+                                    std::size_t layer,
+                                    std::span<const Point2> velocity_kmh,
+                                    double kh_km2h, double dt_hours,
+                                    std::span<const double> background_ppm);
+
+  /// Degree of parallelism of one 1-D sweep when distributed over layers
+  /// and rows: layers * (rows orthogonal to the sweep). This is the number
+  /// the ablation bench feeds to the useful-parallelism model.
+  std::size_t sweep_parallelism(std::size_t layers) const {
+    return layers * std::min(grid_->nx(), grid_->ny());
+  }
+
+  /// Total tracer mass of one (species, layer) slice (cell volume weighted).
+  double layer_mass(const ConcentrationField& conc, std::size_t species,
+                    std::size_t layer) const;
+
+ private:
+  const UniformGrid* grid_;
+  TransportOptions opts_;
+  std::vector<double> line_;   // gathered 1-D line with ghost cells
+  std::vector<double> flux_;   // interface fluxes
+
+  // One van-Leer sweep along x (axis=0) or y (axis=1) for one species.
+  void sweep(std::span<double> c, std::span<const Point2> vel, int axis,
+             double kh, double dt, double bg);
+};
+
+}  // namespace airshed

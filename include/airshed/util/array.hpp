@@ -1,0 +1,109 @@
+// Dense row-major multi-dimensional arrays used throughout Airshed.
+//
+// The central data structure of the model is the concentration array
+// A(species, layers, nodes) (paper §2.1); Array3 stores it row-major with
+// `nodes` fastest-varying so that chemistry columns (all species, one node)
+// are strided and transport layers are contiguous per (species, layer).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+/// 2-D dense array, row-major: (rows, cols), cols fastest.
+template <typename T>
+class Array2 {
+ public:
+  Array2() = default;
+  Array2(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  T& operator()(std::size_t r, std::size_t c) {
+    AIRSHED_ASSERT(r < rows_ && c < cols_, "Array2 index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    AIRSHED_ASSERT(r < rows_ && c < cols_, "Array2 index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  std::span<T> flat() { return data_; }
+  std::span<const T> flat() const { return data_; }
+  std::span<T> row(std::size_t r) {
+    AIRSHED_ASSERT(r < rows_, "Array2 row out of range");
+    return std::span<T>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const {
+    AIRSHED_ASSERT(r < rows_, "Array2 row out of range");
+    return std::span<const T>(data_.data() + r * cols_, cols_);
+  }
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  friend bool operator==(const Array2&, const Array2&) = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// 3-D dense array, row-major: (n0, n1, n2), n2 fastest.
+///
+/// For the concentration field the convention is
+/// (species, layers, nodes), matching the paper's A(species;layers;nodes).
+template <typename T>
+class Array3 {
+ public:
+  Array3() = default;
+  Array3(std::size_t n0, std::size_t n1, std::size_t n2, T fill = T{})
+      : n0_(n0), n1_(n1), n2_(n2), data_(n0 * n1 * n2, fill) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    AIRSHED_ASSERT(i < n0_ && j < n1_ && k < n2_, "Array3 index out of range");
+    return data_[(i * n1_ + j) * n2_ + k];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    AIRSHED_ASSERT(i < n0_ && j < n1_ && k < n2_, "Array3 index out of range");
+    return data_[(i * n1_ + j) * n2_ + k];
+  }
+
+  std::size_t dim0() const { return n0_; }
+  std::size_t dim1() const { return n1_; }
+  std::size_t dim2() const { return n2_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t linear_index(std::size_t i, std::size_t j, std::size_t k) const {
+    return (i * n1_ + j) * n2_ + k;
+  }
+
+  std::span<T> flat() { return data_; }
+  std::span<const T> flat() const { return data_; }
+
+  /// Contiguous slice over the fastest dimension: all k for fixed (i, j).
+  std::span<T> slice(std::size_t i, std::size_t j) {
+    AIRSHED_ASSERT(i < n0_ && j < n1_, "Array3 slice out of range");
+    return std::span<T>(data_.data() + (i * n1_ + j) * n2_, n2_);
+  }
+  std::span<const T> slice(std::size_t i, std::size_t j) const {
+    AIRSHED_ASSERT(i < n0_ && j < n1_, "Array3 slice out of range");
+    return std::span<const T>(data_.data() + (i * n1_ + j) * n2_, n2_);
+  }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  friend bool operator==(const Array3&, const Array3&) = default;
+
+ private:
+  std::size_t n0_ = 0, n1_ = 0, n2_ = 0;
+  std::vector<T> data_;
+};
+
+/// The concentration field type used by the model: (species, layers, nodes).
+using ConcentrationField = Array3<double>;
+
+}  // namespace airshed

@@ -1,0 +1,56 @@
+// Error handling primitives shared across the Airshed libraries.
+//
+// The library uses exceptions for contract violations at API boundaries
+// (std::invalid_argument / airshed::Error) and AIRSHED_ASSERT for internal
+// invariants that indicate a bug rather than bad input.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace airshed {
+
+/// Base exception for all airshed library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a requested configuration is internally inconsistent
+/// (e.g. distributing an array over more nodes than it has elements
+/// in a way the layout rules forbid).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or produces
+/// a non-finite result.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failure(const char* expr, const char* msg,
+                                    std::source_location loc);
+}  // namespace detail
+
+}  // namespace airshed
+
+/// Precondition check that is always on (cheap checks at API boundaries).
+#define AIRSHED_REQUIRE(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::airshed::detail::assertion_failure(#expr, msg,                 \
+                                           std::source_location::current()); \
+    }                                                                  \
+  } while (false)
+
+/// Internal invariant check; compiled out in NDEBUG builds on hot paths.
+#ifdef NDEBUG
+#define AIRSHED_ASSERT(expr, msg) ((void)0)
+#else
+#define AIRSHED_ASSERT(expr, msg) AIRSHED_REQUIRE(expr, msg)
+#endif

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for synthetic datasets.
+//
+// Everything in Airshed that involves "randomness" (synthetic geography,
+// emission perturbations, population rasters) must be reproducible from a
+// seed so that tests and benches are deterministic across platforms. We use
+// splitmix64: tiny, fast, and fully specified (no implementation-defined
+// std::distribution behaviour).
+#pragma once
+
+#include <cstdint>
+
+namespace airshed {
+
+/// splitmix64 engine: deterministic across compilers and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (single value; the twin is discarded
+  /// to keep the stream position independent of call pattern).
+  double normal();
+
+  /// Derive an independent child stream (for per-module seeding).
+  Rng fork() { return Rng(next_u64() ^ 0xa5a5a5a5deadbeefull); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace airshed

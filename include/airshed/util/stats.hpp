@@ -1,0 +1,33 @@
+// Small statistics helpers for reports, tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace airshed {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double sum = 0.0;
+};
+
+/// Computes summary statistics; an empty span yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Relative error |a - b| / max(|a|, |b|, floor). Symmetric; returns 0
+/// when both values are below `floor` in magnitude.
+double relative_error(double a, double b, double floor = 1e-300);
+
+/// Root-mean-square difference between two equally sized samples.
+/// Throws ConfigError on size mismatch.
+double rms_difference(std::span<const double> a, std::span<const double> b);
+
+/// Maximum absolute difference between two equally sized samples.
+double max_abs_difference(std::span<const double> a, std::span<const double> b);
+
+}  // namespace airshed

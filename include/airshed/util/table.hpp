@@ -1,0 +1,47 @@
+// Plain-text table formatting for the bench harness.
+//
+// Every figure-reproduction bench prints its series as an aligned table
+// (one row per node count / configuration), so that bench output can be
+// diffed against EXPERIMENTS.md and post-processed with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace airshed {
+
+/// Column-aligned plain text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with add().
+  Table& row();
+
+  /// Appends a cell to the current row.
+  Table& add(const std::string& value);
+  Table& add(double value, int precision = 3);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header rule; each row padded per column.
+  std::string to_string() const;
+
+  /// Renders as CSV (no padding, comma separated, quotes only when needed).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with sensible precision for reports ("123.4 s", "0.0123 s").
+std::string format_seconds(double seconds);
+
+}  // namespace airshed

@@ -1,0 +1,29 @@
+// Thomas-algorithm tridiagonal solver, used by the implicit vertical
+// diffusion operator (Lz part of Lcz, paper §2.1).
+#pragma once
+
+#include <span>
+
+namespace airshed {
+
+/// Solves the tridiagonal system
+///   lower[i]*x[i-1] + diag[i]*x[i] + upper[i]*x[i+1] = rhs[i],  i = 0..n-1,
+/// with lower[0] and upper[n-1] ignored. Overwrites `rhs` with the solution.
+/// `scratch` must have at least n elements. The system must be
+/// non-singular after forward elimination (diagonally dominant systems,
+/// as produced by implicit diffusion, always qualify).
+///
+/// Throws NumericalError on a zero pivot.
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper,
+                       std::span<double> rhs,
+                       std::span<double> scratch);
+
+/// Convenience overload that allocates its own scratch space.
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper,
+                       std::span<double> rhs);
+
+}  // namespace airshed

@@ -1,0 +1,59 @@
+// Vertical transport: implicit diffusion, dry deposition, and emission
+// injection for one grid column.
+//
+// Vertical transport is combined with chemistry into the Lcz operator
+// (paper §2.1, Eq. 2) "because they involve similar computations on similar
+// timescales"; like chemistry it is independent per horizontal grid node,
+// which is why the whole Lcz phase parallelizes over the `nodes` dimension.
+//
+// Discretization: backward-Euler finite volume over the layer stack
+// (unconditionally stable, mass conserving up to deposition/emission),
+// solved with the Thomas algorithm per species.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "airshed/util/array.hpp"
+
+namespace airshed {
+
+struct VerticalStepResult {
+  double work_flops = 0.0;
+};
+
+/// Vertical operator bound to a fixed layer stack; create one per thread.
+class VerticalTransport {
+ public:
+  /// `layer_thickness_m` gives the thickness of each model layer (surface
+  /// first), as produced by Meteorology::layer_thickness_m.
+  explicit VerticalTransport(std::vector<double> layer_thickness_m);
+
+  int nlayers() const { return static_cast<int>(dz_.size()); }
+  std::span<const double> layer_thickness_m() const { return dz_; }
+
+  /// Advances all species of one column (grid node) by dt_min minutes.
+  ///  * kz_m2s: diffusivity at the nlayers-1 interior interfaces
+  ///  * surface_flux_ppm_m_min: per-species surface emission flux
+  ///  * deposition_velocity_ms: per-species dry deposition velocity
+  ///  * elevated_flux_ppm_m_min: optional per-(species, layer) flux
+  ///    (row-major species*nlayers), empty if none
+  VerticalStepResult advance_column(
+      ConcentrationField& conc, std::size_t node,
+      std::span<const double> kz_m2s,
+      std::span<const double> surface_flux_ppm_m_min,
+      std::span<const double> deposition_velocity_ms,
+      std::span<const double> elevated_flux_ppm_m_min, double dt_min);
+
+  /// Column burden of one species at one node: sum of c_k * dz_k (ppm*m).
+  double column_burden(const ConcentrationField& conc, std::size_t species,
+                       std::size_t node) const;
+
+ private:
+  std::vector<double> dz_;        // layer thicknesses (m)
+  std::vector<double> dz_half_;   // interface distances (m)
+  // Tridiagonal scratch.
+  std::vector<double> lower_, diag_, upper_, rhs_, scratch_;
+};
+
+}  // namespace airshed

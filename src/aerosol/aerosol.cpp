@@ -1,0 +1,105 @@
+#include "airshed/aerosol/aerosol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "airshed/chem/species.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+double AerosolModule::kp_nh4no3_ppm2(double temp_k) {
+  // Mozurkewich-style dissociation constant for NH4NO3(s) <-> NH3 + HNO3,
+  // in ppb^2, converted to ppm^2. At 298 K this gives ~ 43 ppb^2.
+  const double t = temp_k;
+  const double ln_kp_ppb2 =
+      84.6 - 24220.0 / t - 6.1 * std::log(t / 298.0);
+  return std::exp(ln_kp_ppb2) * 1e-6;  // ppb^2 -> ppm^2
+}
+
+double AerosolModule::equilibrate_cell(double& nh3, double& hno3, double& sulf,
+                                       double& pm_no3, double& pm_nh4,
+                                       double& pm_so4, double temp_k) const {
+  // 1. Sulfate condenses irreversibly and consumes up to 2 NH3 per H2SO4
+  //    as particulate ammonium ((NH4)2SO4 formation).
+  if (sulf > 0.0) {
+    const double nh4_take = std::min(2.0 * sulf, nh3);
+    pm_so4 += sulf;
+    pm_nh4 += nh4_take;
+    nh3 -= nh4_take;
+    sulf = 0.0;
+  }
+
+  // 2. NH3 + HNO3 <-> NH4NO3(p). Find the transfer x (positive condenses)
+  //    such that (nh3 - x)(hno3 - x) = Kp, bounded by available gas or
+  //    available particulate nitrate/ammonium pair.
+  const double kp = kp_nh4no3_ppm2(temp_k);
+  const double product = nh3 * hno3;
+  double x = 0.0;
+  if (product > kp) {
+    // Condensation: smaller root of x^2 - (a+b)x + (ab - Kp) = 0.
+    const double sum = nh3 + hno3;
+    const double disc = sum * sum - 4.0 * (product - kp);
+    x = 0.5 * (sum - std::sqrt(std::max(disc, 0.0)));
+    x = std::clamp(x, 0.0, std::min(nh3, hno3));
+  } else if (product < kp) {
+    // Evaporation of existing NH4NO3 until equilibrium or exhaustion.
+    const double avail = std::min(pm_no3, pm_nh4);
+    if (avail > 0.0) {
+      const double sum = nh3 + hno3;
+      const double disc = sum * sum + 4.0 * (kp - product);
+      double e = 0.5 * (-sum + std::sqrt(disc));  // positive root
+      e = std::clamp(e, 0.0, avail);
+      x = -e;
+    }
+  }
+  nh3 -= x;
+  hno3 -= x;
+  pm_no3 += x;
+  pm_nh4 += x;
+  return x;
+}
+
+AerosolResult AerosolModule::equilibrate(ConcentrationField& gas,
+                                         Array3<double>& pm,
+                                         std::span<const double> layer_temp_k) const {
+  const std::size_t nl = gas.dim1();
+  const std::size_t nn = gas.dim2();
+  AIRSHED_REQUIRE(pm.dim0() == kPmComponents && pm.dim1() == nl &&
+                      pm.dim2() == nn,
+                  "pm field shape mismatch");
+  AIRSHED_REQUIRE(layer_temp_k.size() == nl,
+                  "need one temperature per layer");
+
+  const auto nh3_i = static_cast<std::size_t>(index_of(Species::NH3));
+  const auto hno3_i = static_cast<std::size_t>(index_of(Species::HNO3));
+  const auto sulf_i = static_cast<std::size_t>(index_of(Species::SULF));
+  const auto no3_p = static_cast<std::size_t>(PmComponent::Nitrate);
+  const auto nh4_p = static_cast<std::size_t>(PmComponent::Ammonium);
+  const auto so4_p = static_cast<std::size_t>(PmComponent::Sulfate);
+
+  AerosolResult result;
+  for (std::size_t k = 0; k < nl; ++k) {
+    for (std::size_t n = 0; n < nn; ++n) {
+      double nh3 = gas(nh3_i, k, n);
+      double hno3 = gas(hno3_i, k, n);
+      double sulf = gas(sulf_i, k, n);
+      double p_no3 = pm(no3_p, k, n);
+      double p_nh4 = pm(nh4_p, k, n);
+      double p_so4 = pm(so4_p, k, n);
+      equilibrate_cell(nh3, hno3, sulf, p_no3, p_nh4, p_so4, layer_temp_k[k]);
+      gas(nh3_i, k, n) = nh3;
+      gas(hno3_i, k, n) = hno3;
+      gas(sulf_i, k, n) = sulf;
+      pm(no3_p, k, n) = p_no3;
+      pm(nh4_p, k, n) = p_nh4;
+      pm(so4_p, k, n) = p_so4;
+      ++result.cells;
+    }
+  }
+  // ~70 flops per cell (Kp exp/log amortized + quadratic solve).
+  result.work_flops = static_cast<double>(result.cells) * 70.0;
+  return result;
+}
+
+}  // namespace airshed

@@ -1,0 +1,62 @@
+#include "airshed/chem/boxmodel.hpp"
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+BoxModel::BoxModel(const Mechanism& mechanism, MetParams met,
+                   BoxModelConfig config)
+    : mech_(&mechanism),
+      met_(BBox{0.0, 0.0, 1.0, 1.0}, met),
+      config_(config),
+      solver_(mechanism, config.solver),
+      state_(kSpeciesCount, 0.0),
+      source_(kSpeciesCount, 0.0),
+      background_(kSpeciesCount, 0.0) {
+  AIRSHED_REQUIRE(config.mixing_height_m > 0.0,
+                  "mixing height must be positive");
+  AIRSHED_REQUIRE(config.dilution_per_hour >= 0.0,
+                  "dilution rate must be non-negative");
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    background_[s] = background_ppm(static_cast<Species>(s));
+  }
+  reset_to_background();
+}
+
+void BoxModel::set(Species s, double ppm) {
+  AIRSHED_REQUIRE(ppm >= 0.0, "concentrations must be non-negative");
+  state_[index_of(s)] = ppm;
+}
+
+void BoxModel::reset_to_background() { state_ = background_; }
+
+void BoxModel::set_emission(Species s, double flux_ppm_m_min) {
+  AIRSHED_REQUIRE(flux_ppm_m_min >= 0.0, "emission flux must be >= 0");
+  source_[index_of(s)] = flux_ppm_m_min / config_.mixing_height_m;
+}
+
+YoungBorisResult BoxModel::advance_hour(double hour_of_day, int steps) {
+  AIRSHED_REQUIRE(steps >= 1, "need at least one sub-interval");
+  YoungBorisResult total;
+  const double dt_min = 60.0 / steps;
+  for (int j = 0; j < steps; ++j) {
+    const double t_mid = hour_of_day + (j + 0.5) / steps;
+    const double sun = met_.photolysis_factor(t_mid);
+    const YoungBorisResult r =
+        solver_.integrate(state_, dt_min, config_.temp_k, sun, source_);
+    total.substeps += r.substeps;
+    total.corrector_evals += r.corrector_evals;
+    total.nonconverged_steps += r.nonconverged_steps;
+    total.work_flops += r.work_flops;
+    // Dilution toward background air (entrainment / advection out of the
+    // box), applied as an exact exponential relaxation over the interval.
+    const double keep =
+        std::exp(-config_.dilution_per_hour * dt_min / 60.0);
+    for (int s = 0; s < kSpeciesCount; ++s) {
+      state_[s] = background_[s] + (state_[s] - background_[s]) * keep;
+    }
+  }
+  return total;
+}
+
+}  // namespace airshed

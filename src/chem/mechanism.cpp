@@ -1,0 +1,341 @@
+#include "airshed/chem/mechanism.hpp"
+
+#include <cmath>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+Mechanism::Mechanism(std::vector<Reaction> reactions)
+    : reactions_(std::move(reactions)) {
+  AIRSHED_REQUIRE(!reactions_.empty(), "mechanism needs reactions");
+  for (const Reaction& r : reactions_) {
+    AIRSHED_REQUIRE(r.reactants.size() >= 1 && r.reactants.size() <= 2,
+                    "reactions must have 1 or 2 reactants");
+  }
+  // Rough flop count of one full rate + production/loss evaluation:
+  // rate constants (exp/pow amortized ~8 flops), rate = k * c1 [* c2]
+  // (~3), and scatter to P/L (~3 per product term).
+  double flops = 0.0;
+  for (const Reaction& r : reactions_) {
+    flops += 8.0 + 3.0 * static_cast<double>(r.reactants.size()) +
+             3.0 * static_cast<double>(r.products.size());
+  }
+  flops_per_eval_ = flops + 4.0 * kSpeciesCount;
+
+  // Precompile the flat tables used by production_loss.
+  reactant1_.reserve(reactions_.size());
+  reactant2_.reserve(reactions_.size());
+  prod_begin_.reserve(reactions_.size() + 1);
+  prod_begin_.push_back(0);
+  for (const Reaction& r : reactions_) {
+    reactant1_.push_back(index_of(r.reactants[0]));
+    reactant2_.push_back(r.reactants.size() == 2 ? index_of(r.reactants[1])
+                                                 : -1);
+    for (const auto& [sp, coef] : r.products) {
+      prod_species_.push_back(index_of(sp));
+      prod_coef_.push_back(coef);
+    }
+    prod_begin_.push_back(static_cast<int>(prod_species_.size()));
+  }
+}
+
+void Mechanism::compute_rates(double temp_k, double sun,
+                              std::span<double> k_out) const {
+  AIRSHED_REQUIRE(k_out.size() == reactions_.size(),
+                  "rate output has wrong size");
+  AIRSHED_REQUIRE(temp_k > 150.0 && temp_k < 400.0,
+                  "temperature outside tropospheric range");
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    const RateCoeff& rc = reactions_[i].rate;
+    if (rc.kind == RateCoeff::Kind::Photolysis) {
+      k_out[i] = rc.j * sun;
+    } else {
+      double k = rc.a;
+      if (rc.b != 0.0) k *= std::pow(temp_k / 300.0, rc.b);
+      if (rc.c != 0.0) k *= std::exp(-rc.c / temp_k);
+      k_out[i] = k;
+    }
+  }
+}
+
+void Mechanism::production_loss(std::span<const double> c,
+                                std::span<const double> k,
+                                std::span<double> p_out,
+                                std::span<double> l_out) const {
+  AIRSHED_ASSERT(c.size() == static_cast<std::size_t>(kSpeciesCount) &&
+                     p_out.size() == c.size() && l_out.size() == c.size() &&
+                     k.size() == reactions_.size(),
+                 "production_loss: bad spans");
+  constexpr double kTiny = 1e-30;  // floor for negative-product loss terms
+
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    p_out[s] = 0.0;
+    l_out[s] = 0.0;
+  }
+
+  const std::size_t nr = reactions_.size();
+  for (std::size_t i = 0; i < nr; ++i) {
+    const int a = reactant1_[i];
+    const int b = reactant2_[i];
+    double rate;
+    if (b < 0) {
+      // Loss frequency of the single reactant is the rate constant itself.
+      l_out[a] += k[i];
+      rate = k[i] * c[a];
+    } else {
+      l_out[a] += k[i] * c[b];
+      l_out[b] += k[i] * c[a];
+      rate = k[i] * c[a] * c[b];
+    }
+    const int pe = prod_begin_[i + 1];
+    for (int t = prod_begin_[i]; t < pe; ++t) {
+      const int s = prod_species_[t];
+      const double coef = prod_coef_[t];
+      if (coef >= 0.0) {
+        p_out[s] += coef * rate;
+      } else {
+        // Carbon-bond net-consumption term (e.g. "- PAR"): expressed as an
+        // extra loss frequency so the hybrid solver keeps c >= 0.
+        l_out[s] += (-coef) * rate / (c[s] > kTiny ? c[s] : kTiny);
+      }
+    }
+  }
+}
+
+double Mechanism::nitrogen_balance(const Reaction& r) const {
+  double net = 0.0;
+  for (const auto& [sp, coef] : r.products) net += coef * nitrogen_atoms(sp);
+  for (Species sp : r.reactants) net -= nitrogen_atoms(sp);
+  return net;
+}
+
+double Mechanism::sulfur_balance(const Reaction& r) const {
+  double net = 0.0;
+  for (const auto& [sp, coef] : r.products) net += coef * sulfur_atoms(sp);
+  for (Species sp : r.reactants) net -= sulfur_atoms(sp);
+  return net;
+}
+
+namespace {
+
+using S = Species;
+
+/// Arrhenius coefficient anchored at 298 K: k(298) = k298, activation
+/// temperature c; so a = k298 * exp(c / 298).
+RateCoeff arr298(double k298, double c = 0.0, double b = 0.0) {
+  RateCoeff rc;
+  rc.kind = RateCoeff::Kind::Arrhenius;
+  rc.c = c;
+  rc.b = b;
+  rc.a = k298 * std::exp(c / 298.0) / std::pow(298.0 / 300.0, b);
+  return rc;
+}
+
+RateCoeff phot(double j_noon) {
+  RateCoeff rc;
+  rc.kind = RateCoeff::Kind::Photolysis;
+  rc.j = j_noon;
+  return rc;
+}
+
+using Prod = std::vector<std::pair<S, double>>;
+
+Reaction rxn(std::string label, std::vector<S> reactants, Prod products,
+             RateCoeff rate) {
+  Reaction r;
+  r.label = std::move(label);
+  r.reactants = std::move(reactants);
+  r.products = std::move(products);
+  r.rate = rate;
+  return r;
+}
+
+std::vector<Reaction> build_cb4_condensed() {
+  std::vector<Reaction> rs;
+  rs.reserve(80);
+
+  // --- Inorganic NOx / O3 / HOx core -----------------------------------
+  rs.push_back(rxn("NO2_hv", {S::NO2}, {{S::NO, 1}, {S::O, 1}}, phot(0.533)));
+  rs.push_back(rxn("O_O2_M", {S::O}, {{S::O3, 1}}, arr298(4.2e6, -1175)));
+  rs.push_back(rxn("O3_NO", {S::O3, S::NO}, {{S::NO2, 1}}, arr298(26.6, 1370)));
+  rs.push_back(rxn("O_NO2_a", {S::O, S::NO2}, {{S::NO, 1}}, arr298(1.37e4)));
+  rs.push_back(rxn("O_NO2_b", {S::O, S::NO2}, {{S::NO3, 1}}, arr298(2.31e3, -687)));
+  rs.push_back(rxn("O_NO", {S::O, S::NO}, {{S::NO2, 1}}, arr298(2.44e3, -602)));
+  rs.push_back(rxn("NO2_O3", {S::NO2, S::O3}, {{S::NO3, 1}}, arr298(4.77e-2, 2450)));
+  rs.push_back(rxn("O3_hv_O", {S::O3}, {{S::O, 1}}, phot(2.0e-2)));
+  rs.push_back(rxn("O3_hv_O1D", {S::O3}, {{S::O1D, 1}}, phot(2.6e-3)));
+  rs.push_back(rxn("O1D_M", {S::O1D}, {{S::O, 1}}, arr298(4.5e9)));
+  rs.push_back(rxn("O1D_H2O", {S::O1D}, {{S::OH, 2}}, arr298(5.1e8)));
+  rs.push_back(rxn("O3_OH", {S::O3, S::OH}, {{S::HO2, 1}}, arr298(1.0e2, 940)));
+  rs.push_back(rxn("O3_HO2", {S::O3, S::HO2}, {{S::OH, 1}}, arr298(3.0, 580)));
+
+  // --- NO3 / N2O5 night chemistry ---------------------------------------
+  rs.push_back(rxn("NO3_hv", {S::NO3},
+                   {{S::NO2, 0.89}, {S::O, 0.89}, {S::NO, 0.11}}, phot(33.9)));
+  rs.push_back(rxn("NO3_NO", {S::NO3, S::NO}, {{S::NO2, 2}}, arr298(4.42e4, -250)));
+  rs.push_back(rxn("NO3_NO2_a", {S::NO3, S::NO2},
+                   {{S::NO, 1}, {S::NO2, 1}}, arr298(0.59, 1230)));
+  rs.push_back(rxn("NO3_NO2_b", {S::NO3, S::NO2}, {{S::N2O5, 1}},
+                   arr298(1.85e3, -256)));
+  rs.push_back(rxn("N2O5_H2O", {S::N2O5}, {{S::HNO3, 2}}, arr298(3.8e-2)));
+  rs.push_back(rxn("N2O5_decomp", {S::N2O5}, {{S::NO3, 1}, {S::NO2, 1}},
+                   arr298(2.76, 10897)));
+
+  // --- HONO / HNO3 / PNA -------------------------------------------------
+  rs.push_back(rxn("OH_NO", {S::OH, S::NO}, {{S::HONO, 1}}, arr298(9.8e3, -806)));
+  rs.push_back(rxn("HONO_hv", {S::HONO}, {{S::OH, 1}, {S::NO, 1}}, phot(0.18)));
+  rs.push_back(rxn("OH_HONO", {S::OH, S::HONO}, {{S::NO2, 1}}, arr298(9.77e3)));
+  rs.push_back(rxn("OH_NO2", {S::OH, S::NO2}, {{S::HNO3, 1}}, arr298(1.68e4, -560)));
+  rs.push_back(rxn("OH_HNO3", {S::OH, S::HNO3}, {{S::NO3, 1}}, arr298(2.18e2, -778)));
+  rs.push_back(rxn("HO2_NO", {S::HO2, S::NO}, {{S::OH, 1}, {S::NO2, 1}},
+                   arr298(1.23e4, -240)));
+  rs.push_back(rxn("HO2_NO2", {S::HO2, S::NO2}, {{S::PNA, 1}},
+                   arr298(2.08e3, -749)));
+  rs.push_back(rxn("PNA_decomp", {S::PNA}, {{S::HO2, 1}, {S::NO2, 1}},
+                   arr298(5.1, 10121)));
+  rs.push_back(rxn("OH_PNA", {S::OH, S::PNA}, {{S::NO2, 1}}, arr298(6.83e3, -380)));
+
+  // --- Peroxide ----------------------------------------------------------
+  rs.push_back(rxn("HO2_HO2", {S::HO2, S::HO2}, {{S::H2O2, 1}},
+                   arr298(4.14e3, -1150)));
+  rs.push_back(rxn("H2O2_hv", {S::H2O2}, {{S::OH, 2}}, phot(1.0e-3)));
+  rs.push_back(rxn("OH_H2O2", {S::OH, S::H2O2}, {{S::HO2, 1}}, arr298(2.52e3, 187)));
+
+  // --- CO / formaldehyde / acetaldehyde / PAN ----------------------------
+  rs.push_back(rxn("OH_CO", {S::OH, S::CO}, {{S::HO2, 1}}, arr298(3.22e2)));
+  rs.push_back(rxn("FORM_OH", {S::FORM, S::OH}, {{S::HO2, 1}, {S::CO, 1}},
+                   arr298(1.5e4)));
+  rs.push_back(rxn("FORM_hv_rad", {S::FORM}, {{S::HO2, 2}, {S::CO, 1}},
+                   phot(2.9e-3)));
+  rs.push_back(rxn("FORM_hv_mol", {S::FORM}, {{S::CO, 1}}, phot(6.5e-3)));
+  rs.push_back(rxn("FORM_O", {S::FORM, S::O},
+                   {{S::OH, 1}, {S::HO2, 1}, {S::CO, 1}}, arr298(2.37e2, 1550)));
+  rs.push_back(rxn("FORM_NO3", {S::FORM, S::NO3},
+                   {{S::HNO3, 1}, {S::HO2, 1}, {S::CO, 1}}, arr298(0.93)));
+  rs.push_back(rxn("ALD2_O", {S::ALD2, S::O}, {{S::C2O3, 1}, {S::OH, 1}},
+                   arr298(6.36e2, 986)));
+  rs.push_back(rxn("ALD2_OH", {S::ALD2, S::OH}, {{S::C2O3, 1}},
+                   arr298(2.4e4, -250)));
+  rs.push_back(rxn("ALD2_NO3", {S::ALD2, S::NO3}, {{S::C2O3, 1}, {S::HNO3, 1}},
+                   arr298(3.7)));
+  rs.push_back(rxn("ALD2_hv", {S::ALD2},
+                   {{S::FORM, 1}, {S::HO2, 2}, {S::CO, 1}, {S::XO2, 1}},
+                   phot(6.0e-4)));
+  rs.push_back(rxn("C2O3_NO", {S::C2O3, S::NO},
+                   {{S::NO2, 1}, {S::XO2, 1}, {S::FORM, 1}, {S::HO2, 1}},
+                   arr298(1.6e4, -180)));
+  rs.push_back(rxn("C2O3_NO2", {S::C2O3, S::NO2}, {{S::PAN, 1}},
+                   arr298(8.4e3, -380)));
+  rs.push_back(rxn("PAN_decomp", {S::PAN}, {{S::C2O3, 1}, {S::NO2, 1}},
+                   arr298(2.2e-2, 13500)));
+  rs.push_back(rxn("C2O3_C2O3", {S::C2O3, S::C2O3},
+                   {{S::FORM, 2}, {S::XO2, 2}, {S::HO2, 2}}, arr298(3.7e3)));
+  rs.push_back(rxn("C2O3_HO2", {S::C2O3, S::HO2},
+                   {{S::FORM, 0.79}, {S::XO2, 0.79}, {S::HO2, 0.79}, {S::OH, 0.79}},
+                   arr298(9.6e3)));
+  rs.push_back(rxn("OH_CH4", {S::OH}, {{S::FORM, 1}, {S::XO2, 1}, {S::HO2, 1}},
+                   arr298(11.6, 1710)));
+
+  // --- Paraffin / olefin / ethene chemistry -------------------------------
+  rs.push_back(rxn("PAR_OH", {S::PAR, S::OH},
+                   {{S::XO2, 0.87}, {S::XO2N, 0.13}, {S::HO2, 0.11},
+                    {S::ALD2, 0.11}, {S::ROR, 0.76}, {S::PAR, -0.11}},
+                   arr298(1.2e3)));
+  rs.push_back(rxn("ROR_decomp", {S::ROR},
+                   {{S::ALD2, 1.1}, {S::XO2, 0.96}, {S::HO2, 0.94},
+                    {S::XO2N, 0.04}, {S::PAR, -2.1}},
+                   arr298(6.0e4, 8000)));
+  rs.push_back(rxn("ROR_O2", {S::ROR}, {{S::HO2, 1}}, arr298(9.6e3)));
+  rs.push_back(rxn("ROR_NO2", {S::ROR, S::NO2}, {{S::NTR, 1}}, arr298(2.2e4)));
+  rs.push_back(rxn("O_OLE", {S::O, S::OLE},
+                   {{S::ALD2, 0.63}, {S::HO2, 0.38}, {S::XO2, 0.28},
+                    {S::CO, 0.3}, {S::FORM, 0.2}, {S::XO2N, 0.02},
+                    {S::PAR, 0.22}, {S::OH, 0.2}},
+                   arr298(5.92e3, 324)));
+  rs.push_back(rxn("OH_OLE", {S::OH, S::OLE},
+                   {{S::FORM, 1}, {S::ALD2, 1}, {S::XO2, 1}, {S::HO2, 1},
+                    {S::PAR, -1}},
+                   arr298(4.2e4, -504)));
+  rs.push_back(rxn("O3_OLE", {S::O3, S::OLE},
+                   {{S::ALD2, 0.5}, {S::FORM, 0.74}, {S::CO, 0.33},
+                    {S::HO2, 0.44}, {S::XO2, 0.22}, {S::OH, 0.1},
+                    {S::PAR, -1}},
+                   arr298(1.8e-2, 2105)));
+  rs.push_back(rxn("NO3_OLE", {S::NO3, S::OLE},
+                   {{S::XO2, 0.91}, {S::FORM, 1}, {S::ALD2, 1},
+                    {S::XO2N, 0.09}, {S::NO2, 1}, {S::PAR, -1}},
+                   arr298(11.35)));
+  rs.push_back(rxn("O_ETH", {S::O, S::ETH},
+                   {{S::FORM, 1}, {S::XO2, 0.7}, {S::CO, 1}, {S::HO2, 1.7},
+                    {S::OH, 0.3}},
+                   arr298(1.08e3, 792)));
+  rs.push_back(rxn("OH_ETH", {S::OH, S::ETH},
+                   {{S::XO2, 1}, {S::FORM, 1.56}, {S::ALD2, 0.22}, {S::HO2, 1}},
+                   arr298(1.19e4, -411)));
+  rs.push_back(rxn("O3_ETH", {S::O3, S::ETH},
+                   {{S::FORM, 1}, {S::CO, 0.42}, {S::HO2, 0.12}},
+                   arr298(2.7e-3, 2633)));
+
+  // --- Aromatics ----------------------------------------------------------
+  rs.push_back(rxn("TOL_OH", {S::TOL, S::OH},
+                   {{S::XO2, 0.08}, {S::CRES, 0.36}, {S::HO2, 0.44},
+                    {S::TO2, 0.56}},
+                   arr298(9.15e3, -322)));
+  rs.push_back(rxn("TO2_NO", {S::TO2, S::NO},
+                   {{S::NO2, 0.9}, {S::HO2, 0.9}, {S::MGLY, 0.9}, {S::NTR, 0.1}},
+                   arr298(1.2e4)));
+  rs.push_back(rxn("TO2_decomp", {S::TO2}, {{S::CRES, 1}, {S::HO2, 1}},
+                   arr298(2.5e2)));
+  rs.push_back(rxn("OH_CRES", {S::OH, S::CRES},
+                   {{S::CRO, 0.4}, {S::XO2, 0.6}, {S::HO2, 0.6}, {S::MGLY, 0.3}},
+                   arr298(6.1e4)));
+  rs.push_back(rxn("NO3_CRES", {S::NO3, S::CRES}, {{S::CRO, 1}, {S::HNO3, 1}},
+                   arr298(3.25e4)));
+  rs.push_back(rxn("CRO_NO2", {S::CRO, S::NO2}, {{S::NTR, 1}}, arr298(2.0e4)));
+  rs.push_back(rxn("XYL_OH", {S::XYL, S::OH},
+                   {{S::HO2, 0.7}, {S::XO2, 0.5}, {S::CRES, 0.2},
+                    {S::MGLY, 0.8}, {S::TO2, 0.3}},
+                   arr298(3.62e4, -116)));
+  rs.push_back(rxn("MGLY_OH", {S::MGLY, S::OH}, {{S::XO2, 1}, {S::C2O3, 1}},
+                   arr298(2.6e4)));
+  rs.push_back(rxn("MGLY_hv", {S::MGLY}, {{S::C2O3, 1}, {S::HO2, 1}, {S::CO, 1}},
+                   phot(1.2e-2)));
+
+  // --- Isoprene -----------------------------------------------------------
+  rs.push_back(rxn("O_ISOP", {S::O, S::ISOP},
+                   {{S::HO2, 0.6}, {S::ALD2, 0.8}, {S::OLE, 0.55}, {S::XO2, 0.5}},
+                   arr298(2.7e4)));
+  rs.push_back(rxn("OH_ISOP", {S::OH, S::ISOP},
+                   {{S::XO2, 1}, {S::FORM, 1}, {S::HO2, 0.67}, {S::MGLY, 0.4},
+                    {S::C2O3, 0.2}, {S::ETH, 0.2}},
+                   arr298(1.42e5)));
+  rs.push_back(rxn("O3_ISOP", {S::O3, S::ISOP},
+                   {{S::FORM, 1}, {S::ALD2, 0.4}, {S::ETH, 0.55},
+                    {S::MGLY, 0.2}, {S::CO, 0.06}, {S::PAR, 0.1}},
+                   arr298(1.8e-2)));
+  rs.push_back(rxn("NO3_ISOP", {S::NO3, S::ISOP}, {{S::NTR, 1}, {S::XO2, 1}},
+                   arr298(47.0)));
+
+  // --- Operator radicals ---------------------------------------------------
+  rs.push_back(rxn("XO2_NO", {S::XO2, S::NO}, {{S::NO2, 1}}, arr298(1.2e4)));
+  rs.push_back(rxn("XO2_XO2", {S::XO2, S::XO2}, {}, arr298(2.4e3, -1300)));
+  rs.push_back(rxn("XO2N_NO", {S::XO2N, S::NO}, {{S::NTR, 1}}, arr298(1.0e3)));
+  rs.push_back(rxn("XO2_HO2", {S::XO2, S::HO2}, {}, arr298(9.6e3, -1300)));
+
+  // --- Sulfur --------------------------------------------------------------
+  rs.push_back(rxn("SO2_OH", {S::SO2, S::OH}, {{S::SULF, 1}, {S::HO2, 1}},
+                   arr298(1.5e3)));
+  rs.push_back(rxn("SO2_het", {S::SO2}, {{S::SULF, 1}}, arr298(8.0e-4)));
+
+  return rs;
+}
+
+}  // namespace
+
+const Mechanism& Mechanism::cb4_condensed() {
+  static const Mechanism instance(build_cb4_condensed());
+  return instance;
+}
+
+}  // namespace airshed

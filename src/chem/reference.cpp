@@ -1,0 +1,68 @@
+#include "airshed/chem/reference.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+
+void add_source(std::span<double> p, std::span<const double> s) {
+  for (std::size_t i = 0; i < s.size(); ++i) p[i] += s[i];
+}
+
+}  // namespace
+
+void qssa_integrate(const Mechanism& mech, std::span<double> c,
+                    double dt_total_min, int steps, double temp_k, double sun,
+                    std::span<const double> source_ppm_min) {
+  const std::size_t n = static_cast<std::size_t>(mech.species_count());
+  AIRSHED_REQUIRE(c.size() == n, "state vector has wrong size");
+  AIRSHED_REQUIRE(steps > 0, "steps must be positive");
+  std::vector<double> k(mech.reaction_count()), p(n), l(n);
+  mech.compute_rates(temp_k, sun, k);
+  const double h = dt_total_min / steps;
+  for (int s = 0; s < steps; ++s) {
+    mech.production_loss(c, k, p, l);
+    if (!source_ppm_min.empty()) add_source(p, source_ppm_min);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = std::max((c[i] + h * p[i]) / (1.0 + h * l[i]), 0.0);
+    }
+  }
+}
+
+void rk4_integrate(const Mechanism& mech, std::span<double> c,
+                   double dt_total_min, int steps, double temp_k, double sun,
+                   std::span<const double> source_ppm_min) {
+  const std::size_t n = static_cast<std::size_t>(mech.species_count());
+  AIRSHED_REQUIRE(c.size() == n, "state vector has wrong size");
+  AIRSHED_REQUIRE(steps > 0, "steps must be positive");
+  std::vector<double> k(mech.reaction_count()), p(n), l(n);
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  mech.compute_rates(temp_k, sun, k);
+
+  auto deriv = [&](std::span<const double> state, std::span<double> out) {
+    mech.production_loss(state, k, p, l);
+    if (!source_ppm_min.empty()) add_source(p, source_ppm_min);
+    for (std::size_t i = 0; i < n; ++i) out[i] = p[i] - l[i] * state[i];
+  };
+
+  const double h = dt_total_min / steps;
+  for (int s = 0; s < steps; ++s) {
+    deriv(c, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = c[i] + 0.5 * h * k1[i];
+    deriv(tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = c[i] + 0.5 * h * k2[i];
+    deriv(tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = c[i] + h * k3[i];
+    deriv(tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = std::max(
+          c[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]), 0.0);
+    }
+  }
+}
+
+}  // namespace airshed

@@ -1,0 +1,130 @@
+#include "airshed/chem/species.hpp"
+
+#include <string>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+
+constexpr std::array<std::string_view, kSpeciesCount> kNames = {
+    "NO",   "NO2",  "O3",   "O",    "O1D",  "OH",   "HO2",  "H2O2", "NO3",
+    "N2O5", "HNO3", "HONO", "PNA",  "CO",   "FORM", "ALD2", "C2O3", "PAN",
+    "PAR",  "ROR",  "OLE",  "ETH",  "TOL",  "CRES", "TO2",  "CRO",  "XYL",
+    "MGLY", "ISOP", "XO2",  "XO2N", "NTR",  "SO2",  "SULF", "NH3"};
+
+}  // namespace
+
+std::string_view species_name(Species s) { return kNames[index_of(s)]; }
+
+std::string_view species_name(int index) {
+  AIRSHED_REQUIRE(index >= 0 && index < kSpeciesCount,
+                  "species index out of range");
+  return kNames[index];
+}
+
+Species species_by_name(std::string_view name) {
+  for (int i = 0; i < kSpeciesCount; ++i) {
+    if (kNames[i] == name) return static_cast<Species>(i);
+  }
+  throw ConfigError("unknown species name: " + std::string(name));
+}
+
+int nitrogen_atoms(Species s) {
+  switch (s) {
+    case Species::NO:
+    case Species::NO2:
+    case Species::NO3:
+    case Species::HNO3:
+    case Species::HONO:
+    case Species::PNA:
+    case Species::PAN:
+    case Species::NTR:
+    case Species::NH3:
+      return 1;
+    case Species::N2O5:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+int sulfur_atoms(Species s) {
+  switch (s) {
+    case Species::SO2:
+    case Species::SULF:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+bool is_emitted_species(Species s) {
+  switch (s) {
+    case Species::NO:
+    case Species::NO2:
+    case Species::CO:
+    case Species::FORM:
+    case Species::ALD2:
+    case Species::PAR:
+    case Species::OLE:
+    case Species::ETH:
+    case Species::TOL:
+    case Species::XYL:
+    case Species::ISOP:
+    case Species::SO2:
+    case Species::NH3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double background_ppm(Species s) {
+  switch (s) {
+    case Species::NO:    return 1.0e-4;
+    case Species::NO2:   return 1.0e-3;
+    case Species::O3:    return 4.0e-2;
+    case Species::H2O2:  return 1.0e-3;
+    case Species::HNO3:  return 5.0e-4;
+    case Species::CO:    return 2.0e-1;
+    case Species::FORM:  return 2.0e-3;
+    case Species::ALD2:  return 1.0e-3;
+    case Species::PAN:   return 2.0e-4;
+    case Species::PAR:   return 2.0e-2;
+    case Species::OLE:   return 5.0e-4;
+    case Species::ETH:   return 1.0e-3;
+    case Species::TOL:   return 5.0e-4;
+    case Species::XYL:   return 3.0e-4;
+    case Species::ISOP:  return 2.0e-4;
+    case Species::SO2:   return 1.0e-3;
+    case Species::NH3:   return 2.0e-3;
+    default:             return 1.0e-8;  // radicals and minor reservoirs
+  }
+}
+
+double deposition_velocity_ms(Species s) {
+  switch (s) {
+    case Species::O3:    return 0.004;
+    case Species::NO2:   return 0.0015;
+    case Species::NO:    return 0.0002;
+    case Species::HNO3:  return 0.02;
+    case Species::H2O2:  return 0.01;
+    case Species::FORM:  return 0.005;
+    case Species::PAN:   return 0.002;
+    case Species::SO2:   return 0.008;
+    case Species::SULF:  return 0.002;
+    case Species::NH3:   return 0.01;
+    case Species::NTR:   return 0.002;
+    default:             return 0.0;
+  }
+}
+
+std::array<Species, kSpeciesCount> all_species() {
+  std::array<Species, kSpeciesCount> out{};
+  for (int i = 0; i < kSpeciesCount; ++i) out[i] = static_cast<Species>(i);
+  return out;
+}
+
+}  // namespace airshed

@@ -1,0 +1,168 @@
+#include "airshed/chem/youngboris.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+YoungBorisSolver::YoungBorisSolver(const Mechanism& mech,
+                                   YoungBorisOptions opts)
+    : mech_(&mech), opts_(opts) {
+  AIRSHED_REQUIRE(opts_.eps > 0.0 && opts_.eps < 1.0, "eps out of range");
+  AIRSHED_REQUIRE(opts_.dt_min_min > 0.0 &&
+                      opts_.dt_min_min <= opts_.dt_init_min &&
+                      opts_.dt_init_min <= opts_.dt_max_min,
+                  "substep bounds inconsistent");
+  const std::size_t n = static_cast<std::size_t>(mech.species_count());
+  rates_.resize(mech.reaction_count());
+  p0_.resize(n);
+  l0_.resize(n);
+  p1_.resize(n);
+  l1_.resize(n);
+  cp_.resize(n);
+  cn_.resize(n);
+}
+
+YoungBorisResult YoungBorisSolver::integrate(
+    std::span<double> c, double dt_total_min, double temp_k, double sun,
+    std::span<const double> source_ppm_min) {
+  const std::size_t n = static_cast<std::size_t>(mech_->species_count());
+  AIRSHED_REQUIRE(c.size() == n, "state vector has wrong size");
+  AIRSHED_REQUIRE(dt_total_min >= 0.0, "negative integration interval");
+  AIRSHED_REQUIRE(source_ppm_min.empty() || source_ppm_min.size() == n,
+                  "source vector has wrong size");
+
+  YoungBorisResult result;
+  if (dt_total_min == 0.0) return result;
+
+  // Temperature and photolysis are frozen over the chemistry step, so rate
+  // constants are computed once.
+  mech_->compute_rates(temp_k, sun, rates_);
+
+  auto add_source = [&](std::span<double> p) {
+    if (source_ppm_min.empty()) return;
+    for (std::size_t i = 0; i < n; ++i) p[i] += source_ppm_min[i];
+  };
+
+  const double floor = opts_.conc_floor_ppm;
+  double t = 0.0;
+  double h = std::min(opts_.dt_init_min, dt_total_min);
+
+  // P0/L0 depend only on the accepted state, so they are computed once per
+  // accepted substep and reused across step-size retries.
+  bool pl_valid = false;
+
+  while (t < dt_total_min * (1.0 - 1e-12)) {
+    h = std::min(h, dt_total_min - t);
+
+    if (!pl_valid) {
+      mech_->production_loss(c, rates_, p0_, l0_);
+      add_source(p0_);
+      ++result.corrector_evals;
+      pl_valid = true;
+    }
+
+    // ---- Predictor -----------------------------------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+      const double hl = h * l0_[i];
+      double v;
+      if (hl > opts_.stiff_threshold) {
+        // Rational asymptotic update; exact at equilibrium c = P/L.
+        v = (c[i] * (2.0 - hl) + 2.0 * h * p0_[i]) / (2.0 + hl);
+      } else {
+        v = c[i] + h * (p0_[i] - l0_[i] * c[i]);
+      }
+      cp_[i] = std::max(v, floor);
+    }
+
+    // ---- Corrector iterations -------------------------------------------
+    bool converged = false;
+    int iters_used = 0;
+    for (int iter = 0; iter < opts_.max_corrector_iters; ++iter) {
+      iters_used = iter + 1;
+      mech_->production_loss(cp_, rates_, p1_, l1_);
+      add_source(p1_);
+      ++result.corrector_evals;
+
+      double max_rel = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double pb = 0.5 * (p0_[i] + p1_[i]);
+        const double lb = 0.5 * (l0_[i] + l1_[i]);
+        const double hl = h * lb;
+        double v;
+        if (hl > opts_.stiff_threshold) {
+          v = (c[i] * (2.0 - hl) + 2.0 * h * pb) / (2.0 + hl);
+        } else {
+          // Trapezoidal corrector on the predicted trajectory.
+          v = c[i] + 0.5 * h * ((p0_[i] - l0_[i] * c[i]) +
+                                (p1_[i] - l1_[i] * cp_[i]));
+        }
+        v = std::max(v, floor);
+        cn_[i] = v;
+        const double scale = std::max({v, cp_[i], opts_.check_floor_ppm});
+        max_rel = std::max(max_rel, std::abs(v - cp_[i]) / scale);
+      }
+      std::swap(cp_, cn_);
+      if (max_rel < opts_.eps) {
+        converged = true;
+        break;
+      }
+    }
+
+    const bool at_min_step = h <= opts_.dt_min_min * 1.0000001;
+
+    // Accuracy controller: measure the largest relative change among
+    // significant species over this substep.
+    double max_change = 0.0;
+    if (converged || at_min_step) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double scale = std::max({cp_[i], c[i], opts_.change_floor_ppm});
+        max_change = std::max(max_change, std::abs(cp_[i] - c[i]) / scale);
+      }
+    }
+
+    if ((converged && max_change <= 2.0 * opts_.max_rel_change) ||
+        at_min_step) {
+      // Accept the substep (forced acceptance at dt_min is counted so the
+      // caller can detect pathological cells).
+      if (!converged) ++result.nonconverged_steps;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(cp_[i])) {
+          throw NumericalError(
+              "YoungBoris: non-finite concentration for species " +
+              std::string(species_name(static_cast<int>(i))));
+        }
+        c[i] = cp_[i];
+      }
+      t += h;
+      ++result.substeps;
+      pl_valid = false;
+      // Grow toward the change target (capped), unless the corrector was
+      // already struggling.
+      double factor =
+          0.8 * opts_.max_rel_change / std::max(max_change, 1e-9);
+      factor = std::clamp(factor, 0.5, 2.0);
+      if (iters_used >= opts_.max_corrector_iters - 1) {
+        factor = std::min(factor, 1.0);
+      }
+      h = std::clamp(h * factor, opts_.dt_min_min, opts_.dt_max_min);
+    } else if (converged) {
+      // Accurate stepping requires a smaller substep.
+      const double factor = std::clamp(
+          0.7 * opts_.max_rel_change / max_change, 0.2, 0.9);
+      h = std::max(h * factor, opts_.dt_min_min);
+    } else {
+      h = std::max(h * opts_.shrink, opts_.dt_min_min);
+    }
+  }
+
+  result.work_flops = static_cast<double>(result.corrector_evals) *
+                          mech_->flops_per_evaluation() +
+                      static_cast<double>(result.substeps) * 12.0 *
+                          static_cast<double>(n);
+  return result;
+}
+
+}  // namespace airshed

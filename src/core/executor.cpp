@@ -1,0 +1,251 @@
+#include "airshed/core/executor.hpp"
+
+#include <algorithm>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+
+/// Max over nodes of the summed work of a BLOCK-distributed work vector.
+double max_block_work(std::span<const double> work, int nodes) {
+  const std::size_t n = work.size();
+  const std::size_t bs = (n + nodes - 1) / static_cast<std::size_t>(nodes);
+  double worst = 0.0;
+  for (std::size_t lo = 0; lo < n; lo += bs) {
+    const std::size_t hi = std::min(lo + bs, n);
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) acc += work[i];
+    worst = std::max(worst, acc);
+  }
+  return worst;
+}
+
+/// Max over nodes of the summed work under a CYCLIC distribution
+/// (unit i on node i mod P).
+double max_cyclic_work(std::span<const double> work, int nodes) {
+  std::vector<double> acc(nodes, 0.0);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    acc[i % static_cast<std::size_t>(nodes)] += work[i];
+  }
+  double worst = 0.0;
+  for (double a : acc) worst = std::max(worst, a);
+  return worst;
+}
+
+double max_distributed_work(std::span<const double> work, int nodes,
+                            DimDist dist) {
+  return dist == DimDist::Cyclic ? max_cyclic_work(work, nodes)
+                                 : max_block_work(work, nodes);
+}
+
+/// Communication phase times of the main loop for one (trace, P) pair.
+struct CommTimes {
+  double repl_to_trans = 0.0;
+  double trans_to_chem = 0.0;
+  double chem_to_repl = 0.0;
+  double trans_to_repl = 0.0;
+};
+
+CommTimes plan_comm_times(const WorkTrace& trace, const MachineModel& machine,
+                          int nodes, DimDist chemistry_dist) {
+  AirshedLayouts layouts =
+      AirshedLayouts::make(trace.species, trace.layers, trace.points, nodes);
+  if (chemistry_dist == DimDist::Cyclic) {
+    layouts.chem = Layout3::cyclic(
+        {trace.species, trace.layers, trace.points}, kNodesDim, nodes);
+  }
+  CommTimes ct;
+  ct.repl_to_trans =
+      plan_redistribution(layouts.repl, layouts.trans, machine.word_size)
+          .phase_seconds(machine);
+  ct.trans_to_chem =
+      plan_redistribution(layouts.trans, layouts.chem, machine.word_size)
+          .phase_seconds(machine);
+  ct.chem_to_repl =
+      plan_redistribution(layouts.chem, layouts.repl, machine.word_size)
+          .phase_seconds(machine);
+  ct.trans_to_repl =
+      plan_redistribution(layouts.trans, layouts.repl, machine.word_size)
+          .phase_seconds(machine);
+  return ct;
+}
+
+/// Transport phase time. With row parallelism R > 1 (the 1-D baseline),
+/// a layer's work divides over R independent rows: the phase behaves like
+/// layers * R uniform units.
+double transport_phase_seconds(std::span<const double> layer_work,
+                               const MachineModel& machine, int nodes,
+                               std::size_t row_parallelism) {
+  if (row_parallelism <= 1) {
+    return machine.compute_time(max_block_work(layer_work, nodes));
+  }
+  double total = 0.0;
+  for (double w : layer_work) total += w;
+  const std::size_t units = layer_work.size() * row_parallelism;
+  const std::size_t used = std::min<std::size_t>(units, nodes);
+  const double max_units = static_cast<double>((units + used - 1) / used);
+  return machine.compute_time(total / static_cast<double>(units) * max_units);
+}
+
+double hour_main_seconds_impl(const HourTrace& hour,
+                              const MachineModel& machine, int nodes,
+                              const CommTimes& ct, DimDist chemistry_dist,
+                              std::size_t row_parallelism,
+                              RunLedger* ledger, CommBreakdown* comm) {
+  double total = 0.0;
+  auto charge = [&](PhaseCategory cat, const char* name, double seconds) {
+    total += seconds;
+    if (ledger) ledger->charge(cat, name, seconds);
+  };
+  auto charge_comm = [&](const char* name, double seconds,
+                         double CommBreakdown::* member) {
+    charge(PhaseCategory::Communication, name, seconds);
+    if (comm) {
+      comm->*member += seconds;
+      ++comm->phases;
+    }
+  };
+
+  const std::size_t nsteps = hour.steps.size();
+  for (std::size_t j = 0; j < nsteps; ++j) {
+    const StepTrace& step = hour.steps[j];
+    if (j == 0) {
+      // Array replicated after inputhour; distribute for transport.
+      charge_comm("D_Repl->D_Trans", ct.repl_to_trans,
+                  &CommBreakdown::repl_to_trans_s);
+    }
+    charge(PhaseCategory::Transport, "transport (first half)",
+           transport_phase_seconds(step.transport1_layer_work, machine, nodes,
+                                   row_parallelism));
+    charge_comm("D_Trans->D_Chem", ct.trans_to_chem,
+                &CommBreakdown::trans_to_chem_s);
+    charge(PhaseCategory::Chemistry, "chemistry + vertical",
+           machine.compute_time(max_distributed_work(
+               step.chem_column_work, nodes, chemistry_dist)));
+    // Aerosol requires replication (paper §2.2): D_Chem -> D_Repl, then the
+    // replicated aerosol step on every node.
+    charge_comm("D_Chem->D_Repl", ct.chem_to_repl,
+                &CommBreakdown::chem_to_repl_s);
+    charge(PhaseCategory::Aerosol, "aerosol (replicated)",
+           machine.compute_time(step.aerosol_work));
+    charge_comm("D_Repl->D_Trans", ct.repl_to_trans,
+                &CommBreakdown::repl_to_trans_s);
+    charge(PhaseCategory::Transport, "transport (second half)",
+           transport_phase_seconds(step.transport2_layer_work, machine, nodes,
+                                   row_parallelism));
+    // Consecutive steps chain transport->transport with no redistribution.
+  }
+  // Hour boundary: gather to replicated for outputhour / next inputhour.
+  charge_comm("D_Trans->D_Repl", ct.trans_to_repl,
+              &CommBreakdown::trans_to_repl_s);
+  return total;
+}
+
+}  // namespace
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::DataParallel:        return "data-parallel";
+    case Strategy::TaskAndDataParallel: return "task+data-parallel";
+  }
+  return "unknown";
+}
+
+double hour_main_seconds(const WorkTrace& trace, std::size_t hour_index,
+                         const MachineModel& machine, int nodes,
+                         RunLedger* ledger, CommBreakdown* comm) {
+  AIRSHED_REQUIRE(hour_index < trace.hours.size(), "hour index out of range");
+  AIRSHED_REQUIRE(nodes >= 1, "need at least one node");
+  const CommTimes ct = plan_comm_times(trace, machine, nodes, DimDist::Block);
+  return hour_main_seconds_impl(trace.hours[hour_index], machine, nodes, ct,
+                                DimDist::Block,
+                                trace.transport_row_parallelism, ledger, comm);
+}
+
+HourStageTimes pipeline_stage_times(const WorkTrace& trace,
+                                    const MachineModel& machine,
+                                    int main_nodes, DimDist chemistry_dist) {
+  AIRSHED_REQUIRE(main_nodes >= 1, "main subgroup needs at least one node");
+  const CommTimes ct =
+      plan_comm_times(trace, machine, main_nodes, chemistry_dist);
+  HourStageTimes st;
+  st.input_s.reserve(trace.hours.size());
+  st.main_s.reserve(trace.hours.size());
+  st.output_s.reserve(trace.hours.size());
+  for (const HourTrace& h : trace.hours) {
+    st.input_s.push_back(machine.compute_time(h.input_work + h.pretrans_work));
+    st.main_s.push_back(hour_main_seconds_impl(
+        h, machine, main_nodes, ct, chemistry_dist,
+        trace.transport_row_parallelism, nullptr, nullptr));
+    st.output_s.push_back(machine.compute_time(h.output_work));
+  }
+  return st;
+}
+
+RunReport simulate_execution(const WorkTrace& trace,
+                             const ExecutionConfig& config) {
+  AIRSHED_REQUIRE(config.nodes >= 1, "need at least one node");
+  AIRSHED_REQUIRE(config.nodes <= config.machine.max_nodes,
+                  "node count exceeds machine size");
+
+  RunReport report;
+  report.machine = config.machine.name;
+  report.nodes = config.nodes;
+  report.strategy = config.strategy;
+
+  if (config.strategy == Strategy::DataParallel) {
+    const CommTimes ct = plan_comm_times(trace, config.machine, config.nodes,
+                                         config.chemistry_dist);
+    double total = 0.0;
+    for (const HourTrace& h : trace.hours) {
+      const double io_in =
+          config.machine.compute_time(h.input_work + h.pretrans_work);
+      report.ledger.charge(PhaseCategory::IoProcessing, "inputhour + pretrans",
+                           io_in);
+      total += io_in;
+      total += hour_main_seconds_impl(h, config.machine, config.nodes, ct,
+                                      config.chemistry_dist,
+                                      trace.transport_row_parallelism,
+                                      &report.ledger, &report.comm);
+      const double io_out = config.machine.compute_time(h.output_work);
+      report.ledger.charge(PhaseCategory::IoProcessing, "outputhour", io_out);
+      total += io_out;
+    }
+    report.total_seconds = total;
+    return report;
+  }
+
+  // Task + data parallel: 3-stage pipeline on disjoint subgroups (Fig 8).
+  const PipelineAllocation alloc = allocate_pipeline_nodes(config.nodes);
+  const HourStageTimes st = pipeline_stage_times(
+      trace, config.machine, alloc.main_nodes, config.chemistry_dist);
+  report.total_seconds =
+      pipeline_makespan({st.input_s, st.main_s, st.output_s});
+  // On small machines, giving up two main-loop nodes costs more than the
+  // overlap gains; the task mapper then folds the I/O tasks back onto the
+  // full machine (equivalent to the data-parallel schedule). This is why
+  // the paper's Fig 9 curves coincide at small node counts.
+  ExecutionConfig dp_config = config;
+  dp_config.strategy = Strategy::DataParallel;
+  const RunReport data_parallel = simulate_execution(trace, dp_config);
+  if (data_parallel.total_seconds < report.total_seconds) {
+    report.total_seconds = data_parallel.total_seconds;
+    report.ledger = data_parallel.ledger;
+    report.comm = data_parallel.comm;
+    return report;
+  }
+  // The ledger records per-stage busy time (stages overlap, so the ledger
+  // total exceeds the pipeline makespan).
+  for (std::size_t h = 0; h < trace.hours.size(); ++h) {
+    report.ledger.charge(PhaseCategory::IoProcessing, "input stage",
+                         st.input_s[h]);
+    report.ledger.charge(PhaseCategory::Chemistry, "main stage", st.main_s[h]);
+    report.ledger.charge(PhaseCategory::IoProcessing, "output stage",
+                         st.output_s[h]);
+  }
+  return report;
+}
+
+}  // namespace airshed

@@ -1,0 +1,142 @@
+#include "airshed/core/model.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "airshed/aerosol/aerosol.hpp"
+#include "airshed/transport/supg.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/vert/vertical.hpp"
+
+namespace airshed {
+
+AirshedModel::AirshedModel(const Dataset& dataset, ModelOptions opts)
+    : dataset_(&dataset), opts_(opts) {
+  AIRSHED_REQUIRE(opts.hours >= 1, "need at least one simulated hour");
+}
+
+ConcentrationField AirshedModel::initial_conditions(const Dataset& dataset) {
+  ConcentrationField conc(kSpeciesCount, dataset.layers, dataset.points());
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    const double bg = background_ppm(static_cast<Species>(s));
+    for (int k = 0; k < dataset.layers; ++k) {
+      for (std::size_t v = 0; v < dataset.points(); ++v) {
+        conc(s, k, v) = bg;
+      }
+    }
+  }
+  return conc;
+}
+
+ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
+  const Dataset& ds = *dataset_;
+  const std::size_t nv = ds.points();
+  const int nl = ds.layers;
+
+  ModelRunResult result;
+  result.trace.dataset = ds.name;
+  result.trace.species = kSpeciesCount;
+  result.trace.layers = static_cast<std::size_t>(nl);
+  result.trace.points = nv;
+
+  result.outputs.conc = initial_conditions(ds);
+  result.outputs.pm = Array3<double>(kPmComponents, nl, nv, 0.0);
+  ConcentrationField& conc = result.outputs.conc;
+  Array3<double>& pm = result.outputs.pm;
+
+  InputGenerator inputs(ds, opts_.transport, opts_.io_work);
+  SupgTransport supg(ds.mesh, opts_.transport);
+  YoungBorisSolver chem(Mechanism::cb4_condensed(), opts_.chem);
+  VerticalTransport vert(ds.layer_dz_m);
+  AerosolModule aerosol;
+
+  std::array<double, kSpeciesCount> background{};
+  std::array<double, kSpeciesCount> deposition{};
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    background[s] = background_ppm(static_cast<Species>(s));
+    deposition[s] = deposition_velocity_ms(static_cast<Species>(s));
+  }
+
+  std::array<double, kSpeciesCount> cell{};
+  std::array<double, kSpeciesCount> column_flux{};
+  const std::vector<double> no_elevated;
+
+  for (int h = 0; h < opts_.hours; ++h) {
+    const double hour_start = opts_.start_hour + h;
+    const HourlyInputs in = inputs.generate(static_cast<int>(hour_start));
+
+    HourTrace hour_trace;
+    hour_trace.input_work = in.input_work_flops;
+    hour_trace.pretrans_work = in.pretrans_work_flops;
+
+    const double dt_hours = 1.0 / in.nsteps;
+    for (int j = 0; j < in.nsteps; ++j) {
+      const double t_step = hour_start + j * dt_hours;
+      StepTrace step;
+      step.transport1_layer_work.resize(nl);
+      step.transport2_layer_work.resize(nl);
+      step.chem_column_work.assign(nv, 0.0);
+
+      // ---- Transport, first half step (Lxy, dt/2) ----------------------
+      for (int k = 0; k < nl; ++k) {
+        const TransportStepResult r = supg.advance_layer(
+            conc, k, in.wind_kmh[k], in.kh_km2h, 0.5 * dt_hours, background);
+        step.transport1_layer_work[k] = r.work_flops;
+      }
+
+      // ---- Chemistry + vertical transport (Lcz, dt) ---------------------
+      const double t_mid = t_step + 0.5 * dt_hours;
+      const double sun = ds.met.photolysis_factor(t_mid);
+      const double dt_min = dt_hours * 60.0;
+      const double lapse = ds.met.params().lapse_k_per_layer;
+
+      for (std::size_t v = 0; v < nv; ++v) {
+        double column_work = 0.0;
+        for (int k = 0; k < nl; ++k) {
+          for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, v);
+          const double temp = in.vertex_temp_k[v] - lapse * k;
+          const YoungBorisResult r = chem.integrate(cell, dt_min, temp, sun);
+          for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, v) = cell[s];
+          column_work += r.work_flops;
+        }
+        for (int s = 0; s < kSpeciesCount; ++s) {
+          column_flux[s] = in.surface_flux(s, v);
+        }
+        const auto elevated_it = in.elevated_flux.find(v);
+        const VerticalStepResult vr = vert.advance_column(
+            conc, v, in.kz_m2s, column_flux, deposition,
+            elevated_it != in.elevated_flux.end()
+                ? std::span<const double>(elevated_it->second)
+                : std::span<const double>(no_elevated),
+            dt_min);
+        column_work += vr.work_flops;
+        step.chem_column_work[v] = column_work;
+      }
+
+      // ---- Aerosol (sequential, replicated) ------------------------------
+      const AerosolResult ar = aerosol.equilibrate(conc, pm, in.layer_temp_k);
+      step.aerosol_work = ar.work_flops;
+
+      // ---- Transport, second half step (Lxy, dt/2) -----------------------
+      for (int k = 0; k < nl; ++k) {
+        const TransportStepResult r = supg.advance_layer(
+            conc, k, in.wind_kmh[k], in.kh_km2h, 0.5 * dt_hours, background);
+        step.transport2_layer_work[k] = r.work_flops;
+      }
+
+      hour_trace.steps.push_back(std::move(step));
+    }
+
+    // ---- outputhour ------------------------------------------------------
+    const HourlyStats stats =
+        compute_hourly_stats(ds, conc, pm, static_cast<int>(hour_start));
+    hour_trace.output_work = inputs.outputhour_work_flops();
+    result.outputs.hourly.push_back(stats);
+    result.trace.hours.push_back(std::move(hour_trace));
+    if (on_hour) on_hour(stats, conc);
+  }
+
+  return result;
+}
+
+}  // namespace airshed

@@ -1,0 +1,62 @@
+#include "airshed/core/report.hpp"
+
+#include <sstream>
+
+namespace airshed {
+
+std::string summarize_report(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  os << report.machine << " P=" << report.nodes << " ("
+     << to_string(report.strategy) << "): total " << report.total_seconds
+     << " s = chemistry "
+     << report.ledger.category_seconds(PhaseCategory::Chemistry)
+     << " + transport "
+     << report.ledger.category_seconds(PhaseCategory::Transport) << " + I/O "
+     << report.ledger.category_seconds(PhaseCategory::IoProcessing)
+     << " + aerosol "
+     << report.ledger.category_seconds(PhaseCategory::Aerosol)
+     << " + communication "
+     << report.ledger.category_seconds(PhaseCategory::Communication);
+  const double exposure =
+      report.ledger.category_seconds(PhaseCategory::Exposure) +
+      report.ledger.category_seconds(PhaseCategory::Coupling);
+  if (exposure > 0.0) os << " + exposure/coupling " << exposure;
+  return os.str();
+}
+
+Table phase_table(const RunReport& report) {
+  Table t({"phase", "category", "seconds", "count"});
+  for (const PhaseRecord& rec : report.ledger.phases()) {
+    t.row()
+        .add(rec.name)
+        .add(to_string(rec.category))
+        .add(rec.seconds, 3)
+        .add(rec.count);
+  }
+  return t;
+}
+
+Table sweep_table(const WorkTrace& trace, const MachineModel& machine,
+                  const std::vector<int>& node_counts, Strategy strategy) {
+  Table t({"nodes", "total (s)", "chemistry (s)", "transport (s)",
+           "I/O (s)", "comm (s)", "speedup"});
+  double first = 0.0;
+  for (int p : node_counts) {
+    const RunReport r =
+        simulate_execution(trace, ExecutionConfig{machine, p, strategy});
+    if (first == 0.0) first = r.total_seconds * p;
+    t.row()
+        .add(p)
+        .add(r.total_seconds, 1)
+        .add(r.ledger.category_seconds(PhaseCategory::Chemistry), 1)
+        .add(r.ledger.category_seconds(PhaseCategory::Transport), 1)
+        .add(r.ledger.category_seconds(PhaseCategory::IoProcessing), 1)
+        .add(r.ledger.category_seconds(PhaseCategory::Communication), 2)
+        .add(first / (r.total_seconds * node_counts.front()), 2);
+  }
+  return t;
+}
+
+}  // namespace airshed

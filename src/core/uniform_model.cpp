@@ -1,0 +1,274 @@
+#include "airshed/core/uniform_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "airshed/aerosol/aerosol.hpp"
+#include "airshed/chem/youngboris.hpp"
+#include "airshed/io/dataset.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/vert/vertical.hpp"
+
+namespace airshed {
+
+namespace {
+
+/// Hourly inputs on a uniform grid (the cell-centered analog of
+/// InputGenerator).
+struct UniformHourlyInputs {
+  std::vector<std::vector<Point2>> wind_kmh;  // [layer][cell]
+  double kh_km2h = 0.0;
+  std::vector<double> kz_m2s;
+  std::vector<double> layer_temp_k;
+  std::vector<double> cell_temp_k;
+  Array2<double> surface_flux;  // (species, cell)
+  std::unordered_map<std::size_t, std::vector<double>> elevated_flux;
+  int nsteps = 0;
+  double input_work = 0.0, pretrans_work = 0.0, output_work = 0.0;
+};
+
+UniformHourlyInputs generate_uniform_inputs(const UniformDataset& ds,
+                                            const TransportOptions& topts,
+                                            const IoWorkModel& work,
+                                            int hour) {
+  const std::size_t nc = ds.points();
+  const int nl = ds.layers;
+  const double t_mid = hour + 0.5;
+  const std::vector<Point2> centers = ds.grid.all_centers();
+
+  UniformHourlyInputs in;
+  in.wind_kmh.resize(nl);
+  for (int k = 0; k < nl; ++k) {
+    in.wind_kmh[k].resize(nc);
+    const double frac = nl > 1 ? static_cast<double>(k) / (nl - 1) : 0.0;
+    for (std::size_t c = 0; c < nc; ++c) {
+      in.wind_kmh[k][c] = ds.met.wind(centers[c], t_mid, frac);
+    }
+  }
+  in.kh_km2h = ds.met.kh(t_mid);
+  in.kz_m2s.resize(nl > 1 ? nl - 1 : 0);
+  for (int k = 0; k + 1 < nl; ++k) in.kz_m2s[k] = ds.met.kz(t_mid, k, nl);
+  in.layer_temp_k.resize(nl);
+  for (int k = 0; k < nl; ++k) {
+    in.layer_temp_k[k] =
+        ds.met.temperature(ds.emissions.domain().center(), t_mid, k);
+  }
+  in.cell_temp_k.resize(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    in.cell_temp_k[c] = ds.met.temperature(centers[c], t_mid, 0);
+  }
+
+  in.surface_flux = Array2<double>(kSpeciesCount, nc, 0.0);
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    const Species sp = static_cast<Species>(s);
+    if (!is_emitted_species(sp)) continue;
+    for (std::size_t c = 0; c < nc; ++c) {
+      in.surface_flux(s, c) = ds.emissions.surface_flux(sp, centers[c], t_mid);
+    }
+  }
+  for (const PointSource& src : ds.emissions.point_sources()) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double d = norm(centers[c] - src.location);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    auto& flat = in.elevated_flux[best];
+    if (flat.empty()) {
+      flat.assign(static_cast<std::size_t>(kSpeciesCount) * nl, 0.0);
+    }
+    const int layer = std::min(src.layer, nl - 1);
+    flat[static_cast<std::size_t>(index_of(src.species)) * nl + layer] +=
+        src.rate_ppm_m_min;
+  }
+
+  OneDimTransport op(ds.grid, topts);
+  double dt_stable = 1.0;
+  for (int k = 0; k < nl; ++k) {
+    dt_stable =
+        std::min(dt_stable, op.stable_dt_hours(in.wind_kmh[k], in.kh_km2h));
+  }
+  in.nsteps = std::clamp(static_cast<int>(std::ceil(1.0 / dt_stable)),
+                         InputGenerator::kMinStepsPerHour,
+                         InputGenerator::kMaxStepsPerHour);
+
+  const double elements = static_cast<double>(kSpeciesCount) *
+                          static_cast<double>(nl) * static_cast<double>(nc);
+  in.input_work = work.input_flops_per_element * elements;
+  in.pretrans_work = work.pretrans_flops_per_element * elements;
+  in.output_work = work.output_flops_per_element * elements;
+  return in;
+}
+
+}  // namespace
+
+UniformDataset build_uniform_dataset(const DatasetSpec& spec, std::size_t nx,
+                                     std::size_t ny) {
+  AIRSHED_REQUIRE(spec.layers >= 1, "dataset needs at least one layer");
+  return UniformDataset{
+      spec.name + "-uniform",
+      UniformGrid(spec.domain, nx, ny),
+      spec.layers,
+      Meteorology(spec.domain, spec.met),
+      EmissionInventory(spec.domain, spec.cities, spec.stacks, spec.controls),
+      Meteorology::layer_thickness_m(spec.layers),
+  };
+}
+
+UniformDataset la_uniform_dataset(ControlScenario controls) {
+  // 40 x 40 cells = 4 km: the LA multiscale grid's urban-core resolution.
+  return build_uniform_dataset(la_basin_spec(controls), 40, 40);
+}
+
+UniformAirshedModel::UniformAirshedModel(const UniformDataset& dataset,
+                                         ModelOptions opts)
+    : dataset_(&dataset), opts_(opts) {
+  AIRSHED_REQUIRE(opts.hours >= 1, "need at least one simulated hour");
+}
+
+ConcentrationField UniformAirshedModel::initial_conditions(
+    const UniformDataset& dataset) {
+  ConcentrationField conc(kSpeciesCount, dataset.layers, dataset.points());
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    const double bg = background_ppm(static_cast<Species>(s));
+    for (int k = 0; k < dataset.layers; ++k) {
+      for (std::size_t c = 0; c < dataset.points(); ++c) conc(s, k, c) = bg;
+    }
+  }
+  return conc;
+}
+
+ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
+  const UniformDataset& ds = *dataset_;
+  const std::size_t nc = ds.points();
+  const int nl = ds.layers;
+
+  ModelRunResult result;
+  result.trace.dataset = ds.name;
+  result.trace.species = kSpeciesCount;
+  result.trace.layers = static_cast<std::size_t>(nl);
+  result.trace.points = nc;
+  result.trace.transport_row_parallelism = std::min(ds.grid.nx(), ds.grid.ny());
+
+  result.outputs.conc = initial_conditions(ds);
+  result.outputs.pm = Array3<double>(kPmComponents, nl, nc, 0.0);
+  ConcentrationField& conc = result.outputs.conc;
+  Array3<double>& pm = result.outputs.pm;
+
+  OneDimTransport transport(ds.grid, opts_.transport);
+  YoungBorisSolver chem(Mechanism::cb4_condensed(), opts_.chem);
+  VerticalTransport vert(ds.layer_dz_m);
+  AerosolModule aerosol;
+
+  std::array<double, kSpeciesCount> background{}, deposition{}, column_flux{};
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    background[s] = background_ppm(static_cast<Species>(s));
+    deposition[s] = deposition_velocity_ms(static_cast<Species>(s));
+  }
+  std::array<double, kSpeciesCount> cell{};
+  const std::vector<double> no_elevated;
+  const double lapse = ds.met.params().lapse_k_per_layer;
+
+  for (int h = 0; h < opts_.hours; ++h) {
+    const double hour_start = opts_.start_hour + h;
+    const UniformHourlyInputs in = generate_uniform_inputs(
+        ds, opts_.transport, opts_.io_work, static_cast<int>(hour_start));
+
+    HourTrace hour_trace;
+    hour_trace.input_work = in.input_work;
+    hour_trace.pretrans_work = in.pretrans_work;
+
+    const double dt_hours = 1.0 / in.nsteps;
+    for (int j = 0; j < in.nsteps; ++j) {
+      const double t_step = hour_start + j * dt_hours;
+      StepTrace step;
+      step.transport1_layer_work.resize(nl);
+      step.transport2_layer_work.resize(nl);
+      step.chem_column_work.assign(nc, 0.0);
+
+      for (int k = 0; k < nl; ++k) {
+        step.transport1_layer_work[k] =
+            transport
+                .advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
+                               0.5 * dt_hours, background)
+                .work_flops;
+      }
+
+      const double t_mid = t_step + 0.5 * dt_hours;
+      const double sun = ds.met.photolysis_factor(t_mid);
+      const double dt_min = dt_hours * 60.0;
+      for (std::size_t c = 0; c < nc; ++c) {
+        double column_work = 0.0;
+        for (int k = 0; k < nl; ++k) {
+          for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, c);
+          const double temp = in.cell_temp_k[c] - lapse * k;
+          column_work += chem.integrate(cell, dt_min, temp, sun).work_flops;
+          for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, c) = cell[s];
+        }
+        for (int s = 0; s < kSpeciesCount; ++s) {
+          column_flux[s] = in.surface_flux(s, c);
+        }
+        const auto it = in.elevated_flux.find(c);
+        column_work +=
+            vert.advance_column(conc, c, in.kz_m2s, column_flux, deposition,
+                                it != in.elevated_flux.end()
+                                    ? std::span<const double>(it->second)
+                                    : std::span<const double>(no_elevated),
+                                dt_min)
+                .work_flops;
+        step.chem_column_work[c] = column_work;
+      }
+
+      step.aerosol_work =
+          aerosol.equilibrate(conc, pm, in.layer_temp_k).work_flops;
+
+      for (int k = 0; k < nl; ++k) {
+        step.transport2_layer_work[k] =
+            transport
+                .advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
+                               0.5 * dt_hours, background)
+                .work_flops;
+      }
+
+      hour_trace.steps.push_back(std::move(step));
+    }
+
+    // outputhour statistics: reuse the surface-field reductions (cell areas
+    // are uniform, so the unweighted mean is the area-weighted mean).
+    HourlyStats stats;
+    stats.hour = static_cast<int>(hour_start);
+    const auto o3 = static_cast<std::size_t>(index_of(Species::O3));
+    const auto no2 = static_cast<std::size_t>(index_of(Species::NO2));
+    const auto co = static_cast<std::size_t>(index_of(Species::CO));
+    double o3_sum = 0.0, no2_sum = 0.0, co_sum = 0.0;
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double v = conc(o3, 0, c);
+      if (v > stats.max_surface_o3_ppm) {
+        stats.max_surface_o3_ppm = v;
+        stats.max_o3_location =
+            ds.grid.center(c % ds.grid.nx(), c / ds.grid.nx());
+      }
+      o3_sum += v;
+      no2_sum += conc(no2, 0, c);
+      co_sum += conc(co, 0, c);
+    }
+    stats.mean_surface_o3_ppm = o3_sum / static_cast<double>(nc);
+    stats.mean_surface_no2_ppm = no2_sum / static_cast<double>(nc);
+    stats.mean_surface_co_ppm = co_sum / static_cast<double>(nc);
+
+    hour_trace.output_work = in.output_work;
+    result.outputs.hourly.push_back(stats);
+    result.trace.hours.push_back(std::move(hour_trace));
+    if (on_hour) on_hour(stats, conc);
+  }
+
+  return result;
+}
+
+}  // namespace airshed

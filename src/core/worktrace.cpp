@@ -1,0 +1,121 @@
+#include "airshed/core/worktrace.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+constexpr const char* kMagicV1 = "airshed-worktrace-v1";
+constexpr const char* kMagicV2 = "airshed-worktrace-v2";
+}
+
+double WorkTrace::total_transport_work() const {
+  double w = 0.0;
+  for (const HourTrace& h : hours) {
+    for (const StepTrace& s : h.steps) {
+      for (double x : s.transport1_layer_work) w += x;
+      for (double x : s.transport2_layer_work) w += x;
+    }
+  }
+  return w;
+}
+
+double WorkTrace::total_chemistry_work() const {
+  double w = 0.0;
+  for (const HourTrace& h : hours) {
+    for (const StepTrace& s : h.steps) {
+      for (double x : s.chem_column_work) w += x;
+    }
+  }
+  return w;
+}
+
+double WorkTrace::total_aerosol_work() const {
+  double w = 0.0;
+  for (const HourTrace& h : hours) {
+    for (const StepTrace& s : h.steps) w += s.aerosol_work;
+  }
+  return w;
+}
+
+double WorkTrace::total_io_work() const {
+  double w = 0.0;
+  for (const HourTrace& h : hours) {
+    w += h.input_work + h.pretrans_work + h.output_work;
+  }
+  return w;
+}
+
+long long WorkTrace::total_steps() const {
+  long long n = 0;
+  for (const HourTrace& h : hours) n += static_cast<long long>(h.steps.size());
+  return n;
+}
+
+void WorkTrace::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open trace file for writing: " + path);
+  os.precision(17);
+  os << kMagicV2 << '\n';
+  os << dataset << '\n';
+  os << species << ' ' << layers << ' ' << points << ' '
+     << transport_row_parallelism << ' ' << hours.size() << '\n';
+  for (const HourTrace& h : hours) {
+    os << h.input_work << ' ' << h.pretrans_work << ' ' << h.output_work
+       << ' ' << h.steps.size() << '\n';
+    for (const StepTrace& s : h.steps) {
+      os << s.aerosol_work << '\n';
+      for (double x : s.transport1_layer_work) os << x << ' ';
+      os << '\n';
+      for (double x : s.transport2_layer_work) os << x << ' ';
+      os << '\n';
+      for (double x : s.chem_column_work) os << x << ' ';
+      os << '\n';
+    }
+  }
+  if (!os) throw Error("failed writing trace file: " + path);
+}
+
+WorkTrace WorkTrace::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open trace file: " + path);
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw Error("bad trace file header: " + path);
+  }
+
+  WorkTrace t;
+  std::getline(is, t.dataset);
+  std::size_t nhours = 0;
+  is >> t.species >> t.layers >> t.points;
+  if (magic == kMagicV2) is >> t.transport_row_parallelism;
+  is >> nhours;
+  t.hours.resize(nhours);
+  for (HourTrace& h : t.hours) {
+    std::size_t nsteps = 0;
+    is >> h.input_work >> h.pretrans_work >> h.output_work >> nsteps;
+    h.steps.resize(nsteps);
+    for (StepTrace& s : h.steps) {
+      is >> s.aerosol_work;
+      s.transport1_layer_work.resize(t.layers);
+      for (double& x : s.transport1_layer_work) is >> x;
+      s.transport2_layer_work.resize(t.layers);
+      for (double& x : s.transport2_layer_work) is >> x;
+      s.chem_column_work.resize(t.points);
+      for (double& x : s.chem_column_work) is >> x;
+    }
+  }
+  if (!is) throw Error("truncated trace file: " + path);
+  return t;
+}
+
+bool trace_file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace airshed

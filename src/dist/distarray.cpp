@@ -1,0 +1,363 @@
+#include "airshed/dist/distarray.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+
+/// Indices of dimension `dim` owned by `node`, in increasing order.
+std::vector<std::size_t> owned_indices(const Layout3& l, int node, int dim) {
+  std::vector<std::size_t> out;
+  const std::size_t extent = l.shape()[dim];
+  switch (l.dist()[dim]) {
+    case DimDist::Replicated: {
+      out.resize(extent);
+      for (std::size_t i = 0; i < extent; ++i) out[i] = i;
+      break;
+    }
+    case DimDist::Block: {
+      const IndexRange r = l.owned_range(node, dim);
+      out.reserve(r.size());
+      for (std::size_t i = r.lo; i < r.hi; ++i) out.push_back(i);
+      break;
+    }
+    case DimDist::Cyclic: {
+      for (std::size_t i = static_cast<std::size_t>(node); i < extent;
+           i += static_cast<std::size_t>(l.nodes())) {
+        out.push_back(i);
+      }
+      break;
+    }
+    case DimDist::BlockCyclic: {
+      const std::size_t cb = l.cycle_block();
+      const std::size_t nblocks = (extent + cb - 1) / cb;
+      for (std::size_t b = static_cast<std::size_t>(node); b < nblocks;
+           b += static_cast<std::size_t>(l.nodes())) {
+        const std::size_t hi = std::min((b + 1) * cb, extent);
+        for (std::size_t i = b * cb; i < hi; ++i) out.push_back(i);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Local (compacted) offset of global index `idx` along `dim` on `node`.
+std::size_t local_offset(const Layout3& l, int node, int dim,
+                         std::size_t idx) {
+  switch (l.dist()[dim]) {
+    case DimDist::Replicated:
+      return idx;
+    case DimDist::Block:
+      return idx - l.owned_range(node, dim).lo;
+    case DimDist::Cyclic:
+      return (idx - static_cast<std::size_t>(node)) /
+             static_cast<std::size_t>(l.nodes());
+    case DimDist::BlockCyclic: {
+      // All owned blocks before idx's block are complete (only the final
+      // block of the whole extent can be short).
+      const std::size_t cb = l.cycle_block();
+      const std::size_t group = idx / (cb * static_cast<std::size_t>(l.nodes()));
+      return group * cb + idx % cb;
+    }
+  }
+  return 0;
+}
+
+/// Count of phase + t*period progression members in [r.lo, r.hi).
+std::size_t cyclic_in_range(IndexRange r, std::size_t phase,
+                            std::size_t period) {
+  if (r.empty()) return 0;
+  const std::size_t first =
+      phase >= r.lo ? phase
+                    : phase + ((r.lo - phase + period - 1) / period) * period;
+  if (first >= r.hi) return 0;
+  return (r.hi - 1 - first) / period + 1;
+}
+
+bool is_contiguous(DimDist d) {
+  return d == DimDist::Replicated || d == DimDist::Block;
+}
+
+/// Number of indices of `dim` owned by (layout, node) inside the range `r`.
+std::size_t count_in_range(const Layout3& l, int node, int dim, IndexRange r) {
+  const std::size_t extent = l.shape()[dim];
+  r = intersect(r, IndexRange{0, extent});
+  switch (l.dist()[dim]) {
+    case DimDist::Replicated:
+      return r.size();
+    case DimDist::Block:
+      return intersect(r, l.owned_range(node, dim)).size();
+    case DimDist::Cyclic:
+      return cyclic_in_range(r, static_cast<std::size_t>(node),
+                             static_cast<std::size_t>(l.nodes()));
+    case DimDist::BlockCyclic: {
+      const std::size_t cb = l.cycle_block();
+      const std::size_t nblocks = (extent + cb - 1) / cb;
+      std::size_t count = 0;
+      for (std::size_t b = static_cast<std::size_t>(node); b < nblocks;
+           b += static_cast<std::size_t>(l.nodes())) {
+        count +=
+            intersect(r, IndexRange{b * cb, std::min((b + 1) * cb, extent)})
+                .size();
+      }
+      return count;
+    }
+  }
+  return 0;
+}
+
+/// Number of indices owned by BOTH (src layout, ps) and (dst layout, pd)
+/// along `dim`. Ownership sets are ranges or (block-)cyclic progressions;
+/// cyclic-vs-cyclic pairs enumerate one side's owned blocks.
+std::size_t dim_intersection_count(const Layout3& a, int pa, const Layout3& b,
+                                   int pb, int dim) {
+  const DimDist da = a.dist()[dim];
+  const DimDist db = b.dist()[dim];
+  const std::size_t extent = a.shape()[dim];
+
+  if (is_contiguous(da)) {
+    const IndexRange r = da == DimDist::Replicated ? IndexRange{0, extent}
+                                                   : a.owned_range(pa, dim);
+    return count_in_range(b, pb, dim, r);
+  }
+  if (is_contiguous(db)) {
+    const IndexRange r = db == DimDist::Replicated ? IndexRange{0, extent}
+                                                   : b.owned_range(pb, dim);
+    return count_in_range(a, pa, dim, r);
+  }
+  // Both cyclic-family. Identical period and block size: phases are
+  // disjoint unless the nodes coincide.
+  if (da == db && a.nodes() == b.nodes() &&
+      a.cycle_block() == b.cycle_block()) {
+    return pa == pb ? a.owned_count(pa, dim) : 0;
+  }
+  // Mixed cyclic kinds: enumerate a's owned blocks as ranges.
+  const std::size_t cb = a.cycle_block();
+  const std::size_t nblocks = (extent + cb - 1) / cb;
+  std::size_t count = 0;
+  for (std::size_t blk = static_cast<std::size_t>(pa); blk < nblocks;
+       blk += static_cast<std::size_t>(a.nodes())) {
+    count += count_in_range(
+        b, pb, dim, IndexRange{blk * cb, std::min((blk + 1) * cb, extent)});
+  }
+  return count;
+}
+
+/// Indices owned by both sides along `dim` (explicit list; used only when
+/// element data is actually copied).
+std::vector<std::size_t> dim_intersection_list(const Layout3& a, int pa,
+                                               const Layout3& b, int pb,
+                                               int dim) {
+  const std::vector<std::size_t> sa = owned_indices(a, pa, dim);
+  std::vector<std::size_t> out;
+  out.reserve(sa.size());
+  for (std::size_t i : sa) {
+    // owns() for the element check along one dim: construct the probe with
+    // the index placed in the right slot.
+    bool owned = false;
+    switch (b.dist()[dim]) {
+      case DimDist::Replicated:
+        owned = i < b.shape()[dim];
+        break;
+      case DimDist::Block: {
+        const IndexRange r = b.owned_range(pb, dim);
+        owned = i >= r.lo && i < r.hi;
+        break;
+      }
+      case DimDist::Cyclic:
+        owned = i % static_cast<std::size_t>(b.nodes()) ==
+                static_cast<std::size_t>(pb);
+        break;
+      case DimDist::BlockCyclic:
+        owned = (i / b.cycle_block()) % static_cast<std::size_t>(b.nodes()) ==
+                static_cast<std::size_t>(pb);
+        break;
+    }
+    if (owned) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+DistArray3::DistArray3(Layout3 layout) : layout_(std::move(layout)) {
+  locals_.resize(layout_.nodes());
+  for (int p = 0; p < layout_.nodes(); ++p) {
+    locals_[p].assign(layout_.local_elements(p), 0.0);
+  }
+}
+
+std::size_t DistArray3::local_index(int node, std::size_t i, std::size_t j,
+                                    std::size_t k) const {
+  AIRSHED_ASSERT(layout_.owns(node, i, j, k), "element not owned by node");
+  const std::size_t o0 = local_offset(layout_, node, 0, i);
+  const std::size_t o1 = local_offset(layout_, node, 1, j);
+  const std::size_t o2 = local_offset(layout_, node, 2, k);
+  const std::size_t c1 = layout_.owned_count(node, 1);
+  const std::size_t c2 = layout_.owned_count(node, 2);
+  return (o0 * c1 + o1) * c2 + o2;
+}
+
+double DistArray3::at(int node, std::size_t i, std::size_t j,
+                      std::size_t k) const {
+  return locals_[node][local_index(node, i, j, k)];
+}
+
+double& DistArray3::at(int node, std::size_t i, std::size_t j, std::size_t k) {
+  return locals_[node][local_index(node, i, j, k)];
+}
+
+void DistArray3::scatter_from(const Array3<double>& global) {
+  const auto& shape = layout_.shape();
+  AIRSHED_REQUIRE(global.dim0() == shape[0] && global.dim1() == shape[1] &&
+                      global.dim2() == shape[2],
+                  "global array shape mismatch");
+  for (int p = 0; p < layout_.nodes(); ++p) {
+    const auto i0 = owned_indices(layout_, p, 0);
+    const auto i1 = owned_indices(layout_, p, 1);
+    const auto i2 = owned_indices(layout_, p, 2);
+    std::vector<double>& loc = locals_[p];
+    std::size_t idx = 0;
+    for (std::size_t i : i0) {
+      for (std::size_t j : i1) {
+        for (std::size_t k : i2) {
+          loc[idx++] = global(i, j, k);
+        }
+      }
+    }
+  }
+}
+
+Array3<double> DistArray3::gather() const {
+  const auto& shape = layout_.shape();
+  Array3<double> global(shape[0], shape[1], shape[2], 0.0);
+  // Iterate nodes in reverse so the lowest-ranked owner's value wins.
+  for (int p = layout_.nodes() - 1; p >= 0; --p) {
+    const auto i0 = owned_indices(layout_, p, 0);
+    const auto i1 = owned_indices(layout_, p, 1);
+    const auto i2 = owned_indices(layout_, p, 2);
+    const std::vector<double>& loc = locals_[p];
+    std::size_t idx = 0;
+    for (std::size_t i : i0) {
+      for (std::size_t j : i1) {
+        for (std::size_t k : i2) {
+          global(i, j, k) = loc[idx++];
+        }
+      }
+    }
+  }
+  return global;
+}
+
+namespace {
+
+/// Copies the explicit index set intersection from src node ps to dst node
+/// pd. General path (handles cyclic); the innermost dimension uses memcpy
+/// when both sides are contiguous there.
+void copy_intersection(const DistArray3& src, int ps, DistArray3& dst, int pd) {
+  const Layout3& ls = src.layout();
+  const Layout3& ld = dst.layout();
+  const auto i0 = dim_intersection_list(ls, ps, ld, pd, 0);
+  const auto i1 = dim_intersection_list(ls, ps, ld, pd, 1);
+  const auto i2 = dim_intersection_list(ls, ps, ld, pd, 2);
+  if (i0.empty() || i1.empty() || i2.empty()) return;
+
+  const bool k_contiguous =
+      is_contiguous(ls.dist()[2]) && is_contiguous(ld.dist()[2]) &&
+      !i2.empty() && i2.back() - i2.front() + 1 == i2.size();
+  std::span<const double> from = src.local(ps);
+  std::span<double> to = dst.local(pd);
+  for (std::size_t i : i0) {
+    for (std::size_t j : i1) {
+      if (k_contiguous) {
+        const std::size_t sidx = src.local_index(ps, i, j, i2.front());
+        const std::size_t didx = dst.local_index(pd, i, j, i2.front());
+        std::memcpy(&to[didx], &from[sidx], i2.size() * sizeof(double));
+      } else {
+        for (std::size_t k : i2) {
+          to[dst.local_index(pd, i, j, k)] =
+              from[src.local_index(ps, i, j, k)];
+        }
+      }
+    }
+  }
+}
+
+/// Shared traffic-accounting logic for plan/execute.
+template <typename CopyFn>
+RedistributionStats run_redistribution(const Layout3& from, const Layout3& to,
+                                       std::size_t word_size, CopyFn&& copy) {
+  AIRSHED_REQUIRE(from.shape() == to.shape(),
+                  "redistribution requires identical shapes");
+  AIRSHED_REQUIRE(from.nodes() == to.nodes(),
+                  "redistribution requires identical node counts");
+  AIRSHED_REQUIRE(word_size > 0, "word size must be positive");
+
+  const int nodes = from.nodes();
+  RedistributionStats stats;
+  stats.traffic.resize(nodes);
+  const double w = static_cast<double>(word_size);
+
+  if (from.distributed_dim() < 0) {
+    // Replicated source: every destination block is locally available; the
+    // redistribution is a pure local copy (no network traffic) — the
+    // D_Repl -> D_Trans case of the paper.
+    for (int pd = 0; pd < nodes; ++pd) {
+      const std::size_t n = to.local_elements(pd);
+      if (n == 0) continue;
+      copy(pd, pd);
+      stats.traffic[pd].bytes_copied += static_cast<double>(n) * w;
+      stats.total_copied_bytes += static_cast<double>(n) * w;
+    }
+    return stats;
+  }
+
+  // Distributed source: ownership is unique, so every destination element
+  // has exactly one source node.
+  for (int ps = 0; ps < nodes; ++ps) {
+    if (from.local_elements(ps) == 0) continue;
+    for (int pd = 0; pd < nodes; ++pd) {
+      std::size_t n = 1;
+      for (int d = 0; d < 3 && n > 0; ++d) {
+        n *= dim_intersection_count(from, ps, to, pd, d);
+      }
+      if (n == 0) continue;
+      copy(ps, pd);
+      const double bytes = static_cast<double>(n) * w;
+      if (ps == pd) {
+        stats.traffic[ps].bytes_copied += bytes;
+        stats.total_copied_bytes += bytes;
+      } else {
+        stats.traffic[ps].messages_sent += 1.0;
+        stats.traffic[ps].bytes_sent += bytes;
+        stats.traffic[pd].messages_received += 1.0;
+        stats.traffic[pd].bytes_received += bytes;
+        stats.total_messages += 1.0;
+        stats.total_network_bytes += bytes;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+RedistributionStats redistribute(const DistArray3& src, DistArray3& dst,
+                                 std::size_t word_size) {
+  return run_redistribution(src.layout(), dst.layout(), word_size,
+                            [&](int ps, int pd) {
+                              copy_intersection(src, ps, dst, pd);
+                            });
+}
+
+RedistributionStats plan_redistribution(const Layout3& from, const Layout3& to,
+                                        std::size_t word_size) {
+  return run_redistribution(from, to, word_size, [](int, int) {});
+}
+
+}  // namespace airshed

@@ -1,0 +1,196 @@
+#include "airshed/dist/layout.hpp"
+
+#include <algorithm>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+IndexRange intersect(IndexRange a, IndexRange b) {
+  IndexRange r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  if (r.hi < r.lo) r.hi = r.lo;
+  return r;
+}
+
+Layout3::Layout3(std::array<std::size_t, 3> shape,
+                 std::array<DimDist, 3> dist, int nodes,
+                 std::size_t cycle_block)
+    : shape_(shape), dist_(dist), nodes_(nodes) {
+  AIRSHED_REQUIRE(nodes >= 1, "layout needs at least one node");
+  for (std::size_t d : shape) {
+    AIRSHED_REQUIRE(d >= 1, "layout dimensions must be nonzero");
+  }
+  int distributed = 0;
+  for (int d = 0; d < 3; ++d) {
+    if (dist[d] != DimDist::Replicated) {
+      ++distributed;
+      dist_dim_ = d;
+    }
+  }
+  AIRSHED_REQUIRE(distributed <= 1,
+                  "at most one distributed dimension supported");
+  if (dist_dim_ >= 0) {
+    const std::size_t extent = shape_[dist_dim_];
+    switch (dist_[dist_dim_]) {
+      case DimDist::Block:
+        block_size_ = (extent + nodes_ - 1) / nodes_;
+        break;
+      case DimDist::Cyclic:
+        cycle_block_ = 1;
+        break;
+      case DimDist::BlockCyclic:
+        AIRSHED_REQUIRE(cycle_block >= 1,
+                        "block-cyclic needs a positive block size");
+        cycle_block_ = cycle_block;
+        break;
+      case DimDist::Replicated:
+        break;
+    }
+  }
+}
+
+Layout3 Layout3::replicated(std::array<std::size_t, 3> shape, int nodes) {
+  return Layout3(shape,
+                 {DimDist::Replicated, DimDist::Replicated, DimDist::Replicated},
+                 nodes);
+}
+
+Layout3 Layout3::block(std::array<std::size_t, 3> shape, int dim, int nodes) {
+  AIRSHED_REQUIRE(dim >= 0 && dim < 3, "block dimension out of range");
+  std::array<DimDist, 3> dist = {DimDist::Replicated, DimDist::Replicated,
+                                 DimDist::Replicated};
+  dist[dim] = DimDist::Block;
+  return Layout3(shape, dist, nodes);
+}
+
+Layout3 Layout3::cyclic(std::array<std::size_t, 3> shape, int dim, int nodes) {
+  AIRSHED_REQUIRE(dim >= 0 && dim < 3, "cyclic dimension out of range");
+  std::array<DimDist, 3> dist = {DimDist::Replicated, DimDist::Replicated,
+                                 DimDist::Replicated};
+  dist[dim] = DimDist::Cyclic;
+  return Layout3(shape, dist, nodes);
+}
+
+Layout3 Layout3::block_cyclic(std::array<std::size_t, 3> shape, int dim,
+                              int nodes, std::size_t block) {
+  AIRSHED_REQUIRE(dim >= 0 && dim < 3, "block-cyclic dimension out of range");
+  std::array<DimDist, 3> dist = {DimDist::Replicated, DimDist::Replicated,
+                                 DimDist::Replicated};
+  dist[dim] = DimDist::BlockCyclic;
+  return Layout3(shape, dist, nodes, block);
+}
+
+IndexRange Layout3::owned_range(int node, int dim) const {
+  AIRSHED_REQUIRE(node >= 0 && node < nodes_, "node out of range");
+  AIRSHED_REQUIRE(dim >= 0 && dim < 3, "dimension out of range");
+  if (dist_[dim] == DimDist::Replicated) {
+    return {0, shape_[dim]};
+  }
+  AIRSHED_REQUIRE(dist_[dim] == DimDist::Block,
+                  "owned_range is only defined for BLOCK dimensions");
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(node) * block_size_, shape_[dim]);
+  const std::size_t hi = std::min(lo + block_size_, shape_[dim]);
+  return {lo, hi};
+}
+
+int Layout3::owner_of(std::size_t index) const {
+  if (dist_dim_ < 0) return -1;
+  AIRSHED_REQUIRE(index < shape_[dist_dim_], "index out of range");
+  switch (dist_[dist_dim_]) {
+    case DimDist::Cyclic:
+      return static_cast<int>(index % static_cast<std::size_t>(nodes_));
+    case DimDist::BlockCyclic:
+      return static_cast<int>((index / cycle_block_) %
+                              static_cast<std::size_t>(nodes_));
+    default:
+      return static_cast<int>(index / block_size_);
+  }
+}
+
+std::size_t Layout3::owned_count(int node, int dim) const {
+  AIRSHED_REQUIRE(node >= 0 && node < nodes_, "node out of range");
+  AIRSHED_REQUIRE(dim >= 0 && dim < 3, "dimension out of range");
+  const std::size_t extent = shape_[dim];
+  switch (dist_[dim]) {
+    case DimDist::Replicated:
+      return extent;
+    case DimDist::Block: {
+      const IndexRange r = owned_range(node, dim);
+      return r.size();
+    }
+    case DimDist::Cyclic: {
+      const std::size_t p = static_cast<std::size_t>(nodes_);
+      const std::size_t n = static_cast<std::size_t>(node);
+      return n < extent ? (extent - n + p - 1) / p : 0;
+    }
+    case DimDist::BlockCyclic: {
+      // Count indices in blocks b with b mod P == node.
+      const std::size_t nblocks = (extent + cycle_block_ - 1) / cycle_block_;
+      std::size_t count = 0;
+      for (std::size_t b = static_cast<std::size_t>(node); b < nblocks;
+           b += static_cast<std::size_t>(nodes_)) {
+        count += std::min(cycle_block_, extent - b * cycle_block_);
+      }
+      return count;
+    }
+  }
+  return 0;
+}
+
+std::size_t Layout3::local_elements(int node) const {
+  std::size_t n = 1;
+  for (int d = 0; d < 3; ++d) {
+    n *= owned_count(node, d);
+  }
+  return n;
+}
+
+bool Layout3::owns(int node, std::size_t i, std::size_t j,
+                   std::size_t k) const {
+  const std::size_t idx[3] = {i, j, k};
+  for (int d = 0; d < 3; ++d) {
+    switch (dist_[d]) {
+      case DimDist::Replicated:
+        if (idx[d] >= shape_[d]) return false;
+        break;
+      case DimDist::Block: {
+        const IndexRange r = owned_range(node, d);
+        if (idx[d] < r.lo || idx[d] >= r.hi) return false;
+        break;
+      }
+      case DimDist::Cyclic:
+        if (idx[d] >= shape_[d] ||
+            idx[d] % static_cast<std::size_t>(nodes_) !=
+                static_cast<std::size_t>(node)) {
+          return false;
+        }
+        break;
+      case DimDist::BlockCyclic:
+        if (idx[d] >= shape_[d] ||
+            (idx[d] / cycle_block_) % static_cast<std::size_t>(nodes_) !=
+                static_cast<std::size_t>(node)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+int Layout3::active_nodes() const {
+  if (dist_dim_ < 0) return nodes_;
+  const std::size_t extent = shape_[dist_dim_];
+  if (dist_[dist_dim_] == DimDist::Cyclic) {
+    return static_cast<int>(std::min<std::size_t>(nodes_, extent));
+  }
+  if (dist_[dist_dim_] == DimDist::BlockCyclic) {
+    const std::size_t nblocks = (extent + cycle_block_ - 1) / cycle_block_;
+    return static_cast<int>(std::min<std::size_t>(nodes_, nblocks));
+  }
+  // BLOCK: the ceil block size can leave trailing nodes empty even when
+  // extent >= P (e.g. 9 elements over 8 nodes -> blocks of 2 -> 5 owners).
+  return static_cast<int>((extent + block_size_ - 1) / block_size_);
+}
+
+}  // namespace airshed

@@ -1,0 +1,127 @@
+#include "airshed/emis/emissions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+
+/// Per-species base surface flux at unit urban density and unit activity,
+/// ppm*m/min. Magnitudes sized so an urban core builds tenths-of-ppm NOx
+/// precursor loadings over a morning in a ~40 m surface layer.
+double base_flux(Species s) {
+  switch (s) {
+    case Species::NO:   return 9.0e-3;
+    case Species::NO2:  return 1.0e-3;
+    case Species::CO:   return 6.0e-2;
+    case Species::FORM: return 8.0e-4;
+    case Species::ALD2: return 5.0e-4;
+    case Species::PAR:  return 1.6e-2;
+    case Species::OLE:  return 9.0e-4;
+    case Species::ETH:  return 1.2e-3;
+    case Species::TOL:  return 1.6e-3;
+    case Species::XYL:  return 1.1e-3;
+    case Species::SO2:  return 9.0e-4;
+    default:            return 0.0;  // ISOP and NH3 handled separately
+  }
+}
+
+bool is_nox(Species s) { return s == Species::NO || s == Species::NO2; }
+bool is_voc(Species s) {
+  switch (s) {
+    case Species::FORM:
+    case Species::ALD2:
+    case Species::PAR:
+    case Species::OLE:
+    case Species::ETH:
+    case Species::TOL:
+    case Species::XYL:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+double traffic_profile(double hour_of_day) {
+  const double h = std::fmod(hour_of_day + 24.0, 24.0);
+  auto peak = [&](double center, double width, double amp) {
+    const double d = h - center;
+    return amp * std::exp(-0.5 * d * d / (width * width));
+  };
+  // Base activity + morning (7:30) and evening (17:30) rush hours.
+  return 0.25 + peak(7.5, 1.8, 0.95) + peak(17.5, 2.2, 0.85) +
+         0.25 * std::sin(std::numbers::pi * h / 24.0);
+}
+
+EmissionInventory::EmissionInventory(BBox domain, std::vector<CitySpec> cities,
+                                     std::vector<PointSource> point_sources,
+                                     ControlScenario controls)
+    : domain_(domain), cities_(std::move(cities)),
+      points_(std::move(point_sources)), controls_(controls) {
+  AIRSHED_REQUIRE(!cities_.empty(), "inventory needs at least one city");
+  for (const CitySpec& c : cities_) {
+    AIRSHED_REQUIRE(c.radius_km > 0.0, "city radius must be positive");
+  }
+  for (const PointSource& p : points_) {
+    AIRSHED_REQUIRE(p.layer >= 0, "point source layer must be >= 0");
+    AIRSHED_REQUIRE(p.rate_ppm_m_min >= 0.0, "point source rate negative");
+  }
+}
+
+EmissionInventory EmissionInventory::with_controls(
+    ControlScenario controls) const {
+  EmissionInventory copy = *this;
+  copy.controls_ = controls;
+  return copy;
+}
+
+double EmissionInventory::urban_density(Point2 p) const {
+  double d = 0.0;
+  for (const CitySpec& c : cities_) {
+    const Point2 r = p - c.center;
+    const double q = dot(r, r) / (2.0 * c.radius_km * c.radius_km);
+    d += c.strength * std::exp(-q);
+  }
+  return d;
+}
+
+double EmissionInventory::surface_flux(Species s, Point2 p,
+                                       double t_hours) const {
+  const double hod = std::fmod(t_hours, 24.0);
+  const double urban = urban_density(p);
+
+  // Biogenic isoprene: rural vegetation, proportional to daylight.
+  if (s == Species::ISOP) {
+    const double sun = std::max(
+        0.0, std::sin(std::numbers::pi * (hod - 6.0) / 12.0));
+    const double rural = std::max(0.0, 1.0 - 0.8 * std::min(urban, 1.0));
+    return 2.2e-3 * rural * sun;
+  }
+  // Agricultural ammonia: rural, weakly diurnal.
+  if (s == Species::NH3) {
+    const double rural = std::max(0.15, 1.0 - 0.7 * std::min(urban, 1.0));
+    return controls_.nh3_scale * 1.1e-3 * rural *
+           (0.8 + 0.4 * std::sin(std::numbers::pi * hod / 24.0));
+  }
+
+  const double base = base_flux(s);
+  if (base == 0.0) return 0.0;
+
+  double scale = 1.0;
+  if (is_nox(s)) scale = controls_.nox_scale;
+  else if (is_voc(s)) scale = controls_.voc_scale;
+  else if (s == Species::CO) scale = controls_.co_scale;
+  else if (s == Species::SO2) scale = controls_.so2_scale;
+
+  // Urban anthropogenic emissions follow traffic; a small rural floor
+  // represents distributed sources.
+  return scale * base * (urban * traffic_profile(hod) + 0.03);
+}
+
+}  // namespace airshed

@@ -1,0 +1,22 @@
+#include "airshed/fxsim/comm_cost.hpp"
+
+#include <algorithm>
+
+namespace airshed {
+
+double node_comm_time(const MachineModel& machine, const NodeTraffic& t) {
+  const double messages = t.messages_sent + t.messages_received;
+  const double bytes = std::max(t.bytes_sent, t.bytes_received);
+  return machine.comm_time(messages, bytes, t.bytes_copied);
+}
+
+double phase_comm_time(const MachineModel& machine,
+                       std::span<const NodeTraffic> traffic) {
+  double worst = 0.0;
+  for (const NodeTraffic& t : traffic) {
+    worst = std::max(worst, node_comm_time(machine, t));
+  }
+  return worst;
+}
+
+}  // namespace airshed

@@ -1,0 +1,75 @@
+#include "airshed/fxsim/ledger.hpp"
+
+#include <algorithm>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+std::string to_string(PhaseCategory cat) {
+  switch (cat) {
+    case PhaseCategory::IoProcessing:  return "I/O processing";
+    case PhaseCategory::Transport:     return "Transport";
+    case PhaseCategory::Chemistry:     return "Chemistry";
+    case PhaseCategory::Aerosol:       return "Aerosol";
+    case PhaseCategory::Communication: return "Communication";
+    case PhaseCategory::Exposure:      return "Exposure";
+    case PhaseCategory::Coupling:      return "Coupling";
+  }
+  return "Unknown";
+}
+
+void RunLedger::charge(PhaseCategory cat, const std::string& name,
+                       double seconds) {
+  AIRSHED_REQUIRE(seconds >= 0.0, "cannot charge negative time");
+  PhaseRecord& rec = records_[Key{cat, name}];
+  if (rec.count == 0) {
+    rec.name = name;
+    rec.category = cat;
+  }
+  rec.seconds += seconds;
+  ++rec.count;
+  total_ += seconds;
+}
+
+double RunLedger::category_seconds(PhaseCategory cat) const {
+  double s = 0.0;
+  for (const auto& [key, rec] : records_) {
+    if (key.cat == cat) s += rec.seconds;
+  }
+  return s;
+}
+
+long long RunLedger::category_count(PhaseCategory cat) const {
+  long long n = 0;
+  for (const auto& [key, rec] : records_) {
+    if (key.cat == cat) n += rec.count;
+  }
+  return n;
+}
+
+std::vector<PhaseRecord> RunLedger::phases() const {
+  std::vector<PhaseRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [key, rec] : records_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const PhaseRecord& a, const PhaseRecord& b) {
+              return a.seconds > b.seconds;
+            });
+  return out;
+}
+
+void RunLedger::merge(const RunLedger& other) {
+  for (const auto& [key, rec] : other.records_) {
+    PhaseRecord& mine = records_[key];
+    if (mine.count == 0) {
+      mine.name = rec.name;
+      mine.category = rec.category;
+    }
+    mine.seconds += rec.seconds;
+    mine.count += rec.count;
+  }
+  total_ += other.total_;
+}
+
+}  // namespace airshed

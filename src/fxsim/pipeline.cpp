@@ -1,0 +1,43 @@
+#include "airshed/fxsim/pipeline.hpp"
+
+#include <algorithm>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+double pipeline_makespan(
+    const std::vector<std::vector<double>>& stage_times) {
+  AIRSHED_REQUIRE(!stage_times.empty(), "pipeline needs at least one stage");
+  const std::size_t items = stage_times[0].size();
+  for (const auto& s : stage_times) {
+    AIRSHED_REQUIRE(s.size() == items, "all stages must process every item");
+  }
+  if (items == 0) return 0.0;
+
+  // finish[i] = completion time of the current stage for item i; updated
+  // stage by stage (flow-shop forward recurrence).
+  std::vector<double> finish(items, 0.0);
+  for (const auto& stage : stage_times) {
+    double prev_item_finish = 0.0;
+    for (std::size_t i = 0; i < items; ++i) {
+      AIRSHED_REQUIRE(stage[i] >= 0.0, "negative stage duration");
+      const double start = std::max(finish[i], prev_item_finish);
+      prev_item_finish = start + stage[i];
+      finish[i] = prev_item_finish;
+    }
+  }
+  return finish[items - 1];
+}
+
+PipelineAllocation allocate_pipeline_nodes(int total_nodes) {
+  AIRSHED_REQUIRE(total_nodes >= 3,
+                  "pipelined execution needs at least 3 nodes");
+  PipelineAllocation a;
+  a.input_nodes = 1;
+  a.output_nodes = 1;
+  a.main_nodes = total_nodes - 2;
+  return a;
+}
+
+}  // namespace airshed

@@ -1,0 +1,244 @@
+#include "airshed/grid/multiscale.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+constexpr std::uint64_t kLatticeStride = 1ull << 32;
+}
+
+MultiscaleGrid::MultiscaleGrid(BBox domain, int base_nx, int base_ny,
+                               int max_level)
+    : domain_(domain), base_nx_(base_nx), base_ny_(base_ny),
+      max_level_(max_level) {
+  AIRSHED_REQUIRE(base_nx >= 1 && base_ny >= 1, "base grid must be nonempty");
+  AIRSHED_REQUIRE(max_level >= 0 && max_level <= 20, "max_level out of range");
+  AIRSHED_REQUIRE(domain.width() > 0.0 && domain.height() > 0.0,
+                  "domain must have positive extent");
+  for (int j = 0; j < base_ny; ++j) {
+    for (int i = 0; i < base_nx; ++i) {
+      cells_.emplace(CellKey{0, i, j}, false);
+    }
+  }
+  leaf_count_ = static_cast<std::size_t>(base_nx) * base_ny;
+}
+
+bool MultiscaleGrid::in_domain(CellKey k) const {
+  if (k.level < 0 || k.level > max_level_) return false;
+  const int nx = base_nx_ << k.level;
+  const int ny = base_ny_ << k.level;
+  return k.i >= 0 && k.i < nx && k.j >= 0 && k.j < ny;
+}
+
+bool MultiscaleGrid::find_covering(CellKey k, CellKey& out) const {
+  if (!in_domain(k)) return false;
+  CellKey cur = k;
+  while (true) {
+    if (cells_.contains(cur)) {
+      out = cur;
+      return true;
+    }
+    if (cur.level == 0) return false;  // unreachable: base grid is complete
+    cur = CellKey{cur.level - 1, cur.i / 2, cur.j / 2};
+  }
+}
+
+std::vector<CellKey> MultiscaleGrid::leaves() const {
+  std::vector<CellKey> out;
+  out.reserve(leaf_count_);
+  for (const auto& [key, interior] : cells_) {
+    if (!interior) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BBox MultiscaleGrid::cell_bbox(CellKey k) const {
+  AIRSHED_REQUIRE(in_domain(k), "cell_bbox: key outside domain");
+  const double dx = domain_.width() / static_cast<double>(base_nx_ << k.level);
+  const double dy = domain_.height() / static_cast<double>(base_ny_ << k.level);
+  return BBox{domain_.xmin + k.i * dx, domain_.ymin + k.j * dy,
+              domain_.xmin + (k.i + 1) * dx, domain_.ymin + (k.j + 1) * dy};
+}
+
+void MultiscaleGrid::refine(CellKey k) {
+  AIRSHED_REQUIRE(is_leaf(k), "refine: cell is not a leaf");
+  AIRSHED_REQUIRE(k.level < max_level_, "refine: cell already at max_level");
+
+  // Enforce 2:1 balance: any edge neighbor covered by a coarser leaf must
+  // be refined first (possibly cascading).
+  const CellKey neighbors[4] = {{k.level, k.i - 1, k.j},
+                                {k.level, k.i + 1, k.j},
+                                {k.level, k.i, k.j - 1},
+                                {k.level, k.i, k.j + 1}};
+  for (const CellKey& n : neighbors) {
+    if (!in_domain(n)) continue;
+    CellKey cov;
+    while (find_covering(n, cov) && cov.level < k.level && !cells_.at(cov)) {
+      refine(cov);
+    }
+  }
+
+  cells_[k] = true;
+  for (int dj = 0; dj < 2; ++dj) {
+    for (int di = 0; di < 2; ++di) {
+      cells_.emplace(CellKey{k.level + 1, 2 * k.i + di, 2 * k.j + dj}, false);
+    }
+  }
+  leaf_count_ += 3;
+}
+
+std::uint64_t MultiscaleGrid::corner_coord(CellKey k, int di, int dj) const {
+  // Lattice at twice the max-level resolution so leaf centroids are also
+  // on-lattice. A level-l cell spans 2^(max_level - l + 1) lattice units.
+  const std::uint64_t unit = 1ull << (max_level_ - k.level + 1);
+  const std::uint64_t x = static_cast<std::uint64_t>(k.i + di) * unit;
+  const std::uint64_t y = static_cast<std::uint64_t>(k.j + dj) * unit;
+  return x * kLatticeStride + y;
+}
+
+std::size_t MultiscaleGrid::vertex_count() const {
+  std::unordered_set<std::uint64_t> corners;
+  corners.reserve(cells_.size() * 2);
+  for (const auto& [key, interior] : cells_) {
+    if (interior) continue;
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int di = 0; di < 2; ++di) {
+        corners.insert(corner_coord(key, di, dj));
+      }
+    }
+  }
+  return corners.size() + leaf_count_;  // + one centroid per leaf
+}
+
+void MultiscaleGrid::refine_to_target(
+    const std::function<double(Point2)>& priority,
+    std::size_t target_vertices) {
+  while (vertex_count() < target_vertices) {
+    bool found = false;
+    CellKey best{};
+    double best_score = 0.0;
+    for (const CellKey& k : leaves()) {
+      if (k.level >= max_level_) continue;
+      const BBox bb = cell_bbox(k);
+      const double score = priority(bb.center()) * bb.area();
+      if (!found || score > best_score ||
+          (score == best_score && k < best)) {
+        found = true;
+        best = k;
+        best_score = score;
+      }
+    }
+    if (!found) return;  // nothing refinable left
+    refine(best);
+  }
+}
+
+TriMesh MultiscaleGrid::triangulate() const {
+  const std::vector<CellKey> leafs = leaves();
+
+  std::vector<Point2> points;
+  std::unordered_map<std::uint64_t, std::uint32_t> vertex_of;
+  points.reserve(leafs.size() * 2);
+  vertex_of.reserve(leafs.size() * 2);
+
+  const double lat_w = static_cast<double>(base_nx_) *
+                       static_cast<double>(1ull << (max_level_ + 1));
+  const double lat_h = static_cast<double>(base_ny_) *
+                       static_cast<double>(1ull << (max_level_ + 1));
+  auto position = [&](std::uint64_t coord) -> Point2 {
+    const double x = static_cast<double>(coord / kLatticeStride);
+    const double y = static_cast<double>(coord % kLatticeStride);
+    return {domain_.xmin + domain_.width() * (x / lat_w),
+            domain_.ymin + domain_.height() * (y / lat_h)};
+  };
+  auto intern = [&](std::uint64_t coord) -> std::uint32_t {
+    auto [it, inserted] = vertex_of.emplace(
+        coord, static_cast<std::uint32_t>(points.size()));
+    if (inserted) points.push_back(position(coord));
+    return it->second;
+  };
+
+  // Pass 1: corner vertices (includes hanging midpoints, which are corners
+  // of the finer neighbor's children).
+  for (const CellKey& k : leafs) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int di = 0; di < 2; ++di) {
+        intern(corner_coord(k, di, dj));
+      }
+    }
+  }
+
+  // Pass 2: centroid vertices and fan triangles.
+  std::vector<Triangle> triangles;
+  triangles.reserve(leafs.size() * 4);
+  for (const CellKey& k : leafs) {
+    const std::uint64_t unit = 1ull << (max_level_ - k.level + 1);
+    const std::uint64_t half = unit / 2;
+    const std::uint64_t x0 = static_cast<std::uint64_t>(k.i) * unit;
+    const std::uint64_t y0 = static_cast<std::uint64_t>(k.j) * unit;
+    auto coord = [&](std::uint64_t dx, std::uint64_t dy) {
+      return (x0 + dx) * kLatticeStride + (y0 + dy);
+    };
+
+    const std::uint32_t center = intern(coord(half, half));
+
+    // Build the CCW boundary loop: corners plus hanging midpoints on edges
+    // whose same-level neighbor is subdivided.
+    auto neighbor_finer = [&](int di, int dj) {
+      const CellKey n{k.level, k.i + di, k.j + dj};
+      return in_domain(n) && is_interior(n);
+    };
+    std::vector<std::uint32_t> loop;
+    loop.reserve(8);
+    loop.push_back(intern(coord(0, 0)));            // SW
+    if (neighbor_finer(0, -1)) loop.push_back(intern(coord(half, 0)));
+    loop.push_back(intern(coord(unit, 0)));         // SE
+    if (neighbor_finer(1, 0)) loop.push_back(intern(coord(unit, half)));
+    loop.push_back(intern(coord(unit, unit)));      // NE
+    if (neighbor_finer(0, 1)) loop.push_back(intern(coord(half, unit)));
+    loop.push_back(intern(coord(0, unit)));         // NW
+    if (neighbor_finer(-1, 0)) loop.push_back(intern(coord(0, half)));
+
+    for (std::size_t a = 0; a < loop.size(); ++a) {
+      const std::size_t b = (a + 1) % loop.size();
+      triangles.push_back(Triangle{{center, loop[a], loop[b]}});
+    }
+  }
+
+  return TriMesh(std::move(points), std::move(triangles));
+}
+
+bool MultiscaleGrid::is_balanced() const {
+  for (const auto& [k, interior] : cells_) {
+    if (interior) continue;
+    // For each edge neighbor that is subdivided, the two sub-cells adjacent
+    // to the shared edge must themselves be leaves.
+    struct Dir {
+      int di, dj;
+      // children of the neighbor adjacent to the shared edge, as offsets
+      // within the neighbor's 2x2 split
+      int c1x, c1y, c2x, c2y;
+    };
+    const Dir dirs[4] = {
+        {-1, 0, 1, 0, 1, 1},  // west neighbor: its east children
+        {+1, 0, 0, 0, 0, 1},  // east neighbor: its west children
+        {0, -1, 0, 1, 1, 1},  // south neighbor: its north children
+        {0, +1, 0, 0, 1, 0},  // north neighbor: its south children
+    };
+    for (const Dir& d : dirs) {
+      const CellKey n{k.level, k.i + d.di, k.j + d.dj};
+      if (!in_domain(n) || !is_interior(n)) continue;
+      const CellKey c1{k.level + 1, 2 * n.i + d.c1x, 2 * n.j + d.c1y};
+      const CellKey c2{k.level + 1, 2 * n.i + d.c2x, 2 * n.j + d.c2y};
+      if (is_interior(c1) || is_interior(c2)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace airshed

@@ -1,0 +1,108 @@
+#include "airshed/grid/trimesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+TriMesh::TriMesh(std::vector<Point2> points, std::vector<Triangle> triangles)
+    : points_(std::move(points)), triangles_(std::move(triangles)) {
+  AIRSHED_REQUIRE(points_.size() >= 3, "mesh needs at least 3 vertices");
+  AIRSHED_REQUIRE(!triangles_.empty(), "mesh needs at least one triangle");
+
+  geom_.resize(triangles_.size());
+  lumped_area_.assign(points_.size(), 0.0);
+  boundary_.assign(points_.size(), 0);
+
+  bounds_ = {points_[0].x, points_[0].y, points_[0].x, points_[0].y};
+  for (const Point2& p : points_) {
+    bounds_.xmin = std::min(bounds_.xmin, p.x);
+    bounds_.xmax = std::max(bounds_.xmax, p.x);
+    bounds_.ymin = std::min(bounds_.ymin, p.y);
+    bounds_.ymax = std::max(bounds_.ymax, p.y);
+  }
+
+  // Edge usage counts for boundary detection: key is the sorted vertex pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> edge_use;
+
+  for (std::size_t e = 0; e < triangles_.size(); ++e) {
+    const Triangle& t = triangles_[e];
+    for (std::uint32_t vi : t.v) {
+      AIRSHED_REQUIRE(vi < points_.size(), "triangle vertex index out of range");
+    }
+    const Point2 a = points_[t.v[0]];
+    const Point2 b = points_[t.v[1]];
+    const Point2 c = points_[t.v[2]];
+    const double area = signed_area(a, b, c);
+    if (!(area > 0.0)) {
+      throw ConfigError("TriMesh: triangle " + std::to_string(e) +
+                        " is degenerate or clockwise");
+    }
+
+    ElementGeometry& g = geom_[e];
+    g.area = area;
+    // P1 basis gradients: grad phi_0 = (y1 - y2, x2 - x1) / (2A), cyclic.
+    const double inv2A = 1.0 / (2.0 * area);
+    g.bx = {(b.y - c.y) * inv2A, (c.y - a.y) * inv2A, (a.y - b.y) * inv2A};
+    g.by = {(c.x - b.x) * inv2A, (a.x - c.x) * inv2A, (b.x - a.x) * inv2A};
+    g.h = std::sqrt(2.0 * area);  // characteristic length ~ sqrt(2A)
+    g.centroid = {(a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0};
+
+    const double third = area / 3.0;
+    for (std::uint32_t vi : t.v) lumped_area_[vi] += third;
+    total_area_ += area;
+
+    for (int k = 0; k < 3; ++k) {
+      std::uint32_t u = t.v[k];
+      std::uint32_t v = t.v[(k + 1) % 3];
+      if (u > v) std::swap(u, v);
+      ++edge_use[{u, v}];
+    }
+  }
+
+  for (const auto& [edge, uses] : edge_use) {
+    if (uses == 1) {
+      boundary_[edge.first] = 1;
+      boundary_[edge.second] = 1;
+      ++boundary_edge_count_;
+    } else if (uses > 2) {
+      throw ConfigError("TriMesh: non-manifold edge (used by " +
+                        std::to_string(uses) + " triangles)");
+    }
+  }
+
+  // Every vertex must belong to at least one triangle (no orphans), or the
+  // lumped mass matrix would be singular.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (lumped_area_[i] <= 0.0) {
+      throw ConfigError("TriMesh: orphan vertex " + std::to_string(i));
+    }
+  }
+}
+
+TriMesh TriMesh::renumbered(std::span<const std::uint32_t> new_of_old) const {
+  AIRSHED_REQUIRE(new_of_old.size() == points_.size(),
+                  "permutation size must match vertex count");
+  std::vector<Point2> pts(points_.size());
+  std::vector<bool> seen(points_.size(), false);
+  for (std::size_t old = 0; old < points_.size(); ++old) {
+    const std::uint32_t nw = new_of_old[old];
+    AIRSHED_REQUIRE(nw < points_.size() && !seen[nw],
+                    "new_of_old is not a permutation");
+    seen[nw] = true;
+    pts[nw] = points_[old];
+  }
+  std::vector<Triangle> tris(triangles_.size());
+  for (std::size_t e = 0; e < triangles_.size(); ++e) {
+    for (int i = 0; i < 3; ++i) {
+      tris[e].v[i] = new_of_old[triangles_[e].v[i]];
+    }
+  }
+  return TriMesh(std::move(pts), std::move(tris));
+}
+
+}  // namespace airshed

@@ -1,0 +1,27 @@
+#include "airshed/grid/uniform.hpp"
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+UniformGrid::UniformGrid(BBox domain, std::size_t nx, std::size_t ny)
+    : domain_(domain), nx_(nx), ny_(ny),
+      dx_(domain.width() / static_cast<double>(nx)),
+      dy_(domain.height() / static_cast<double>(ny)) {
+  AIRSHED_REQUIRE(nx >= 2 && ny >= 2, "uniform grid needs at least 2x2 cells");
+  AIRSHED_REQUIRE(domain.width() > 0.0 && domain.height() > 0.0,
+                  "domain must have positive extent");
+}
+
+std::vector<Point2> UniformGrid::all_centers() const {
+  std::vector<Point2> out;
+  out.reserve(cell_count());
+  for (std::size_t j = 0; j < ny_; ++j) {
+    for (std::size_t i = 0; i < nx_; ++i) {
+      out.push_back(center(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace airshed

@@ -1,0 +1,103 @@
+#include "airshed/io/archive.hpp"
+
+#include <fstream>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+constexpr const char* kMagic = "airshed-archive-v1";
+}
+
+RunArchive::RunArchive(std::string dataset_name, std::size_t species,
+                       std::size_t layers, std::size_t points)
+    : dataset_(std::move(dataset_name)), species_(species), layers_(layers),
+      points_(points) {
+  AIRSHED_REQUIRE(species >= 1 && layers >= 1 && points >= 1,
+                  "archive field shape must be nonempty");
+}
+
+const ArchivedHour& RunArchive::hour(std::size_t i) const {
+  AIRSHED_REQUIRE(i < hours_.size(), "archived hour index out of range");
+  return hours_[i];
+}
+
+void RunArchive::append(const HourlyStats& stats,
+                        const ConcentrationField& conc) {
+  AIRSHED_REQUIRE(conc.dim0() == species_ && conc.dim1() == layers_ &&
+                      conc.dim2() == points_,
+                  "field shape does not match archive");
+  hours_.push_back(ArchivedHour{stats, conc});
+}
+
+std::vector<double> RunArchive::series_max_o3() const {
+  std::vector<double> out;
+  out.reserve(hours_.size());
+  for (const ArchivedHour& h : hours_) {
+    out.push_back(h.stats.max_surface_o3_ppm);
+  }
+  return out;
+}
+
+std::vector<double> RunArchive::series_mean_o3() const {
+  std::vector<double> out;
+  out.reserve(hours_.size());
+  for (const ArchivedHour& h : hours_) {
+    out.push_back(h.stats.mean_surface_o3_ppm);
+  }
+  return out;
+}
+
+void RunArchive::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open archive for writing: " + path);
+  os.precision(17);
+  os << kMagic << '\n'
+     << dataset_ << '\n'
+     << species_ << ' ' << layers_ << ' ' << points_ << ' ' << hours_.size()
+     << '\n';
+  for (const ArchivedHour& h : hours_) {
+    os << h.stats.hour << ' ' << h.stats.max_surface_o3_ppm << ' '
+       << h.stats.max_o3_location.x << ' ' << h.stats.max_o3_location.y << ' '
+       << h.stats.mean_surface_o3_ppm << ' ' << h.stats.mean_surface_no2_ppm
+       << ' ' << h.stats.mean_surface_co_ppm << ' ' << h.stats.total_pm_nitrate
+       << '\n';
+    for (double v : h.conc.flat()) os << v << ' ';
+    os << '\n';
+  }
+  if (!os) throw Error("failed writing archive: " + path);
+}
+
+RunArchive RunArchive::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open archive: " + path);
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) throw Error("bad archive header: " + path);
+
+  RunArchive archive;
+  std::getline(is, archive.dataset_);
+  std::size_t nhours = 0;
+  is >> archive.species_ >> archive.layers_ >> archive.points_ >> nhours;
+  if (!is || archive.species_ == 0 || archive.layers_ == 0 ||
+      archive.points_ == 0) {
+    throw Error("malformed archive shape: " + path);
+  }
+  archive.hours_.reserve(nhours);
+  for (std::size_t i = 0; i < nhours; ++i) {
+    ArchivedHour h;
+    is >> h.stats.hour >> h.stats.max_surface_o3_ppm >>
+        h.stats.max_o3_location.x >> h.stats.max_o3_location.y >>
+        h.stats.mean_surface_o3_ppm >> h.stats.mean_surface_no2_ppm >>
+        h.stats.mean_surface_co_ppm >> h.stats.total_pm_nitrate;
+    h.conc = ConcentrationField(archive.species_, archive.layers_,
+                                archive.points_);
+    for (double& v : h.conc.flat()) is >> v;
+    if (!is) throw Error("truncated archive: " + path);
+    archive.hours_.push_back(std::move(h));
+  }
+  return archive;
+}
+
+}  // namespace airshed

@@ -1,0 +1,139 @@
+#include "airshed/io/dataset.hpp"
+
+#include <numeric>
+
+#include "airshed/util/error.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed {
+
+namespace {
+
+/// Deterministic Fisher-Yates shuffle of the mesh vertex numbering.
+///
+/// The concentration array's `nodes` dimension is BLOCK-distributed for the
+/// chemistry phase; chemistry cost varies strongly between urban and rural
+/// columns, so a spatially sorted numbering would hand whole urban clusters
+/// to single nodes. The original CIT grids arrive in file order (not
+/// spatially sorted); we reproduce that property with a seeded shuffle,
+/// which keeps the BLOCK chemistry distribution load balanced.
+TriMesh shuffle_vertex_order(const TriMesh& mesh, std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(mesh.vertex_count());
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+  }
+  return mesh.renumbered(perm);
+}
+
+}  // namespace
+
+Dataset build_dataset(const DatasetSpec& spec) {
+  AIRSHED_REQUIRE(spec.layers >= 1, "dataset needs at least one layer");
+  AIRSHED_REQUIRE(!spec.cities.empty(), "dataset needs at least one city");
+
+  MultiscaleGrid grid(spec.domain, spec.base_nx, spec.base_ny, spec.max_level);
+  EmissionInventory emissions(spec.domain, spec.cities, spec.stacks,
+                              spec.controls);
+
+  // Refinement priority: urban density plus a floor, so cities are resolved
+  // finely and open space stays coarse — the multiscale property that makes
+  // the URM efficient (paper §2.1).
+  grid.refine_to_target(
+      [&](Point2 p) { return emissions.urban_density(p) + 0.02; },
+      spec.target_points);
+
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  for (char ch : spec.name) seed = seed * 131 + static_cast<unsigned char>(ch);
+
+  Dataset ds{
+      spec.name,
+      shuffle_vertex_order(grid.triangulate(), seed),
+      spec.layers,
+      Meteorology(spec.domain, spec.met),
+      std::move(emissions),
+      Meteorology::layer_thickness_m(spec.layers),
+  };
+  return ds;
+}
+
+DatasetSpec la_basin_spec(ControlScenario controls) {
+  DatasetSpec s;
+  s.name = "LA";
+  s.domain = BBox{0.0, 0.0, 160.0, 160.0};
+  s.base_nx = 5;
+  s.base_ny = 5;
+  s.max_level = 2;
+  s.target_points = 700;
+  s.layers = 5;
+  s.met.latitude_deg = 34.0;
+  s.met.ambient_wind_kmh = 13.0;
+  s.met.eddy_wind_kmh = 10.0;
+  // Downtown core, San Fernando valley, eastern basin, harbor area.
+  s.cities = {
+      {{62.0, 70.0}, 16.0, 1.00},
+      {{48.0, 95.0}, 12.0, 0.55},
+      {{98.0, 62.0}, 14.0, 0.65},
+      {{55.0, 42.0}, 10.0, 0.50},
+  };
+  s.stacks = {
+      {{52.0, 38.0}, 1, Species::SO2, 2.5e-2},
+      {{52.0, 38.0}, 1, Species::NO, 1.5e-2},
+      {{105.0, 58.0}, 1, Species::SO2, 1.8e-2},
+  };
+  s.controls = controls;
+  return s;
+}
+
+DatasetSpec northeast_spec(ControlScenario controls) {
+  DatasetSpec s;
+  s.name = "NE";
+  s.domain = BBox{0.0, 0.0, 800.0, 600.0};
+  s.base_nx = 8;
+  s.base_ny = 6;
+  s.max_level = 3;
+  s.target_points = 3328;
+  s.layers = 5;
+  s.met.latitude_deg = 41.0;
+  s.met.ambient_wind_kmh = 18.0;
+  s.met.eddy_wind_kmh = 9.0;
+  s.met.day_of_year = 200;
+  // The Washington-Boston urban corridor plus inland centers.
+  s.cities = {
+      {{180.0, 120.0}, 22.0, 0.85},  // Washington
+      {{230.0, 160.0}, 18.0, 0.60},  // Baltimore
+      {{330.0, 230.0}, 24.0, 0.90},  // Philadelphia
+      {{420.0, 300.0}, 28.0, 1.00},  // New York
+      {{500.0, 340.0}, 16.0, 0.45},  // Hartford
+      {{610.0, 420.0}, 22.0, 0.80},  // Boston
+      {{120.0, 380.0}, 18.0, 0.50},  // Pittsburgh (inland)
+      {{280.0, 470.0}, 16.0, 0.45},  // Albany/upstate
+  };
+  s.stacks = {
+      {{150.0, 200.0}, 1, Species::SO2, 3.5e-2},
+      {{260.0, 330.0}, 1, Species::SO2, 3.0e-2},
+      {{90.0, 350.0}, 1, Species::SO2, 4.0e-2},
+      {{430.0, 290.0}, 1, Species::NO, 2.0e-2},
+  };
+  s.controls = controls;
+  return s;
+}
+
+DatasetSpec test_basin_spec(ControlScenario controls) {
+  DatasetSpec s;
+  s.name = "TEST";
+  s.domain = BBox{0.0, 0.0, 80.0, 80.0};
+  s.base_nx = 3;
+  s.base_ny = 3;
+  s.max_level = 2;
+  s.target_points = 120;
+  s.layers = 3;
+  s.met.latitude_deg = 34.0;
+  s.cities = {{{40.0, 40.0}, 12.0, 1.0}};
+  s.stacks = {{{30.0, 30.0}, 1, Species::SO2, 2.0e-2}};
+  s.controls = controls;
+  return s;
+}
+
+}  // namespace airshed

@@ -1,0 +1,128 @@
+#include "airshed/met/meteorology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+Meteorology::Meteorology(BBox domain, MetParams params)
+    : domain_(domain), params_(params) {
+  AIRSHED_REQUIRE(domain.width() > 0.0 && domain.height() > 0.0,
+                  "meteorology domain must have positive extent");
+}
+
+Point2 Meteorology::wind(Point2 p, double t_hours, double layer_frac) const {
+  const double hod = std::fmod(t_hours, 24.0);  // hour of day
+
+  // Synoptic drift: slowly veering ambient flow (divergence-free because
+  // it is spatially uniform).
+  const double drift_angle = 0.35 + kTwoPi * t_hours / 96.0;  // veers over days
+  Point2 u{params_.ambient_wind_kmh * std::cos(drift_angle),
+           params_.ambient_wind_kmh * std::sin(drift_angle)};
+
+  // Recirculation eddy from a streamfunction
+  //   psi = A(t) * sin(pi*xn) * sin(pi*yn) * Lscale
+  // with (xn, yn) normalized coordinates; u += dpsi/dy, v -= dpsi/dx.
+  // The diurnal amplitude models the land/sea-breeze cycle: strongest in
+  // mid-afternoon, reversed (weakly) at night.
+  const double diurnal =
+      std::sin(kTwoPi * (hod - 9.0) / 24.0);  // peaks near 15:00
+  const double amp = params_.eddy_wind_kmh *
+                     (1.0 - params_.sea_breeze_fraction +
+                      params_.sea_breeze_fraction * diurnal);
+
+  const double xn = (p.x - domain_.xmin) / domain_.width();
+  const double yn = (p.y - domain_.ymin) / domain_.height();
+  // psi = amp * S * sin(pi xn) sin(pi yn), with S chosen so the velocity
+  // scale is `amp`: d(psi)/dy = amp * S * pi/H * sin(pi xn) cos(pi yn).
+  // Setting S = H/pi (resp. W/pi) makes each component O(amp).
+  const double sx = std::sin(kPi * xn), cx = std::cos(kPi * xn);
+  const double sy = std::sin(kPi * yn), cy = std::cos(kPi * yn);
+  u.x += amp * sx * cy;
+  u.y -= amp * (domain_.height() / domain_.width()) * cx * sy;
+
+  // A weaker second harmonic adds cross-flow structure (the heterogeneous
+  // regime the paper says multiscale URMs target).
+  const double amp2 = 0.35 * amp;
+  u.x += amp2 * std::sin(kTwoPi * xn) * std::cos(kTwoPi * yn);
+  u.y -= amp2 * (domain_.height() / domain_.width()) *
+         std::cos(kTwoPi * xn) * std::sin(kTwoPi * yn);
+
+  // Vertical shear: wind strengthens aloft.
+  const double shear = 1.0 + params_.shear_per_layer * layer_frac * 4.0;
+  return {u.x * shear, u.y * shear};
+}
+
+double Meteorology::kh(double /*t_hours*/) const { return params_.kh_km2h; }
+
+double Meteorology::kz(double t_hours, int layer, int nlayers) const {
+  AIRSHED_REQUIRE(layer >= 0 && layer < nlayers, "kz: layer out of range");
+  const double sun = solar_zenith_cos(t_hours);
+  // Convective mixing follows the sun with a short lag; interpolate between
+  // night and day diffusivity.
+  const double mix = std::clamp(sun * 1.4, 0.0, 1.0);
+  const double kz0 = params_.kz_night_m2s +
+                     (params_.kz_day_m2s - params_.kz_night_m2s) * mix;
+  // Mixing decays above the boundary layer: top interfaces see less K.
+  const double frac = static_cast<double>(layer + 1) /
+                      static_cast<double>(nlayers);
+  const double profile = std::exp(-1.2 * frac * frac);
+  return kz0 * profile;
+}
+
+double Meteorology::temperature(Point2 p, double t_hours, int layer) const {
+  const double hod = std::fmod(t_hours, 24.0);
+  const double diurnal = std::sin(kTwoPi * (hod - 9.0) / 24.0);
+  // A small horizontal gradient (coast cooler than inland).
+  const double xn = (p.x - domain_.xmin) / domain_.width();
+  return params_.t_mean_k + params_.t_diurnal_k * diurnal + 2.0 * xn -
+         params_.lapse_k_per_layer * static_cast<double>(layer);
+}
+
+double Meteorology::solar_zenith_cos(double t_hours) const {
+  const double hod = std::fmod(t_hours, 24.0);
+  const double lat = params_.latitude_deg * kPi / 180.0;
+  // Solar declination (Cooper's formula).
+  const double decl = 0.4093 *
+      std::sin(kTwoPi * (284.0 + params_.day_of_year) / 365.0);
+  const double hour_angle = kPi * (hod - 12.0) / 12.0;
+  const double cz = std::sin(lat) * std::sin(decl) +
+                    std::cos(lat) * std::cos(decl) * std::cos(hour_angle);
+  return std::max(0.0, cz);
+}
+
+double Meteorology::photolysis_factor(double t_hours) const {
+  // Approximately linear in cos(zenith) with mild attenuation near the
+  // horizon; normalized to ~1 at overhead sun.
+  return std::pow(solar_zenith_cos(t_hours), 0.8);
+}
+
+std::vector<double> Meteorology::layer_interfaces_m(int nlayers) {
+  AIRSHED_REQUIRE(nlayers >= 1 && nlayers <= 64, "layer count out of range");
+  // Geometric layering from a 40 m surface layer up to the model top;
+  // matches the typical URM layout (thin near ground, thick aloft).
+  std::vector<double> z(nlayers + 1, 0.0);
+  double thickness = 40.0;
+  for (int k = 1; k <= nlayers; ++k) {
+    z[k] = z[k - 1] + thickness;
+    thickness *= 1.9;
+  }
+  return z;
+}
+
+std::vector<double> Meteorology::layer_thickness_m(int nlayers) {
+  const std::vector<double> z = layer_interfaces_m(nlayers);
+  std::vector<double> dz(nlayers);
+  for (int k = 0; k < nlayers; ++k) dz[k] = z[k + 1] - z[k];
+  return dz;
+}
+
+}  // namespace airshed

@@ -1,0 +1,223 @@
+#include "airshed/perf/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+#include <cmath>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+namespace {
+
+double ceil_div(std::size_t a, std::size_t b) {
+  return static_cast<double>((a + b - 1) / b);
+}
+
+/// The max-block factor ceil(extent / min(extent, P)) from the paper's
+/// equations: the largest number of slabs one node holds.
+double max_slabs(std::size_t extent, int nodes) {
+  const std::size_t used = std::min<std::size_t>(extent, nodes);
+  return ceil_div(extent, used);
+}
+
+double array_bytes(const MachineModel& m, std::size_t species,
+                   std::size_t layers, std::size_t points) {
+  return static_cast<double>(species) * static_cast<double>(layers) *
+         static_cast<double>(points) * static_cast<double>(m.word_size);
+}
+
+}  // namespace
+
+double predict_compute_seconds(double seq_work_flops, std::size_t units,
+                               const MachineModel& machine, int nodes) {
+  AIRSHED_REQUIRE(units >= 1, "phase needs at least one work unit");
+  AIRSHED_REQUIRE(nodes >= 1, "need at least one node");
+  const double per_unit = seq_work_flops / static_cast<double>(units);
+  const double max_units =
+      ceil_div(units, std::min<std::size_t>(units, nodes));
+  return machine.compute_time(per_unit * max_units);
+}
+
+double predict_repl_to_trans_seconds(const MachineModel& machine,
+                                     std::size_t species, std::size_t layers,
+                                     std::size_t points, int nodes) {
+  // Pure local copy: the node with the most layers copies its slab.
+  const double slab = max_slabs(layers, nodes) * static_cast<double>(species) *
+                      static_cast<double>(points) *
+                      static_cast<double>(machine.word_size);
+  return machine.comm_time(0.0, 0.0, slab);
+}
+
+double predict_trans_to_chem_seconds(const MachineModel& machine,
+                                     std::size_t species, std::size_t layers,
+                                     std::size_t points, int nodes) {
+  // Send-bound: a layer owner splits its slab across all P nodes.
+  const double slab = max_slabs(layers, nodes) * static_cast<double>(species) *
+                      static_cast<double>(points) *
+                      static_cast<double>(machine.word_size);
+  return machine.comm_time(static_cast<double>(nodes), slab, 0.0);
+}
+
+double predict_chem_to_repl_seconds(const MachineModel& machine,
+                                    std::size_t species, std::size_t layers,
+                                    std::size_t points, int nodes) {
+  // Receive-bound all-gather: every node receives the whole array; sends
+  // and receives are both bounded by P messages.
+  return machine.comm_time(2.0 * static_cast<double>(nodes),
+                           array_bytes(machine, species, layers, points), 0.0);
+}
+
+double predict_trans_to_repl_seconds(const MachineModel& machine,
+                                     std::size_t species, std::size_t layers,
+                                     std::size_t points, int nodes) {
+  // All-gather from the min(layers, P) layer owners: every node receives
+  // the whole array in min(layers, P) messages; an owner sends P - 1.
+  const double senders =
+      static_cast<double>(std::min<std::size_t>(layers, nodes));
+  return machine.comm_time(static_cast<double>(nodes) + senders,
+                           array_bytes(machine, species, layers, points), 0.0);
+}
+
+AppWorkSummary AppWorkSummary::from_trace(const WorkTrace& trace) {
+  AppWorkSummary s;
+  s.species = trace.species;
+  s.layers = trace.layers;
+  s.points = trace.points;
+  s.hours = static_cast<long long>(trace.hours.size());
+  s.steps = trace.total_steps();
+  s.io_work = trace.total_io_work();
+  s.transport_work = trace.total_transport_work();
+  s.chemistry_work = trace.total_chemistry_work();
+  s.aerosol_work = trace.total_aerosol_work();
+  return s;
+}
+
+AppPrediction predict_run(const AppWorkSummary& work,
+                          const MachineModel& machine, int nodes) {
+  AppPrediction p;
+  // Sequential I/O processing: no useful parallelism.
+  p.io_s = machine.compute_time(work.io_work);
+  // Transport parallelizes over layers, chemistry over grid columns.
+  p.transport_s =
+      predict_compute_seconds(work.transport_work, work.layers, machine, nodes);
+  p.chemistry_s =
+      predict_compute_seconds(work.chemistry_work, work.points, machine, nodes);
+  // Aerosol is replicated: every node computes the full step.
+  p.aerosol_s = machine.compute_time(work.aerosol_work);
+  // Communication: per step 2x D_Repl->D_Trans (after input / after
+  // aerosol, amortized), 1x D_Trans->D_Chem, 1x D_Chem->D_Repl; plus one
+  // hour-boundary D_Trans->D_Repl per hour.
+  const double per_step =
+      2.0 * predict_repl_to_trans_seconds(machine, work.species, work.layers,
+                                          work.points, nodes) +
+      predict_trans_to_chem_seconds(machine, work.species, work.layers,
+                                    work.points, nodes) +
+      predict_chem_to_repl_seconds(machine, work.species, work.layers,
+                                   work.points, nodes);
+  const double per_hour = predict_trans_to_repl_seconds(
+      machine, work.species, work.layers, work.points, nodes);
+  p.comm_s = per_step * static_cast<double>(work.steps) +
+             per_hour * static_cast<double>(work.hours);
+  p.total_s = p.io_s + p.transport_s + p.chemistry_s + p.aerosol_s + p.comm_s;
+  return p;
+}
+
+namespace {
+
+/// Least-squares solve of rows * x = targets for 3 unknowns via normal
+/// equations with a tiny scaled ridge (degenerate designs fall back to 0
+/// for unobserved regressors) and Gauss-Jordan elimination.
+std::array<double, 3> least_squares_3(
+    std::span<const std::array<double, 3>> rows,
+    std::span<const double> targets) {
+  AIRSHED_REQUIRE(rows.size() == targets.size() && rows.size() >= 3,
+                  "need at least three observations for a 3-parameter fit");
+  double ata[3][3] = {};
+  double atb[3] = {};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) ata[i][j] += rows[r][i] * rows[r][j];
+      atb[i] += rows[r][i] * targets[r];
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    ata[i][i] += 1e-12 * std::max(ata[i][i], 1.0);
+  }
+  double m[3][4];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) m[i][j] = ata[i][j];
+    m[i][3] = atb[i];
+  }
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    std::swap(m[col], m[pivot]);
+    AIRSHED_REQUIRE(m[col][col] != 0.0, "degenerate design matrix");
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (int j = col; j < 4; ++j) m[r][j] -= f * m[col][j];
+    }
+  }
+  return {m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]};
+}
+
+}  // namespace
+
+CommParams estimate_comm_params(std::span<const CommObservation> obs) {
+  std::vector<std::array<double, 3>> rows;
+  std::vector<double> targets;
+  rows.reserve(obs.size());
+  targets.reserve(obs.size());
+  for (const CommObservation& o : obs) {
+    rows.push_back({o.messages, o.bytes, o.copied_bytes});
+    targets.push_back(o.seconds);
+  }
+  const std::array<double, 3> x = least_squares_3(rows, targets);
+  return CommParams{x[0], x[1], x[2]};
+}
+
+namespace {
+
+/// Layer-saturation basis function of the extrapolation model.
+double layer_factor(std::size_t layers, int nodes) {
+  const std::size_t used = std::min<std::size_t>(layers, nodes);
+  return static_cast<double>((layers + used - 1) / used) /
+         static_cast<double>(layers);
+}
+
+}  // namespace
+
+double ExtrapolationModel::predict(int nodes) const {
+  AIRSHED_REQUIRE(nodes >= 1, "need at least one node");
+  return constant_s + transport_seq_s * layer_factor(layers, nodes) +
+         chem_seq_s / static_cast<double>(nodes);
+}
+
+ExtrapolationModel fit_extrapolation(
+    std::span<const TotalObservation> measured, std::size_t layers) {
+  AIRSHED_REQUIRE(layers >= 1, "need at least one layer");
+  std::vector<std::array<double, 3>> rows;
+  std::vector<double> targets;
+  rows.reserve(measured.size());
+  targets.reserve(measured.size());
+  for (const TotalObservation& o : measured) {
+    AIRSHED_REQUIRE(o.nodes >= 1, "observations need positive node counts");
+    rows.push_back(
+        {1.0, layer_factor(layers, o.nodes), 1.0 / static_cast<double>(o.nodes)});
+    targets.push_back(o.seconds);
+  }
+  const std::array<double, 3> x = least_squares_3(rows, targets);
+  ExtrapolationModel model;
+  model.constant_s = x[0];
+  model.transport_seq_s = x[1];
+  model.chem_seq_s = x[2];
+  model.layers = layers;
+  return model;
+}
+
+}  // namespace airshed

@@ -1,0 +1,15 @@
+#include "airshed/util/error.hpp"
+
+#include <sstream>
+
+namespace airshed::detail {
+
+void assertion_failure(const char* expr, const char* msg,
+                       std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " in " << loc.function_name()
+     << ": requirement failed: (" << expr << ") — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace airshed::detail

@@ -1,0 +1,18 @@
+#include "airshed/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace airshed {
+
+double Rng::normal() {
+  // Box-Muller; regenerate on the (measure-zero, but representable)
+  // u1 == 0 case to avoid log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace airshed

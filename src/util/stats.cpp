@@ -1,0 +1,63 @@
+#include "airshed/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    s.sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double relative_error(double a, double b, double floor) {
+  const double scale = std::max({std::abs(a), std::abs(b), floor});
+  const double diff = std::abs(a - b);
+  if (diff == 0.0) return 0.0;
+  return diff / scale;
+}
+
+double rms_difference(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw ConfigError("rms_difference: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double max_abs_difference(std::span<const double> a,
+                          std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw ConfigError("max_abs_difference: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace airshed

@@ -1,0 +1,111 @@
+#include "airshed/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AIRSHED_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  AIRSHED_REQUIRE(!rows_.empty(), "call row() before add()");
+  AIRSHED_REQUIRE(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << quote(headers_[c]);
+    if (c + 1 < headers_.size()) os << ',';
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << quote(r[c]);
+      if (c + 1 < r.size()) os << ',';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  if (seconds >= 100.0) {
+    os << std::fixed << std::setprecision(1) << seconds << " s";
+  } else if (seconds >= 1.0) {
+    os << std::fixed << std::setprecision(2) << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << std::fixed << std::setprecision(2) << seconds * 1e3 << " ms";
+  } else {
+    os << std::fixed << std::setprecision(2) << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace airshed

@@ -1,0 +1,50 @@
+#include "airshed/util/tridiag.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper,
+                       std::span<double> rhs,
+                       std::span<double> scratch) {
+  const std::size_t n = diag.size();
+  AIRSHED_REQUIRE(lower.size() == n && upper.size() == n && rhs.size() == n,
+                  "tridiagonal bands and rhs must have equal length");
+  AIRSHED_REQUIRE(scratch.size() >= n, "tridiagonal scratch too small");
+  if (n == 0) return;
+
+  // Forward sweep (Thomas algorithm): scratch holds the modified
+  // superdiagonal c'.
+  double pivot = diag[0];
+  if (pivot == 0.0) throw NumericalError("tridiagonal: zero pivot at row 0");
+  scratch[0] = upper[0] / pivot;
+  rhs[0] /= pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag[i] - lower[i] * scratch[i - 1];
+    if (pivot == 0.0 || !std::isfinite(pivot)) {
+      throw NumericalError("tridiagonal: singular pivot during elimination");
+    }
+    scratch[i] = upper[i] / pivot;
+    rhs[i] = (rhs[i] - lower[i] * rhs[i - 1]) / pivot;
+  }
+
+  // Back substitution.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    rhs[i] -= scratch[i] * rhs[i + 1];
+  }
+}
+
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper,
+                       std::span<double> rhs) {
+  std::vector<double> scratch(diag.size());
+  solve_tridiagonal(lower, diag, upper, rhs, scratch);
+}
+
+}  // namespace airshed

@@ -1,0 +1,116 @@
+// Tests for the run archive (hourly field output) and report formatting.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "airshed/core/model.hpp"
+#include "airshed/core/report.hpp"
+#include "airshed/io/archive.hpp"
+#include "airshed/io/dataset.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+const ModelRunResult& shared_run() {
+  static const ModelRunResult run = [] {
+    Dataset ds = test_basin_dataset();
+    ModelOptions opts;
+    opts.hours = 2;
+    return AirshedModel(ds, opts).run();
+  }();
+  return run;
+}
+
+RunArchive build_archive() {
+  const Dataset ds = test_basin_dataset();
+  RunArchive archive(ds.name, kSpeciesCount, ds.layers, ds.points());
+  Dataset ds2 = test_basin_dataset();
+  ModelOptions opts;
+  opts.hours = 2;
+  AirshedModel model(ds2, opts);
+  model.run([&](const HourlyStats& st, const ConcentrationField& conc) {
+    archive.append(st, conc);
+  });
+  return archive;
+}
+
+TEST(RunArchive, CollectsHoursThroughModelCallback) {
+  const RunArchive archive = build_archive();
+  EXPECT_EQ(archive.hour_count(), 2u);
+  EXPECT_EQ(archive.dataset_name(), "TEST");
+  EXPECT_EQ(archive.series_max_o3().size(), 2u);
+  EXPECT_GT(archive.series_max_o3()[0], 0.0);
+  EXPECT_GT(archive.series_mean_o3()[1], 0.0);
+  // The final archived field matches the model's final output.
+  EXPECT_EQ(archive.hour(1).conc, shared_run().outputs.conc);
+}
+
+TEST(RunArchive, SaveLoadRoundTripIsExact) {
+  const RunArchive archive = build_archive();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "airshed_archive_test.arc")
+          .string();
+  archive.save(path);
+  const RunArchive loaded = RunArchive::load(path);
+  ASSERT_EQ(loaded.hour_count(), archive.hour_count());
+  EXPECT_EQ(loaded.dataset_name(), archive.dataset_name());
+  for (std::size_t h = 0; h < archive.hour_count(); ++h) {
+    EXPECT_EQ(loaded.hour(h).conc, archive.hour(h).conc) << "hour " << h;
+    EXPECT_DOUBLE_EQ(loaded.hour(h).stats.max_surface_o3_ppm,
+                     archive.hour(h).stats.max_surface_o3_ppm);
+    EXPECT_DOUBLE_EQ(loaded.hour(h).stats.total_pm_nitrate,
+                     archive.hour(h).stats.total_pm_nitrate);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(RunArchive, RejectsShapeMismatchAndBadFiles) {
+  RunArchive archive("X", 3, 2, 5);
+  ConcentrationField wrong(3, 2, 6);
+  EXPECT_THROW(archive.append(HourlyStats{}, wrong), Error);
+  EXPECT_THROW(RunArchive::load("/nonexistent/archive.arc"), Error);
+  EXPECT_THROW((void)archive.hour(0), Error);
+
+  // A trace file is not an archive.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "not_an_archive.arc")
+          .string();
+  shared_run().trace.save(path);
+  EXPECT_THROW(RunArchive::load(path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Report, SummaryMentionsEveryMajorPhase) {
+  const RunReport r =
+      simulate_execution(shared_run().trace, {cray_t3e(), 8});
+  const std::string s = summarize_report(r);
+  EXPECT_NE(s.find("chemistry"), std::string::npos);
+  EXPECT_NE(s.find("transport"), std::string::npos);
+  EXPECT_NE(s.find("I/O"), std::string::npos);
+  EXPECT_NE(s.find("Cray T3E"), std::string::npos);
+  EXPECT_NE(s.find("P=8"), std::string::npos);
+}
+
+TEST(Report, PhaseTableIsSortedDescending) {
+  const RunReport r =
+      simulate_execution(shared_run().trace, {cray_t3e(), 8});
+  const Table t = phase_table(r);
+  EXPECT_GT(t.row_count(), 4u);
+  // Chemistry is the dominant phase and must come first.
+  EXPECT_EQ(t.to_csv().find("chemistry"), t.to_csv().find("chemistry"));
+  const std::string first_line =
+      t.to_csv().substr(0, t.to_csv().find('\n', t.to_csv().find('\n') + 1));
+  EXPECT_NE(first_line.find("hemistry"), std::string::npos);
+}
+
+TEST(Report, SweepTableCoversNodeCounts) {
+  const Table t = sweep_table(shared_run().trace, cray_t3d(), {2, 4, 8});
+  EXPECT_EQ(t.row_count(), 3u);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\n2,"), std::string::npos);
+  EXPECT_NE(csv.find("\n8,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,94 @@
+// Tests for the 0-D photochemical box model.
+#include <gtest/gtest.h>
+
+#include "airshed/chem/boxmodel.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+BoxModel make_box() {
+  return BoxModel(Mechanism::cb4_condensed(), MetParams{});
+}
+
+TEST(BoxModel, StartsAtBackground) {
+  BoxModel box = make_box();
+  EXPECT_DOUBLE_EQ(box.get(Species::O3), background_ppm(Species::O3));
+  EXPECT_DOUBLE_EQ(box.get(Species::CO), background_ppm(Species::CO));
+}
+
+TEST(BoxModel, DaytimePrecursorsMakeOzone) {
+  BoxModel box = make_box();
+  box.set(Species::NO, 0.02);
+  box.set(Species::NO2, 0.01);
+  box.set(Species::PAR, 0.3);
+  box.set(Species::OLE, 0.01);
+  double peak = 0.0;
+  for (int hour = 6; hour < 18; ++hour) {
+    box.advance_hour(hour);
+    peak = std::max(peak, box.get(Species::O3));
+  }
+  EXPECT_GT(peak, 1.5 * background_ppm(Species::O3));
+}
+
+TEST(BoxModel, NightLeavesOzoneNearBackground) {
+  BoxModel box = make_box();
+  box.set(Species::PAR, 0.3);
+  for (int hour = 0; hour < 4; ++hour) box.advance_hour(hour);
+  EXPECT_LT(box.get(Species::O3), 1.2 * background_ppm(Species::O3));
+}
+
+TEST(BoxModel, DilutionPullsTowardBackground) {
+  BoxModelConfig cfg;
+  cfg.dilution_per_hour = 2.0;  // strong flushing
+  BoxModel box(Mechanism::cb4_condensed(), MetParams{}, cfg);
+  box.set(Species::CO, 5.0);
+  for (int i = 0; i < 6; ++i) box.advance_hour(2.0);  // night: no chemistry
+  EXPECT_LT(box.get(Species::CO), 0.3);
+  EXPECT_GT(box.get(Species::CO), background_ppm(Species::CO) * 0.5);
+}
+
+TEST(BoxModel, EmissionsAccumulateAgainstDilution) {
+  BoxModelConfig cfg;
+  cfg.dilution_per_hour = 0.0;
+  BoxModel box(Mechanism::cb4_condensed(), MetParams{}, cfg);
+  const double flux = 4.0e-2;  // ppm*m/min
+  box.set_emission(Species::CO, flux);
+  const double co0 = box.get(Species::CO);
+  box.advance_hour(2.0);  // night: CO is nearly inert
+  const double expected = co0 + flux / cfg.mixing_height_m * 60.0;
+  EXPECT_NEAR(box.get(Species::CO), expected, 0.02 * expected);
+}
+
+TEST(BoxModel, HigherNoxAtHighVocMeansMoreOzone) {
+  // One slice of the EKMA surface: in the NOx-limited (high-VOC) regime,
+  // more NOx means more ozone.
+  auto peak_with_nox = [](double nox) {
+    BoxModel box = make_box();
+    box.set(Species::NO, 0.85 * nox);
+    box.set(Species::NO2, 0.15 * nox);
+    box.set(Species::PAR, 0.5);
+    box.set(Species::OLE, 0.02);
+    box.set(Species::FORM, 0.03);
+    double peak = 0.0;
+    for (int hour = 5; hour < 19; ++hour) {
+      box.advance_hour(hour);
+      peak = std::max(peak, box.get(Species::O3));
+    }
+    return peak;
+  };
+  EXPECT_GT(peak_with_nox(0.04), peak_with_nox(0.01));
+}
+
+TEST(BoxModel, RejectsBadConfig) {
+  BoxModelConfig bad;
+  bad.mixing_height_m = 0.0;
+  EXPECT_THROW(BoxModel(Mechanism::cb4_condensed(), MetParams{}, bad), Error);
+  BoxModel box = make_box();
+  EXPECT_THROW(box.set(Species::O3, -1.0), Error);
+  EXPECT_THROW(box.set_emission(Species::NO, -1.0), Error);
+  EXPECT_THROW(box.advance_hour(12.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,243 @@
+// Tests for the HPF-style layouts, distributed arrays, and the
+// redistribution engine — including the exact traffic structure the paper's
+// communication analysis (§4.2) relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "airshed/dist/airshed_layouts.hpp"
+#include "airshed/dist/distarray.hpp"
+#include "airshed/dist/layout.hpp"
+#include "airshed/machine/machine.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed {
+namespace {
+
+constexpr std::size_t kS = 7;   // species
+constexpr std::size_t kL = 5;   // layers
+constexpr std::size_t kN = 23;  // grid points (deliberately not divisible)
+
+Array3<double> random_field(std::uint64_t seed) {
+  Array3<double> a(kS, kL, kN);
+  Rng rng(seed);
+  for (double& x : a.flat()) x = rng.uniform();
+  return a;
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(Layout, ReplicatedOwnsEverythingEverywhere) {
+  const Layout3 l = Layout3::replicated({kS, kL, kN}, 6);
+  EXPECT_EQ(l.block_dim(), -1);
+  EXPECT_EQ(l.active_nodes(), 6);
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_EQ(l.local_elements(p), kS * kL * kN);
+    EXPECT_TRUE(l.owns(p, 0, 0, 0));
+    EXPECT_TRUE(l.owns(p, kS - 1, kL - 1, kN - 1));
+  }
+}
+
+TEST(Layout, BlockSizesUseHpfCeilRule) {
+  const Layout3 l = Layout3::block({kS, kL, kN}, 2, 4);  // 23 over 4: ceil=6
+  EXPECT_EQ(l.block_size(), 6u);
+  EXPECT_EQ(l.owned_range(0, 2), (IndexRange{0, 6}));
+  EXPECT_EQ(l.owned_range(3, 2), (IndexRange{18, 23}));  // ragged tail
+  EXPECT_EQ(l.local_elements(3), kS * kL * 5);
+}
+
+TEST(Layout, SmallExtentLeavesTrailingNodesEmpty) {
+  // The paper's transport distribution: 5 layers over 8 nodes -> only 5
+  // nodes have data (useful parallelism = layers).
+  const Layout3 l = Layout3::block({kS, kL, kN}, 1, 8);
+  EXPECT_EQ(l.block_size(), 1u);
+  EXPECT_EQ(l.active_nodes(), 5);
+  EXPECT_EQ(l.local_elements(4), kS * kN);
+  EXPECT_EQ(l.local_elements(5), 0u);
+  EXPECT_EQ(l.local_elements(7), 0u);
+}
+
+class LayoutPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LayoutPartitionSweep, BlockRangesPartitionTheExtent) {
+  const auto [dim, nodes] = GetParam();
+  const Layout3 l = Layout3::block({kS, kL, kN}, dim, nodes);
+  const std::size_t extent = l.shape()[dim];
+  std::vector<int> owner(extent, -1);
+  for (int p = 0; p < nodes; ++p) {
+    const IndexRange r = l.owned_range(p, dim);
+    for (std::size_t i = r.lo; i < r.hi; ++i) {
+      EXPECT_EQ(owner[i], -1) << "index owned twice";
+      owner[i] = p;
+    }
+  }
+  for (std::size_t i = 0; i < extent; ++i) {
+    EXPECT_NE(owner[i], -1) << "index " << i << " unowned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndNodes, LayoutPartitionSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 5, 8, 16, 64)));
+
+TEST(Layout, RejectsTwoBlockDims) {
+  EXPECT_THROW(Layout3({kS, kL, kN},
+                       {DimDist::Block, DimDist::Block, DimDist::Replicated},
+                       4),
+               Error);
+}
+
+// --------------------------------------------------------------- distarray
+
+TEST(DistArray, ScatterGatherRoundTripReplicated) {
+  const Array3<double> global = random_field(1);
+  DistArray3 d(Layout3::replicated({kS, kL, kN}, 5));
+  d.scatter_from(global);
+  EXPECT_EQ(d.gather(), global);
+  // Every node holds the full array.
+  EXPECT_DOUBLE_EQ(d.at(3, 2, 1, 17), global(2, 1, 17));
+}
+
+TEST(DistArray, ScatterGatherRoundTripBlocked) {
+  const Array3<double> global = random_field(2);
+  for (int dim = 0; dim < 3; ++dim) {
+    for (int p : {1, 2, 4, 7}) {
+      DistArray3 d(Layout3::block({kS, kL, kN}, dim, p));
+      d.scatter_from(global);
+      EXPECT_EQ(d.gather(), global) << "dim=" << dim << " P=" << p;
+    }
+  }
+}
+
+// ----------------------------------------------------------- redistribute
+
+class RedistributionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedistributionSweep, MainLoopSequencePreservesData) {
+  const int p = GetParam();
+  const Array3<double> global = random_field(3);
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, p);
+
+  DistArray3 repl(lay.repl), trans(lay.trans), chem(lay.chem),
+      repl2(lay.repl);
+  repl.scatter_from(global);
+  redistribute(repl, trans, 8);
+  EXPECT_EQ(trans.gather(), global);
+  redistribute(trans, chem, 8);
+  EXPECT_EQ(chem.gather(), global);
+  redistribute(chem, repl2, 8);
+  EXPECT_EQ(repl2.gather(), global);
+  // Replicated destination: every node must hold the full data.
+  for (int node = 0; node < p; ++node) {
+    EXPECT_DOUBLE_EQ(repl2.at(node, kS - 1, kL - 1, kN - 1),
+                     global(kS - 1, kL - 1, kN - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, RedistributionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 64));
+
+TEST(Redistribution, ReplToTransIsPureLocalCopy) {
+  // The paper's key observation: D_Repl -> D_Trans moves no bytes across
+  // the network — the data is locally available on every node.
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, 8);
+  const RedistributionStats st = plan_redistribution(lay.repl, lay.trans, 8);
+  EXPECT_EQ(st.total_messages, 0.0);
+  EXPECT_EQ(st.total_network_bytes, 0.0);
+  EXPECT_GT(st.total_copied_bytes, 0.0);
+  // The most loaded node copies ceil(layers/min(layers,P)) slabs.
+  const double expected_copy = 1.0 * kS * kN * 8;  // one layer slab
+  double max_copied = 0.0;
+  for (const NodeTraffic& t : st.traffic) {
+    max_copied = std::max(max_copied, t.bytes_copied);
+  }
+  EXPECT_DOUBLE_EQ(max_copied, expected_copy);
+}
+
+TEST(Redistribution, TransToChemIsSendBound) {
+  // A layer owner splits its slab across all nodes: sends P-1 messages
+  // (skipping itself) with its whole slab minus the local piece.
+  const int p = 8;
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, p);
+  const RedistributionStats st = plan_redistribution(lay.trans, lay.chem, 8);
+  // Only min(layers, P) = 5 nodes send anything.
+  int senders = 0;
+  for (const NodeTraffic& t : st.traffic) {
+    if (t.messages_sent > 0) ++senders;
+  }
+  EXPECT_EQ(senders, 5);
+  // Every node receives from each of the 5 owners (4 for the owners
+  // themselves, which keep their own piece as a local copy).
+  for (int node = 0; node < p; ++node) {
+    const NodeTraffic& t = st.traffic[node];
+    EXPECT_EQ(t.messages_received, node < 5 ? 4.0 : 5.0) << "node " << node;
+  }
+}
+
+TEST(Redistribution, ChemToReplIsAllGather) {
+  const int p = 6;
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, p);
+  const RedistributionStats st = plan_redistribution(lay.chem, lay.repl, 8);
+  const double full_bytes = static_cast<double>(kS * kL * kN) * 8.0;
+  for (int node = 0; node < p; ++node) {
+    const NodeTraffic& t = st.traffic[node];
+    // Each node ends with the full array: its own block is a local copy,
+    // the rest arrives from the other owners.
+    EXPECT_NEAR(t.bytes_received + t.bytes_copied, full_bytes, 1e-9);
+    EXPECT_EQ(t.messages_received, static_cast<double>(p - 1));
+    EXPECT_EQ(t.messages_sent, static_cast<double>(p - 1));
+  }
+}
+
+TEST(Redistribution, PlanMatchesExecutedStats) {
+  const Array3<double> global = random_field(4);
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, 7);
+  DistArray3 trans(lay.trans), chem(lay.chem);
+  trans.scatter_from(global);
+  const RedistributionStats executed = redistribute(trans, chem, 8);
+  const RedistributionStats planned =
+      plan_redistribution(lay.trans, lay.chem, 8);
+  ASSERT_EQ(executed.traffic.size(), planned.traffic.size());
+  for (std::size_t i = 0; i < executed.traffic.size(); ++i) {
+    EXPECT_EQ(executed.traffic[i].messages_sent,
+              planned.traffic[i].messages_sent);
+    EXPECT_EQ(executed.traffic[i].bytes_sent, planned.traffic[i].bytes_sent);
+    EXPECT_EQ(executed.traffic[i].bytes_copied,
+              planned.traffic[i].bytes_copied);
+  }
+  EXPECT_EQ(executed.total_messages, planned.total_messages);
+  EXPECT_EQ(executed.total_network_bytes, planned.total_network_bytes);
+}
+
+TEST(Redistribution, SingleNodeIsAllLocal) {
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, 1);
+  const RedistributionStats st = plan_redistribution(lay.trans, lay.chem, 8);
+  EXPECT_EQ(st.total_messages, 0.0);
+  EXPECT_EQ(st.total_network_bytes, 0.0);
+}
+
+TEST(Redistribution, RejectsMismatchedShapes) {
+  DistArray3 a(Layout3::replicated({2, 2, 2}, 2));
+  DistArray3 b(Layout3::replicated({2, 2, 3}, 2));
+  EXPECT_THROW(redistribute(a, b, 8), Error);
+  DistArray3 c(Layout3::replicated({2, 2, 2}, 3));
+  EXPECT_THROW(redistribute(a, c, 8), Error);
+}
+
+TEST(Redistribution, PhaseSecondsUsesMostLoadedNode) {
+  const MachineModel m = cray_t3e();
+  const AirshedLayouts lay = AirshedLayouts::make(kS, kL, kN, 4);
+  const RedistributionStats st = plan_redistribution(lay.chem, lay.repl, 8);
+  double worst = 0.0;
+  for (const NodeTraffic& t : st.traffic) {
+    worst = std::max(worst, node_comm_time(m, t));
+  }
+  EXPECT_DOUBLE_EQ(st.phase_seconds(m), worst);
+  EXPECT_GT(worst, 0.0);
+}
+
+}  // namespace
+}  // namespace airshed

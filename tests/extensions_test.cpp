@@ -1,0 +1,335 @@
+// Tests for the extension features beyond the paper's §2-§6 baseline:
+// CYCLIC distributions, the Fig 11 foreign-module scenarios B and C, the
+// §4.3 extrapolation model, and the task-mapping optimizer.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "airshed/core/executor.hpp"
+#include "airshed/core/model.hpp"
+#include "airshed/dist/airshed_layouts.hpp"
+#include "airshed/fxsim/foreign.hpp"
+#include "airshed/io/dataset.hpp"
+#include "airshed/perf/model.hpp"
+#include "airshed/popexp/popexp.hpp"
+#include "airshed/util/rng.hpp"
+#include "airshed/util/stats.hpp"
+
+namespace airshed {
+namespace {
+
+constexpr std::size_t kS = 7, kL = 5, kN = 23;
+
+Array3<double> random_field(std::uint64_t seed) {
+  Array3<double> a(kS, kL, kN);
+  Rng rng(seed);
+  for (double& x : a.flat()) x = rng.uniform();
+  return a;
+}
+
+// ------------------------------------------------------------------ cyclic
+
+TEST(CyclicLayout, OwnershipIsModular) {
+  const Layout3 l = Layout3::cyclic({kS, kL, kN}, 2, 4);
+  EXPECT_TRUE(l.is_cyclic());
+  EXPECT_EQ(l.distributed_dim(), 2);
+  EXPECT_EQ(l.owner_of(0), 0);
+  EXPECT_EQ(l.owner_of(5), 1);
+  EXPECT_EQ(l.owner_of(22), 2);
+  EXPECT_TRUE(l.owns(1, 0, 0, 5));
+  EXPECT_FALSE(l.owns(0, 0, 0, 5));
+  // 23 indices over 4 nodes cyclically: 6, 6, 6, 5.
+  EXPECT_EQ(l.owned_count(0, 2), 6u);
+  EXPECT_EQ(l.owned_count(3, 2), 5u);
+  EXPECT_EQ(l.local_elements(0), kS * kL * 6);
+}
+
+TEST(CyclicLayout, OwnedRangeThrowsButCountsWork) {
+  const Layout3 l = Layout3::cyclic({kS, kL, kN}, 2, 4);
+  EXPECT_THROW((void)l.owned_range(0, 2), Error);
+  std::size_t total = 0;
+  for (int p = 0; p < 4; ++p) total += l.owned_count(p, 2);
+  EXPECT_EQ(total, kN);
+}
+
+TEST(CyclicLayout, ActiveNodesSaturatesAtExtent) {
+  EXPECT_EQ(Layout3::cyclic({kS, kL, kN}, 1, 8).active_nodes(), 5);
+  EXPECT_EQ(Layout3::cyclic({kS, kL, kN}, 2, 8).active_nodes(), 8);
+}
+
+TEST(BlockLayout, ActiveNodesHandlesCeilGaps) {
+  // 9 elements over 8 nodes: blocks of 2 -> only 5 owners.
+  const Layout3 l = Layout3::block({kS, kL, 9}, 2, 8);
+  EXPECT_EQ(l.active_nodes(), 5);
+  EXPECT_EQ(l.local_elements(5), 0u);
+}
+
+class CyclicRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CyclicRoundTripSweep, ScatterGatherAndRedistributions) {
+  const int p = GetParam();
+  const Array3<double> global = random_field(11);
+
+  // Scatter/gather round trip through a cyclic layout.
+  DistArray3 cyc(Layout3::cyclic({kS, kL, kN}, 2, p));
+  cyc.scatter_from(global);
+  EXPECT_EQ(cyc.gather(), global);
+
+  // Full main-loop sequence with a cyclic chemistry layout.
+  const std::array<std::size_t, 3> shape{kS, kL, kN};
+  DistArray3 repl(Layout3::replicated(shape, p));
+  DistArray3 trans(Layout3::block(shape, 1, p));
+  DistArray3 chem(Layout3::cyclic(shape, 2, p));
+  DistArray3 repl2(Layout3::replicated(shape, p));
+  repl.scatter_from(global);
+  redistribute(repl, trans, 8);
+  EXPECT_EQ(trans.gather(), global);
+  redistribute(trans, chem, 8);
+  EXPECT_EQ(chem.gather(), global);
+  redistribute(chem, repl2, 8);
+  EXPECT_EQ(repl2.gather(), global);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, CyclicRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(CyclicRedistribution, SameByteVolumeAsBlock) {
+  const std::array<std::size_t, 3> shape{35, 5, 700};
+  const Layout3 trans = Layout3::block(shape, 1, 16);
+  const RedistributionStats to_block =
+      plan_redistribution(trans, Layout3::block(shape, 2, 16), 8);
+  const RedistributionStats to_cyclic =
+      plan_redistribution(trans, Layout3::cyclic(shape, 2, 16), 8);
+  EXPECT_DOUBLE_EQ(to_block.total_network_bytes + to_block.total_copied_bytes,
+                   to_cyclic.total_network_bytes +
+                       to_cyclic.total_copied_bytes);
+}
+
+TEST(CyclicExecutor, BalancesHeterogeneousChemistry) {
+  // Construct a trace with strongly clustered column costs: BLOCK suffers,
+  // CYCLIC doesn't.
+  WorkTrace t;
+  t.dataset = "synthetic";
+  t.species = 4;
+  t.layers = 2;
+  t.points = 64;
+  HourTrace hour;
+  hour.input_work = 1.0;
+  hour.pretrans_work = 1.0;
+  hour.output_work = 1.0;
+  StepTrace step;
+  step.transport1_layer_work = {1e6, 1e6};
+  step.transport2_layer_work = {1e6, 1e6};
+  step.aerosol_work = 1.0;
+  step.chem_column_work.assign(64, 1e5);
+  for (int v = 0; v < 16; ++v) step.chem_column_work[v] = 1e7;  // hot cluster
+  hour.steps.push_back(step);
+  t.hours.push_back(hour);
+
+  ExecutionConfig block{cray_t3e(), 16};
+  ExecutionConfig cyclic{cray_t3e(), 16};
+  cyclic.chemistry_dist = DimDist::Cyclic;
+  const double chem_block =
+      simulate_execution(t, block).ledger.category_seconds(
+          PhaseCategory::Chemistry);
+  const double chem_cyclic =
+      simulate_execution(t, cyclic).ledger.category_seconds(
+          PhaseCategory::Chemistry);
+  // BLOCK: 4 nodes get 4 hot columns each -> 4e7 max. CYCLIC: every node
+  // gets exactly one hot column -> ~1e7.
+  EXPECT_GT(chem_block, 3.5 * chem_cyclic);
+}
+
+// ------------------------------------------------------------ block-cyclic
+
+TEST(BlockCyclicLayout, OwnershipFollowsBlockRoundRobin) {
+  // 23 indices, blocks of 4, 3 nodes: blocks 0..5 dealt 0,1,2,0,1,2.
+  const Layout3 l = Layout3::block_cyclic({kS, kL, kN}, 2, 3, 4);
+  EXPECT_TRUE(l.is_cyclic());
+  EXPECT_EQ(l.cycle_block(), 4u);
+  EXPECT_EQ(l.owner_of(0), 0);
+  EXPECT_EQ(l.owner_of(3), 0);
+  EXPECT_EQ(l.owner_of(4), 1);
+  EXPECT_EQ(l.owner_of(11), 2);
+  EXPECT_EQ(l.owner_of(12), 0);
+  EXPECT_EQ(l.owner_of(22), 2);  // final short block (20..22) -> block 5
+  // Counts: node0 owns blocks 0,3 (8); node1 blocks 1,4 (8); node2 blocks
+  // 2,5 (4 + 3 = 7).
+  EXPECT_EQ(l.owned_count(0, 2), 8u);
+  EXPECT_EQ(l.owned_count(1, 2), 8u);
+  EXPECT_EQ(l.owned_count(2, 2), 7u);
+}
+
+class BlockCyclicRoundTripSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlockCyclicRoundTripSweep, ScatterGatherAndRedistributions) {
+  const auto [p, blk] = GetParam();
+  const Array3<double> global = random_field(17);
+  const std::array<std::size_t, 3> shape{kS, kL, kN};
+
+  DistArray3 bc(Layout3::block_cyclic(shape, 2, p, blk));
+  bc.scatter_from(global);
+  EXPECT_EQ(bc.gather(), global);
+
+  // Through the main-loop sequence with a block-cyclic chemistry layout.
+  DistArray3 trans(Layout3::block(shape, 1, p));
+  DistArray3 chem(Layout3::block_cyclic(shape, 2, p, blk));
+  DistArray3 repl(Layout3::replicated(shape, p));
+  trans.scatter_from(global);
+  redistribute(trans, chem, 8);
+  EXPECT_EQ(chem.gather(), global);
+  redistribute(chem, repl, 8);
+  EXPECT_EQ(repl.gather(), global);
+
+  // Cyclic <-> block-cyclic cross-redistribution (mixed cyclic kinds).
+  DistArray3 cyc(Layout3::cyclic(shape, 2, p));
+  redistribute(chem, cyc, 8);
+  EXPECT_EQ(cyc.gather(), global);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodesAndBlocks, BlockCyclicRoundTripSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                                            ::testing::Values(1, 2, 4, 7)));
+
+TEST(BlockCyclicLayout, PlanCountsMatchExplicitEnumeration) {
+  const std::array<std::size_t, 3> shape{kS, kL, kN};
+  const Layout3 from = Layout3::block_cyclic(shape, 2, 4, 3);
+  const Layout3 to = Layout3::block(shape, 2, 4);
+  const RedistributionStats st = plan_redistribution(from, to, 8);
+  // Total moved bytes (network + local) must equal the full array.
+  EXPECT_DOUBLE_EQ(st.total_network_bytes + st.total_copied_bytes,
+                   static_cast<double>(kS * kL * kN * 8));
+}
+
+// -------------------------------------------------- foreign scenarios B, C
+
+TEST(ForeignScenarios, AggressivenessOrdering) {
+  const MachineModel m = intel_paragon();
+  const std::size_t bytes = 35 * 700 * 8;
+  ForeignCouplingOptions a, b, c;
+  a.scenario = ForeignScenario::A;
+  b.scenario = ForeignScenario::B;
+  c.scenario = ForeignScenario::C;
+  for (int src : {4, 14, 60}) {
+    const double ta = foreign_transfer_seconds(m, bytes, src, 4, a);
+    const double tb = foreign_transfer_seconds(m, bytes, src, 4, b);
+    const double tc = foreign_transfer_seconds(m, bytes, src, 4, c);
+    const double tn = native_transfer_seconds(m, bytes, src, 4);
+    EXPECT_GT(ta, tb) << src;
+    EXPECT_GT(tb, tc) << src;
+    EXPECT_GT(tc, tn) << src;  // handshake overhead remains
+  }
+}
+
+TEST(ForeignScenarios, CIsNativePlusHandshake) {
+  const MachineModel m = cray_t3e();
+  ForeignCouplingOptions c;
+  c.scenario = ForeignScenario::C;
+  const double tc = foreign_transfer_seconds(m, 1000, 3, 2, c);
+  const double tn = native_transfer_seconds(m, 1000, 3, 2);
+  EXPECT_NEAR(tc - tn, c.sync_overhead_s, 1e-12);
+}
+
+TEST(ForeignScenarios, Names) {
+  EXPECT_NE(std::string(to_string(ForeignScenario::A)).find("staged"),
+            std::string::npos);
+  EXPECT_NE(std::string(to_string(ForeignScenario::B)).find("direct"),
+            std::string::npos);
+  EXPECT_NE(std::string(to_string(ForeignScenario::C)).find("variable"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ extrapolation
+
+TEST(Extrapolation, RecoversSyntheticModelExactly) {
+  // Generate observations from a known model; the fit must recover it.
+  ExtrapolationModel truth;
+  truth.constant_s = 30.0;
+  truth.transport_seq_s = 200.0;
+  truth.chem_seq_s = 1500.0;
+  truth.layers = 5;
+  std::vector<TotalObservation> obs;
+  for (int p : {1, 2, 3, 4, 6, 8}) obs.push_back({p, truth.predict(p)});
+  const ExtrapolationModel fit = fit_extrapolation(obs, 5);
+  EXPECT_NEAR(fit.constant_s, truth.constant_s, 1e-6);
+  EXPECT_NEAR(fit.transport_seq_s, truth.transport_seq_s, 1e-6);
+  EXPECT_NEAR(fit.chem_seq_s, truth.chem_seq_s, 1e-6);
+  for (int p : {16, 64, 128}) {
+    EXPECT_NEAR(fit.predict(p), truth.predict(p), 1e-6);
+  }
+}
+
+TEST(Extrapolation, PredictsSimulatedExecutionFromSmallP) {
+  // The §4.3 workflow on a real trace: fit on P <= 8, predict P <= 64
+  // within 10%.
+  Dataset ds = test_basin_dataset();
+  ModelOptions opts;
+  opts.hours = 2;
+  const WorkTrace trace = AirshedModel(ds, opts).run().trace;
+  const MachineModel m = cray_t3e();
+  std::vector<TotalObservation> obs;
+  for (int p : {1, 2, 3, 4, 6, 8}) {
+    obs.push_back({p, simulate_execution(trace, {m, p}).total_seconds});
+  }
+  const ExtrapolationModel fit = fit_extrapolation(obs, trace.layers);
+  for (int p : {16, 32, 64}) {
+    const double measured =
+        simulate_execution(trace, {m, p}).total_seconds;
+    EXPECT_LT(relative_error(fit.predict(p), measured), 0.10) << "P=" << p;
+  }
+}
+
+TEST(Extrapolation, RejectsBadInputs) {
+  std::vector<TotalObservation> two = {{1, 10.0}, {2, 6.0}};
+  EXPECT_THROW(fit_extrapolation(two, 5), Error);
+  std::vector<TotalObservation> bad = {{0, 1.0}, {1, 1.0}, {2, 1.0}};
+  EXPECT_THROW(fit_extrapolation(bad, 5), Error);
+  ExtrapolationModel m;
+  m.layers = 5;
+  EXPECT_THROW((void)m.predict(0), Error);
+}
+
+// ----------------------------------------------------- allocation optimizer
+
+TEST(AllocationOptimizer, NeverWorseThanHeuristic) {
+  Dataset ds = test_basin_dataset();
+  ModelOptions opts;
+  opts.hours = 3;
+  const WorkTrace trace = AirshedModel(ds, opts).run().trace;
+  for (int nodes : {8, 16, 34}) {
+    PopExpExecutionConfig cfg;
+    cfg.machine = intel_paragon();
+    cfg.nodes = nodes;
+    cfg.raster_cells = 256;
+    const PopExpAllocationSearch s = optimize_popexp_allocation(trace, cfg);
+    EXPECT_LE(s.best_makespan_s, s.heuristic_makespan_s * 1.0000001)
+        << "nodes=" << nodes;
+    EXPECT_EQ(s.best.input_nodes + s.best.main_nodes + s.best.output_nodes +
+                  s.best.popexp_nodes,
+              nodes);
+    // The explicit-allocation overload reproduces the searched makespan.
+    EXPECT_NEAR(simulate_airshed_popexp(trace, cfg, s.best).total_seconds,
+                s.best_makespan_s, 1e-9);
+  }
+}
+
+TEST(AllocationOptimizer, RejectsInvalidAllocations) {
+  Dataset ds = test_basin_dataset();
+  ModelOptions opts;
+  opts.hours = 1;
+  const WorkTrace trace = AirshedModel(ds, opts).run().trace;
+  PopExpExecutionConfig cfg;
+  cfg.machine = cray_t3e();
+  cfg.nodes = 8;
+  cfg.raster_cells = 64;
+  PopExpAllocation bad;
+  bad.input_nodes = 1;
+  bad.main_nodes = 2;
+  bad.output_nodes = 1;
+  bad.popexp_nodes = 1;  // sums to 5, not 8
+  EXPECT_THROW(simulate_airshed_popexp(trace, cfg, bad), Error);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,195 @@
+// Tests for the simulated Fx runtime: ledger accounting, the Eq. 2
+// communication cost model, pipeline scheduling, and the foreign-module
+// coupling costs.
+#include <gtest/gtest.h>
+
+#include "airshed/fxsim/comm_cost.hpp"
+#include "airshed/fxsim/foreign.hpp"
+#include "airshed/fxsim/ledger.hpp"
+#include "airshed/fxsim/pipeline.hpp"
+#include "airshed/machine/machine.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed {
+namespace {
+
+TEST(Ledger, ChargesAccumulatePerPhaseAndCategory) {
+  RunLedger l;
+  l.charge(PhaseCategory::Chemistry, "chem", 2.0);
+  l.charge(PhaseCategory::Chemistry, "chem", 3.0);
+  l.charge(PhaseCategory::Transport, "trans", 1.0);
+  EXPECT_DOUBLE_EQ(l.total_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(l.category_seconds(PhaseCategory::Chemistry), 5.0);
+  EXPECT_DOUBLE_EQ(l.category_seconds(PhaseCategory::Transport), 1.0);
+  EXPECT_EQ(l.category_count(PhaseCategory::Chemistry), 2);
+  const auto phases = l.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "chem");  // sorted by descending time
+}
+
+TEST(Ledger, MergeCombines) {
+  RunLedger a, b;
+  a.charge(PhaseCategory::Chemistry, "chem", 1.0);
+  b.charge(PhaseCategory::Chemistry, "chem", 2.0);
+  b.charge(PhaseCategory::Communication, "comm", 0.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 3.5);
+  EXPECT_EQ(a.category_count(PhaseCategory::Chemistry), 2);
+}
+
+TEST(Ledger, RejectsNegativeCharge) {
+  RunLedger l;
+  EXPECT_THROW(l.charge(PhaseCategory::Chemistry, "x", -1.0), Error);
+}
+
+TEST(CommCost, MatchesEquationTwo) {
+  MachineModel m = cray_t3e();
+  NodeTraffic t;
+  t.messages_sent = 10;
+  t.messages_received = 5;
+  t.bytes_sent = 1e6;
+  t.bytes_received = 2e6;  // dominant direction
+  t.bytes_copied = 5e5;
+  const double expect = m.latency_per_message_s * 15.0 +
+                        m.cost_per_byte_s * 2e6 + m.copy_per_byte_s * 5e5;
+  EXPECT_DOUBLE_EQ(node_comm_time(m, t), expect);
+}
+
+TEST(CommCost, PhaseTimeIsMaxOverNodes) {
+  MachineModel m = cray_t3e();
+  std::vector<NodeTraffic> traffic(3);
+  traffic[1].bytes_sent = 1e7;  // the bottleneck node
+  EXPECT_DOUBLE_EQ(phase_comm_time(m, traffic),
+                   node_comm_time(m, traffic[1]));
+}
+
+TEST(Pipeline, SingleStageIsSumOfItems) {
+  EXPECT_DOUBLE_EQ(pipeline_makespan({{1.0, 2.0, 3.0}}), 6.0);
+}
+
+TEST(Pipeline, BalancedStagesApproachBottleneckRate) {
+  // 3 stages x N items, all durations d: makespan = (N + S - 1) * d.
+  const int n = 10;
+  std::vector<std::vector<double>> st(3, std::vector<double>(n, 2.0));
+  EXPECT_DOUBLE_EQ(pipeline_makespan(st), (n + 3 - 1) * 2.0);
+}
+
+TEST(Pipeline, BottleneckStageDominates) {
+  // A slow middle stage serializes the pipeline.
+  const int n = 8;
+  std::vector<std::vector<double>> st = {
+      std::vector<double>(n, 1.0),
+      std::vector<double>(n, 10.0),
+      std::vector<double>(n, 1.0),
+  };
+  const double makespan = pipeline_makespan(st);
+  EXPECT_NEAR(makespan, 1.0 + 10.0 * n + 1.0, 1e-9);
+}
+
+TEST(Pipeline, NeverBeatsBottleneckBoundNorExceedsSerial) {
+  std::vector<std::vector<double>> st = {
+      {3, 1, 4, 1, 5}, {9, 2, 6, 5, 3}, {5, 8, 9, 7, 9}};
+  const double makespan = pipeline_makespan(st);
+  double serial = 0.0, bottleneck = 0.0;
+  for (const auto& s : st) {
+    double sum = 0.0;
+    for (double d : s) sum += d;
+    serial += sum;
+    bottleneck = std::max(bottleneck, sum);
+  }
+  EXPECT_LE(makespan, serial);
+  EXPECT_GE(makespan, bottleneck);
+}
+
+TEST(Pipeline, MakespanMatchesBruteForceEventSimulation) {
+  // Cross-check the flow-shop recurrence against a brute-force simulation
+  // over random stage durations.
+  Rng rng(2718);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t stages = 2 + rng.uniform_index(3);
+    const std::size_t items = 1 + rng.uniform_index(9);
+    std::vector<std::vector<double>> st(stages,
+                                        std::vector<double>(items, 0.0));
+    for (auto& s : st) {
+      for (double& d : s) d = rng.uniform(0.0, 10.0);
+    }
+    // Brute force: simulate stage/item completion times directly.
+    std::vector<std::vector<double>> finish(
+        stages, std::vector<double>(items, 0.0));
+    for (std::size_t s = 0; s < stages; ++s) {
+      for (std::size_t i = 0; i < items; ++i) {
+        const double ready_prev_stage = s > 0 ? finish[s - 1][i] : 0.0;
+        const double ready_prev_item = i > 0 ? finish[s][i - 1] : 0.0;
+        finish[s][i] =
+            std::max(ready_prev_stage, ready_prev_item) + st[s][i];
+      }
+    }
+    EXPECT_NEAR(pipeline_makespan(st), finish[stages - 1][items - 1], 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(Pipeline, EmptyItemsGiveZero) {
+  EXPECT_DOUBLE_EQ(pipeline_makespan({{}, {}}), 0.0);
+}
+
+TEST(Pipeline, RejectsRaggedStages) {
+  EXPECT_THROW(pipeline_makespan({{1.0}, {1.0, 2.0}}), Error);
+  EXPECT_THROW(pipeline_makespan({}), Error);
+  EXPECT_THROW(pipeline_makespan({{-1.0}}), Error);
+}
+
+TEST(Pipeline, AllocationSplitsNodes) {
+  const PipelineAllocation a = allocate_pipeline_nodes(16);
+  EXPECT_EQ(a.input_nodes, 1);
+  EXPECT_EQ(a.output_nodes, 1);
+  EXPECT_EQ(a.main_nodes, 14);
+  EXPECT_EQ(a.total(), 16);
+  EXPECT_THROW(allocate_pipeline_nodes(2), Error);
+}
+
+TEST(Foreign, ForeignTransferCostsMoreThanNative) {
+  // The Fig 13 claim: the foreign-module path adds a fixed, relatively
+  // small overhead over the native-task path.
+  MachineModel m = intel_paragon();
+  const std::size_t bytes = 35 * 700 * 8;
+  for (int src : {2, 14, 30, 62}) {
+    const double native = native_transfer_seconds(m, bytes, src, 4);
+    const double foreign = foreign_transfer_seconds(m, bytes, src, 4);
+    EXPECT_GT(foreign, native) << "src=" << src;
+    EXPECT_LT(foreign, native + 1.0) << "overhead should stay small";
+  }
+}
+
+TEST(Foreign, OverheadGrowsSlowlyWithNodes) {
+  MachineModel m = intel_paragon();
+  const std::size_t bytes = 35 * 700 * 8;
+  const double d1 = foreign_transfer_seconds(m, bytes, 4, 2) -
+                    native_transfer_seconds(m, bytes, 4, 2);
+  const double d2 = foreign_transfer_seconds(m, bytes, 60, 8) -
+                    native_transfer_seconds(m, bytes, 60, 8);
+  // "Fixed, relatively small extra overhead": within a small factor across
+  // the node range.
+  EXPECT_LT(d2 / d1, 4.0);
+  EXPECT_GT(d2 / d1, 0.25);
+}
+
+TEST(Foreign, SyncOverheadIsIncluded) {
+  MachineModel m = cray_t3e();
+  ForeignCouplingOptions slow;
+  slow.sync_overhead_s = 1.0;
+  const double base = foreign_transfer_seconds(m, 1000, 2, 2);
+  const double with = foreign_transfer_seconds(m, 1000, 2, 2, slow);
+  EXPECT_NEAR(with - base, 1.0 - ForeignCouplingOptions{}.sync_overhead_s,
+              1e-12);
+}
+
+TEST(Foreign, RejectsEmptySubgroups) {
+  MachineModel m = cray_t3e();
+  EXPECT_THROW(foreign_transfer_seconds(m, 100, 0, 2), Error);
+  EXPECT_THROW(native_transfer_seconds(m, 100, 2, 0), Error);
+}
+
+}  // namespace
+}  // namespace airshed

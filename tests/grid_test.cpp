@@ -1,0 +1,214 @@
+// Tests for the multiscale quadtree grid, its conforming triangulation,
+// and the uniform baseline grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "airshed/grid/multiscale.hpp"
+#include "airshed/grid/trimesh.hpp"
+#include "airshed/grid/uniform.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+BBox unit_domain() { return BBox{0.0, 0.0, 100.0, 100.0}; }
+
+TEST(MultiscaleGrid, BaseGridHasExpectedLeaves) {
+  MultiscaleGrid g(unit_domain(), 4, 3, 2);
+  EXPECT_EQ(g.leaf_count(), 12u);
+  EXPECT_TRUE(g.is_balanced());
+  // Vertices: 5x4 corners + 12 centroids.
+  EXPECT_EQ(g.vertex_count(), 20u + 12u);
+}
+
+TEST(MultiscaleGrid, RefineSplitsIntoFourChildren) {
+  MultiscaleGrid g(unit_domain(), 2, 2, 3);
+  g.refine(CellKey{0, 0, 0});
+  EXPECT_EQ(g.leaf_count(), 7u);
+  EXPECT_FALSE(g.is_leaf(CellKey{0, 0, 0}));
+  EXPECT_TRUE(g.is_interior(CellKey{0, 0, 0}));
+  for (int dj = 0; dj < 2; ++dj) {
+    for (int di = 0; di < 2; ++di) {
+      EXPECT_TRUE(g.is_leaf(CellKey{1, di, dj}));
+    }
+  }
+  EXPECT_TRUE(g.is_balanced());
+}
+
+TEST(MultiscaleGrid, RefineRejectsNonLeafAndMaxLevel) {
+  MultiscaleGrid g(unit_domain(), 2, 2, 1);
+  g.refine(CellKey{0, 0, 0});
+  EXPECT_THROW(g.refine(CellKey{0, 0, 0}), Error);   // not a leaf
+  EXPECT_THROW(g.refine(CellKey{1, 0, 0}), Error);   // at max level
+}
+
+TEST(MultiscaleGrid, BalanceCascades) {
+  // Refining the same corner cell twice must force the neighbors to split
+  // so no leaf touches a leaf two levels finer.
+  MultiscaleGrid g(unit_domain(), 4, 4, 4);
+  g.refine(CellKey{0, 0, 0});
+  g.refine(CellKey{1, 0, 0});
+  g.refine(CellKey{2, 0, 0});
+  EXPECT_TRUE(g.is_balanced());
+}
+
+TEST(MultiscaleGrid, CellBBoxPartitionsDomain) {
+  MultiscaleGrid g(unit_domain(), 3, 3, 3);
+  g.refine(CellKey{0, 1, 1});
+  g.refine(CellKey{1, 2, 2});
+  double area = 0.0;
+  for (const CellKey& k : g.leaves()) area += g.cell_bbox(k).area();
+  EXPECT_NEAR(area, unit_domain().area(), 1e-9);
+}
+
+TEST(MultiscaleGrid, RefineToTargetReachesVertexCount) {
+  MultiscaleGrid g(unit_domain(), 4, 4, 4);
+  auto priority = [](Point2 p) {
+    const double dx = p.x - 50.0, dy = p.y - 50.0;
+    return std::exp(-(dx * dx + dy * dy) / 800.0) + 0.01;
+  };
+  g.refine_to_target(priority, 300);
+  EXPECT_GE(g.vertex_count(), 300u);
+  EXPECT_LT(g.vertex_count(), 330u);  // lands close, not wildly past
+  EXPECT_TRUE(g.is_balanced());
+}
+
+TEST(MultiscaleGrid, RefinementConcentratesWherePriorityIsHigh) {
+  MultiscaleGrid g(unit_domain(), 4, 4, 4);
+  auto priority = [](Point2 p) {
+    const double dx = p.x - 25.0, dy = p.y - 25.0;
+    return std::exp(-(dx * dx + dy * dy) / 200.0) + 0.001;
+  };
+  g.refine_to_target(priority, 250);
+  // The finest cells must be near (25, 25).
+  int max_level_seen = 0;
+  for (const CellKey& k : g.leaves()) {
+    max_level_seen = std::max(max_level_seen, k.level);
+  }
+  ASSERT_GT(max_level_seen, 0);
+  for (const CellKey& k : g.leaves()) {
+    if (k.level == max_level_seen) {
+      const Point2 c = g.cell_bbox(k).center();
+      EXPECT_LT(norm(c - Point2{25.0, 25.0}), 40.0)
+          << "finest cell far from the priority peak at (" << c.x << ","
+          << c.y << ")";
+    }
+  }
+}
+
+TEST(MultiscaleGrid, TriangulationIsConformingAndCCW) {
+  MultiscaleGrid g(unit_domain(), 3, 3, 3);
+  g.refine(CellKey{0, 1, 1});
+  g.refine(CellKey{1, 2, 2});
+  g.refine(CellKey{1, 3, 3});
+  const TriMesh mesh = g.triangulate();  // TriMesh ctor validates CCW,
+                                         // manifold edges, no orphans
+  EXPECT_EQ(mesh.vertex_count(), g.vertex_count());
+  EXPECT_NEAR(mesh.total_area(), unit_domain().area(), 1e-9);
+}
+
+TEST(MultiscaleGrid, TriangulationVertexCountMatchesPrediction) {
+  MultiscaleGrid g(unit_domain(), 4, 4, 3);
+  auto priority = [](Point2 p) { return p.x + p.y + 1.0; };
+  g.refine_to_target(priority, 200);
+  EXPECT_EQ(g.triangulate().vertex_count(), g.vertex_count());
+}
+
+class MultiscaleRefinementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiscaleRefinementSweep, MeshInvariantsHoldAtAnyTarget) {
+  const int target = GetParam();
+  MultiscaleGrid g(unit_domain(), 4, 4, 4);
+  auto priority = [](Point2 p) {
+    return std::exp(-norm(p - Point2{60.0, 40.0}) / 15.0) + 0.02;
+  };
+  g.refine_to_target(priority, static_cast<std::size_t>(target));
+  EXPECT_TRUE(g.is_balanced());
+  const TriMesh mesh = g.triangulate();
+  EXPECT_NEAR(mesh.total_area(), unit_domain().area(), 1e-8);
+  // Dual (lumped) areas partition the domain too.
+  double lumped = 0.0;
+  for (double a : mesh.lumped_area()) lumped += a;
+  EXPECT_NEAR(lumped, unit_domain().area(), 1e-8);
+  // Euler characteristic of a disk-like planar triangulation: V - E + F = 1
+  // (faces excluding the outer one). E = (3F + boundary) / 2.
+  const double f = static_cast<double>(mesh.triangle_count());
+  const double e =
+      (3.0 * f + static_cast<double>(mesh.boundary_edge_count())) / 2.0;
+  EXPECT_DOUBLE_EQ(static_cast<double>(mesh.vertex_count()) - e + f, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, MultiscaleRefinementSweep,
+                         ::testing::Values(40, 100, 250, 500, 900));
+
+TEST(TriMesh, RejectsClockwiseTriangle) {
+  std::vector<Point2> pts = {{0, 0}, {1, 0}, {0, 1}};
+  std::vector<Triangle> tris = {Triangle{{0, 2, 1}}};  // clockwise
+  EXPECT_THROW(TriMesh(pts, tris), ConfigError);
+}
+
+TEST(TriMesh, RejectsOutOfRangeIndex) {
+  std::vector<Point2> pts = {{0, 0}, {1, 0}, {0, 1}};
+  std::vector<Triangle> tris = {Triangle{{0, 1, 7}}};
+  EXPECT_THROW(TriMesh(pts, tris), Error);
+}
+
+TEST(TriMesh, RejectsOrphanVertex) {
+  std::vector<Point2> pts = {{0, 0}, {1, 0}, {0, 1}, {5, 5}};
+  std::vector<Triangle> tris = {Triangle{{0, 1, 2}}};
+  EXPECT_THROW(TriMesh(pts, tris), ConfigError);
+}
+
+TEST(TriMesh, ElementGeometryGradientsReproduceLinearField) {
+  // For a P1 element, the basis gradients must reconstruct the gradient of
+  // any linear function exactly.
+  std::vector<Point2> pts = {{0, 0}, {2, 0}, {0, 3}};
+  std::vector<Triangle> tris = {Triangle{{0, 1, 2}}};
+  const TriMesh mesh(pts, tris);
+  const ElementGeometry& g = mesh.element_geometry()[0];
+  auto f = [](Point2 p) { return 3.0 * p.x - 2.0 * p.y + 1.0; };
+  double gx = 0.0, gy = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    gx += g.bx[i] * f(pts[i]);
+    gy += g.by[i] * f(pts[i]);
+  }
+  EXPECT_NEAR(gx, 3.0, 1e-12);
+  EXPECT_NEAR(gy, -2.0, 1e-12);
+  EXPECT_NEAR(g.area, 3.0, 1e-12);
+}
+
+TEST(TriMesh, BoundaryDetection) {
+  // A single square split into two triangles: all four vertices on boundary.
+  std::vector<Point2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  std::vector<Triangle> tris = {Triangle{{0, 1, 2}}, Triangle{{0, 2, 3}}};
+  const TriMesh mesh(pts, tris);
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_TRUE(mesh.boundary_vertex()[v]);
+  EXPECT_EQ(mesh.boundary_edge_count(), 4u);
+}
+
+TEST(UniformGrid, GeometryAndIndexing) {
+  UniformGrid g(BBox{0, 0, 10, 20}, 5, 4);
+  EXPECT_DOUBLE_EQ(g.dx(), 2.0);
+  EXPECT_DOUBLE_EQ(g.dy(), 5.0);
+  EXPECT_EQ(g.cell_count(), 20u);
+  EXPECT_EQ(g.index(3, 2), 2u * 5u + 3u);
+  const Point2 c = g.center(0, 0);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 2.5);
+  EXPECT_EQ(g.all_centers().size(), 20u);
+}
+
+TEST(UniformGrid, RejectsDegenerate) {
+  EXPECT_THROW(UniformGrid(BBox{0, 0, 10, 10}, 1, 4), Error);
+  EXPECT_THROW(UniformGrid(BBox{0, 0, 0, 10}, 4, 4), Error);
+}
+
+TEST(Geometry, SignedArea) {
+  EXPECT_DOUBLE_EQ(signed_area({0, 0}, {1, 0}, {0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(signed_area({0, 0}, {0, 1}, {1, 0}), -0.5);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,155 @@
+// Tests for the io module: dataset construction, hourly input generation,
+// and output statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "airshed/aerosol/aerosol.hpp"
+#include "airshed/io/dataset.hpp"
+#include "airshed/io/hourly.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+TEST(DatasetBuilder, LaHitsPaperScaleCounts) {
+  const Dataset la = la_basin_dataset();
+  EXPECT_EQ(la.name, "LA");
+  EXPECT_EQ(la.layers, 5);
+  // Greedy refinement lands within a few vertices of the paper's 700.
+  EXPECT_GE(la.points(), 700u);
+  EXPECT_LE(la.points(), 715u);
+  EXPECT_EQ(la.layer_dz_m.size(), 5u);
+}
+
+TEST(DatasetBuilder, NeHitsPaperScaleCounts) {
+  const Dataset ne = northeast_dataset();
+  EXPECT_GE(ne.points(), 3328u);
+  EXPECT_LE(ne.points(), 3345u);
+  EXPECT_EQ(ne.layers, 5);
+}
+
+TEST(DatasetBuilder, ConstructionIsDeterministic) {
+  const Dataset a = la_basin_dataset();
+  const Dataset b = la_basin_dataset();
+  ASSERT_EQ(a.points(), b.points());
+  const auto pa = a.mesh.points();
+  const auto pb = b.mesh.points();
+  for (std::size_t v = 0; v < pa.size(); ++v) {
+    EXPECT_EQ(pa[v].x, pb[v].x);
+    EXPECT_EQ(pa[v].y, pb[v].y);
+  }
+}
+
+TEST(DatasetBuilder, VertexOrderIsShuffledNotSpatiallySorted) {
+  // Consecutive vertex indices should be spatially scattered (the CIT
+  // file-order property the chemistry BLOCK distribution relies on):
+  // the mean distance between consecutive vertices should be a large
+  // fraction of the domain size.
+  const Dataset la = la_basin_dataset();
+  const auto pts = la.mesh.points();
+  double mean_step = 0.0;
+  for (std::size_t v = 1; v < pts.size(); ++v) {
+    mean_step += norm(pts[v] - pts[v - 1]);
+  }
+  mean_step /= static_cast<double>(pts.size() - 1);
+  EXPECT_GT(mean_step, 30.0) << "vertex numbering looks spatially sorted";
+}
+
+TEST(DatasetBuilder, ControlsArePropagated) {
+  ControlScenario cut;
+  cut.nox_scale = 0.25;
+  const Dataset ds = test_basin_dataset(cut);
+  EXPECT_DOUBLE_EQ(ds.emissions.controls().nox_scale, 0.25);
+}
+
+TEST(InputGenerator, FieldsHaveConsistentShapes) {
+  const Dataset ds = test_basin_dataset();
+  InputGenerator gen(ds);
+  const HourlyInputs in = gen.generate(8);
+  ASSERT_EQ(in.wind_kmh.size(), static_cast<std::size_t>(ds.layers));
+  for (const auto& layer : in.wind_kmh) {
+    EXPECT_EQ(layer.size(), ds.points());
+  }
+  EXPECT_EQ(in.kz_m2s.size(), static_cast<std::size_t>(ds.layers - 1));
+  EXPECT_EQ(in.layer_temp_k.size(), static_cast<std::size_t>(ds.layers));
+  EXPECT_EQ(in.vertex_temp_k.size(), ds.points());
+  EXPECT_EQ(in.surface_flux.rows(), static_cast<std::size_t>(kSpeciesCount));
+  EXPECT_EQ(in.surface_flux.cols(), ds.points());
+  EXPECT_GT(in.kh_km2h, 0.0);
+  EXPECT_GT(in.input_work_flops, 0.0);
+  EXPECT_GT(in.pretrans_work_flops, 0.0);
+  EXPECT_GT(gen.outputhour_work_flops(), 0.0);
+}
+
+TEST(InputGenerator, FluxesAreNonNegativeAndEmittedOnly) {
+  const Dataset ds = test_basin_dataset();
+  InputGenerator gen(ds);
+  const HourlyInputs in = gen.generate(12);
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    const bool emitted = is_emitted_species(static_cast<Species>(s));
+    for (std::size_t v = 0; v < ds.points(); ++v) {
+      EXPECT_GE(in.surface_flux(s, v), 0.0);
+      if (!emitted && static_cast<Species>(s) != Species::ISOP) {
+        EXPECT_EQ(in.surface_flux(s, v), 0.0) << species_name(s);
+      }
+    }
+  }
+}
+
+TEST(InputGenerator, ElevatedSourcesMapToNearestVertex) {
+  const Dataset ds = test_basin_dataset();  // one SO2 stack at (30, 30)
+  InputGenerator gen(ds);
+  const HourlyInputs in = gen.generate(8);
+  ASSERT_EQ(in.elevated_flux.size(), 1u);
+  const auto& [vertex, flux] = *in.elevated_flux.begin();
+  // The chosen vertex is near the stack.
+  const Point2 p = ds.mesh.points()[vertex];
+  EXPECT_LT(norm(p - Point2{30.0, 30.0}), 15.0);
+  // The flux lands on SO2 at layer 1.
+  const std::size_t idx =
+      static_cast<std::size_t>(index_of(Species::SO2)) * ds.layers + 1;
+  EXPECT_GT(flux[idx], 0.0);
+  double total = 0.0;
+  for (double f : flux) total += f;
+  EXPECT_DOUBLE_EQ(total, flux[idx]) << "only the stack entry is nonzero";
+}
+
+TEST(InputGenerator, NightWindsGiveFewerStepsThanWindyHours) {
+  const Dataset ds = test_basin_dataset();
+  InputGenerator gen(ds);
+  int lo = 1000, hi = 0;
+  for (int h = 0; h < 24; ++h) {
+    const int n = gen.generate(h).nsteps;
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_GE(lo, InputGenerator::kMinStepsPerHour);
+  EXPECT_LE(hi, InputGenerator::kMaxStepsPerHour);
+}
+
+TEST(HourlyStatsFn, FindsMaximumAndMeans) {
+  const Dataset ds = test_basin_dataset();
+  ConcentrationField conc(kSpeciesCount, ds.layers, ds.points(), 0.01);
+  Array3<double> pm(kPmComponents, ds.layers, ds.points(), 0.0);
+  const std::size_t hot = 7;
+  conc(index_of(Species::O3), 0, hot) = 0.25;
+  const HourlyStats st = compute_hourly_stats(ds, conc, pm, 14);
+  EXPECT_EQ(st.hour, 14);
+  EXPECT_DOUBLE_EQ(st.max_surface_o3_ppm, 0.25);
+  const Point2 expect = ds.mesh.points()[hot];
+  EXPECT_DOUBLE_EQ(st.max_o3_location.x, expect.x);
+  EXPECT_GT(st.mean_surface_o3_ppm, 0.01);   // pulled up by the hot spot
+  EXPECT_LT(st.mean_surface_o3_ppm, 0.05);
+  EXPECT_NEAR(st.mean_surface_co_ppm, 0.01, 1e-12);
+}
+
+TEST(HourlyStatsFn, RejectsShapeMismatch) {
+  const Dataset ds = test_basin_dataset();
+  ConcentrationField wrong(kSpeciesCount, ds.layers, 3, 0.0);
+  Array3<double> pm(kPmComponents, ds.layers, 3, 0.0);
+  EXPECT_THROW(compute_hourly_stats(ds, wrong, pm, 0), Error);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,204 @@
+// Tests for the machine models and the §4 performance model — including
+// the Fig 6 property: the closed-form predictions track the traffic the
+// redistribution engine actually generates.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "airshed/dist/airshed_layouts.hpp"
+#include "airshed/machine/machine.hpp"
+#include "airshed/perf/model.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/util/stats.hpp"
+
+namespace airshed {
+namespace {
+
+TEST(Machine, PresetsMatchPaperRatios) {
+  const MachineModel paragon = intel_paragon();
+  const MachineModel t3d = cray_t3d();
+  const MachineModel t3e = cray_t3e();
+  // §3: T3D just under 2x the Paragon; T3E about 10x.
+  const double r_t3d = t3d.node_rate_flops / paragon.node_rate_flops;
+  const double r_t3e = t3e.node_rate_flops / paragon.node_rate_flops;
+  EXPECT_GT(r_t3d, 1.5);
+  EXPECT_LT(r_t3d, 2.0);
+  EXPECT_GT(r_t3e, 8.0);
+  EXPECT_LT(r_t3e, 12.0);
+}
+
+TEST(Machine, T3eParametersArePublishedValues) {
+  const MachineModel m = cray_t3e();
+  EXPECT_DOUBLE_EQ(m.latency_per_message_s, 5.2e-5);
+  EXPECT_DOUBLE_EQ(m.cost_per_byte_s, 2.47e-8);
+  EXPECT_DOUBLE_EQ(m.copy_per_byte_s, 2.04e-8);
+  EXPECT_EQ(m.word_size, 8u);
+}
+
+TEST(Machine, LookupByName) {
+  EXPECT_EQ(machine_by_name("t3e").name, "Cray T3E");
+  EXPECT_EQ(machine_by_name("PARAGON").name, "Intel Paragon XP/S");
+  EXPECT_EQ(machine_by_name("Cray T3D").name, "Cray T3D");
+  EXPECT_THROW(machine_by_name("connection machine"), ConfigError);
+}
+
+TEST(Machine, CommTimeIsEquationTwo) {
+  const MachineModel m = cray_t3e();
+  EXPECT_DOUBLE_EQ(m.comm_time(2.0, 1e6, 1e5),
+                   2.0 * 5.2e-5 + 1e6 * 2.47e-8 + 1e5 * 2.04e-8);
+}
+
+// ------------------------------------------------------ compute predictor
+
+TEST(PerfModel, ComputeTimeDividesByUsefulParallelism) {
+  const MachineModel m = cray_t3e();
+  const double seq = 1e9;
+  // 5 layers: no speedup past 5 nodes.
+  const double t4 = predict_compute_seconds(seq, 5, m, 4);
+  const double t8 = predict_compute_seconds(seq, 5, m, 8);
+  const double t128 = predict_compute_seconds(seq, 5, m, 128);
+  EXPECT_GT(t4, t8);
+  EXPECT_DOUBLE_EQ(t8, t128);
+  EXPECT_DOUBLE_EQ(t8, m.compute_time(seq / 5.0));
+}
+
+TEST(PerfModel, ComputeTimeUsesCeilBlocks) {
+  const MachineModel m = cray_t3e();
+  // 5 units over 4 nodes: one node holds 2 units -> time = 2/5 sequential.
+  const double t = predict_compute_seconds(1e9, 5, m, 4);
+  EXPECT_DOUBLE_EQ(t, m.compute_time(1e9 * 2.0 / 5.0));
+}
+
+TEST(PerfModel, HighParallelismScalesLinearly) {
+  const MachineModel m = cray_t3e();
+  const double t4 = predict_compute_seconds(1e9, 700, m, 4);
+  const double t8 = predict_compute_seconds(1e9, 700, m, 8);
+  EXPECT_NEAR(t4 / t8, 2.0, 0.05);
+}
+
+// ---------------------------------------------- comm predictions vs engine
+
+class PredictedVsMeasuredSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredictedVsMeasuredSweep, ClosedFormTracksEngine) {
+  // The Fig 6 property: the paper's equations and the executed message
+  // sets agree closely (not exactly — the paper's own figures show small
+  // differences).
+  const int p = GetParam();
+  const MachineModel m = cray_t3e();
+  const std::size_t S = 35, L = 5, N = 700;
+  const MainLoopCommPlan plan = MainLoopCommPlan::plan(S, L, N, p, m.word_size);
+
+  const double meas_r2t = plan.repl_to_trans.phase_seconds(m);
+  const double pred_r2t = predict_repl_to_trans_seconds(m, S, L, N, p);
+  EXPECT_LT(relative_error(meas_r2t, pred_r2t), 0.05) << "D_Repl->D_Trans";
+
+  const double meas_t2c = plan.trans_to_chem.phase_seconds(m);
+  const double pred_t2c = predict_trans_to_chem_seconds(m, S, L, N, p);
+  EXPECT_LT(relative_error(meas_t2c, pred_t2c), 0.25) << "D_Trans->D_Chem";
+
+  const double meas_c2r = plan.chem_to_repl.phase_seconds(m);
+  const double pred_c2r = predict_chem_to_repl_seconds(m, S, L, N, p);
+  EXPECT_LT(relative_error(meas_c2r, pred_c2r), 0.25) << "D_Chem->D_Repl";
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, PredictedVsMeasuredSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+TEST(PerfModel, ReplToTransDropsThenFlattens) {
+  // The Fig 5 shape: cost halves from 4 to 8 nodes (2 layers -> 1 layer
+  // per node for L=5) then stays constant.
+  const MachineModel m = cray_t3e();
+  const double t4 = predict_repl_to_trans_seconds(m, 35, 5, 700, 4);
+  const double t8 = predict_repl_to_trans_seconds(m, 35, 5, 700, 8);
+  const double t64 = predict_repl_to_trans_seconds(m, 35, 5, 700, 64);
+  EXPECT_NEAR(t4 / t8, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t8, t64);
+}
+
+TEST(PerfModel, TransToChemGrowsWithLatencyBeyond8) {
+  // The Fig 5 shape: big drop 4 -> 8 (slab halves), then slow growth from
+  // the latency term L * P.
+  const MachineModel m = cray_t3e();
+  const double t4 = predict_trans_to_chem_seconds(m, 35, 5, 700, 4);
+  const double t8 = predict_trans_to_chem_seconds(m, 35, 5, 700, 8);
+  const double t64 = predict_trans_to_chem_seconds(m, 35, 5, 700, 64);
+  const double t128 = predict_trans_to_chem_seconds(m, 35, 5, 700, 128);
+  EXPECT_GT(t4, t8);
+  EXPECT_GT(t64, t8);
+  EXPECT_NEAR(t128 - t64, m.latency_per_message_s * 64, 1e-12);
+}
+
+TEST(PerfModel, ChemToReplIsTheMostExpensiveStep) {
+  // Fig 5: D_Chem -> D_Repl dominates (every node receives the full
+  // array).
+  const MachineModel m = cray_t3e();
+  for (int p : {4, 8, 16, 32, 64, 128}) {
+    const double c2r = predict_chem_to_repl_seconds(m, 35, 5, 700, p);
+    EXPECT_GT(c2r, predict_repl_to_trans_seconds(m, 35, 5, 700, p));
+    EXPECT_GT(c2r, predict_trans_to_chem_seconds(m, 35, 5, 700, p));
+  }
+}
+
+// ------------------------------------------------------- parameter fitting
+
+TEST(PerfModel, EstimateRecoversMachineParameters) {
+  // §4.3: the L/G/H parameters can be estimated from measurements on small
+  // node counts. Generate exact observations from the T3E model across the
+  // engine's redistribution phases and verify the fit recovers them.
+  const MachineModel m = cray_t3e();
+  std::vector<CommObservation> obs;
+  for (int p : {2, 3, 4, 6, 8}) {
+    const MainLoopCommPlan plan =
+        MainLoopCommPlan::plan(35, 5, 700, p, m.word_size);
+    for (const RedistributionStats* st :
+         {&plan.repl_to_trans, &plan.trans_to_chem, &plan.chem_to_repl}) {
+      // Find the bottleneck node and record its traffic and time.
+      double worst = -1.0;
+      NodeTraffic worst_t;
+      for (const NodeTraffic& t : st->traffic) {
+        const double s = node_comm_time(m, t);
+        if (s > worst) {
+          worst = s;
+          worst_t = t;
+        }
+      }
+      obs.push_back({worst_t.messages_sent + worst_t.messages_received,
+                     std::max(worst_t.bytes_sent, worst_t.bytes_received),
+                     worst_t.bytes_copied, worst});
+    }
+  }
+  const CommParams fit = estimate_comm_params(obs);
+  EXPECT_LT(relative_error(fit.latency_per_message_s, 5.2e-5), 0.05);
+  EXPECT_LT(relative_error(fit.cost_per_byte_s, 2.47e-8), 0.05);
+  EXPECT_LT(relative_error(fit.copy_per_byte_s, 2.04e-8), 0.05);
+}
+
+TEST(PerfModel, EstimateNeedsThreeObservations) {
+  std::vector<CommObservation> obs(2);
+  EXPECT_THROW(estimate_comm_params(obs), Error);
+}
+
+TEST(PerfModel, PredictRunComposesPhases) {
+  AppWorkSummary w;
+  w.species = 35;
+  w.layers = 5;
+  w.points = 700;
+  w.hours = 2;
+  w.steps = 30;
+  w.io_work = 1e8;
+  w.transport_work = 1e9;
+  w.chemistry_work = 1e10;
+  w.aerosol_work = 1e6;
+  const MachineModel m = cray_t3e();
+  const AppPrediction p = predict_run(w, m, 16);
+  EXPECT_DOUBLE_EQ(p.total_s, p.io_s + p.transport_s + p.chemistry_s +
+                                  p.aerosol_s + p.comm_s);
+  EXPECT_DOUBLE_EQ(p.io_s, m.compute_time(1e8));
+  EXPECT_DOUBLE_EQ(p.transport_s, m.compute_time(1e9 / 5.0));
+  EXPECT_DOUBLE_EQ(p.chemistry_s, m.compute_time(1e10 * 44.0 / 700.0));
+  EXPECT_GT(p.comm_s, 0.0);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,158 @@
+// Tests for the synthetic meteorology and emission inventory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "airshed/emis/emissions.hpp"
+#include "airshed/met/meteorology.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+BBox domain() { return BBox{0, 0, 160, 160}; }
+
+Meteorology make_met() { return Meteorology(domain(), MetParams{}); }
+
+TEST(Meteorology, WindFieldIsNumericallyDivergenceFree) {
+  const Meteorology met = make_met();
+  const double eps = 1e-4;
+  for (double t : {3.0, 9.0, 15.0, 21.0}) {
+    for (double x : {30.0, 80.0, 130.0}) {
+      for (double y : {30.0, 80.0, 130.0}) {
+        const Point2 px1 = met.wind({x + eps, y}, t, 0.0);
+        const Point2 px0 = met.wind({x - eps, y}, t, 0.0);
+        const Point2 py1 = met.wind({x, y + eps}, t, 0.0);
+        const Point2 py0 = met.wind({x, y - eps}, t, 0.0);
+        const double div = (px1.x - px0.x) / (2 * eps) +
+                           (py1.y - py0.y) / (2 * eps);
+        const double scale = norm(met.wind({x, y}, t, 0.0)) + 1.0;
+        EXPECT_LT(std::abs(div), 1e-3 * scale)
+            << "at (" << x << "," << y << ") t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Meteorology, WindHasVerticalShear) {
+  const Meteorology met = make_met();
+  const Point2 lo = met.wind({80, 80}, 14.0, 0.0);
+  const Point2 hi = met.wind({80, 80}, 14.0, 1.0);
+  EXPECT_GT(norm(hi), norm(lo));
+}
+
+TEST(Meteorology, PhotolysisZeroAtNightPositiveAtNoon) {
+  const Meteorology met = make_met();
+  EXPECT_EQ(met.photolysis_factor(2.0), 0.0);
+  EXPECT_EQ(met.photolysis_factor(23.0), 0.0);
+  EXPECT_GT(met.photolysis_factor(12.0), 0.5);
+  // Summer solar elevation peaks near local noon.
+  EXPECT_GT(met.photolysis_factor(12.0), met.photolysis_factor(8.0));
+  EXPECT_GT(met.photolysis_factor(12.0), met.photolysis_factor(17.0));
+}
+
+TEST(Meteorology, MixingFollowsTheSun) {
+  const Meteorology met = make_met();
+  EXPECT_GT(met.kz(13.0, 0, 5), met.kz(2.0, 0, 5));
+  // Mixing decays aloft.
+  EXPECT_GT(met.kz(13.0, 0, 5), met.kz(13.0, 4, 5));
+}
+
+TEST(Meteorology, TemperatureDiurnalCycleAndLapse) {
+  const Meteorology met = make_met();
+  const Point2 p{80, 80};
+  EXPECT_GT(met.temperature(p, 15.0, 0), met.temperature(p, 4.0, 0));
+  EXPECT_GT(met.temperature(p, 12.0, 0), met.temperature(p, 12.0, 4));
+}
+
+TEST(Meteorology, LayerInterfacesAreMonotone) {
+  const auto z = Meteorology::layer_interfaces_m(5);
+  ASSERT_EQ(z.size(), 6u);
+  EXPECT_EQ(z[0], 0.0);
+  for (std::size_t k = 1; k < z.size(); ++k) EXPECT_GT(z[k], z[k - 1]);
+}
+
+TEST(Meteorology, RejectsBadConfig) {
+  EXPECT_THROW(Meteorology(BBox{0, 0, 0, 10}, MetParams{}), Error);
+  EXPECT_THROW(Meteorology::layer_interfaces_m(0), Error);
+}
+
+// --------------------------------------------------------------- emissions
+
+EmissionInventory make_inventory(ControlScenario c = {}) {
+  return EmissionInventory(
+      domain(),
+      {{{60, 70}, 15.0, 1.0}, {{100, 60}, 12.0, 0.5}},
+      {{{52, 38}, 1, Species::SO2, 2e-2}}, c);
+}
+
+TEST(Emissions, TrafficProfileDoublePeaked) {
+  const double morning = traffic_profile(7.5);
+  const double midday = traffic_profile(12.0);
+  const double evening = traffic_profile(17.5);
+  const double night = traffic_profile(3.0);
+  EXPECT_GT(morning, midday);
+  EXPECT_GT(evening, midday);
+  EXPECT_GT(midday, night);
+  // Mean over the day is near 1 (total daily emissions match the base).
+  double mean = 0.0;
+  for (int h = 0; h < 24; ++h) mean += traffic_profile(h + 0.5);
+  mean /= 24.0;
+  EXPECT_NEAR(mean, 1.0, 0.35);
+}
+
+TEST(Emissions, UrbanCoreEmitsMoreThanCountryside) {
+  const EmissionInventory inv = make_inventory();
+  const double urban = inv.surface_flux(Species::NO, {60, 70}, 8.0);
+  const double rural = inv.surface_flux(Species::NO, {10, 150}, 8.0);
+  EXPECT_GT(urban, 5.0 * rural);
+  EXPECT_GT(rural, 0.0);  // rural floor
+}
+
+TEST(Emissions, NonEmittedSpeciesHaveZeroFlux) {
+  const EmissionInventory inv = make_inventory();
+  EXPECT_EQ(inv.surface_flux(Species::O3, {60, 70}, 12.0), 0.0);
+  EXPECT_EQ(inv.surface_flux(Species::OH, {60, 70}, 12.0), 0.0);
+  EXPECT_EQ(inv.surface_flux(Species::PAN, {60, 70}, 12.0), 0.0);
+}
+
+TEST(Emissions, IsopreneIsBiogenicDaytimeRural) {
+  const EmissionInventory inv = make_inventory();
+  const double day_rural = inv.surface_flux(Species::ISOP, {10, 150}, 12.0);
+  const double night_rural = inv.surface_flux(Species::ISOP, {10, 150}, 2.0);
+  const double day_urban = inv.surface_flux(Species::ISOP, {60, 70}, 12.0);
+  EXPECT_GT(day_rural, 0.0);
+  EXPECT_EQ(night_rural, 0.0);
+  EXPECT_LT(day_urban, day_rural);
+}
+
+TEST(Emissions, ControlsScaleTheRightGroups) {
+  ControlScenario controls;
+  controls.nox_scale = 0.5;
+  controls.voc_scale = 0.25;
+  const EmissionInventory base = make_inventory();
+  const EmissionInventory cut = base.with_controls(controls);
+  const Point2 p{60, 70};
+  EXPECT_NEAR(cut.surface_flux(Species::NO, p, 8.0),
+              0.5 * base.surface_flux(Species::NO, p, 8.0), 1e-12);
+  EXPECT_NEAR(cut.surface_flux(Species::TOL, p, 8.0),
+              0.25 * base.surface_flux(Species::TOL, p, 8.0), 1e-12);
+  // CO and SO2 untouched by these knobs.
+  EXPECT_NEAR(cut.surface_flux(Species::CO, p, 8.0),
+              base.surface_flux(Species::CO, p, 8.0), 1e-12);
+}
+
+TEST(Emissions, UrbanDensityPeaksAtCities) {
+  const EmissionInventory inv = make_inventory();
+  EXPECT_GT(inv.urban_density({60, 70}), inv.urban_density({10, 150}));
+  EXPECT_GT(inv.urban_density({60, 70}), 0.9);
+}
+
+TEST(Emissions, RejectsBadConfig) {
+  EXPECT_THROW(EmissionInventory(domain(), {}, {}), Error);
+  EXPECT_THROW(
+      EmissionInventory(domain(), {{{60, 70}, -1.0, 1.0}}, {}), Error);
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,157 @@
+// Tests for the PopExp population exposure model and its native/foreign
+// couplings with the Airshed pipeline.
+#include <gtest/gtest.h>
+
+#include "airshed/core/model.hpp"
+#include "airshed/io/dataset.hpp"
+#include "airshed/popexp/popexp.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+const Dataset& shared_dataset() {
+  static const Dataset ds = test_basin_dataset();
+  return ds;
+}
+
+const ModelRunResult& shared_run() {
+  static const ModelRunResult run = [] {
+    ModelOptions opts;
+    opts.hours = 2;
+    return AirshedModel(shared_dataset(), opts).run();
+  }();
+  return run;
+}
+
+PopulationRaster make_raster(double people = 1e6) {
+  const Dataset& ds = shared_dataset();
+  return PopulationRaster::from_density(
+      ds.emissions.domain(), 16, 16,
+      [&](Point2 p) { return ds.emissions.urban_density(p) + 0.01; }, people);
+}
+
+TEST(PopulationRaster, NormalizesToTotalPopulation) {
+  const PopulationRaster r = make_raster(2.5e6);
+  EXPECT_NEAR(r.total_population(), 2.5e6, 1.0);
+  for (double p : r.population) EXPECT_GE(p, 0.0);
+}
+
+TEST(PopulationRaster, ConcentratesInCities) {
+  const PopulationRaster r = make_raster();
+  // The test dataset has one city at (40, 40) in an 80x80 domain.
+  const std::size_t urban = r.grid.index(8, 8);
+  const std::size_t rural = r.grid.index(0, 15);
+  EXPECT_GT(r.population[urban], 5.0 * r.population[rural]);
+}
+
+TEST(PopulationRaster, RejectsZeroPeople)
+{
+  const Dataset& ds = shared_dataset();
+  EXPECT_THROW(PopulationRaster::from_density(
+                   ds.emissions.domain(), 8, 8,
+                   [](Point2) { return 1.0; }, 0.0),
+               Error);
+}
+
+TEST(ExposureModel, AccumulatesDoseFromConcentrations) {
+  ExposureModel model(make_raster(), shared_dataset().mesh);
+  const ExposureResult r =
+      model.accumulate_hour(shared_run().outputs.conc);
+  EXPECT_GT(r.person_ppm_hours_o3, 0.0);
+  EXPECT_GT(r.person_ppm_hours_no2, 0.0);
+  EXPECT_GT(r.max_cell_o3_ppm, 0.0);
+  EXPECT_GT(r.work_flops, 0.0);
+  // Dose bounded by population x max concentration.
+  EXPECT_LE(r.person_ppm_hours_o3, 1e6 * r.max_cell_o3_ppm * 1.0001);
+}
+
+TEST(ExposureModel, DoseScalesWithPopulation) {
+  ExposureModel small(make_raster(1e5), shared_dataset().mesh);
+  ExposureModel large(make_raster(1e6), shared_dataset().mesh);
+  const auto& conc = shared_run().outputs.conc;
+  const double d_small = small.accumulate_hour(conc).person_ppm_hours_o3;
+  const double d_large = large.accumulate_hour(conc).person_ppm_hours_o3;
+  EXPECT_NEAR(d_large / d_small, 10.0, 1e-6);
+}
+
+TEST(ExposureModel, CumulativeDoseGrowsHourByHour) {
+  ExposureModel model(make_raster(), shared_dataset().mesh);
+  const auto& conc = shared_run().outputs.conc;
+  model.accumulate_hour(conc);
+  double after1 = 0.0;
+  for (double d : model.cumulative_o3_dose()) after1 += d;
+  model.accumulate_hour(conc);
+  double after2 = 0.0;
+  for (double d : model.cumulative_o3_dose()) after2 += d;
+  EXPECT_NEAR(after2, 2.0 * after1, 1e-9 * after2);
+}
+
+// ---------------------------------------------------------- coupled runs
+
+TEST(PopExpPipeline, AllocationReservesAllStages) {
+  const PopExpAllocation a = allocate_popexp_nodes(32);
+  EXPECT_EQ(a.input_nodes + a.main_nodes + a.output_nodes + a.popexp_nodes,
+            32);
+  EXPECT_GE(a.popexp_nodes, 1);
+  EXPECT_GE(a.main_nodes, 1);
+  EXPECT_THROW(allocate_popexp_nodes(3), Error);
+}
+
+PopExpExecutionConfig base_config(PopExpCoupling coupling, int nodes) {
+  PopExpExecutionConfig cfg;
+  cfg.machine = intel_paragon();
+  cfg.nodes = nodes;
+  cfg.coupling = coupling;
+  cfg.raster_cells = 256;
+  return cfg;
+}
+
+TEST(PopExpPipeline, ForeignModuleAddsSmallFixedOverhead) {
+  // The Fig 13 claim, end to end: the foreign-module version is slower by
+  // a fixed, relatively small amount.
+  const WorkTrace& t = shared_run().trace;
+  for (int nodes : {8, 16, 32, 64}) {
+    const RunReport native = simulate_airshed_popexp(
+        t, base_config(PopExpCoupling::NativeTask, nodes));
+    const RunReport foreign = simulate_airshed_popexp(
+        t, base_config(PopExpCoupling::ForeignModule, nodes));
+    EXPECT_GE(foreign.total_seconds, native.total_seconds) << nodes;
+    EXPECT_LT(foreign.total_seconds, native.total_seconds * 1.15)
+        << "overhead must not significantly impact overall performance";
+  }
+}
+
+TEST(PopExpPipeline, CouplingChargesAppearInLedger) {
+  const WorkTrace& t = shared_run().trace;
+  const RunReport r = simulate_airshed_popexp(
+      t, base_config(PopExpCoupling::ForeignModule, 16));
+  EXPECT_GT(r.ledger.category_seconds(PhaseCategory::Coupling), 0.0);
+  EXPECT_GT(r.ledger.category_seconds(PhaseCategory::Exposure), 0.0);
+  EXPECT_EQ(r.strategy, Strategy::TaskAndDataParallel);
+}
+
+TEST(PopExpPipeline, ScalesWithNodes) {
+  const WorkTrace& t = shared_run().trace;
+  const double t8 = simulate_airshed_popexp(
+                        t, base_config(PopExpCoupling::NativeTask, 8))
+                        .total_seconds;
+  const double t64 = simulate_airshed_popexp(
+                         t, base_config(PopExpCoupling::NativeTask, 64))
+                         .total_seconds;
+  EXPECT_LT(t64, t8);
+}
+
+TEST(PopExpPipeline, RejectsEmptyRaster) {
+  PopExpExecutionConfig cfg = base_config(PopExpCoupling::NativeTask, 8);
+  cfg.raster_cells = 0;
+  EXPECT_THROW(simulate_airshed_popexp(shared_run().trace, cfg), Error);
+}
+
+TEST(PopExpCouplingNames, ToString) {
+  EXPECT_EQ(to_string(PopExpCoupling::NativeTask), "native task");
+  EXPECT_EQ(to_string(PopExpCoupling::ForeignModule), "foreign module");
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,142 @@
+// Property sweeps across environmental conditions and resolutions:
+// invariants that must hold for ANY plausible input, not just the baseline
+// scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "airshed/chem/youngboris.hpp"
+#include "airshed/grid/multiscale.hpp"
+#include "airshed/transport/supg.hpp"
+#include "airshed/util/rng.hpp"
+#include "airshed/util/stats.hpp"
+
+namespace airshed {
+namespace {
+
+// ---------------------------------------------- chemistry invariant sweep
+
+/// (temperature K x 10, sun x 100) so gtest params stay integral.
+class ChemistryEnvironmentSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChemistryEnvironmentSweep, ConservationAndPositivityHold) {
+  const double temp_k = std::get<0>(GetParam()) / 10.0;
+  const double sun = std::get<1>(GetParam()) / 100.0;
+
+  // A randomized but reproducible polluted state.
+  Rng rng(static_cast<std::uint64_t>(temp_k * 1000 + sun * 7919));
+  std::vector<double> c(kSpeciesCount);
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    c[s] = background_ppm(static_cast<Species>(s)) * rng.uniform(0.5, 2.0);
+  }
+  c[index_of(Species::NO)] += rng.uniform(0.0, 0.05);
+  c[index_of(Species::NO2)] += rng.uniform(0.0, 0.05);
+  c[index_of(Species::PAR)] += rng.uniform(0.0, 0.5);
+  c[index_of(Species::OLE)] += rng.uniform(0.0, 0.02);
+  c[index_of(Species::SO2)] += rng.uniform(0.0, 0.02);
+
+  double n0 = 0.0, s0 = 0.0;
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    n0 += c[s] * nitrogen_atoms(static_cast<Species>(s));
+    s0 += c[s] * sulfur_atoms(static_cast<Species>(s));
+  }
+
+  YoungBorisSolver yb(Mechanism::cb4_condensed());
+  const YoungBorisResult r = yb.integrate(c, 20.0, temp_k, sun);
+
+  double n1 = 0.0, s1 = 0.0;
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    EXPECT_GE(c[s], 0.0) << species_name(s);
+    EXPECT_TRUE(std::isfinite(c[s])) << species_name(s);
+    n1 += c[s] * nitrogen_atoms(static_cast<Species>(s));
+    s1 += c[s] * sulfur_atoms(static_cast<Species>(s));
+  }
+  EXPECT_LT(relative_error(n0, n1), 1e-2)
+      << "N not conserved at T=" << temp_k << " sun=" << sun;
+  EXPECT_LT(relative_error(s0, s1), 1e-2)
+      << "S not conserved at T=" << temp_k << " sun=" << sun;
+  EXPECT_GT(r.substeps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, ChemistryEnvironmentSweep,
+    ::testing::Combine(::testing::Values(2680, 2880, 2980, 3100),  // K x 10
+                       ::testing::Values(0, 20, 60, 100)));        // sun x 100
+
+// --------------------------------------------- SUPG resolution convergence
+
+TriMesh refined_mesh(int target) {
+  MultiscaleGrid g(BBox{0, 0, 100, 100}, 4, 4, 4);
+  g.refine_to_target([](Point2) { return 1.0; },
+                     static_cast<std::size_t>(target));
+  return g.triangulate();
+}
+
+/// Advects a Gaussian blob for a fixed time at a fixed wind and measures
+/// the error against the exact translated solution.
+double advection_error(const TriMesh& mesh) {
+  SupgTransport op(mesh);
+  const Point2 start{30.0, 50.0};
+  const Point2 wind{20.0, 0.0};
+  const double sigma = 9.0;
+  const double t_total = 1.0;  // hours -> 20 km translation
+
+  ConcentrationField f(1, 1, mesh.vertex_count(), 0.0);
+  const auto pts = mesh.points();
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    const Point2 d = pts[v] - start;
+    f(0, 0, v) = std::exp(-dot(d, d) / (2.0 * sigma * sigma));
+  }
+  std::vector<Point2> vel(mesh.vertex_count(), wind);
+  const std::vector<double> bg = {0.0};
+  for (int i = 0; i < 10; ++i) {
+    op.advance_layer(f, 0, vel, 0.0, t_total / 10.0, bg);
+  }
+
+  const Point2 end{start.x + wind.x * t_total, start.y + wind.y * t_total};
+  double err2 = 0.0, norm2 = 0.0;
+  const auto lumped = mesh.lumped_area();
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    const Point2 d = pts[v] - end;
+    const double exact = std::exp(-dot(d, d) / (2.0 * sigma * sigma));
+    err2 += (f(0, 0, v) - exact) * (f(0, 0, v) - exact) * lumped[v];
+    norm2 += exact * exact * lumped[v];
+  }
+  return std::sqrt(err2 / norm2);
+}
+
+TEST(SupgConvergence, ErrorDropsWithResolution) {
+  const double coarse = advection_error(refined_mesh(150));
+  const double medium = advection_error(refined_mesh(500));
+  const double fine = advection_error(refined_mesh(1600));
+  EXPECT_LT(medium, coarse);
+  EXPECT_LT(fine, medium);
+  EXPECT_LT(fine, 0.5) << "relative L2 error on the finest mesh";
+}
+
+// ----------------------------------------- solver time-step invariance
+
+TEST(YoungBorisProperty, SplittingTheIntervalChangesLittle) {
+  // Integrating 20 min in one call vs 4 x 5 min calls must agree (the
+  // solver state is only the concentrations).
+  std::vector<double> one(kSpeciesCount), four(kSpeciesCount);
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    one[s] = four[s] = background_ppm(static_cast<Species>(s));
+  }
+  one[index_of(Species::NO)] = four[index_of(Species::NO)] = 0.02;
+  one[index_of(Species::PAR)] = four[index_of(Species::PAR)] = 0.3;
+
+  YoungBorisSolver a(Mechanism::cb4_condensed());
+  YoungBorisSolver b(Mechanism::cb4_condensed());
+  a.integrate(one, 20.0, 298.0, 0.8);
+  for (int i = 0; i < 4; ++i) b.integrate(four, 5.0, 298.0, 0.8);
+  for (Species s : {Species::O3, Species::NO2, Species::CO, Species::PAR}) {
+    EXPECT_LT(relative_error(one[index_of(s)], four[index_of(s)]), 0.05)
+        << species_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace airshed

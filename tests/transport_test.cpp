@@ -1,0 +1,272 @@
+// Tests for the SUPG 2-D transport operator and the 1-D operator-split
+// baseline: conservation, constant preservation, advection of a blob,
+// stability, and work accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "airshed/chem/species.hpp"
+#include "airshed/grid/multiscale.hpp"
+#include "airshed/grid/uniform.hpp"
+#include "airshed/transport/onedim.hpp"
+#include "airshed/transport/supg.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed {
+namespace {
+
+TriMesh make_mesh(int target_vertices = 200) {
+  MultiscaleGrid g(BBox{0, 0, 100, 100}, 4, 4, 3);
+  g.refine_to_target(
+      [](Point2 p) {
+        return std::exp(-norm(p - Point2{50, 50}) / 20.0) + 0.05;
+      },
+      target_vertices);
+  return g.triangulate();
+}
+
+/// One-species field helpers (dim0 = 1 keeps the tests fast and readable).
+ConcentrationField uniform_field(const TriMesh& mesh, double value) {
+  return ConcentrationField(1, 1, mesh.vertex_count(), value);
+}
+
+ConcentrationField blob_field(const TriMesh& mesh, Point2 center,
+                              double sigma) {
+  ConcentrationField f(1, 1, mesh.vertex_count(), 0.0);
+  const auto pts = mesh.points();
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    const Point2 d = pts[v] - center;
+    f(0, 0, v) = std::exp(-dot(d, d) / (2.0 * sigma * sigma));
+  }
+  return f;
+}
+
+Point2 center_of_mass(const TriMesh& mesh, const ConcentrationField& f) {
+  const auto pts = mesh.points();
+  const auto lumped = mesh.lumped_area();
+  double m = 0.0;
+  Point2 c{0, 0};
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    const double w = f(0, 0, v) * lumped[v];
+    m += w;
+    c.x += w * pts[v].x;
+    c.y += w * pts[v].y;
+  }
+  return {c.x / m, c.y / m};
+}
+
+TEST(SupgTransport, PreservesConstantField) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = uniform_field(mesh, 3.5);
+  std::vector<Point2> vel(mesh.vertex_count(), Point2{10.0, -6.0});
+  const std::vector<double> bg = {3.5};
+  op.advance_layer(f, 0, vel, 0.5, 0.25, bg);
+  for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+    EXPECT_NEAR(f(0, 0, v), 3.5, 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(SupgTransport, ConservesInteriorMassWithZeroWind) {
+  // With zero velocity and pure diffusion, the scheme conserves total mass
+  // exactly (diffusion is in divergence form; boundary relaxation is off
+  // when |u| = 0).
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = blob_field(mesh, {50, 50}, 10.0);
+  const double m0 = op.layer_mass(f, 0, 0);
+  std::vector<Point2> vel(mesh.vertex_count(), Point2{0.0, 0.0});
+  const std::vector<double> bg = {0.0};
+  for (int i = 0; i < 10; ++i) op.advance_layer(f, 0, vel, 1.0, 0.1, bg);
+  EXPECT_NEAR(op.layer_mass(f, 0, 0), m0, 1e-9 * m0);
+}
+
+TEST(SupgTransport, DiffusionSpreadsAndFlattens) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = blob_field(mesh, {50, 50}, 8.0);
+  double peak0 = 0.0;
+  for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+    peak0 = std::max(peak0, f(0, 0, v));
+  }
+  std::vector<Point2> vel(mesh.vertex_count(), Point2{0.0, 0.0});
+  const std::vector<double> bg = {0.0};
+  for (int i = 0; i < 8; ++i) op.advance_layer(f, 0, vel, 2.0, 0.25, bg);
+  double peak1 = 0.0;
+  for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+    peak1 = std::max(peak1, f(0, 0, v));
+    EXPECT_GE(f(0, 0, v), 0.0);
+  }
+  EXPECT_LT(peak1, peak0);
+}
+
+TEST(SupgTransport, AdvectsBlobDownwind) {
+  const TriMesh mesh = make_mesh(400);
+  SupgTransport op(mesh);
+  ConcentrationField f = blob_field(mesh, {35, 50}, 8.0);
+  const Point2 com0 = center_of_mass(mesh, f);
+  std::vector<Point2> vel(mesh.vertex_count(), Point2{20.0, 0.0});  // km/h
+  const std::vector<double> bg = {0.0};
+  // 1 hour of 20 km/h eastward wind, small diffusion.
+  for (int i = 0; i < 10; ++i) op.advance_layer(f, 0, vel, 0.2, 0.1, bg);
+  const Point2 com1 = center_of_mass(mesh, f);
+  EXPECT_NEAR(com1.x - com0.x, 20.0, 5.0);  // moved ~20 km east
+  EXPECT_NEAR(com1.y - com0.y, 0.0, 3.0);   // no north drift
+}
+
+TEST(SupgTransport, RemainsStableUnderStrongWind) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = blob_field(mesh, {50, 50}, 10.0);
+  std::vector<Point2> vel(mesh.vertex_count());
+  const auto pts = mesh.points();
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    // Rotating wind field, up to ~45 km/h.
+    vel[v] = {-(pts[v].y - 50.0), pts[v].x - 50.0};
+  }
+  const std::vector<double> bg = {0.0};
+  for (int i = 0; i < 24; ++i) op.advance_layer(f, 0, vel, 0.5, 0.25, bg);
+  for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+    EXPECT_TRUE(std::isfinite(f(0, 0, v)));
+    EXPECT_GE(f(0, 0, v), 0.0);
+    EXPECT_LT(f(0, 0, v), 2.0);  // no blow-up or spurious extrema
+  }
+}
+
+TEST(SupgTransport, InflowBoundaryRelaxesTowardBackground) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = uniform_field(mesh, 0.0);
+  std::vector<Point2> vel(mesh.vertex_count(), Point2{25.0, 0.0});
+  const std::vector<double> bg = {1.0};
+  for (int i = 0; i < 30; ++i) op.advance_layer(f, 0, vel, 0.2, 0.2, bg);
+  // After 6 hours of 25 km/h inflow across a 100 km domain, the field must
+  // approach the background everywhere.
+  double min_c = 1e9;
+  for (std::size_t v = 0; v < mesh.vertex_count(); ++v) {
+    min_c = std::min(min_c, f(0, 0, v));
+  }
+  EXPECT_GT(min_c, 0.5);
+}
+
+TEST(SupgTransport, StableDtShrinksWithWind) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  std::vector<Point2> calm(mesh.vertex_count(), Point2{2.0, 0.0});
+  std::vector<Point2> windy(mesh.vertex_count(), Point2{40.0, 0.0});
+  EXPECT_GT(op.stable_dt_hours(calm, 0.5), op.stable_dt_hours(windy, 0.5));
+}
+
+TEST(SupgTransport, WorkAccountingScalesWithSubsteps) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = uniform_field(mesh, 1.0);
+  std::vector<Point2> vel(mesh.vertex_count(), Point2{30.0, 10.0});
+  const std::vector<double> bg = {1.0};
+  const auto r1 = op.advance_layer(f, 0, vel, 0.5, 0.05, bg);
+  const auto r2 = op.advance_layer(f, 0, vel, 0.5, 0.2, bg);
+  EXPECT_GT(r2.substeps, r1.substeps);
+  EXPECT_NEAR(r2.work_flops / r1.work_flops,
+              static_cast<double>(r2.substeps) / r1.substeps, 1e-9);
+}
+
+TEST(SupgTransport, RejectsMismatchedInputs) {
+  const TriMesh mesh = make_mesh();
+  SupgTransport op(mesh);
+  ConcentrationField f = uniform_field(mesh, 1.0);
+  std::vector<Point2> bad_vel(3);
+  const std::vector<double> bg = {1.0};
+  EXPECT_THROW(op.advance_layer(f, 0, bad_vel, 0.5, 0.1, bg), Error);
+  std::vector<Point2> vel(mesh.vertex_count());
+  EXPECT_THROW(op.advance_layer(f, 5, vel, 0.5, 0.1, bg), Error);  // layer
+  const std::vector<double> bad_bg = {1.0, 2.0};
+  EXPECT_THROW(op.advance_layer(f, 0, vel, 0.5, 0.1, bad_bg), Error);
+}
+
+// ----------------------------------------------------------- 1-D baseline
+
+TEST(OneDimTransport, PreservesConstantField) {
+  UniformGrid grid(BBox{0, 0, 100, 100}, 20, 20);
+  OneDimTransport op(grid);
+  ConcentrationField f(1, 1, grid.cell_count(), 2.0);
+  std::vector<Point2> vel(grid.cell_count(), Point2{15.0, 10.0});
+  const std::vector<double> bg = {2.0};
+  op.advance_layer(f, 0, vel, 0.5, 0.3, bg);
+  for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+    EXPECT_NEAR(f(0, 0, i), 2.0, 1e-9);
+  }
+}
+
+TEST(OneDimTransport, ConservesMassWithZeroBoundaryFlow) {
+  UniformGrid grid(BBox{0, 0, 100, 100}, 24, 24);
+  OneDimTransport op(grid);
+  ConcentrationField f(1, 1, grid.cell_count(), 0.0);
+  for (std::size_t j = 8; j < 16; ++j) {
+    for (std::size_t i = 8; i < 16; ++i) f(0, 0, grid.index(i, j)) = 1.0;
+  }
+  const double m0 = op.layer_mass(f, 0, 0);
+  std::vector<Point2> vel(grid.cell_count(), Point2{0.0, 0.0});
+  const std::vector<double> bg = {0.0};
+  for (int i = 0; i < 10; ++i) op.advance_layer(f, 0, vel, 1.0, 0.2, bg);
+  EXPECT_NEAR(op.layer_mass(f, 0, 0), m0, 1e-9 * m0);
+}
+
+TEST(OneDimTransport, AdvectsSquareWaveWithoutOvershoot) {
+  UniformGrid grid(BBox{0, 0, 100, 100}, 40, 40);
+  OneDimTransport op(grid);
+  ConcentrationField f(1, 1, grid.cell_count(), 0.0);
+  for (std::size_t j = 15; j < 25; ++j) {
+    for (std::size_t i = 5; i < 15; ++i) f(0, 0, grid.index(i, j)) = 1.0;
+  }
+  std::vector<Point2> vel(grid.cell_count(), Point2{25.0, 0.0});
+  const std::vector<double> bg = {0.0};
+  for (int i = 0; i < 8; ++i) op.advance_layer(f, 0, vel, 0.0, 0.125, bg);
+  // After 1 h at 25 km/h the block center moves from x=25 to x=50.
+  double cx = 0.0, m = 0.0;
+  for (std::size_t j = 0; j < 40; ++j) {
+    for (std::size_t i = 0; i < 40; ++i) {
+      const double c = f(0, 0, grid.index(i, j));
+      EXPECT_GE(c, -1e-12);
+      EXPECT_LE(c, 1.0 + 1e-9) << "flux limiter must prevent overshoot";
+      m += c;
+      cx += c * grid.center(i, j).x;
+    }
+  }
+  EXPECT_NEAR(cx / m, 50.0, 2.0);
+}
+
+TEST(OneDimTransport, SweepParallelismExceedsLayers) {
+  UniformGrid grid(BBox{0, 0, 100, 100}, 30, 20);
+  OneDimTransport op(grid);
+  EXPECT_EQ(op.sweep_parallelism(5), 5u * 20u);
+}
+
+TEST(OneDimTransport, NegativeVelocityAdvectsLeft) {
+  UniformGrid grid(BBox{0, 0, 100, 100}, 40, 4);
+  OneDimTransport op(grid);
+  ConcentrationField f(1, 1, grid.cell_count(), 0.0);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 25; i < 30; ++i) f(0, 0, grid.index(i, j)) = 1.0;
+  }
+  std::vector<Point2> vel(grid.cell_count(), Point2{-20.0, 0.0});
+  const std::vector<double> bg = {0.0};
+  double cx0 = 0.0, m0 = 0.0;
+  for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+    m0 += f.flat()[i];
+  }
+  for (int s = 0; s < 4; ++s) op.advance_layer(f, 0, vel, 0.0, 0.25, bg);
+  double cx1 = 0.0, m1 = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 40; ++i) {
+      const double c = f(0, 0, grid.index(i, j));
+      m1 += c;
+      cx1 += c * grid.center(i, j).x;
+    }
+  }
+  (void)cx0;
+  EXPECT_LT(cx1 / m1, 68.75);  // moved left from initial center (~68.75)
+}
+
+}  // namespace
+}  // namespace airshed

@@ -1,0 +1,201 @@
+// Tests for the util substrate: arrays, tridiagonal solver, RNG, stats,
+// tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "airshed/util/array.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/util/rng.hpp"
+#include "airshed/util/stats.hpp"
+#include "airshed/util/table.hpp"
+#include "airshed/util/tridiag.hpp"
+
+namespace airshed {
+namespace {
+
+TEST(Array2, IndexingIsRowMajor) {
+  Array2<double> a(3, 4);
+  a(1, 2) = 7.0;
+  EXPECT_EQ(a.flat()[1 * 4 + 2], 7.0);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 4u);
+  EXPECT_EQ(a.size(), 12u);
+}
+
+TEST(Array2, RowSpanAliasesStorage) {
+  Array2<int> a(2, 3, 5);
+  a.row(1)[2] = 9;
+  EXPECT_EQ(a(1, 2), 9);
+}
+
+TEST(Array3, SliceIsContiguousOverLastDim) {
+  Array3<double> a(2, 3, 4);
+  double v = 0.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 4; ++k) a(i, j, k) = v++;
+  auto s = a.slice(1, 2);
+  ASSERT_EQ(s.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(s[k], a(1, 2, k));
+}
+
+TEST(Array3, FillAndEquality) {
+  Array3<double> a(2, 2, 2, 1.0);
+  Array3<double> b(2, 2, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b(0, 1, 1) = 2.0;
+  EXPECT_NE(a, b);
+}
+
+TEST(Tridiag, SolvesIdentity) {
+  std::vector<double> lower(5, 0.0), diag(5, 1.0), upper(5, 0.0);
+  std::vector<double> rhs = {1, 2, 3, 4, 5};
+  std::vector<double> expect = rhs;
+  solve_tridiagonal(lower, diag, upper, rhs);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(rhs[i], expect[i]);
+}
+
+TEST(Tridiag, SolvesDiffusionLikeSystem) {
+  // -x[i-1] + 3 x[i] - x[i+1] = b. Verify against direct multiplication.
+  const int n = 12;
+  std::vector<double> lower(n, -1.0), diag(n, 3.0), upper(n, -1.0);
+  std::vector<double> x_true(n);
+  for (int i = 0; i < n; ++i) x_true[i] = std::sin(0.7 * i) + 2.0;
+  std::vector<double> rhs(n);
+  for (int i = 0; i < n; ++i) {
+    rhs[i] = 3.0 * x_true[i];
+    if (i > 0) rhs[i] -= x_true[i - 1];
+    if (i < n - 1) rhs[i] -= x_true[i + 1];
+  }
+  solve_tridiagonal(lower, diag, upper, rhs);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(rhs[i], x_true[i], 1e-12);
+}
+
+TEST(Tridiag, SizeOneSystem) {
+  std::vector<double> lower{0.0}, diag{4.0}, upper{0.0}, rhs{8.0};
+  solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_DOUBLE_EQ(rhs[0], 2.0);
+}
+
+TEST(Tridiag, ThrowsOnZeroPivot) {
+  std::vector<double> lower{0.0, 0.0}, diag{0.0, 1.0}, upper{0.0, 0.0},
+      rhs{1.0, 1.0};
+  EXPECT_THROW(solve_tridiagonal(lower, diag, upper, rhs), NumericalError);
+}
+
+TEST(Tridiag, ThrowsOnSizeMismatch) {
+  std::vector<double> lower{0.0}, diag{1.0, 1.0}, upper{0.0, 0.0},
+      rhs{1.0, 1.0};
+  EXPECT_THROW(solve_tridiagonal(lower, diag, upper, rhs), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasSaneMoments) {
+  Rng r(123);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Stats, SummaryBasics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_error(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(Stats, RmsAndMaxDifference) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(rms_difference(a, b), std::sqrt(1.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(max_abs_difference(a, b), 1.0);
+  std::vector<double> c = {1.0};
+  EXPECT_THROW((void)rms_difference(a, c), ConfigError);
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 2);
+  t.row().add("b").add(42LL);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("b,42"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, QuotesCsvSpecials) {
+  Table t({"x"});
+  t.row().add("a,b");
+  EXPECT_NE(t.to_csv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().add("ok");
+  EXPECT_THROW(t.add("overflow"), Error);
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    AIRSHED_REQUIRE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+TEST(FormatSeconds, PicksSensibleUnits) {
+  EXPECT_NE(format_seconds(123.4).find("s"), std::string::npos);
+  EXPECT_NE(format_seconds(0.005).find("ms"), std::string::npos);
+  EXPECT_NE(format_seconds(2e-6).find("us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace airshed

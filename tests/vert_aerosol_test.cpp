@@ -1,0 +1,216 @@
+// Tests for the vertical transport operator (implicit diffusion +
+// deposition + emission) and the aerosol partitioning module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "airshed/aerosol/aerosol.hpp"
+#include "airshed/chem/species.hpp"
+#include "airshed/met/meteorology.hpp"
+#include "airshed/util/error.hpp"
+#include "airshed/vert/vertical.hpp"
+
+namespace airshed {
+namespace {
+
+constexpr int kLayers = 5;
+
+VerticalTransport make_vert() {
+  return VerticalTransport(Meteorology::layer_thickness_m(kLayers));
+}
+
+struct ColumnSetup {
+  ConcentrationField conc{kSpeciesCount, kLayers, 1, 0.0};
+  std::vector<double> kz = std::vector<double>(kLayers - 1, 25.0);
+  std::vector<double> no_flux = std::vector<double>(kSpeciesCount, 0.0);
+  std::vector<double> no_dep = std::vector<double>(kSpeciesCount, 0.0);
+};
+
+TEST(VerticalTransport, ConservesColumnBurdenWithoutSinks) {
+  VerticalTransport vt = make_vert();
+  ColumnSetup s;
+  // Put all mass in the surface layer.
+  s.conc(index_of(Species::CO), 0, 0) = 1.0;
+  const double b0 = vt.column_burden(s.conc, index_of(Species::CO), 0);
+  for (int i = 0; i < 30; ++i) {
+    vt.advance_column(s.conc, 0, s.kz, s.no_flux, s.no_dep, {}, 5.0);
+  }
+  EXPECT_NEAR(vt.column_burden(s.conc, index_of(Species::CO), 0), b0,
+              1e-9 * b0);
+}
+
+TEST(VerticalTransport, DiffusionApproachesWellMixedProfile) {
+  VerticalTransport vt = make_vert();
+  ColumnSetup s;
+  s.conc(index_of(Species::CO), 0, 0) = 1.0;
+  const double burden = vt.column_burden(s.conc, index_of(Species::CO), 0);
+  double total_dz = 0.0;
+  for (double dz : vt.layer_thickness_m()) total_dz += dz;
+  const double mixed = burden / total_dz;
+  // Long integration with strong mixing.
+  std::vector<double> strong_kz(kLayers - 1, 80.0);
+  for (int i = 0; i < 600; ++i) {
+    vt.advance_column(s.conc, 0, strong_kz, s.no_flux, s.no_dep, {}, 10.0);
+  }
+  for (int k = 0; k < kLayers; ++k) {
+    EXPECT_NEAR(s.conc(index_of(Species::CO), k, 0), mixed, 0.05 * mixed)
+        << "layer " << k;
+  }
+}
+
+TEST(VerticalTransport, DepositionRemovesMassMonotonically) {
+  VerticalTransport vt = make_vert();
+  ColumnSetup s;
+  for (int k = 0; k < kLayers; ++k) s.conc(index_of(Species::O3), k, 0) = 0.05;
+  std::vector<double> dep(kSpeciesCount, 0.0);
+  dep[index_of(Species::O3)] = 0.005;  // m/s
+  double prev = vt.column_burden(s.conc, index_of(Species::O3), 0);
+  for (int i = 0; i < 10; ++i) {
+    vt.advance_column(s.conc, 0, s.kz, s.no_flux, dep, {}, 5.0);
+    const double now = vt.column_burden(s.conc, index_of(Species::O3), 0);
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(VerticalTransport, SurfaceEmissionAddsExpectedMass) {
+  VerticalTransport vt = make_vert();
+  ColumnSetup s;
+  std::vector<double> flux(kSpeciesCount, 0.0);
+  flux[index_of(Species::NO)] = 2.0e-3;  // ppm*m/min
+  const double dt = 5.0;                 // minutes
+  const int steps = 12;
+  for (int i = 0; i < steps; ++i) {
+    vt.advance_column(s.conc, 0, s.kz, flux, s.no_dep, {}, dt);
+  }
+  const double burden = vt.column_burden(s.conc, index_of(Species::NO), 0);
+  EXPECT_NEAR(burden, 2.0e-3 * dt * steps, 1e-9);
+}
+
+TEST(VerticalTransport, ElevatedInjectionLandsInRequestedLayer) {
+  VerticalTransport vt = make_vert();
+  ColumnSetup s;
+  std::vector<double> zero_kz(kLayers - 1, 0.0);  // no mixing: stays put
+  std::vector<double> elevated(
+      static_cast<std::size_t>(kSpeciesCount) * kLayers, 0.0);
+  elevated[static_cast<std::size_t>(index_of(Species::SO2)) * kLayers + 2] =
+      1.0e-2;
+  vt.advance_column(s.conc, 0, zero_kz, s.no_flux, s.no_dep, elevated, 10.0);
+  EXPECT_GT(s.conc(index_of(Species::SO2), 2, 0), 0.0);
+  EXPECT_EQ(s.conc(index_of(Species::SO2), 0, 0), 0.0);
+  EXPECT_EQ(s.conc(index_of(Species::SO2), 4, 0), 0.0);
+}
+
+TEST(VerticalTransport, RejectsBadShapes) {
+  VerticalTransport vt = make_vert();
+  ColumnSetup s;
+  std::vector<double> bad_kz(2, 10.0);
+  EXPECT_THROW(
+      vt.advance_column(s.conc, 0, bad_kz, s.no_flux, s.no_dep, {}, 1.0),
+      Error);
+  EXPECT_THROW(
+      vt.advance_column(s.conc, 99, s.kz, s.no_flux, s.no_dep, {}, 1.0),
+      Error);
+}
+
+TEST(VerticalTransport, LayerThicknessesGrowWithHeight) {
+  const std::vector<double> dz = Meteorology::layer_thickness_m(5);
+  ASSERT_EQ(dz.size(), 5u);
+  for (std::size_t k = 1; k < dz.size(); ++k) EXPECT_GT(dz[k], dz[k - 1]);
+}
+
+// ----------------------------------------------------------------- aerosol
+
+TEST(Aerosol, KpIncreasesWithTemperature) {
+  const double k_cold = AerosolModule::kp_nh4no3_ppm2(278.0);
+  const double k_warm = AerosolModule::kp_nh4no3_ppm2(308.0);
+  EXPECT_GT(k_warm, k_cold);
+  // At 298 K the dissociation constant is tens of ppb^2.
+  const double k298_ppb2 = AerosolModule::kp_nh4no3_ppm2(298.0) * 1e6;
+  EXPECT_GT(k298_ppb2, 5.0);
+  EXPECT_LT(k298_ppb2, 500.0);
+}
+
+TEST(Aerosol, CondensesWhenProductExceedsKp) {
+  AerosolModule aero;
+  double nh3 = 0.02, hno3 = 0.02, sulf = 0.0;
+  double p_no3 = 0.0, p_nh4 = 0.0, p_so4 = 0.0;
+  const double moved =
+      aero.equilibrate_cell(nh3, hno3, sulf, p_no3, p_nh4, p_so4, 285.0);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_GT(p_no3, 0.0);
+  EXPECT_DOUBLE_EQ(p_no3, p_nh4);
+  // Gas product lands on the equilibrium line.
+  EXPECT_NEAR(nh3 * hno3, AerosolModule::kp_nh4no3_ppm2(285.0),
+              1e-6 * AerosolModule::kp_nh4no3_ppm2(285.0));
+}
+
+TEST(Aerosol, EvaporatesWhenProductBelowKp) {
+  AerosolModule aero;
+  double nh3 = 1e-6, hno3 = 1e-6, sulf = 0.0;
+  double p_no3 = 5e-3, p_nh4 = 5e-3, p_so4 = 0.0;
+  const double moved =
+      aero.equilibrate_cell(nh3, hno3, sulf, p_no3, p_nh4, p_so4, 305.0);
+  EXPECT_LT(moved, 0.0);
+  EXPECT_LT(p_no3, 5e-3);
+  EXPECT_GT(nh3, 1e-6);
+}
+
+TEST(Aerosol, SulfateCondensesIrreversiblyAndTakesAmmonium) {
+  AerosolModule aero;
+  double nh3 = 0.01, hno3 = 0.0, sulf = 2e-3;
+  double p_no3 = 0.0, p_nh4 = 0.0, p_so4 = 0.0;
+  aero.equilibrate_cell(nh3, hno3, sulf, p_no3, p_nh4, p_so4, 298.0);
+  EXPECT_DOUBLE_EQ(sulf, 0.0);
+  EXPECT_DOUBLE_EQ(p_so4, 2e-3);
+  EXPECT_NEAR(p_nh4, 4e-3, 1e-12);   // 2 NH3 per H2SO4
+  EXPECT_NEAR(nh3, 0.01 - 4e-3, 1e-12);
+}
+
+TEST(Aerosol, CellConservesTotalNitrogenAndSulfur) {
+  AerosolModule aero;
+  double nh3 = 0.015, hno3 = 0.012, sulf = 1e-3;
+  double p_no3 = 2e-3, p_nh4 = 3e-3, p_so4 = 1e-4;
+  const double n0 = nh3 + hno3 + p_no3 + p_nh4;
+  const double s0 = sulf + p_so4;
+  aero.equilibrate_cell(nh3, hno3, sulf, p_no3, p_nh4, p_so4, 290.0);
+  EXPECT_NEAR(nh3 + hno3 + p_no3 + p_nh4, n0, 1e-12);
+  EXPECT_NEAR(sulf + p_so4, s0, 1e-15);
+  EXPECT_GE(nh3, 0.0);
+  EXPECT_GE(hno3, 0.0);
+  EXPECT_GE(p_no3, 0.0);
+}
+
+TEST(Aerosol, EquilibrateFieldTouchesEveryCell) {
+  AerosolModule aero;
+  const std::size_t layers = 3, nodes = 7;
+  ConcentrationField gas(kSpeciesCount, layers, nodes, 0.0);
+  Array3<double> pm(kPmComponents, layers, nodes, 0.0);
+  for (std::size_t k = 0; k < layers; ++k) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      gas(index_of(Species::NH3), k, n) = 0.02;
+      gas(index_of(Species::HNO3), k, n) = 0.02;
+    }
+  }
+  std::vector<double> temps = {285.0, 284.0, 283.0};
+  const AerosolResult r = aero.equilibrate(gas, pm, temps);
+  EXPECT_EQ(r.cells, layers * nodes);
+  EXPECT_GT(r.work_flops, 0.0);
+  for (std::size_t k = 0; k < layers; ++k) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      EXPECT_GT(pm(static_cast<std::size_t>(PmComponent::Nitrate), k, n), 0.0);
+    }
+  }
+}
+
+TEST(Aerosol, EquilibrateRejectsShapeMismatch) {
+  AerosolModule aero;
+  ConcentrationField gas(kSpeciesCount, 3, 7, 0.0);
+  Array3<double> pm(kPmComponents, 2, 7, 0.0);
+  std::vector<double> temps = {285.0, 284.0, 283.0};
+  EXPECT_THROW(aero.equilibrate(gas, pm, temps), Error);
+}
+
+}  // namespace
+}  // namespace airshed
