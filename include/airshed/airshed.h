@@ -29,6 +29,8 @@
 #include "airshed/dist/distarray.hpp"
 #include "airshed/dist/layout.hpp"
 #include "airshed/emis/emissions.hpp"
+#include "airshed/fault/fault_plan.hpp"
+#include "airshed/fault/recovery.hpp"
 #include "airshed/fxsim/comm_cost.hpp"
 #include "airshed/fxsim/foreign.hpp"
 #include "airshed/fxsim/ledger.hpp"

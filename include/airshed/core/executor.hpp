@@ -21,6 +21,8 @@
 
 #include "airshed/core/worktrace.hpp"
 #include "airshed/dist/airshed_layouts.hpp"
+#include "airshed/fault/fault_plan.hpp"
+#include "airshed/fault/recovery.hpp"
 #include "airshed/fxsim/ledger.hpp"
 #include "airshed/fxsim/pipeline.hpp"
 #include "airshed/machine/machine.hpp"
@@ -42,6 +44,17 @@ struct ExecutionConfig {
   /// Fx implementation uses BLOCK; CYCLIC balances the strongly
   /// state-dependent per-column chemistry cost (bench/abl_cyclic_chemistry).
   DimDist chemistry_dist = DimDist::Block;
+
+  /// Fault injection schedule; the default (empty) plan takes the exact
+  /// fault-free code path, so zero-fault runs are byte-identical to a
+  /// configuration without a fault layer. Node-failure injection requires
+  /// Strategy::DataParallel (straggler and message-drop injection work
+  /// under both strategies).
+  FaultPlan faults;
+  /// Checkpointing policy; consulted only when `faults` enables failures.
+  CheckpointPolicy checkpoint;
+  /// Retransmission backoff for injected message drops.
+  RetryPolicy retry;
 };
 
 /// Per-redistribution-kind communication totals (for Figs 5 and 6).
@@ -65,6 +78,7 @@ struct RunReport {
   double total_seconds = 0.0;
   RunLedger ledger;   ///< per-category virtual time (sums of phase maxima)
   CommBreakdown comm;
+  RecoveryReport recovery;  ///< resilience accounting (empty when no faults)
 
   double speedup_vs(const RunReport& base) const {
     return base.total_seconds / total_seconds;
@@ -94,5 +108,15 @@ HourStageTimes pipeline_stage_times(const WorkTrace& trace,
 double hour_main_seconds(const WorkTrace& trace, std::size_t hour_index,
                          const MachineModel& machine, int nodes,
                          RunLedger* ledger, CommBreakdown* comm);
+
+/// Fault-aware overload: straggler factors inflate the phase maxima (the
+/// inflation is charged to PhaseCategory::Recovery, the nominal time to the
+/// phase's own category) and injected message drops charge retransmissions.
+/// With an empty plan this is identical to the overload above.
+double hour_main_seconds(const WorkTrace& trace, std::size_t hour_index,
+                         const MachineModel& machine, int nodes,
+                         const FaultPlan& faults, const RetryPolicy& retry,
+                         RunLedger* ledger, CommBreakdown* comm,
+                         RecoveryReport* recovery = nullptr);
 
 }  // namespace airshed

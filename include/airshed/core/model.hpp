@@ -20,6 +20,7 @@
 
 #include "airshed/chem/youngboris.hpp"
 #include "airshed/core/worktrace.hpp"
+#include "airshed/io/archive.hpp"
 #include "airshed/io/hourly.hpp"
 
 namespace airshed {
@@ -49,6 +50,12 @@ struct ModelRunResult {
 using HourCallback =
     std::function<void(const HourlyStats&, const ConcentrationField&)>;
 
+/// Called at every hour boundary with the complete restartable model state
+/// (the natural D_Chem -> D_Repl barrier, where the field is gathered
+/// anyway). Consumers persist the record; AirshedModel::resume replays
+/// from it bit for bit.
+using CheckpointCallback = std::function<void(const CheckpointRecord&)>;
+
 /// Sequential Airshed model bound to one dataset.
 class AirshedModel {
  public:
@@ -64,7 +71,25 @@ class AirshedModel {
   /// hour (outputhour publication, the PopExp attachment point).
   ModelRunResult run(const HourCallback& on_hour = {});
 
+  /// Like run(), but additionally emits a CheckpointRecord after every
+  /// completed hour (restart state as of that boundary).
+  ModelRunResult run_with_checkpoints(const CheckpointCallback& on_checkpoint,
+                                      const HourCallback& on_hour = {});
+
+  /// Resumes an interrupted run from a checkpoint: simulates hours
+  /// [from.next_hour, options().hours). The returned trace and outputs
+  /// cover only the replayed hours; because hourly inputs are generated
+  /// statelessly, the replayed hours are bit-identical to the same hours
+  /// of an uninterrupted run. Throws ConfigError on dataset or shape
+  /// mismatch.
+  ModelRunResult resume(const CheckpointRecord& from,
+                        const HourCallback& on_hour = {});
+
  private:
+  ModelRunResult run_hours(int first_hour, ConcentrationField conc,
+                           Array3<double> pm, const HourCallback& on_hour,
+                           const CheckpointCallback& on_checkpoint);
+
   const Dataset* dataset_;
   ModelOptions opts_;
 };

@@ -66,6 +66,9 @@ struct RedistributionStats {
 /// message per communicating node pair. An element already present on the
 /// destination node is a local copy (H-cost), not a message — so
 /// D_Repl -> D_Trans generates zero network traffic, as in the paper.
+/// The layouts' node counts may differ (re-layout onto a shrunken node set
+/// after a failure, or onto a grown one); rank p means the same physical
+/// node on both sides.
 RedistributionStats redistribute(const DistArray3& src, DistArray3& dst,
                                  std::size_t word_size);
 

@@ -1,0 +1,91 @@
+// Checkpoint/restart policy and recovery accounting.
+//
+// With faults injected, the executor checkpoints the replicated
+// concentration array at the natural D_Chem -> D_Repl hour boundary: the
+// gather traffic is costed with the redistribution engine and the archive
+// write with a per-byte I/O rate. A node failure rolls the run back to the
+// last checkpoint; the discarded virtual time (lost work), the restore
+// read, and the re-layout of the working distribution onto the surviving
+// nodes are all charged to PhaseCategory::Recovery, so the *cost of
+// resilience* is a first-class, predictable quantity like every other
+// phase — which is exactly what Young's classic checkpoint-interval
+// analysis assumes, and what bench/abl_fault_recovery verifies.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace airshed {
+
+/// When and how expensively the run checkpoints. Only consulted when the
+/// fault plan enables failures (node_mtbf_hours > 0): checkpointing is
+/// insurance, paid iff failures are possible.
+struct CheckpointPolicy {
+  /// Checkpoint every k completed hours (at the D_Chem -> D_Repl barrier);
+  /// 0 disables checkpointing (a failure then loses the whole run so far).
+  int interval_hours = 1;
+  /// Archive write/read cost in seconds per byte; negative means "use the
+  /// machine's local-copy rate H" (the checkpoint lands on the I/O node's
+  /// disk through the same memory system the copy model measures).
+  double write_byte_s = -1.0;
+  /// Fixed per-checkpoint/per-restore latency (file creation, metadata).
+  double fixed_latency_s = 0.05;
+};
+
+/// Bounded exponential backoff charged per message retransmission.
+struct RetryPolicy {
+  double backoff_base_s = 1e-4;
+  double backoff_max_s = 0.1;
+};
+
+/// One permanent node failure as the executor handled it.
+struct FailureEvent {
+  int node = -1;            ///< physical node id that died
+  int hour = 0;             ///< simulated hour of death
+  double at_fraction = 0.0; ///< fraction of the hour completed at death
+  double lost_s = 0.0;      ///< virtual time discarded back to the checkpoint
+  double relayout_s = 0.0;  ///< redistribution onto the surviving nodes
+  int survivors = 0;        ///< node count after the failure
+};
+
+/// Where the resilience overhead went (all charged to
+/// PhaseCategory::Recovery in the RunLedger; this struct keeps the
+/// machine-readable decomposition).
+struct RecoveryReport {
+  std::vector<FailureEvent> failures;
+  long long checkpoints = 0;
+  long long retransmissions = 0;
+  double checkpoint_s = 0.0;   ///< gather + archive write of all checkpoints
+  double lost_work_s = 0.0;    ///< discarded (replayed) virtual time
+  double relayout_s = 0.0;     ///< re-layout onto surviving nodes
+  double restore_s = 0.0;      ///< checkpoint read-back at restart
+  double retransmit_s = 0.0;   ///< dropped-message retries incl. backoff
+  double straggler_s = 0.0;    ///< phase-maxima inflation from slowdowns
+  int final_nodes = 0;         ///< survivors at end of run
+  bool foreign_module_gave_up = false;  ///< degraded-mode coupling engaged
+
+  double total_overhead_s() const {
+    return checkpoint_s + lost_work_s + relayout_s + restore_s +
+           retransmit_s + straggler_s;
+  }
+};
+
+/// Young's optimal checkpoint interval: sqrt(2 * C * M) for per-checkpoint
+/// cost C and machine MTBF M (both in seconds).
+inline double young_optimal_interval_s(double checkpoint_cost_s,
+                                       double mtbf_s) {
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+/// First-order expected resilience overhead per unit of useful virtual
+/// time, in the style of Young's analysis: checkpointing at interval T
+/// costs C/T, and a failure (rate 1/M) loses on average T/2 of work.
+inline double expected_overhead_rate(double checkpoint_cost_s,
+                                     double interval_s, double mtbf_s) {
+  double rate = 0.0;
+  if (interval_s > 0.0) rate += checkpoint_cost_s / interval_s;
+  if (mtbf_s > 0.0) rate += 0.5 * interval_s / mtbf_s;
+  return rate;
+}
+
+}  // namespace airshed

@@ -35,6 +35,30 @@ struct ForeignCouplingOptions {
   ForeignScenario scenario = ForeignScenario::A;
 };
 
+/// Timeout/retry/give-up semantics of the cross-runtime handshake. The two
+/// runtime systems rendezvous before every exchange; a dead foreign module
+/// must not hang the native program, so each attempt times out and the
+/// native side gives up after a bounded number of retries, degrading to
+/// running without the module's output.
+struct HandshakeOptions {
+  double timeout_s = 1.0;        ///< per-attempt timeout (virtual seconds)
+  int max_retries = 3;           ///< re-attempts after the first timeout
+  double backoff_base_s = 0.25;  ///< bounded exponential backoff between tries
+  double backoff_max_s = 2.0;
+};
+
+struct HandshakeResult {
+  bool connected = false;
+  int attempts = 0;      ///< handshake attempts made (>= 1)
+  double elapsed_s = 0.0;  ///< virtual time spent before connect/give-up
+};
+
+/// Attempts the coupling handshake. A healthy module answers immediately
+/// (the per-exchange sync overhead is already part of the transfer cost);
+/// a dead one times out on every attempt until the native side gives up.
+HandshakeResult attempt_handshake(bool module_alive,
+                                  const HandshakeOptions& opts = {});
+
 /// Seconds to move `bytes` from a native task distributed over `src_nodes`
 /// to a foreign module on `dst_nodes` via scenario A staging.
 double foreign_transfer_seconds(const MachineModel& machine,

@@ -23,6 +23,8 @@ enum class PhaseCategory {
   Communication,  ///< array redistribution
   Exposure,       ///< PopExp computation
   Coupling,       ///< foreign-module data transfer overhead
+  Recovery,       ///< resilience overhead: checkpoints, lost work, re-layout,
+                  ///< retransmissions, straggler inflation (fault injection)
 };
 
 /// Human-readable category name.

@@ -14,6 +14,30 @@
 
 namespace airshed {
 
+/// A restart checkpoint: the complete model state at an hour boundary.
+/// Written by AirshedModel::run_with_checkpoints and read back by
+/// AirshedModel::resume. The round trip is exact (precision-17 text, like
+/// RunArchive), so a run resumed from a checkpoint reproduces an
+/// uninterrupted run bit for bit.
+struct CheckpointRecord {
+  std::string dataset;
+  int next_hour = 0;        ///< first hour still to simulate
+  ConcentrationField conc;  ///< gas concentrations at the boundary
+  Array3<double> pm;        ///< particulate field at the boundary
+
+  /// State size in bytes (what a simulated checkpoint write pays for).
+  std::size_t payload_bytes() const {
+    return (conc.size() + pm.size()) * sizeof(double);
+  }
+
+  void save(const std::string& path) const;
+  /// Throws Error on malformed or truncated files.
+  static CheckpointRecord load(const std::string& path);
+
+  friend bool operator==(const CheckpointRecord&,
+                         const CheckpointRecord&) = default;
+};
+
 /// One archived hour: the statistics plus the full 3-D field snapshot.
 struct ArchivedHour {
   HourlyStats stats;

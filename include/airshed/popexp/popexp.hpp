@@ -79,6 +79,17 @@ struct PopExpExecutionConfig {
   std::size_t raster_cells = 0;
   double work_per_cell_flops = ExposureModel::kWorkPerCellFlops;
   ForeignCouplingOptions foreign;
+
+  /// Cross-runtime handshake policy (foreign-module coupling only).
+  HandshakeOptions handshake;
+  /// Simulated hour from which the foreign PopExp module is dead, or -1 for
+  /// an always-healthy module. From that hour on the native program's
+  /// handshake times out; after the retry budget it gives up and degrades
+  /// to running without exposure output: the give-up cost is charged once
+  /// to Coupling, dead hours transfer nothing and compute no exposure, and
+  /// RunReport::recovery.foreign_module_gave_up is set. Ignored under
+  /// NativeTask coupling (the task dies with the program, not separately).
+  int module_dead_from_hour = -1;
 };
 
 /// Node split for the 4-stage Airshed+PopExp pipeline (Fig 12):

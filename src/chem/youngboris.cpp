@@ -132,7 +132,9 @@ YoungBorisResult YoungBorisSolver::integrate(
         if (!std::isfinite(cp_[i])) {
           throw NumericalError(
               "YoungBoris: non-finite concentration for species " +
-              std::string(species_name(static_cast<int>(i))));
+              std::string(species_name(static_cast<int>(i))) + " at substep " +
+              std::to_string(result.substeps) + " (t = " +
+              std::to_string(t) + " min into the step)");
         }
         c[i] = cp_[i];
       }

@@ -1,6 +1,11 @@
 #include "airshed/core/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <utility>
 
 #include "airshed/util/error.hpp"
 
@@ -8,45 +13,180 @@ namespace airshed {
 
 namespace {
 
-/// Max over nodes of the summed work of a BLOCK-distributed work vector.
-double max_block_work(std::span<const double> work, int nodes) {
+// ---------------------------------------------------------------------------
+// Configuration validation (ConfigError names the offending field).
+// ---------------------------------------------------------------------------
+
+void validate_machine(const MachineModel& m) {
+  auto require_positive = [&](double v, const char* field) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      throw ConfigError("MachineModel." + std::string(field) +
+                        " must be positive and finite (machine '" + m.name +
+                        "', got " + std::to_string(v) + ")");
+    }
+  };
+  require_positive(m.node_rate_flops, "node_rate_flops");
+  require_positive(m.latency_per_message_s, "latency_per_message_s");
+  require_positive(m.cost_per_byte_s, "cost_per_byte_s");
+  require_positive(m.copy_per_byte_s, "copy_per_byte_s");
+  if (m.word_size == 0) {
+    throw ConfigError("MachineModel.word_size must be >= 1 (machine '" +
+                      m.name + "')");
+  }
+  if (m.max_nodes < 1) {
+    throw ConfigError("MachineModel.max_nodes must be >= 1 (machine '" +
+                      m.name + "')");
+  }
+}
+
+void validate_trace(const WorkTrace& trace) {
+  if (trace.species == 0) {
+    throw ConfigError("WorkTrace.species must be non-empty (dataset '" +
+                      trace.dataset + "')");
+  }
+  if (trace.layers == 0) {
+    throw ConfigError("WorkTrace.layers must be non-empty (dataset '" +
+                      trace.dataset + "')");
+  }
+  if (trace.points == 0) {
+    throw ConfigError("WorkTrace.points must be non-empty (dataset '" +
+                      trace.dataset + "')");
+  }
+}
+
+void validate_config(const WorkTrace& trace, const ExecutionConfig& config) {
+  if (config.nodes < 1) {
+    throw ConfigError("ExecutionConfig.nodes must be >= 1 (got " +
+                      std::to_string(config.nodes) + ")");
+  }
+  validate_machine(config.machine);
+  if (config.nodes > config.machine.max_nodes) {
+    throw ConfigError("ExecutionConfig.nodes (" +
+                      std::to_string(config.nodes) +
+                      ") exceeds MachineModel.max_nodes (" +
+                      std::to_string(config.machine.max_nodes) + ")");
+  }
+  validate_trace(trace);
+  if (!config.faults.empty()) {
+    if (config.faults.nodes() < config.nodes) {
+      throw ConfigError("FaultPlan covers " +
+                        std::to_string(config.faults.nodes()) +
+                        " nodes but ExecutionConfig.nodes is " +
+                        std::to_string(config.nodes));
+    }
+    if (config.faults.has_failures() &&
+        config.strategy != Strategy::DataParallel) {
+      throw ConfigError(
+          "FaultPlan.node_mtbf_hours: node-failure injection requires "
+          "Strategy::DataParallel (stragglers and message drops work under "
+          "both strategies)");
+    }
+    if (config.checkpoint.interval_hours < 0) {
+      throw ConfigError("CheckpointPolicy.interval_hours must be >= 0 (got " +
+                        std::to_string(config.checkpoint.interval_hours) +
+                        ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault context threaded through the per-hour cost evaluation.
+// ---------------------------------------------------------------------------
+
+/// Identity and schedule needed to perturb one hour: `physical` maps the
+/// logical node index of the current decomposition to the physical node id
+/// whose straggler factor applies (null = identity mapping).
+struct FaultCtx {
+  const FaultPlan* plan = nullptr;
+  const std::vector<int>* physical = nullptr;
+  int hour = 0;
+  const RetryPolicy* retry = nullptr;
+  RecoveryReport* recovery = nullptr;  ///< straggler/retransmit accumulators
+};
+
+double node_slowdown(const FaultCtx* f, int logical) {
+  if (!f || !f->plan->has_slowdowns()) return 1.0;
+  const int phys = f->physical
+                       ? (*f->physical)[static_cast<std::size_t>(logical)]
+                       : logical;
+  return f->plan->slowdown(f->hour, phys);
+}
+
+/// Slowest straggler among the first `count` logical nodes (for phases that
+/// run replicated or over uniform units).
+double max_slowdown(const FaultCtx* f, int count) {
+  double worst = 1.0;
+  if (!f || !f->plan->has_slowdowns()) return worst;
+  for (int i = 0; i < count; ++i) worst = std::max(worst, node_slowdown(f, i));
+  return worst;
+}
+
+/// Nominal and straggler-inflated phase maxima of a distributed work vector.
+struct PhaseMaxima {
+  double nominal = 0.0;
+  double inflated = 0.0;
+};
+
+PhaseMaxima max_block_work(std::span<const double> work, int nodes,
+                           const FaultCtx* fault) {
   const std::size_t n = work.size();
   const std::size_t bs = (n + nodes - 1) / static_cast<std::size_t>(nodes);
-  double worst = 0.0;
-  for (std::size_t lo = 0; lo < n; lo += bs) {
+  PhaseMaxima m;
+  int node = 0;
+  for (std::size_t lo = 0; lo < n; lo += bs, ++node) {
     const std::size_t hi = std::min(lo + bs, n);
     double acc = 0.0;
     for (std::size_t i = lo; i < hi; ++i) acc += work[i];
-    worst = std::max(worst, acc);
+    m.nominal = std::max(m.nominal, acc);
+    m.inflated = std::max(m.inflated, acc * node_slowdown(fault, node));
   }
-  return worst;
+  return m;
 }
 
-/// Max over nodes of the summed work under a CYCLIC distribution
-/// (unit i on node i mod P).
-double max_cyclic_work(std::span<const double> work, int nodes) {
-  std::vector<double> acc(nodes, 0.0);
+PhaseMaxima max_cyclic_work(std::span<const double> work, int nodes,
+                            const FaultCtx* fault) {
+  std::vector<double> acc(static_cast<std::size_t>(nodes), 0.0);
   for (std::size_t i = 0; i < work.size(); ++i) {
     acc[i % static_cast<std::size_t>(nodes)] += work[i];
   }
-  double worst = 0.0;
-  for (double a : acc) worst = std::max(worst, a);
-  return worst;
+  PhaseMaxima m;
+  for (int node = 0; node < nodes; ++node) {
+    const double a = acc[static_cast<std::size_t>(node)];
+    m.nominal = std::max(m.nominal, a);
+    m.inflated = std::max(m.inflated, a * node_slowdown(fault, node));
+  }
+  return m;
 }
 
-double max_distributed_work(std::span<const double> work, int nodes,
-                            DimDist dist) {
-  return dist == DimDist::Cyclic ? max_cyclic_work(work, nodes)
-                                 : max_block_work(work, nodes);
+PhaseMaxima max_distributed_work(std::span<const double> work, int nodes,
+                                 DimDist dist, const FaultCtx* fault) {
+  return dist == DimDist::Cyclic ? max_cyclic_work(work, nodes, fault)
+                                 : max_block_work(work, nodes, fault);
 }
 
-/// Communication phase times of the main loop for one (trace, P) pair.
-struct CommTimes {
-  double repl_to_trans = 0.0;
-  double trans_to_chem = 0.0;
-  double chem_to_repl = 0.0;
-  double trans_to_repl = 0.0;
+/// One communication phase of the main loop: its cost-model time plus the
+/// mean message size (what one retransmission re-sends).
+struct CommPhase {
+  double seconds = 0.0;
+  double retry_bytes = 0.0;
 };
+
+struct CommTimes {
+  CommPhase repl_to_trans;
+  CommPhase trans_to_chem;
+  CommPhase chem_to_repl;
+  CommPhase trans_to_repl;
+};
+
+CommPhase comm_phase_of(const RedistributionStats& stats,
+                        const MachineModel& machine) {
+  CommPhase p;
+  p.seconds = stats.phase_seconds(machine);
+  p.retry_bytes = stats.total_messages > 0.0
+                      ? stats.total_network_bytes / stats.total_messages
+                      : 0.0;
+  return p;
+}
 
 CommTimes plan_comm_times(const WorkTrace& trace, const MachineModel& machine,
                           int nodes, DimDist chemistry_dist) {
@@ -57,55 +197,89 @@ CommTimes plan_comm_times(const WorkTrace& trace, const MachineModel& machine,
         {trace.species, trace.layers, trace.points}, kNodesDim, nodes);
   }
   CommTimes ct;
-  ct.repl_to_trans =
-      plan_redistribution(layouts.repl, layouts.trans, machine.word_size)
-          .phase_seconds(machine);
-  ct.trans_to_chem =
-      plan_redistribution(layouts.trans, layouts.chem, machine.word_size)
-          .phase_seconds(machine);
-  ct.chem_to_repl =
-      plan_redistribution(layouts.chem, layouts.repl, machine.word_size)
-          .phase_seconds(machine);
-  ct.trans_to_repl =
-      plan_redistribution(layouts.trans, layouts.repl, machine.word_size)
-          .phase_seconds(machine);
+  ct.repl_to_trans = comm_phase_of(
+      plan_redistribution(layouts.repl, layouts.trans, machine.word_size),
+      machine);
+  ct.trans_to_chem = comm_phase_of(
+      plan_redistribution(layouts.trans, layouts.chem, machine.word_size),
+      machine);
+  ct.chem_to_repl = comm_phase_of(
+      plan_redistribution(layouts.chem, layouts.repl, machine.word_size),
+      machine);
+  ct.trans_to_repl = comm_phase_of(
+      plan_redistribution(layouts.trans, layouts.repl, machine.word_size),
+      machine);
   return ct;
 }
 
 /// Transport phase time. With row parallelism R > 1 (the 1-D baseline),
 /// a layer's work divides over R independent rows: the phase behaves like
 /// layers * R uniform units.
-double transport_phase_seconds(std::span<const double> layer_work,
-                               const MachineModel& machine, int nodes,
-                               std::size_t row_parallelism) {
+PhaseMaxima transport_phase_work(std::span<const double> layer_work,
+                                 int nodes, std::size_t row_parallelism,
+                                 const FaultCtx* fault) {
   if (row_parallelism <= 1) {
-    return machine.compute_time(max_block_work(layer_work, nodes));
+    return max_block_work(layer_work, nodes, fault);
   }
   double total = 0.0;
   for (double w : layer_work) total += w;
   const std::size_t units = layer_work.size() * row_parallelism;
   const std::size_t used = std::min<std::size_t>(units, nodes);
   const double max_units = static_cast<double>((units + used - 1) / used);
-  return machine.compute_time(total / static_cast<double>(units) * max_units);
+  PhaseMaxima m;
+  m.nominal = total / static_cast<double>(units) * max_units;
+  m.inflated = m.nominal * max_slowdown(fault, static_cast<int>(used));
+  return m;
 }
 
 double hour_main_seconds_impl(const HourTrace& hour,
                               const MachineModel& machine, int nodes,
                               const CommTimes& ct, DimDist chemistry_dist,
                               std::size_t row_parallelism,
-                              RunLedger* ledger, CommBreakdown* comm) {
+                              RunLedger* ledger, CommBreakdown* comm,
+                              const FaultCtx* fault) {
   double total = 0.0;
   auto charge = [&](PhaseCategory cat, const char* name, double seconds) {
     total += seconds;
     if (ledger) ledger->charge(cat, name, seconds);
   };
-  auto charge_comm = [&](const char* name, double seconds,
+  // A compute phase contributes its straggler-inflated maximum; the nominal
+  // part goes to the phase's own category, the inflation to Recovery.
+  auto charge_compute = [&](PhaseCategory cat, const char* name,
+                            const PhaseMaxima& work) {
+    charge(cat, name, machine.compute_time(work.nominal));
+    const double inflation = machine.compute_time(work.inflated - work.nominal);
+    if (inflation > 0.0) {
+      charge(PhaseCategory::Recovery, "straggler inflation", inflation);
+      if (fault && fault->recovery) fault->recovery->straggler_s += inflation;
+    }
+  };
+  long long comm_seq = 0;  // comm phase index within this hour (drop key)
+  auto charge_comm = [&](const char* name, const CommPhase& phase,
                          double CommBreakdown::* member) {
-    charge(PhaseCategory::Communication, name, seconds);
+    charge(PhaseCategory::Communication, name, phase.seconds);
     if (comm) {
-      comm->*member += seconds;
+      comm->*member += phase.seconds;
       ++comm->phases;
     }
+    if (fault) {
+      const int drops = fault->plan->drops(fault->hour, comm_seq);
+      for (int k = 0; k < drops; ++k) {
+        // Each dropped message re-sends once (L + G*b) after a bounded
+        // exponential backoff.
+        const double backoff =
+            std::min(fault->retry->backoff_base_s * std::ldexp(1.0, k),
+                     fault->retry->backoff_max_s);
+        const double retry_s =
+            backoff + machine.comm_time(1.0, phase.retry_bytes, 0.0);
+        charge(PhaseCategory::Recovery, "retransmission", retry_s);
+        if (fault->recovery) {
+          fault->recovery->retransmit_s += retry_s;
+          ++fault->recovery->retransmissions;
+        }
+      }
+    }
+    ++comm_seq;
   };
 
   const std::size_t nsteps = hour.steps.size();
@@ -116,31 +290,230 @@ double hour_main_seconds_impl(const HourTrace& hour,
       charge_comm("D_Repl->D_Trans", ct.repl_to_trans,
                   &CommBreakdown::repl_to_trans_s);
     }
-    charge(PhaseCategory::Transport, "transport (first half)",
-           transport_phase_seconds(step.transport1_layer_work, machine, nodes,
-                                   row_parallelism));
+    charge_compute(PhaseCategory::Transport, "transport (first half)",
+                   transport_phase_work(step.transport1_layer_work, nodes,
+                                        row_parallelism, fault));
     charge_comm("D_Trans->D_Chem", ct.trans_to_chem,
                 &CommBreakdown::trans_to_chem_s);
-    charge(PhaseCategory::Chemistry, "chemistry + vertical",
-           machine.compute_time(max_distributed_work(
-               step.chem_column_work, nodes, chemistry_dist)));
+    charge_compute(PhaseCategory::Chemistry, "chemistry + vertical",
+                   max_distributed_work(step.chem_column_work, nodes,
+                                        chemistry_dist, fault));
     // Aerosol requires replication (paper §2.2): D_Chem -> D_Repl, then the
-    // replicated aerosol step on every node.
+    // replicated aerosol step on every node (the barrier waits for the
+    // slowest straggler).
     charge_comm("D_Chem->D_Repl", ct.chem_to_repl,
                 &CommBreakdown::chem_to_repl_s);
-    charge(PhaseCategory::Aerosol, "aerosol (replicated)",
-           machine.compute_time(step.aerosol_work));
+    charge_compute(
+        PhaseCategory::Aerosol, "aerosol (replicated)",
+        PhaseMaxima{step.aerosol_work,
+                    step.aerosol_work * max_slowdown(fault, nodes)});
     charge_comm("D_Repl->D_Trans", ct.repl_to_trans,
                 &CommBreakdown::repl_to_trans_s);
-    charge(PhaseCategory::Transport, "transport (second half)",
-           transport_phase_seconds(step.transport2_layer_work, machine, nodes,
-                                   row_parallelism));
+    charge_compute(PhaseCategory::Transport, "transport (second half)",
+                   transport_phase_work(step.transport2_layer_work, nodes,
+                                        row_parallelism, fault));
     // Consecutive steps chain transport->transport with no redistribution.
   }
   // Hour boundary: gather to replicated for outputhour / next inputhour.
   charge_comm("D_Trans->D_Repl", ct.trans_to_repl,
               &CommBreakdown::trans_to_repl_s);
   return total;
+}
+
+void merge_comm(CommBreakdown& into, const CommBreakdown& from) {
+  into.repl_to_trans_s += from.repl_to_trans_s;
+  into.trans_to_chem_s += from.trans_to_chem_s;
+  into.chem_to_repl_s += from.chem_to_repl_s;
+  into.trans_to_repl_s += from.trans_to_repl_s;
+  into.phases += from.phases;
+}
+
+/// A sequential I/O stage runs on one node; a straggling host inflates it.
+/// Returns the actual (inflated) duration and charges nominal + inflation.
+double charge_io_stage(RunLedger& ledger, RecoveryReport* rec,
+                       const char* name, double nominal_s, double slowdown) {
+  ledger.charge(PhaseCategory::IoProcessing, name, nominal_s);
+  const double inflation = nominal_s * (slowdown - 1.0);
+  if (inflation > 0.0) {
+    ledger.charge(PhaseCategory::Recovery, "straggler inflation", inflation);
+    if (rec) rec->straggler_s += inflation;
+  }
+  return nominal_s + inflation;
+}
+
+/// Cost of re-laying the chemistry decomposition out over fewer nodes
+/// (restart after a failure), via the redistribution engine.
+double shrink_relayout_seconds(const WorkTrace& trace,
+                               const MachineModel& machine, int old_nodes,
+                               int new_nodes, DimDist chemistry_dist) {
+  const std::array<std::size_t, 3> shape{trace.species, trace.layers,
+                                         trace.points};
+  auto chem_layout = [&](int p) {
+    return chemistry_dist == DimDist::Cyclic
+               ? Layout3::cyclic(shape, kNodesDim, p)
+               : Layout3::block(shape, kNodesDim, p);
+  };
+  return plan_redistribution(chem_layout(old_nodes), chem_layout(new_nodes),
+                             machine.word_size)
+      .phase_seconds(machine);
+}
+
+/// Data-parallel execution under an active fault plan: barrier phases with
+/// straggler-inflated maxima, retransmitted drops, hourly checkpoints at
+/// the D_Chem -> D_Repl boundary, and restart-from-checkpoint on node
+/// failure. Charges since the last checkpoint are withheld in an "epoch"
+/// ledger: a failure discards the epoch wholesale and re-charges its time
+/// as Recovery lost work, so report.ledger always decomposes exactly
+/// report.total_seconds.
+RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
+                                        const ExecutionConfig& config) {
+  const FaultPlan& plan = config.faults;
+  const MachineModel& machine = config.machine;
+
+  RunReport report;
+  report.machine = machine.name;
+  report.nodes = config.nodes;
+  report.strategy = Strategy::DataParallel;
+  RecoveryReport& rec = report.recovery;
+
+  const bool ckpt_on = plan.options().node_mtbf_hours > 0.0 &&
+                       config.checkpoint.interval_hours > 0;
+  const double write_rate = config.checkpoint.write_byte_s >= 0.0
+                                ? config.checkpoint.write_byte_s
+                                : machine.copy_per_byte_s;
+  const double state_bytes =
+      static_cast<double>(trace.species * trace.layers * trace.points *
+                          machine.word_size);
+  const double archive_write_s =
+      write_rate * state_bytes + config.checkpoint.fixed_latency_s;
+
+  std::vector<int> alive(static_cast<std::size_t>(config.nodes));
+  std::iota(alive.begin(), alive.end(), 0);
+  int nodes = config.nodes;
+
+  CommTimes ct = plan_comm_times(trace, machine, nodes, config.chemistry_dist);
+  // Checkpoint: the hour-boundary gather traffic plus the archive write.
+  double ckpt_cost = ct.trans_to_repl.seconds + archive_write_s;
+
+  double total = 0.0;
+  double since_ckpt = 0.0;     // virtual time a failure would discard
+  std::size_t ckpt_hour = 0;   // restartable from the start of this hour
+  RunLedger epoch;             // withheld charges since the last checkpoint
+  CommBreakdown epoch_comm;
+  RecoveryReport epoch_rec;    // straggler/retransmit/checkpoint counters
+
+  auto commit_epoch = [&] {
+    report.ledger.merge(epoch);
+    merge_comm(report.comm, epoch_comm);
+    rec.checkpoints += epoch_rec.checkpoints;
+    rec.retransmissions += epoch_rec.retransmissions;
+    rec.checkpoint_s += epoch_rec.checkpoint_s;
+    rec.retransmit_s += epoch_rec.retransmit_s;
+    rec.straggler_s += epoch_rec.straggler_s;
+    epoch = RunLedger{};
+    epoch_comm = CommBreakdown{};
+    epoch_rec = RecoveryReport{};
+  };
+
+  std::size_t h = 0;
+  while (h < trace.hours.size()) {
+    const int hour_i = static_cast<int>(h);
+    const HourTrace& hour = trace.hours[h];
+
+    // Evaluate the hour tentatively: a failure mid-hour discards it.
+    RunLedger hour_ledger;
+    CommBreakdown hour_comm;
+    RecoveryReport hour_rec;
+    FaultCtx ctx{&plan, &alive, hour_i, &config.retry, &hour_rec};
+
+    double t_hour = charge_io_stage(
+        hour_ledger, &hour_rec, "inputhour + pretrans",
+        machine.compute_time(hour.input_work + hour.pretrans_work),
+        node_slowdown(&ctx, 0));
+    t_hour += hour_main_seconds_impl(hour, machine, nodes, ct,
+                                     config.chemistry_dist,
+                                     trace.transport_row_parallelism,
+                                     &hour_ledger, &hour_comm, &ctx);
+    t_hour += charge_io_stage(hour_ledger, &hour_rec, "outputhour",
+                              machine.compute_time(hour.output_work),
+                              node_slowdown(&ctx, 0));
+
+    // Earliest failure among the surviving nodes during this hour.
+    int dying_idx = -1;
+    double death_hour = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const double t = plan.failure_hour(alive[i]);
+      if (t < static_cast<double>(h) + 1.0 && t < death_hour) {
+        death_hour = t;
+        dying_idx = static_cast<int>(i);
+      }
+    }
+
+    if (dying_idx >= 0) {
+      const int dead = alive[static_cast<std::size_t>(dying_idx)];
+      const double fraction =
+          std::clamp(death_hour - static_cast<double>(h), 0.0, 1.0);
+      const double spent = fraction * t_hour;
+      const double lost = since_ckpt + spent;
+      alive.erase(alive.begin() + dying_idx);
+      --nodes;
+      if (nodes < 1) {
+        throw Error("fault injection killed every node before hour " +
+                    std::to_string(h + 1) + " completed");
+      }
+      const double relayout = shrink_relayout_seconds(
+          trace, machine, nodes + 1, nodes, config.chemistry_dist);
+      const double restore = archive_write_s;  // read back = write cost model
+      total += spent + relayout + restore;
+      report.ledger.charge(PhaseCategory::Recovery, "lost work (rollback)",
+                           lost);
+      report.ledger.charge(PhaseCategory::Recovery, "re-layout onto survivors",
+                           relayout);
+      report.ledger.charge(PhaseCategory::Recovery, "checkpoint restore",
+                           restore);
+      rec.lost_work_s += lost;
+      rec.relayout_s += relayout;
+      rec.restore_s += restore;
+      rec.failures.push_back(
+          FailureEvent{dead, hour_i, fraction, lost, relayout, nodes});
+      // Discard the epoch (its time is now accounted as lost work) and
+      // replay from the checkpoint on the shrunken machine.
+      epoch = RunLedger{};
+      epoch_comm = CommBreakdown{};
+      epoch_rec = RecoveryReport{};
+      since_ckpt = 0.0;
+      ct = plan_comm_times(trace, machine, nodes, config.chemistry_dist);
+      ckpt_cost = ct.trans_to_repl.seconds + archive_write_s;
+      h = ckpt_hour;
+      continue;
+    }
+
+    // Hour survived: fold it into the current epoch.
+    epoch.merge(hour_ledger);
+    merge_comm(epoch_comm, hour_comm);
+    epoch_rec.retransmissions += hour_rec.retransmissions;
+    epoch_rec.retransmit_s += hour_rec.retransmit_s;
+    epoch_rec.straggler_s += hour_rec.straggler_s;
+    total += t_hour;
+    since_ckpt += t_hour;
+    ++h;
+
+    if (ckpt_on && h < trace.hours.size() &&
+        h - ckpt_hour >=
+            static_cast<std::size_t>(config.checkpoint.interval_hours)) {
+      epoch.charge(PhaseCategory::Recovery, "checkpoint", ckpt_cost);
+      epoch_rec.checkpoint_s += ckpt_cost;
+      ++epoch_rec.checkpoints;
+      total += ckpt_cost;
+      commit_epoch();
+      since_ckpt = 0.0;
+      ckpt_hour = h;
+    }
+  }
+  commit_epoch();
+  rec.final_nodes = nodes;
+  report.total_seconds = total;
+  return report;
 }
 
 }  // namespace
@@ -157,17 +530,52 @@ double hour_main_seconds(const WorkTrace& trace, std::size_t hour_index,
                          const MachineModel& machine, int nodes,
                          RunLedger* ledger, CommBreakdown* comm) {
   AIRSHED_REQUIRE(hour_index < trace.hours.size(), "hour index out of range");
-  AIRSHED_REQUIRE(nodes >= 1, "need at least one node");
+  if (nodes < 1) {
+    throw ConfigError("hour_main_seconds: nodes must be >= 1 (got " +
+                      std::to_string(nodes) + ")");
+  }
   const CommTimes ct = plan_comm_times(trace, machine, nodes, DimDist::Block);
   return hour_main_seconds_impl(trace.hours[hour_index], machine, nodes, ct,
                                 DimDist::Block,
-                                trace.transport_row_parallelism, ledger, comm);
+                                trace.transport_row_parallelism, ledger, comm,
+                                nullptr);
+}
+
+double hour_main_seconds(const WorkTrace& trace, std::size_t hour_index,
+                         const MachineModel& machine, int nodes,
+                         const FaultPlan& faults, const RetryPolicy& retry,
+                         RunLedger* ledger, CommBreakdown* comm,
+                         RecoveryReport* recovery) {
+  if (faults.empty()) {
+    return hour_main_seconds(trace, hour_index, machine, nodes, ledger, comm);
+  }
+  AIRSHED_REQUIRE(hour_index < trace.hours.size(), "hour index out of range");
+  if (nodes < 1) {
+    throw ConfigError("hour_main_seconds: nodes must be >= 1 (got " +
+                      std::to_string(nodes) + ")");
+  }
+  if (faults.nodes() < nodes) {
+    throw ConfigError("FaultPlan covers " + std::to_string(faults.nodes()) +
+                      " nodes but hour_main_seconds was asked for " +
+                      std::to_string(nodes));
+  }
+  const CommTimes ct = plan_comm_times(trace, machine, nodes, DimDist::Block);
+  FaultCtx ctx{&faults, nullptr, static_cast<int>(hour_index), &retry,
+               recovery};
+  return hour_main_seconds_impl(trace.hours[hour_index], machine, nodes, ct,
+                                DimDist::Block,
+                                trace.transport_row_parallelism, ledger, comm,
+                                &ctx);
 }
 
 HourStageTimes pipeline_stage_times(const WorkTrace& trace,
                                     const MachineModel& machine,
                                     int main_nodes, DimDist chemistry_dist) {
-  AIRSHED_REQUIRE(main_nodes >= 1, "main subgroup needs at least one node");
+  if (main_nodes < 1) {
+    throw ConfigError(
+        "pipeline_stage_times: main subgroup needs at least one node (got " +
+        std::to_string(main_nodes) + ")");
+  }
   const CommTimes ct =
       plan_comm_times(trace, machine, main_nodes, chemistry_dist);
   HourStageTimes st;
@@ -178,7 +586,7 @@ HourStageTimes pipeline_stage_times(const WorkTrace& trace,
     st.input_s.push_back(machine.compute_time(h.input_work + h.pretrans_work));
     st.main_s.push_back(hour_main_seconds_impl(
         h, machine, main_nodes, ct, chemistry_dist,
-        trace.transport_row_parallelism, nullptr, nullptr));
+        trace.transport_row_parallelism, nullptr, nullptr, nullptr));
     st.output_s.push_back(machine.compute_time(h.output_work));
   }
   return st;
@@ -186,16 +594,17 @@ HourStageTimes pipeline_stage_times(const WorkTrace& trace,
 
 RunReport simulate_execution(const WorkTrace& trace,
                              const ExecutionConfig& config) {
-  AIRSHED_REQUIRE(config.nodes >= 1, "need at least one node");
-  AIRSHED_REQUIRE(config.nodes <= config.machine.max_nodes,
-                  "node count exceeds machine size");
+  validate_config(trace, config);
 
   RunReport report;
   report.machine = config.machine.name;
   report.nodes = config.nodes;
   report.strategy = config.strategy;
 
+  const bool faulty = !config.faults.empty();
+
   if (config.strategy == Strategy::DataParallel) {
+    if (faulty) return simulate_faulty_data_parallel(trace, config);
     const CommTimes ct = plan_comm_times(trace, config.machine, config.nodes,
                                          config.chemistry_dist);
     double total = 0.0;
@@ -208,7 +617,7 @@ RunReport simulate_execution(const WorkTrace& trace,
       total += hour_main_seconds_impl(h, config.machine, config.nodes, ct,
                                       config.chemistry_dist,
                                       trace.transport_row_parallelism,
-                                      &report.ledger, &report.comm);
+                                      &report.ledger, &report.comm, nullptr);
       const double io_out = config.machine.compute_time(h.output_work);
       report.ledger.charge(PhaseCategory::IoProcessing, "outputhour", io_out);
       total += io_out;
@@ -219,8 +628,36 @@ RunReport simulate_execution(const WorkTrace& trace,
 
   // Task + data parallel: 3-stage pipeline on disjoint subgroups (Fig 8).
   const PipelineAllocation alloc = allocate_pipeline_nodes(config.nodes);
-  const HourStageTimes st = pipeline_stage_times(
-      trace, config.machine, alloc.main_nodes, config.chemistry_dist);
+  HourStageTimes st;
+  if (!faulty) {
+    st = pipeline_stage_times(trace, config.machine, alloc.main_nodes,
+                              config.chemistry_dist);
+  } else {
+    // Deterministic subgroup placement: input on node 0, the main group on
+    // nodes 1..main, output on the last node. Stragglers inflate each
+    // stage's hour durations; drops charge retransmissions into the main
+    // stage (validate_config already rejected failure plans here).
+    std::vector<int> main_phys(static_cast<std::size_t>(alloc.main_nodes));
+    std::iota(main_phys.begin(), main_phys.end(), 1);
+    const CommTimes ct = plan_comm_times(trace, config.machine,
+                                         alloc.main_nodes,
+                                         config.chemistry_dist);
+    for (std::size_t h = 0; h < trace.hours.size(); ++h) {
+      const HourTrace& hour = trace.hours[h];
+      FaultCtx ctx{&config.faults, &main_phys, static_cast<int>(h),
+                   &config.retry, &report.recovery};
+      st.input_s.push_back(
+          config.machine.compute_time(hour.input_work + hour.pretrans_work) *
+          config.faults.slowdown(static_cast<int>(h), 0));
+      st.main_s.push_back(hour_main_seconds_impl(
+          hour, config.machine, alloc.main_nodes, ct, config.chemistry_dist,
+          trace.transport_row_parallelism, nullptr, nullptr, &ctx));
+      st.output_s.push_back(
+          config.machine.compute_time(hour.output_work) *
+          config.faults.slowdown(static_cast<int>(h), config.nodes - 1));
+    }
+    report.recovery.final_nodes = config.nodes;
+  }
   report.total_seconds =
       pipeline_makespan({st.input_s, st.main_s, st.output_s});
   // On small machines, giving up two main-loop nodes costs more than the
@@ -234,6 +671,7 @@ RunReport simulate_execution(const WorkTrace& trace,
     report.total_seconds = data_parallel.total_seconds;
     report.ledger = data_parallel.ledger;
     report.comm = data_parallel.comm;
+    report.recovery = data_parallel.recovery;
     return report;
   }
   // The ledger records per-stage busy time (stages overlap, so the ledger

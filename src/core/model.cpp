@@ -29,6 +29,56 @@ ConcentrationField AirshedModel::initial_conditions(const Dataset& dataset) {
 }
 
 ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
+  return run_hours(0, initial_conditions(*dataset_),
+                   Array3<double>(kPmComponents, dataset_->layers,
+                                  dataset_->points(), 0.0),
+                   on_hour, {});
+}
+
+ModelRunResult AirshedModel::run_with_checkpoints(
+    const CheckpointCallback& on_checkpoint, const HourCallback& on_hour) {
+  return run_hours(0, initial_conditions(*dataset_),
+                   Array3<double>(kPmComponents, dataset_->layers,
+                                  dataset_->points(), 0.0),
+                   on_hour, on_checkpoint);
+}
+
+ModelRunResult AirshedModel::resume(const CheckpointRecord& from,
+                                    const HourCallback& on_hour) {
+  const Dataset& ds = *dataset_;
+  if (from.dataset != ds.name) {
+    throw ConfigError("AirshedModel::resume: checkpoint is for dataset '" +
+                      from.dataset + "', model is bound to '" + ds.name + "'");
+  }
+  if (from.conc.dim0() != static_cast<std::size_t>(kSpeciesCount) ||
+      from.conc.dim1() != static_cast<std::size_t>(ds.layers) ||
+      from.conc.dim2() != ds.points()) {
+    throw ConfigError(
+        "AirshedModel::resume: checkpoint concentration shape does not match "
+        "dataset '" +
+        ds.name + "'");
+  }
+  if (from.pm.dim0() != static_cast<std::size_t>(kPmComponents) ||
+      from.pm.dim1() != static_cast<std::size_t>(ds.layers) ||
+      from.pm.dim2() != ds.points()) {
+    throw ConfigError(
+        "AirshedModel::resume: checkpoint particulate shape does not match "
+        "dataset '" +
+        ds.name + "'");
+  }
+  if (from.next_hour < 0 || from.next_hour > opts_.hours) {
+    throw ConfigError("AirshedModel::resume: checkpoint next_hour " +
+                      std::to_string(from.next_hour) +
+                      " outside run horizon of " +
+                      std::to_string(opts_.hours) + " hours");
+  }
+  return run_hours(from.next_hour, from.conc, from.pm, on_hour, {});
+}
+
+ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
+                                       Array3<double> pm0,
+                                       const HourCallback& on_hour,
+                                       const CheckpointCallback& on_checkpoint) {
   const Dataset& ds = *dataset_;
   const std::size_t nv = ds.points();
   const int nl = ds.layers;
@@ -39,8 +89,8 @@ ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
   result.trace.layers = static_cast<std::size_t>(nl);
   result.trace.points = nv;
 
-  result.outputs.conc = initial_conditions(ds);
-  result.outputs.pm = Array3<double>(kPmComponents, nl, nv, 0.0);
+  result.outputs.conc = std::move(conc0);
+  result.outputs.pm = std::move(pm0);
   ConcentrationField& conc = result.outputs.conc;
   Array3<double>& pm = result.outputs.pm;
 
@@ -61,7 +111,7 @@ ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
   std::array<double, kSpeciesCount> column_flux{};
   const std::vector<double> no_elevated;
 
-  for (int h = 0; h < opts_.hours; ++h) {
+  for (int h = first_hour; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
     const HourlyInputs in = inputs.generate(static_cast<int>(hour_start));
 
@@ -95,7 +145,16 @@ ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
         for (int k = 0; k < nl; ++k) {
           for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, v);
           const double temp = in.vertex_temp_k[v] - lapse * k;
-          const YoungBorisResult r = chem.integrate(cell, dt_min, temp, sun);
+          YoungBorisResult r;
+          try {
+            r = chem.integrate(cell, dt_min, temp, sun);
+          } catch (const NumericalError& e) {
+            // The box solver is cell-local; attach the grid location here.
+            throw NumericalError(std::string(e.what()) + " (grid point " +
+                                 std::to_string(v) + ", layer " +
+                                 std::to_string(k) + ", hour " +
+                                 std::to_string(h) + ")");
+          }
           for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, v) = cell[s];
           column_work += r.work_flops;
         }
@@ -134,6 +193,14 @@ ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
     result.outputs.hourly.push_back(stats);
     result.trace.hours.push_back(std::move(hour_trace));
     if (on_hour) on_hour(stats, conc);
+    if (on_checkpoint) {
+      CheckpointRecord rec;
+      rec.dataset = ds.name;
+      rec.next_hour = h + 1;
+      rec.conc = conc;
+      rec.pm = pm;
+      on_checkpoint(rec);
+    }
   }
 
   return result;

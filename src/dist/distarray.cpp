@@ -288,40 +288,56 @@ void copy_intersection(const DistArray3& src, int ps, DistArray3& dst, int pd) {
   }
 }
 
-/// Shared traffic-accounting logic for plan/execute.
+/// Shared traffic-accounting logic for plan/execute. The node counts of
+/// the two layouts may differ (re-layout onto a shrunken or grown node
+/// set after a failure); logical rank p on both sides denotes the same
+/// physical node, so rank-preserved data moves by local copy.
 template <typename CopyFn>
 RedistributionStats run_redistribution(const Layout3& from, const Layout3& to,
                                        std::size_t word_size, CopyFn&& copy) {
   AIRSHED_REQUIRE(from.shape() == to.shape(),
                   "redistribution requires identical shapes");
-  AIRSHED_REQUIRE(from.nodes() == to.nodes(),
-                  "redistribution requires identical node counts");
   AIRSHED_REQUIRE(word_size > 0, "word size must be positive");
 
-  const int nodes = from.nodes();
+  const int src_nodes = from.nodes();
+  const int dst_nodes = to.nodes();
   RedistributionStats stats;
-  stats.traffic.resize(nodes);
+  stats.traffic.resize(std::max(src_nodes, dst_nodes));
   const double w = static_cast<double>(word_size);
 
   if (from.distributed_dim() < 0) {
-    // Replicated source: every destination block is locally available; the
-    // redistribution is a pure local copy (no network traffic) — the
-    // D_Repl -> D_Trans case of the paper.
-    for (int pd = 0; pd < nodes; ++pd) {
+    // Replicated source: a destination node inside the source group has
+    // its block locally available (pure copy, no network traffic — the
+    // D_Repl -> D_Trans case of the paper); a node beyond the source group
+    // (grow case) receives its block from the replica holder of the same
+    // rank modulo the group.
+    for (int pd = 0; pd < dst_nodes; ++pd) {
       const std::size_t n = to.local_elements(pd);
       if (n == 0) continue;
-      copy(pd, pd);
-      stats.traffic[pd].bytes_copied += static_cast<double>(n) * w;
-      stats.total_copied_bytes += static_cast<double>(n) * w;
+      const double bytes = static_cast<double>(n) * w;
+      if (pd < src_nodes) {
+        copy(pd, pd);
+        stats.traffic[pd].bytes_copied += bytes;
+        stats.total_copied_bytes += bytes;
+      } else {
+        const int ps = pd % src_nodes;
+        copy(ps, pd);
+        stats.traffic[ps].messages_sent += 1.0;
+        stats.traffic[ps].bytes_sent += bytes;
+        stats.traffic[pd].messages_received += 1.0;
+        stats.traffic[pd].bytes_received += bytes;
+        stats.total_messages += 1.0;
+        stats.total_network_bytes += bytes;
+      }
     }
     return stats;
   }
 
   // Distributed source: ownership is unique, so every destination element
   // has exactly one source node.
-  for (int ps = 0; ps < nodes; ++ps) {
+  for (int ps = 0; ps < src_nodes; ++ps) {
     if (from.local_elements(ps) == 0) continue;
-    for (int pd = 0; pd < nodes; ++pd) {
+    for (int pd = 0; pd < dst_nodes; ++pd) {
       std::size_t n = 1;
       for (int d = 0; d < 3 && n > 0; ++d) {
         n *= dim_intersection_count(from, ps, to, pd, d);

@@ -1,0 +1,111 @@
+#include "airshed/fault/fault_plan.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "airshed/util/error.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed {
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Bounded Pareto slowdown factor from a uniform draw.
+double pareto_slowdown(double u, double alpha, double cap) {
+  // (1-u)^(-1/alpha) has CDF 1 - x^(-alpha) on [1, inf); clamp at the cap.
+  const double x = std::pow(1.0 - u, -1.0 / alpha);
+  return std::min(x, cap);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::make(std::uint64_t seed, int nodes, int horizon_hours,
+                          const FaultModelOptions& opts) {
+  AIRSHED_REQUIRE(nodes >= 1, "fault plan needs at least one node");
+  AIRSHED_REQUIRE(horizon_hours >= 1, "fault plan needs a positive horizon");
+  AIRSHED_REQUIRE(opts.node_mtbf_hours >= 0.0, "negative MTBF");
+  AIRSHED_REQUIRE(
+      opts.slowdown_probability >= 0.0 && opts.slowdown_probability <= 1.0,
+      "slowdown probability out of [0, 1]");
+  AIRSHED_REQUIRE(opts.slowdown_alpha > 0.0 && opts.slowdown_cap >= 1.0,
+                  "straggler distribution parameters out of range");
+  AIRSHED_REQUIRE(opts.message_drop_probability >= 0.0 &&
+                      opts.message_drop_probability < 1.0,
+                  "drop probability out of [0, 1)");
+  AIRSHED_REQUIRE(opts.max_drops_per_phase >= 0, "negative drop bound");
+
+  FaultPlan p;
+  p.seed_ = seed;
+  p.nodes_ = nodes;
+  p.horizon_ = horizon_hours;
+  p.opts_ = opts;
+
+  Rng root(seed);
+  Rng fail_rng = root.fork();
+  Rng slow_rng = root.fork();
+
+  p.failure_hour_.assign(static_cast<std::size_t>(nodes), kNever);
+  if (opts.node_mtbf_hours > 0.0) {
+    for (int n = 0; n < nodes; ++n) {
+      // Exponential death time; only deaths inside the horizon matter.
+      const double t = -opts.node_mtbf_hours * std::log1p(-fail_rng.uniform());
+      if (t < static_cast<double>(horizon_hours)) {
+        p.failure_hour_[static_cast<std::size_t>(n)] = t;
+        ++p.failure_count_;
+      }
+    }
+  }
+
+  if (opts.slowdown_probability > 0.0) {
+    p.slowdown_.assign(
+        static_cast<std::size_t>(horizon_hours) * static_cast<std::size_t>(nodes),
+        1.0);
+    for (int h = 0; h < horizon_hours; ++h) {
+      for (int n = 0; n < nodes; ++n) {
+        // Two independent draws per (hour, node) keep the stream position
+        // fixed whether or not the node straggles.
+        const double gate = slow_rng.uniform();
+        const double mag = slow_rng.uniform();
+        if (gate < opts.slowdown_probability) {
+          p.slowdown_[static_cast<std::size_t>(h) *
+                          static_cast<std::size_t>(nodes) +
+                      static_cast<std::size_t>(n)] =
+              pareto_slowdown(mag, opts.slowdown_alpha, opts.slowdown_cap);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+double FaultPlan::failure_hour(int node) const {
+  if (node < 0 || node >= nodes_) return kNever;
+  return failure_hour_[static_cast<std::size_t>(node)];
+}
+
+double FaultPlan::slowdown(int hour, int node) const {
+  if (slowdown_.empty() || hour < 0 || hour >= horizon_ || node < 0 ||
+      node >= nodes_) {
+    return 1.0;
+  }
+  return slowdown_[static_cast<std::size_t>(hour) *
+                       static_cast<std::size_t>(nodes_) +
+                   static_cast<std::size_t>(node)];
+}
+
+int FaultPlan::drops(int hour, long long phase_seq) const {
+  const double q = opts_.message_drop_probability;
+  if (q <= 0.0 || opts_.max_drops_per_phase <= 0) return 0;
+  // Stateless: the draw depends only on (seed, hour, phase index), so a
+  // replayed hour — and any evaluation order — sees identical drops.
+  Rng r(seed_ ^
+        (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(hour + 1)) ^
+        (0xc2b2ae3d27d4eb4full * static_cast<std::uint64_t>(phase_seq + 1)));
+  int k = 0;
+  while (k < opts_.max_drops_per_phase && r.uniform() < q) ++k;
+  return k;
+}
+
+}  // namespace airshed

@@ -1,6 +1,8 @@
 #include "airshed/fxsim/foreign.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "airshed/util/error.hpp"
 
@@ -13,6 +15,33 @@ std::string to_string(ForeignScenario s) {
     case ForeignScenario::C: return "C (variable-to-variable)";
   }
   return "unknown";
+}
+
+HandshakeResult attempt_handshake(bool module_alive,
+                                  const HandshakeOptions& opts) {
+  if (!(opts.timeout_s > 0.0)) {
+    throw ConfigError("HandshakeOptions.timeout_s must be positive (got " +
+                      std::to_string(opts.timeout_s) + ")");
+  }
+  if (opts.max_retries < 0) {
+    throw ConfigError("HandshakeOptions.max_retries must be >= 0 (got " +
+                      std::to_string(opts.max_retries) + ")");
+  }
+  HandshakeResult r;
+  if (module_alive) {
+    r.connected = true;
+    r.attempts = 1;
+    return r;
+  }
+  r.attempts = opts.max_retries + 1;
+  for (int i = 0; i < r.attempts; ++i) {
+    r.elapsed_s += opts.timeout_s;
+    if (i < opts.max_retries) {
+      r.elapsed_s += std::min(opts.backoff_base_s * std::ldexp(1.0, i),
+                              opts.backoff_max_s);
+    }
+  }
+  return r;
 }
 
 double foreign_transfer_seconds(const MachineModel& machine,

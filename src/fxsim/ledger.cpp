@@ -15,6 +15,7 @@ std::string to_string(PhaseCategory cat) {
     case PhaseCategory::Communication: return "Communication";
     case PhaseCategory::Exposure:      return "Exposure";
     case PhaseCategory::Coupling:      return "Coupling";
+    case PhaseCategory::Recovery:      return "Recovery";
   }
   return "Unknown";
 }

@@ -1,6 +1,8 @@
 #include "airshed/fxsim/pipeline.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "airshed/util/error.hpp"
 
@@ -8,20 +10,35 @@ namespace airshed {
 
 double pipeline_makespan(
     const std::vector<std::vector<double>>& stage_times) {
-  AIRSHED_REQUIRE(!stage_times.empty(), "pipeline needs at least one stage");
+  if (stage_times.empty()) {
+    throw std::invalid_argument(
+        "pipeline_makespan: need at least one stage, got none");
+  }
   const std::size_t items = stage_times[0].size();
-  for (const auto& s : stage_times) {
-    AIRSHED_REQUIRE(s.size() == items, "all stages must process every item");
+  for (std::size_t s = 0; s < stage_times.size(); ++s) {
+    if (stage_times[s].size() != items) {
+      throw std::invalid_argument(
+          "pipeline_makespan: ragged stage_times — stage " +
+          std::to_string(s) + " has " +
+          std::to_string(stage_times[s].size()) + " items, stage 0 has " +
+          std::to_string(items));
+    }
   }
   if (items == 0) return 0.0;
 
   // finish[i] = completion time of the current stage for item i; updated
   // stage by stage (flow-shop forward recurrence).
   std::vector<double> finish(items, 0.0);
-  for (const auto& stage : stage_times) {
+  for (std::size_t s = 0; s < stage_times.size(); ++s) {
+    const auto& stage = stage_times[s];
     double prev_item_finish = 0.0;
     for (std::size_t i = 0; i < items; ++i) {
-      AIRSHED_REQUIRE(stage[i] >= 0.0, "negative stage duration");
+      if (stage[i] < 0.0) {
+        throw std::invalid_argument(
+            "pipeline_makespan: negative duration " +
+            std::to_string(stage[i]) + " at stage " + std::to_string(s) +
+            ", item " + std::to_string(i));
+      }
       const double start = std::max(finish[i], prev_item_finish);
       prev_item_finish = start + stage[i];
       finish[i] = prev_item_finish;

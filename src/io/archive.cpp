@@ -8,6 +8,45 @@ namespace airshed {
 
 namespace {
 constexpr const char* kMagic = "airshed-archive-v1";
+constexpr const char* kCheckpointMagic = "airshed-checkpoint-v1";
+}
+
+void CheckpointRecord::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open checkpoint for writing: " + path);
+  os.precision(17);
+  os << kCheckpointMagic << '\n'
+     << dataset << '\n'
+     << next_hour << ' ' << conc.dim0() << ' ' << conc.dim1() << ' '
+     << conc.dim2() << ' ' << pm.dim0() << ' ' << pm.dim1() << ' '
+     << pm.dim2() << '\n';
+  for (double v : conc.flat()) os << v << ' ';
+  os << '\n';
+  for (double v : pm.flat()) os << v << ' ';
+  os << '\n';
+  if (!os) throw Error("failed writing checkpoint: " + path);
+}
+
+CheckpointRecord CheckpointRecord::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open checkpoint: " + path);
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kCheckpointMagic) throw Error("bad checkpoint header: " + path);
+
+  CheckpointRecord rec;
+  std::getline(is, rec.dataset);
+  std::size_t cs = 0, cl = 0, cp = 0, ps = 0, pl = 0, pp = 0;
+  is >> rec.next_hour >> cs >> cl >> cp >> ps >> pl >> pp;
+  if (!is || rec.next_hour < 0 || cs == 0 || cl == 0 || cp == 0) {
+    throw Error("malformed checkpoint shape: " + path);
+  }
+  rec.conc = ConcentrationField(cs, cl, cp);
+  for (double& v : rec.conc.flat()) is >> v;
+  rec.pm = Array3<double>(ps, pl, pp);
+  for (double& v : rec.pm.flat()) is >> v;
+  if (!is) throw Error("truncated checkpoint: " + path);
+  return rec;
 }
 
 RunArchive::RunArchive(std::string dataset_name, std::size_t species,

@@ -30,8 +30,34 @@ TriMesh shuffle_vertex_order(const TriMesh& mesh, std::uint64_t seed) {
 }  // namespace
 
 Dataset build_dataset(const DatasetSpec& spec) {
-  AIRSHED_REQUIRE(spec.layers >= 1, "dataset needs at least one layer");
-  AIRSHED_REQUIRE(!spec.cities.empty(), "dataset needs at least one city");
+  if (spec.name.empty()) {
+    throw ConfigError("DatasetSpec.name must be non-empty");
+  }
+  if (spec.layers < 1) {
+    throw ConfigError("DatasetSpec.layers must be >= 1 (got " +
+                      std::to_string(spec.layers) + " for dataset '" +
+                      spec.name + "')");
+  }
+  if (spec.base_nx < 1 || spec.base_ny < 1) {
+    throw ConfigError("DatasetSpec.base_nx/base_ny must be >= 1 (got " +
+                      std::to_string(spec.base_nx) + "x" +
+                      std::to_string(spec.base_ny) + " for dataset '" +
+                      spec.name + "')");
+  }
+  if (spec.max_level < 0) {
+    throw ConfigError("DatasetSpec.max_level must be >= 0 (got " +
+                      std::to_string(spec.max_level) + " for dataset '" +
+                      spec.name + "')");
+  }
+  if (spec.target_points < 1) {
+    throw ConfigError("DatasetSpec.target_points must be >= 1 (got " +
+                      std::to_string(spec.target_points) + " for dataset '" +
+                      spec.name + "')");
+  }
+  if (spec.cities.empty()) {
+    throw ConfigError("DatasetSpec.cities must be non-empty (dataset '" +
+                      spec.name + "')");
+  }
 
   MultiscaleGrid grid(spec.domain, spec.base_nx, spec.base_ny, spec.max_level);
   EmissionInventory emissions(spec.domain, spec.cities, spec.stacks,

@@ -135,17 +135,41 @@ RunReport simulate_airshed_popexp(const WorkTrace& trace,
           std::min<std::size_t>(alloc.popexp_nodes, config.raster_cells));
 
   const std::size_t hours = trace.hours.size();
+
+  // Degraded-mode coupling: a foreign module that dies mid-run costs the
+  // native program one failed handshake (timeouts + backoff, paid where
+  // the main stage would have sent), after which the run continues with
+  // no exposure output for the remaining hours.
+  const bool module_dies = config.coupling == PopExpCoupling::ForeignModule &&
+                           config.module_dead_from_hour >= 0 &&
+                           static_cast<std::size_t>(
+                               config.module_dead_from_hour) < hours;
+  const std::size_t dead_from =
+      module_dies ? static_cast<std::size_t>(config.module_dead_from_hour)
+                  : hours;
+  const double giveup_s =
+      module_dies ? attempt_handshake(false, config.handshake).elapsed_s : 0.0;
+
   // The hourly transfer occupies both sides: the native program's nodes
   // send (so the main stage stalls for it) and the PopExp subgroup
   // receives before computing.
   std::vector<double> main_s = st.main_s;
-  for (double& s : main_s) s += transfer_s;
-  const std::vector<double> popexp_s(hours, transfer_s + compute_s);
+  std::vector<double> popexp_s(hours, transfer_s + compute_s);
+  for (std::size_t h = 0; h < hours; ++h) {
+    if (h < dead_from) {
+      main_s[h] += transfer_s;
+    } else {
+      main_s[h] += h == dead_from ? giveup_s : 0.0;
+      popexp_s[h] = 0.0;
+    }
+  }
 
   RunReport report;
   report.machine = config.machine.name;
   report.nodes = config.nodes;
   report.strategy = Strategy::TaskAndDataParallel;
+  report.recovery.foreign_module_gave_up = module_dies;
+  report.recovery.final_nodes = config.nodes;
   report.total_seconds =
       pipeline_makespan({st.input_s, main_s, st.output_s, popexp_s});
 
@@ -158,11 +182,12 @@ RunReport simulate_airshed_popexp(const WorkTrace& trace,
                              Strategy::DataParallel});
   const double serialized =
       dp.total_seconds +
-      static_cast<double>(hours) *
+      static_cast<double>(dead_from) *
           (transfer_s + config.machine.compute_time(
                             static_cast<double>(config.raster_cells) *
                             config.work_per_cell_flops) /
-                            static_cast<double>(config.nodes));
+                            static_cast<double>(config.nodes)) +
+      giveup_s;
   report.total_seconds = std::min(report.total_seconds, serialized);
 
   for (std::size_t h = 0; h < hours; ++h) {
@@ -171,9 +196,14 @@ RunReport simulate_airshed_popexp(const WorkTrace& trace,
     report.ledger.charge(PhaseCategory::Chemistry, "main stage", st.main_s[h]);
     report.ledger.charge(PhaseCategory::IoProcessing, "output stage",
                          st.output_s[h]);
-    report.ledger.charge(PhaseCategory::Coupling, "concentration transfer",
-                         transfer_s);
-    report.ledger.charge(PhaseCategory::Exposure, "PopExp", compute_s);
+    if (h < dead_from) {
+      report.ledger.charge(PhaseCategory::Coupling, "concentration transfer",
+                           transfer_s);
+      report.ledger.charge(PhaseCategory::Exposure, "PopExp", compute_s);
+    } else if (h == dead_from) {
+      report.ledger.charge(PhaseCategory::Coupling,
+                           "handshake give-up (dead module)", giveup_s);
+    }
   }
   return report;
 }

@@ -121,6 +121,16 @@ TransportStepResult SupgTransport::advance_layer(
               1.0, opts_.boundary_relax * h * speed / std::max(ell, 1e-9));
           cv += lam * (bg - cv);
         }
+        // std::max(NaN, 0.0) keeps the NaN (cv is the first argument), so
+        // an explicit guard is needed to stop a blown-up advection update
+        // from silently poisoning the whole field.
+        if (!std::isfinite(cv)) {
+          throw NumericalError(
+              "SUPG: non-finite concentration for species " +
+              std::string(species_name(static_cast<int>(s))) +
+              " at grid point " + std::to_string(v) + ", layer " +
+              std::to_string(layer) + ", substep " + std::to_string(sub));
+        }
         c[v] = std::max(cv, 0.0);
       }
     }

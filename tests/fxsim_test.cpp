@@ -135,9 +135,11 @@ TEST(Pipeline, EmptyItemsGiveZero) {
 }
 
 TEST(Pipeline, RejectsRaggedStages) {
-  EXPECT_THROW(pipeline_makespan({{1.0}, {1.0, 2.0}}), Error);
-  EXPECT_THROW(pipeline_makespan({}), Error);
-  EXPECT_THROW(pipeline_makespan({{-1.0}}), Error);
+  EXPECT_THROW(pipeline_makespan({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(pipeline_makespan({}), std::invalid_argument);
+  EXPECT_THROW(pipeline_makespan({{-1.0}}), std::invalid_argument);
+  // Ragged in the other direction (later stage shorter) must also throw.
+  EXPECT_THROW(pipeline_makespan({{1.0, 2.0}, {1.0}}), std::invalid_argument);
 }
 
 TEST(Pipeline, AllocationSplitsNodes) {
