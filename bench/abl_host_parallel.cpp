@@ -1,0 +1,252 @@
+// Ablation: host-parallel execution of the virtual-node numerics.
+//
+// Sweeps the worker-pool size over {1, 2, 4, 8} host threads for both the
+// multiscale (SUPG) and uniform (1-D van Leer) LA models, verifying that
+// every run is bit-identical to the 1-thread run (FNV-1a checksum over the
+// final fields, hourly statistics and the full WorkTrace), and that the
+// simulated executor — fault-free and fault-injected — produces identical
+// reports at every thread count.
+//
+// Speedup is reported two ways:
+//   * wall_speedup     — measured wall clock, honest but meaningless when
+//                        the host has fewer cores than threads (CI often
+//                        pins us to one core, where extra threads only add
+//                        scheduling overhead);
+//   * modeled_speedup  — wall_1 / (serial_s + max per-thread CPU busy):
+//                        per-thread CPU time inside pooled blocks measures
+//                        the decomposition itself, so this is the speedup
+//                        the same decomposition yields with >= `threads`
+//                        real cores. On a machine with enough cores the
+//                        two coincide.
+//
+// Emits BENCH_host_parallel.json (run from the repo root to land it
+// there).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace airshed;
+
+std::uint64_t result_checksum(const ModelRunResult& r) {
+  std::uint64_t h = fnv1a(r.outputs.conc.flat());
+  h = fnv1a(r.outputs.pm.flat(), h);
+  for (const HourlyStats& s : r.outputs.hourly) {
+    h = fnv1a(s.max_surface_o3_ppm, h);
+    h = fnv1a(s.mean_surface_o3_ppm, h);
+    h = fnv1a(s.mean_surface_no2_ppm, h);
+    h = fnv1a(s.mean_surface_co_ppm, h);
+    h = fnv1a(s.total_pm_nitrate, h);
+  }
+  for (const HourTrace& hour : r.trace.hours) {
+    h = fnv1a(hour.input_work, h);
+    h = fnv1a(hour.pretrans_work, h);
+    h = fnv1a(hour.output_work, h);
+    for (const StepTrace& step : hour.steps) {
+      h = fnv1a(std::span<const double>(step.transport1_layer_work), h);
+      h = fnv1a(std::span<const double>(step.transport2_layer_work), h);
+      h = fnv1a(std::span<const double>(step.chem_column_work), h);
+      h = fnv1a(step.aerosol_work, h);
+    }
+  }
+  return h;
+}
+
+std::uint64_t report_checksum(const RunReport& r) {
+  std::uint64_t h = fnv1a(r.total_seconds);
+  for (const PhaseRecord& p : r.ledger.phases()) {
+    h = fnv1a(p.seconds, h);
+    h = fnv1a(static_cast<std::uint64_t>(p.count), h);
+  }
+  h = fnv1a(r.comm.total(), h);
+  h = fnv1a(r.recovery.checkpoint_s, h);
+  h = fnv1a(r.recovery.lost_work_s, h);
+  h = fnv1a(r.recovery.relayout_s, h);
+  h = fnv1a(r.recovery.restore_s, h);
+  h = fnv1a(r.recovery.straggler_s, h);
+  h = fnv1a(r.recovery.retransmit_s, h);
+  h = fnv1a(static_cast<std::uint64_t>(r.recovery.retransmissions), h);
+  h = fnv1a(static_cast<std::uint64_t>(r.recovery.failures.size()), h);
+  return h;
+}
+
+struct SweepPoint {
+  int threads = 1;
+  double wall_s = 0.0;
+  double serial_s = 0.0;       ///< wall outside the pooled phases
+  double modeled_wall_s = 0.0; ///< serial_s + max per-thread CPU busy
+  HostProfile profile;
+  std::uint64_t checksum = 0;
+};
+
+template <typename RunFn>
+SweepPoint run_point(int threads, RunFn&& run) {
+  SweepPoint pt;
+  pt.threads = threads;
+  ModelOptions opts;
+  opts.hours = bench::kHours;
+  opts.host_threads = threads;
+  opts.profile = &pt.profile;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ModelRunResult result = run(opts);
+  pt.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  pt.checksum = result_checksum(result);
+  const double pooled_wall = pt.profile.transport_s + pt.profile.chemistry_s;
+  pt.serial_s = std::max(0.0, pt.wall_s - pooled_wall);
+  double busy_max = 0.0;
+  for (double b : pt.profile.thread_busy_s) busy_max = std::max(busy_max, b);
+  pt.modeled_wall_s = pt.serial_s + busy_max;
+  return pt;
+}
+
+/// Fault-free and fault-injected executor reports at each thread count
+/// must be bit-identical (the acceptance bar for the recovery replay).
+bool executor_deterministic(const WorkTrace& trace, bool faulty) {
+  ExecutionConfig cfg;
+  cfg.machine = intel_paragon();
+  cfg.nodes = 16;
+  if (faulty) {
+    FaultModelOptions fopts;
+    fopts.node_mtbf_hours = 40.0;
+    fopts.slowdown_probability = 0.2;
+    fopts.message_drop_probability = 0.05;
+    std::uint64_t seed = 1;
+    for (; seed < 200; ++seed) {
+      if (FaultPlan::make(seed, cfg.nodes,
+                          static_cast<int>(trace.hours.size()), fopts)
+              .has_failures()) {
+        break;
+      }
+    }
+    cfg.faults = FaultPlan::make(seed, cfg.nodes,
+                                 static_cast<int>(trace.hours.size()), fopts);
+  }
+  cfg.host_threads = 1;
+  const std::uint64_t base = report_checksum(simulate_execution(trace, cfg));
+  for (int threads : {2, 8}) {
+    cfg.host_threads = threads;
+    if (report_checksum(simulate_execution(trace, cfg)) != base) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int cores = par::hardware_threads();
+  std::printf("host-parallel sweep: %d hours, %d host core(s)\n\n",
+              bench::kHours, cores);
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("host_parallel");
+  json.key("hours").value(bench::kHours);
+  json.key("host_cores").value(cores);
+  json.key("thread_counts").begin_array();
+  for (int t : thread_counts) json.value(t);
+  json.end_array();
+  json.key("models").begin_array();
+
+  bool all_match = true;
+  WorkTrace multiscale_trace;
+
+  struct ModelCase {
+    const char* name;
+    std::function<ModelRunResult(const ModelOptions&)> run;
+  };
+  const Dataset la = la_basin_dataset();
+  const UniformDataset la_uniform = la_uniform_dataset();
+  const std::vector<ModelCase> cases = {
+      {"LA_multiscale",
+       [&](const ModelOptions& o) { return AirshedModel(la, o).run(); }},
+      {"LA_uniform",
+       [&](const ModelOptions& o) {
+         return UniformAirshedModel(la_uniform, o).run();
+       }},
+  };
+
+  for (const ModelCase& c : cases) {
+    std::printf("%s\n", c.name);
+    std::printf("  %7s %9s %12s %9s %12s %10s  %s\n", "threads", "wall_s",
+                "wall_spd", "model_s", "model_spd", "eff", "checksum");
+    std::vector<SweepPoint> sweep;
+    for (int threads : thread_counts) {
+      sweep.push_back(run_point(threads, c.run));
+    }
+    const SweepPoint& base = sweep.front();
+
+    json.begin_object();
+    json.key("model").value(c.name);
+    json.key("sweep").begin_array();
+    for (const SweepPoint& pt : sweep) {
+      const bool match = pt.checksum == base.checksum;
+      all_match = all_match && match;
+      const double wall_spd = pt.wall_s > 0.0 ? base.wall_s / pt.wall_s : 0.0;
+      const double model_spd =
+          pt.modeled_wall_s > 0.0 ? base.wall_s / pt.modeled_wall_s : 0.0;
+      const double eff = model_spd / pt.threads;
+      std::printf("  %7d %9.3f %11.2fx %9.3f %11.2fx %9.1f%%  %s%s\n",
+                  pt.threads, pt.wall_s, wall_spd, pt.modeled_wall_s,
+                  model_spd, 100.0 * eff, hash_hex(pt.checksum).c_str(),
+                  match ? "" : "  MISMATCH");
+      json.begin_object();
+      json.key("threads").value(pt.threads);
+      json.key("wall_s").value(pt.wall_s);
+      json.key("wall_speedup").value(wall_spd);
+      json.key("modeled_wall_s").value(pt.modeled_wall_s);
+      json.key("modeled_speedup").value(model_spd);
+      json.key("efficiency").value(eff);
+      json.key("checksum").value(hash_hex(pt.checksum));
+      json.key("checksum_match").value(match);
+      json.key("phases").begin_object();
+      json.key("transport_s").value(pt.profile.transport_s);
+      json.key("chemistry_s").value(pt.profile.chemistry_s);
+      json.key("aerosol_s").value(pt.profile.aerosol_s);
+      json.key("io_s").value(pt.profile.io_s);
+      json.key("serial_s").value(pt.serial_s);
+      json.end_object();
+      json.key("thread_busy_s").begin_array();
+      for (double b : pt.profile.thread_busy_s) json.value(b);
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("\n");
+  }
+  json.end_array();
+
+  // Executor determinism: the simulated reports (including the recovery
+  // replay under an injected fault plan) must not depend on host_threads.
+  {
+    ModelOptions opts;
+    opts.hours = bench::kHours;
+    multiscale_trace = AirshedModel(la, opts).run().trace;
+  }
+  const bool exec_ok = executor_deterministic(multiscale_trace, false);
+  const bool fault_ok = executor_deterministic(multiscale_trace, true);
+  std::printf("executor reports identical across threads: %s\n",
+              exec_ok ? "yes" : "NO");
+  std::printf("fault-injected reports identical across threads: %s\n",
+              fault_ok ? "yes" : "NO");
+  json.key("executor_deterministic").value(exec_ok);
+  json.key("fault_replay_deterministic").value(fault_ok);
+  json.key("checksums_match").value(all_match);
+  json.end_object();
+
+  bench::write_bench_json("host_parallel", json);
+  if (!all_match || !exec_ok || !fault_ok) {
+    std::printf("FAILED: results depend on the host thread count\n");
+    return 1;
+  }
+  return 0;
+}

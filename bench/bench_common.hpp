@@ -1,9 +1,13 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <airshed/airshed.h>
@@ -54,6 +58,109 @@ inline WorkTrace load_trace(const std::string& name, int hours = kHours) {
   std::filesystem::create_directories(dir);
   return WorkTrace::cached(trace_path(dir, name, hours),
                            [&] { return generate_trace(name, hours); });
+}
+
+/// Minimal streaming JSON writer for the BENCH_*.json artifacts: keys are
+/// emitted in insertion order, doubles round-trip (%.17g), non-finite
+/// values become null. Commas are managed by a nesting stack, so callers
+/// just alternate key()/value() and begin_*/end_* calls.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    separate();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+  }
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default: out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+/// Writes a bench artifact `BENCH_<name>.json` into the current directory
+/// (run benches from the repo root to land them there).
+inline void write_bench_json(const std::string& name, const JsonWriter& json) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), json.str().size() + 1);
 }
 
 }  // namespace airshed::bench

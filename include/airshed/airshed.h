@@ -43,11 +43,13 @@
 #include "airshed/io/hourly.hpp"
 #include "airshed/machine/machine.hpp"
 #include "airshed/met/meteorology.hpp"
+#include "airshed/par/pool.hpp"
 #include "airshed/perf/model.hpp"
 #include "airshed/popexp/popexp.hpp"
 #include "airshed/transport/onedim.hpp"
 #include "airshed/transport/supg.hpp"
 #include "airshed/util/array.hpp"
+#include "airshed/util/hash.hpp"
 #include "airshed/util/stats.hpp"
 #include "airshed/util/table.hpp"
 #include "airshed/util/tridiag.hpp"

@@ -14,7 +14,9 @@
 // (they change on the transport timescale, not the chemistry substep scale).
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 
 #include "airshed/chem/mechanism.hpp"
 
@@ -41,6 +43,16 @@ struct YoungBorisOptions {
   /// Species below this concentration do not gate the change controller
   /// (fast radicals in quasi-steady state track P/L and may jump at dawn).
   double change_floor_ppm = 1e-6;
+
+  /// Reuse rate-constant vectors across integrate() calls with bitwise
+  /// identical frozen inputs (temp_k, sun): columns of a layer at the same
+  /// temperature skip Mechanism::compute_rates entirely. A cache hit copies
+  /// the exact vector a recomputation would produce, so results are
+  /// bit-identical with the cache on or off.
+  bool cache_rates = true;
+  /// Cache capacity in distinct (temp_k, sun) keys; the cache is cleared
+  /// wholesale when full (typical runs hold one key per (layer, hour)).
+  std::size_t rate_cache_entries = 1024;
 };
 
 struct YoungBorisResult {
@@ -66,11 +78,42 @@ class YoungBorisSolver {
                              double temp_k, double sun,
                              std::span<const double> source_ppm_min = {});
 
+  /// Starts a new rate-cache epoch (e.g. a new simulated hour): a changed
+  /// epoch clears the cache, bounding reuse to inputs frozen within the
+  /// epoch. Calling with the current epoch is a no-op.
+  void set_rate_epoch(std::int64_t epoch);
+
+  /// Rate-constant evaluations skipped / performed since construction.
+  long long rate_cache_hits() const { return rate_cache_hits_; }
+  long long rate_evals() const { return rate_evals_; }
+
  private:
+  void load_rates(double temp_k, double sun);
+
   const Mechanism* mech_;
   YoungBorisOptions opts_;
   // Scratch (sized in ctor, reused across calls).
   std::vector<double> rates_, p0_, l0_, p1_, l1_, cp_, cn_;
+  // Rate-constant cache keyed on the bit patterns of (temp_k, sun).
+  struct RateKey {
+    std::uint64_t temp_bits = 0;
+    std::uint64_t sun_bits = 0;
+    friend bool operator==(const RateKey&, const RateKey&) = default;
+  };
+  struct RateKeyHash {
+    std::size_t operator()(const RateKey& k) const {
+      // splitmix64-style mix of the two bit patterns.
+      std::uint64_t x = k.temp_bits + 0x9e3779b97f4a7c15ULL * k.sun_bits;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  std::unordered_map<RateKey, std::vector<double>, RateKeyHash> rate_cache_;
+  std::int64_t rate_epoch_ = 0;
+  long long rate_cache_hits_ = 0;
+  long long rate_evals_ = 0;
 };
 
 }  // namespace airshed

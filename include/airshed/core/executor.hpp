@@ -55,6 +55,13 @@ struct ExecutionConfig {
   CheckpointPolicy checkpoint;
   /// Retransmission backoff for injected message drops.
   RetryPolicy retry;
+
+  /// Host worker threads evaluating the per-hour virtual-node costs
+  /// (simulated hours are independent given a node set, so they evaluate
+  /// concurrently; ledgers, communication totals and Recovery accounting
+  /// are reduced in hour order). 0 = AIRSHED_THREADS env or hardware
+  /// concurrency. Reports are bit-identical for every value.
+  int host_threads = 0;
 };
 
 /// Per-redistribution-kind communication totals (for Figs 5 and 6).
@@ -98,10 +105,14 @@ struct HourStageTimes {
 };
 
 /// Computes the per-hour stage durations for a given main-subgroup size.
+/// Hours are evaluated concurrently on `host_threads` workers (0 = env /
+/// hardware default); per-hour values are independent, so the result is
+/// bit-identical for every thread count.
 HourStageTimes pipeline_stage_times(const WorkTrace& trace,
                                     const MachineModel& machine,
                                     int main_nodes,
-                                    DimDist chemistry_dist = DimDist::Block);
+                                    DimDist chemistry_dist = DimDist::Block,
+                                    int host_threads = 0);
 
 /// Time of the main computation (transport + chemistry + aerosol + comm)
 /// of one hour on `nodes` nodes; shared by both strategies.

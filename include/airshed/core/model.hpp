@@ -25,12 +25,31 @@
 
 namespace airshed {
 
+/// Wall/CPU profile of one model run's host-parallel execution (filled
+/// when ModelOptions::profile points at an instance; purely observational,
+/// never feeds back into the numerics).
+struct HostProfile {
+  int threads = 0;          ///< resolved worker-pool size
+  double transport_s = 0.0; ///< wall seconds inside pooled transport phases
+  double chemistry_s = 0.0; ///< wall seconds inside pooled chemistry phases
+  double aerosol_s = 0.0;   ///< wall seconds in the (serial) aerosol phase
+  double io_s = 0.0;        ///< wall seconds in input generation + outputhour
+  /// CPU seconds each pool thread spent inside parallel blocks.
+  std::vector<double> thread_busy_s;
+};
+
 struct ModelOptions {
   int hours = 24;
   double start_hour = 5.0;  ///< local time of simulation start (pre-dawn)
   TransportOptions transport;
   YoungBorisOptions chem;
   InputGenerator::WorkModel io_work;
+  /// Host worker threads executing the per-virtual-node kernel work
+  /// (transport layers, chemistry columns). 0 = AIRSHED_THREADS env or
+  /// hardware concurrency. Results are bit-identical for every value.
+  int host_threads = 0;
+  /// Optional host-execution profile sink (see HostProfile).
+  HostProfile* profile = nullptr;
 };
 
 struct RunOutputs {

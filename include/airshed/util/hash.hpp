@@ -1,0 +1,46 @@
+// Bit-exact checksums over floating-point state (FNV-1a over the raw byte
+// patterns). Used by the determinism tests and benches to assert that two
+// runs produced byte-identical results: any single-ULP divergence anywhere
+// in the hashed state changes the checksum.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace airshed {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t word, std::uint64_t h = kFnvOffset) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (word >> (8 * b)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(double v, std::uint64_t h = kFnvOffset) {
+  return fnv1a(std::bit_cast<std::uint64_t>(v), h);
+}
+
+inline std::uint64_t fnv1a(std::span<const double> values,
+                           std::uint64_t h = kFnvOffset) {
+  for (double v : values) h = fnv1a(v, h);
+  return h;
+}
+
+/// Fixed-width lowercase hex (for bench artifacts and log lines).
+inline std::string hash_hex(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace airshed

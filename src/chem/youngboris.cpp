@@ -1,6 +1,7 @@
 #include "airshed/chem/youngboris.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "airshed/util/error.hpp"
@@ -25,6 +26,31 @@ YoungBorisSolver::YoungBorisSolver(const Mechanism& mech,
   cn_.resize(n);
 }
 
+void YoungBorisSolver::set_rate_epoch(std::int64_t epoch) {
+  if (epoch == rate_epoch_) return;
+  rate_epoch_ = epoch;
+  rate_cache_.clear();
+}
+
+void YoungBorisSolver::load_rates(double temp_k, double sun) {
+  if (!opts_.cache_rates || opts_.rate_cache_entries == 0) {
+    mech_->compute_rates(temp_k, sun, rates_);
+    ++rate_evals_;
+    return;
+  }
+  const RateKey key{std::bit_cast<std::uint64_t>(temp_k),
+                    std::bit_cast<std::uint64_t>(sun)};
+  if (const auto it = rate_cache_.find(key); it != rate_cache_.end()) {
+    std::copy(it->second.begin(), it->second.end(), rates_.begin());
+    ++rate_cache_hits_;
+    return;
+  }
+  mech_->compute_rates(temp_k, sun, rates_);
+  ++rate_evals_;
+  if (rate_cache_.size() >= opts_.rate_cache_entries) rate_cache_.clear();
+  rate_cache_.emplace(key, rates_);
+}
+
 YoungBorisResult YoungBorisSolver::integrate(
     std::span<double> c, double dt_total_min, double temp_k, double sun,
     std::span<const double> source_ppm_min) {
@@ -38,8 +64,9 @@ YoungBorisResult YoungBorisSolver::integrate(
   if (dt_total_min == 0.0) return result;
 
   // Temperature and photolysis are frozen over the chemistry step, so rate
-  // constants are computed once.
-  mech_->compute_rates(temp_k, sun, rates_);
+  // constants are computed once — and reused across cells with bitwise
+  // identical (temp_k, sun) when the rate cache is on.
+  load_rates(temp_k, sun);
 
   auto add_source = [&](std::span<double> p) {
     if (source_ppm_min.empty()) return;

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "airshed/par/pool.hpp"
 #include "airshed/util/error.hpp"
 
 namespace airshed {
@@ -415,28 +416,66 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
     epoch_rec = RecoveryReport{};
   };
 
+  // Hour evaluations are pure functions of (hour, nodes, alive, ct), so
+  // the hours of a failure-free segment — everything up to the next death
+  // among the currently alive nodes — evaluate concurrently on the worker
+  // pool. The recovery replay below consumes them strictly in hour order,
+  // exactly as the serial loop would, so ledgers, communication totals and
+  // Recovery accounting are bit-identical at every thread count. A failure
+  // changes the node set and invalidates the cache; the replayed hours are
+  // then re-evaluated (pooled again) against the shrunken machine.
+  par::WorkerPool pool(config.host_threads);
+  struct HourEval {
+    double t_hour = 0.0;
+    RunLedger ledger;
+    CommBreakdown comm;
+    RecoveryReport rec;
+    bool valid = false;
+  };
+  std::vector<HourEval> cache(trace.hours.size());
+
+  auto evaluate_hour = [&](std::size_t hh) {
+    HourEval& e = cache[hh];
+    e = HourEval{};
+    const HourTrace& hour = trace.hours[hh];
+    FaultCtx ctx{&plan, &alive, static_cast<int>(hh), &config.retry, &e.rec};
+    e.t_hour = charge_io_stage(
+        e.ledger, &e.rec, "inputhour + pretrans",
+        machine.compute_time(hour.input_work + hour.pretrans_work),
+        node_slowdown(&ctx, 0));
+    e.t_hour += hour_main_seconds_impl(hour, machine, nodes, ct,
+                                       config.chemistry_dist,
+                                       trace.transport_row_parallelism,
+                                       &e.ledger, &e.comm, &ctx);
+    e.t_hour += charge_io_stage(e.ledger, &e.rec, "outputhour",
+                                machine.compute_time(hour.output_work),
+                                node_slowdown(&ctx, 0));
+    e.valid = true;
+  };
+
+  // Evaluates [from, end of the current failure-free segment] in parallel
+  // (the segment's last hour is the one a death interrupts; it is still
+  // evaluated tentatively, exactly like the serial replay).
+  auto evaluate_segment = [&](std::size_t from) {
+    double death = std::numeric_limits<double>::infinity();
+    for (int node : alive) death = std::min(death, plan.failure_hour(node));
+    std::size_t end = trace.hours.size();
+    if (death < static_cast<double>(end)) {
+      end = std::min(end, static_cast<std::size_t>(std::max(death, 0.0)) + 1);
+    }
+    end = std::max(end, from + 1);
+    pool.for_each(end - from,
+                  [&](int, std::size_t i) { evaluate_hour(from + i); });
+  };
+
   std::size_t h = 0;
   while (h < trace.hours.size()) {
     const int hour_i = static_cast<int>(h);
-    const HourTrace& hour = trace.hours[h];
-
-    // Evaluate the hour tentatively: a failure mid-hour discards it.
-    RunLedger hour_ledger;
-    CommBreakdown hour_comm;
-    RecoveryReport hour_rec;
-    FaultCtx ctx{&plan, &alive, hour_i, &config.retry, &hour_rec};
-
-    double t_hour = charge_io_stage(
-        hour_ledger, &hour_rec, "inputhour + pretrans",
-        machine.compute_time(hour.input_work + hour.pretrans_work),
-        node_slowdown(&ctx, 0));
-    t_hour += hour_main_seconds_impl(hour, machine, nodes, ct,
-                                     config.chemistry_dist,
-                                     trace.transport_row_parallelism,
-                                     &hour_ledger, &hour_comm, &ctx);
-    t_hour += charge_io_stage(hour_ledger, &hour_rec, "outputhour",
-                              machine.compute_time(hour.output_work),
-                              node_slowdown(&ctx, 0));
+    if (!cache[h].valid) evaluate_segment(h);
+    const double t_hour = cache[h].t_hour;
+    const RunLedger& hour_ledger = cache[h].ledger;
+    const CommBreakdown& hour_comm = cache[h].comm;
+    const RecoveryReport& hour_rec = cache[h].rec;
 
     // Earliest failure among the surviving nodes during this hour.
     int dying_idx = -1;
@@ -482,6 +521,8 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
       epoch_comm = CommBreakdown{};
       epoch_rec = RecoveryReport{};
       since_ckpt = 0.0;
+      // The node set changed: every cached hour cost is stale.
+      for (HourEval& e : cache) e.valid = false;
       ct = plan_comm_times(trace, machine, nodes, config.chemistry_dist);
       ckpt_cost = ct.trans_to_repl.seconds + archive_write_s;
       h = ckpt_hour;
@@ -570,7 +611,8 @@ double hour_main_seconds(const WorkTrace& trace, std::size_t hour_index,
 
 HourStageTimes pipeline_stage_times(const WorkTrace& trace,
                                     const MachineModel& machine,
-                                    int main_nodes, DimDist chemistry_dist) {
+                                    int main_nodes, DimDist chemistry_dist,
+                                    int host_threads) {
   if (main_nodes < 1) {
     throw ConfigError(
         "pipeline_stage_times: main subgroup needs at least one node (got " +
@@ -579,16 +621,21 @@ HourStageTimes pipeline_stage_times(const WorkTrace& trace,
   const CommTimes ct =
       plan_comm_times(trace, machine, main_nodes, chemistry_dist);
   HourStageTimes st;
-  st.input_s.reserve(trace.hours.size());
-  st.main_s.reserve(trace.hours.size());
-  st.output_s.reserve(trace.hours.size());
-  for (const HourTrace& h : trace.hours) {
-    st.input_s.push_back(machine.compute_time(h.input_work + h.pretrans_work));
-    st.main_s.push_back(hour_main_seconds_impl(
-        h, machine, main_nodes, ct, chemistry_dist,
-        trace.transport_row_parallelism, nullptr, nullptr, nullptr));
-    st.output_s.push_back(machine.compute_time(h.output_work));
-  }
+  const std::size_t hours = trace.hours.size();
+  st.input_s.resize(hours);
+  st.main_s.resize(hours);
+  st.output_s.resize(hours);
+  // Per-hour stage durations are independent; each hour writes only its
+  // own three slots.
+  par::WorkerPool pool(host_threads);
+  pool.for_each(hours, [&](int, std::size_t h) {
+    const HourTrace& hour = trace.hours[h];
+    st.input_s[h] = machine.compute_time(hour.input_work + hour.pretrans_work);
+    st.main_s[h] = hour_main_seconds_impl(
+        hour, machine, main_nodes, ct, chemistry_dist,
+        trace.transport_row_parallelism, nullptr, nullptr, nullptr);
+    st.output_s[h] = machine.compute_time(hour.output_work);
+  });
   return st;
 }
 
@@ -607,20 +654,41 @@ RunReport simulate_execution(const WorkTrace& trace,
     if (faulty) return simulate_faulty_data_parallel(trace, config);
     const CommTimes ct = plan_comm_times(trace, config.machine, config.nodes,
                                          config.chemistry_dist);
+    // Fault-free hours are independent given the node count: evaluate them
+    // concurrently into per-hour slots, then reduce in hour order on this
+    // thread. total_seconds keeps the serial loop's exact scalar
+    // accumulation order (io_in, main, io_out per hour), so the report is
+    // bit-identical at every thread count.
+    struct PlainHourEval {
+      double io_in = 0.0;
+      double main_s = 0.0;
+      double io_out = 0.0;
+      RunLedger ledger;
+      CommBreakdown comm;
+    };
+    std::vector<PlainHourEval> evals(trace.hours.size());
+    par::WorkerPool pool(config.host_threads);
+    pool.for_each(trace.hours.size(), [&](int, std::size_t h) {
+      const HourTrace& hour = trace.hours[h];
+      PlainHourEval& e = evals[h];
+      e.io_in =
+          config.machine.compute_time(hour.input_work + hour.pretrans_work);
+      e.ledger.charge(PhaseCategory::IoProcessing, "inputhour + pretrans",
+                      e.io_in);
+      e.main_s = hour_main_seconds_impl(hour, config.machine, config.nodes, ct,
+                                        config.chemistry_dist,
+                                        trace.transport_row_parallelism,
+                                        &e.ledger, &e.comm, nullptr);
+      e.io_out = config.machine.compute_time(hour.output_work);
+      e.ledger.charge(PhaseCategory::IoProcessing, "outputhour", e.io_out);
+    });
     double total = 0.0;
-    for (const HourTrace& h : trace.hours) {
-      const double io_in =
-          config.machine.compute_time(h.input_work + h.pretrans_work);
-      report.ledger.charge(PhaseCategory::IoProcessing, "inputhour + pretrans",
-                           io_in);
-      total += io_in;
-      total += hour_main_seconds_impl(h, config.machine, config.nodes, ct,
-                                      config.chemistry_dist,
-                                      trace.transport_row_parallelism,
-                                      &report.ledger, &report.comm, nullptr);
-      const double io_out = config.machine.compute_time(h.output_work);
-      report.ledger.charge(PhaseCategory::IoProcessing, "outputhour", io_out);
-      total += io_out;
+    for (const PlainHourEval& e : evals) {
+      total += e.io_in;
+      total += e.main_s;
+      total += e.io_out;
+      report.ledger.merge(e.ledger);
+      merge_comm(report.comm, e.comm);
     }
     report.total_seconds = total;
     return report;
@@ -631,30 +699,43 @@ RunReport simulate_execution(const WorkTrace& trace,
   HourStageTimes st;
   if (!faulty) {
     st = pipeline_stage_times(trace, config.machine, alloc.main_nodes,
-                              config.chemistry_dist);
+                              config.chemistry_dist, config.host_threads);
   } else {
     // Deterministic subgroup placement: input on node 0, the main group on
     // nodes 1..main, output on the last node. Stragglers inflate each
     // stage's hour durations; drops charge retransmissions into the main
-    // stage (validate_config already rejected failure plans here).
+    // stage (validate_config already rejected failure plans here). Hours
+    // evaluate concurrently into per-hour RecoveryReports, merged in hour
+    // order below.
     std::vector<int> main_phys(static_cast<std::size_t>(alloc.main_nodes));
     std::iota(main_phys.begin(), main_phys.end(), 1);
     const CommTimes ct = plan_comm_times(trace, config.machine,
                                          alloc.main_nodes,
                                          config.chemistry_dist);
-    for (std::size_t h = 0; h < trace.hours.size(); ++h) {
+    const std::size_t hours = trace.hours.size();
+    st.input_s.resize(hours);
+    st.main_s.resize(hours);
+    st.output_s.resize(hours);
+    std::vector<RecoveryReport> hour_rec(hours);
+    par::WorkerPool pool(config.host_threads);
+    pool.for_each(hours, [&](int, std::size_t h) {
       const HourTrace& hour = trace.hours[h];
       FaultCtx ctx{&config.faults, &main_phys, static_cast<int>(h),
-                   &config.retry, &report.recovery};
-      st.input_s.push_back(
+                   &config.retry, &hour_rec[h]};
+      st.input_s[h] =
           config.machine.compute_time(hour.input_work + hour.pretrans_work) *
-          config.faults.slowdown(static_cast<int>(h), 0));
-      st.main_s.push_back(hour_main_seconds_impl(
+          config.faults.slowdown(static_cast<int>(h), 0);
+      st.main_s[h] = hour_main_seconds_impl(
           hour, config.machine, alloc.main_nodes, ct, config.chemistry_dist,
-          trace.transport_row_parallelism, nullptr, nullptr, &ctx));
-      st.output_s.push_back(
+          trace.transport_row_parallelism, nullptr, nullptr, &ctx);
+      st.output_s[h] =
           config.machine.compute_time(hour.output_work) *
-          config.faults.slowdown(static_cast<int>(h), config.nodes - 1));
+          config.faults.slowdown(static_cast<int>(h), config.nodes - 1);
+    });
+    for (const RecoveryReport& r : hour_rec) {
+      report.recovery.straggler_s += r.straggler_s;
+      report.recovery.retransmit_s += r.retransmit_s;
+      report.recovery.retransmissions += r.retransmissions;
     }
     report.recovery.final_nodes = config.nodes;
   }

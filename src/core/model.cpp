@@ -1,14 +1,18 @@
 #include "airshed/core/model.hpp"
 
 #include <array>
+#include <chrono>
 #include <cmath>
 
 #include "airshed/aerosol/aerosol.hpp"
+#include "airshed/par/pool.hpp"
 #include "airshed/transport/supg.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/vert/vertical.hpp"
 
 namespace airshed {
+
+using par::PhaseTimer;
 
 AirshedModel::AirshedModel(const Dataset& dataset, ModelOptions opts)
     : dataset_(&dataset), opts_(opts) {
@@ -95,10 +99,26 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   Array3<double>& pm = result.outputs.pm;
 
   InputGenerator inputs(ds, opts_.transport, opts_.io_work);
-  SupgTransport supg(ds.mesh, opts_.transport);
-  YoungBorisSolver chem(Mechanism::cb4_condensed(), opts_.chem);
-  VerticalTransport vert(ds.layer_dz_m);
   AerosolModule aerosol;
+
+  // Virtual-node kernels run pooled over host threads: transport over
+  // layers, chemistry + vertical transport over columns. Each thread owns
+  // its solver instances (scratch is stateful), each item its output slot,
+  // so results are bit-identical for every thread count.
+  par::WorkerPool pool(opts_.host_threads);
+  const int nthreads = pool.threads();
+  par::PerThread<SupgTransport> supg(
+      nthreads, [&] { return SupgTransport(ds.mesh, opts_.transport); });
+  par::PerThread<YoungBorisSolver> chem(nthreads, [&] {
+    return YoungBorisSolver(Mechanism::cb4_condensed(), opts_.chem);
+  });
+  par::PerThread<VerticalTransport> vert(
+      nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
+  HostProfile* prof = opts_.profile;
+  if (prof) {
+    *prof = HostProfile{};
+    prof->threads = nthreads;
+  }
 
   std::array<double, kSpeciesCount> background{};
   std::array<double, kSpeciesCount> deposition{};
@@ -107,13 +127,16 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     deposition[s] = deposition_velocity_ms(static_cast<Species>(s));
   }
 
-  std::array<double, kSpeciesCount> cell{};
-  std::array<double, kSpeciesCount> column_flux{};
   const std::vector<double> no_elevated;
 
   for (int h = first_hour; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
-    const HourlyInputs in = inputs.generate(static_cast<int>(hour_start));
+    // Rate constants frozen on (temp, sun) are reusable within the hour.
+    for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
+    HourlyInputs in = [&] {
+      PhaseTimer timer(prof ? &prof->io_s : nullptr);
+      return inputs.generate(static_cast<int>(hour_start));
+    }();
 
     HourTrace hour_trace;
     hour_trace.input_work = in.input_work_flops;
@@ -127,12 +150,20 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
       step.transport2_layer_work.resize(nl);
       step.chem_column_work.assign(nv, 0.0);
 
+      // Layers are independent (the SUPG operator is layer-local); each
+      // thread advances its own block of layers with its own operator.
+      auto transport_half = [&](std::vector<double>& layer_work) {
+        PhaseTimer timer(prof ? &prof->transport_s : nullptr);
+        pool.for_each(static_cast<std::size_t>(nl), [&](int t, std::size_t k) {
+          const TransportStepResult r =
+              supg[t].advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
+                                    0.5 * dt_hours, background);
+          layer_work[k] = r.work_flops;
+        });
+      };
+
       // ---- Transport, first half step (Lxy, dt/2) ----------------------
-      for (int k = 0; k < nl; ++k) {
-        const TransportStepResult r = supg.advance_layer(
-            conc, k, in.wind_kmh[k], in.kh_km2h, 0.5 * dt_hours, background);
-        step.transport1_layer_work[k] = r.work_flops;
-      }
+      transport_half(step.transport1_layer_work);
 
       // ---- Chemistry + vertical transport (Lcz, dt) ---------------------
       const double t_mid = t_step + 0.5 * dt_hours;
@@ -140,55 +171,63 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
       const double dt_min = dt_hours * 60.0;
       const double lapse = ds.met.params().lapse_k_per_layer;
 
-      for (std::size_t v = 0; v < nv; ++v) {
-        double column_work = 0.0;
-        for (int k = 0; k < nl; ++k) {
-          for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, v);
-          const double temp = in.vertex_temp_k[v] - lapse * k;
-          YoungBorisResult r;
-          try {
-            r = chem.integrate(cell, dt_min, temp, sun);
-          } catch (const NumericalError& e) {
-            // The box solver is cell-local; attach the grid location here.
-            throw NumericalError(std::string(e.what()) + " (grid point " +
-                                 std::to_string(v) + ", layer " +
-                                 std::to_string(k) + ", hour " +
-                                 std::to_string(h) + ")");
+      // Columns are independent; each writes only its own (s, k, v) cells
+      // and its own chem_column_work slot.
+      {
+        PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        pool.for_each(nv, [&](int t, std::size_t v) {
+          std::array<double, kSpeciesCount> cell{};
+          std::array<double, kSpeciesCount> column_flux{};
+          double column_work = 0.0;
+          for (int k = 0; k < nl; ++k) {
+            for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, v);
+            const double temp = in.vertex_temp_k[v] - lapse * k;
+            YoungBorisResult r;
+            try {
+              r = chem[t].integrate(cell, dt_min, temp, sun);
+            } catch (const NumericalError& e) {
+              // The box solver is cell-local; attach the grid location here.
+              throw NumericalError(std::string(e.what()) + " (grid point " +
+                                   std::to_string(v) + ", layer " +
+                                   std::to_string(k) + ", hour " +
+                                   std::to_string(h) + ")");
+            }
+            for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, v) = cell[s];
+            column_work += r.work_flops;
           }
-          for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, v) = cell[s];
-          column_work += r.work_flops;
-        }
-        for (int s = 0; s < kSpeciesCount; ++s) {
-          column_flux[s] = in.surface_flux(s, v);
-        }
-        const auto elevated_it = in.elevated_flux.find(v);
-        const VerticalStepResult vr = vert.advance_column(
-            conc, v, in.kz_m2s, column_flux, deposition,
-            elevated_it != in.elevated_flux.end()
-                ? std::span<const double>(elevated_it->second)
-                : std::span<const double>(no_elevated),
-            dt_min);
-        column_work += vr.work_flops;
-        step.chem_column_work[v] = column_work;
+          for (int s = 0; s < kSpeciesCount; ++s) {
+            column_flux[s] = in.surface_flux(s, v);
+          }
+          const auto elevated_it = in.elevated_flux.find(v);
+          const VerticalStepResult vr = vert[t].advance_column(
+              conc, v, in.kz_m2s, column_flux, deposition,
+              elevated_it != in.elevated_flux.end()
+                  ? std::span<const double>(elevated_it->second)
+                  : std::span<const double>(no_elevated),
+              dt_min);
+          column_work += vr.work_flops;
+          step.chem_column_work[v] = column_work;
+        });
       }
 
       // ---- Aerosol (sequential, replicated) ------------------------------
-      const AerosolResult ar = aerosol.equilibrate(conc, pm, in.layer_temp_k);
-      step.aerosol_work = ar.work_flops;
+      {
+        PhaseTimer timer(prof ? &prof->aerosol_s : nullptr);
+        const AerosolResult ar = aerosol.equilibrate(conc, pm, in.layer_temp_k);
+        step.aerosol_work = ar.work_flops;
+      }
 
       // ---- Transport, second half step (Lxy, dt/2) -----------------------
-      for (int k = 0; k < nl; ++k) {
-        const TransportStepResult r = supg.advance_layer(
-            conc, k, in.wind_kmh[k], in.kh_km2h, 0.5 * dt_hours, background);
-        step.transport2_layer_work[k] = r.work_flops;
-      }
+      transport_half(step.transport2_layer_work);
 
       hour_trace.steps.push_back(std::move(step));
     }
 
     // ---- outputhour ------------------------------------------------------
-    const HourlyStats stats =
-        compute_hourly_stats(ds, conc, pm, static_cast<int>(hour_start));
+    const HourlyStats stats = [&] {
+      PhaseTimer timer(prof ? &prof->io_s : nullptr);
+      return compute_hourly_stats(ds, conc, pm, static_cast<int>(hour_start));
+    }();
     hour_trace.output_work = inputs.outputhour_work_flops();
     result.outputs.hourly.push_back(stats);
     result.trace.hours.push_back(std::move(hour_trace));
@@ -203,6 +242,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     }
   }
 
+  if (prof) prof->thread_busy_s = pool.busy_seconds();
   return result;
 }
 

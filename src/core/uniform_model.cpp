@@ -9,6 +9,7 @@
 #include "airshed/aerosol/aerosol.hpp"
 #include "airshed/chem/youngboris.hpp"
 #include "airshed/io/dataset.hpp"
+#include "airshed/par/pool.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/vert/vertical.hpp"
 
@@ -161,24 +162,42 @@ ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
   ConcentrationField& conc = result.outputs.conc;
   Array3<double>& pm = result.outputs.pm;
 
-  OneDimTransport transport(ds.grid, opts_.transport);
-  YoungBorisSolver chem(Mechanism::cb4_condensed(), opts_.chem);
-  VerticalTransport vert(ds.layer_dz_m);
   AerosolModule aerosol;
 
-  std::array<double, kSpeciesCount> background{}, deposition{}, column_flux{};
+  // Pooled virtual-node kernels, as in AirshedModel::run_hours: per-thread
+  // operator instances, per-item output slots, bit-identical results for
+  // every thread count.
+  par::WorkerPool pool(opts_.host_threads);
+  const int nthreads = pool.threads();
+  par::PerThread<OneDimTransport> transport(
+      nthreads, [&] { return OneDimTransport(ds.grid, opts_.transport); });
+  par::PerThread<YoungBorisSolver> chem(nthreads, [&] {
+    return YoungBorisSolver(Mechanism::cb4_condensed(), opts_.chem);
+  });
+  par::PerThread<VerticalTransport> vert(
+      nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
+  HostProfile* prof = opts_.profile;
+  if (prof) {
+    *prof = HostProfile{};
+    prof->threads = nthreads;
+  }
+
+  std::array<double, kSpeciesCount> background{}, deposition{};
   for (int s = 0; s < kSpeciesCount; ++s) {
     background[s] = background_ppm(static_cast<Species>(s));
     deposition[s] = deposition_velocity_ms(static_cast<Species>(s));
   }
-  std::array<double, kSpeciesCount> cell{};
   const std::vector<double> no_elevated;
   const double lapse = ds.met.params().lapse_k_per_layer;
 
   for (int h = 0; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
-    const UniformHourlyInputs in = generate_uniform_inputs(
-        ds, opts_.transport, opts_.io_work, static_cast<int>(hour_start));
+    for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
+    const UniformHourlyInputs in = [&] {
+      par::PhaseTimer timer(prof ? &prof->io_s : nullptr);
+      return generate_uniform_inputs(ds, opts_.transport, opts_.io_work,
+                                     static_cast<int>(hour_start));
+    }();
 
     HourTrace hour_trace;
     hour_trace.input_work = in.input_work;
@@ -192,49 +211,57 @@ ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
       step.transport2_layer_work.resize(nl);
       step.chem_column_work.assign(nc, 0.0);
 
-      for (int k = 0; k < nl; ++k) {
-        step.transport1_layer_work[k] =
-            transport
-                .advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
-                               0.5 * dt_hours, background)
-                .work_flops;
-      }
+      auto transport_half = [&](std::vector<double>& layer_work) {
+        par::PhaseTimer timer(prof ? &prof->transport_s : nullptr);
+        pool.for_each(static_cast<std::size_t>(nl), [&](int t, std::size_t k) {
+          layer_work[k] = transport[t]
+                              .advance_layer(conc, k, in.wind_kmh[k],
+                                             in.kh_km2h, 0.5 * dt_hours,
+                                             background)
+                              .work_flops;
+        });
+      };
+
+      transport_half(step.transport1_layer_work);
 
       const double t_mid = t_step + 0.5 * dt_hours;
       const double sun = ds.met.photolysis_factor(t_mid);
       const double dt_min = dt_hours * 60.0;
-      for (std::size_t c = 0; c < nc; ++c) {
-        double column_work = 0.0;
-        for (int k = 0; k < nl; ++k) {
-          for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, c);
-          const double temp = in.cell_temp_k[c] - lapse * k;
-          column_work += chem.integrate(cell, dt_min, temp, sun).work_flops;
-          for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, c) = cell[s];
-        }
-        for (int s = 0; s < kSpeciesCount; ++s) {
-          column_flux[s] = in.surface_flux(s, c);
-        }
-        const auto it = in.elevated_flux.find(c);
-        column_work +=
-            vert.advance_column(conc, c, in.kz_m2s, column_flux, deposition,
-                                it != in.elevated_flux.end()
-                                    ? std::span<const double>(it->second)
-                                    : std::span<const double>(no_elevated),
-                                dt_min)
-                .work_flops;
-        step.chem_column_work[c] = column_work;
+      {
+        par::PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        pool.for_each(nc, [&](int t, std::size_t c) {
+          std::array<double, kSpeciesCount> cell{}, column_flux{};
+          double column_work = 0.0;
+          for (int k = 0; k < nl; ++k) {
+            for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, c);
+            const double temp = in.cell_temp_k[c] - lapse * k;
+            column_work +=
+                chem[t].integrate(cell, dt_min, temp, sun).work_flops;
+            for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, c) = cell[s];
+          }
+          for (int s = 0; s < kSpeciesCount; ++s) {
+            column_flux[s] = in.surface_flux(s, c);
+          }
+          const auto it = in.elevated_flux.find(c);
+          column_work +=
+              vert[t]
+                  .advance_column(conc, c, in.kz_m2s, column_flux, deposition,
+                                  it != in.elevated_flux.end()
+                                      ? std::span<const double>(it->second)
+                                      : std::span<const double>(no_elevated),
+                                  dt_min)
+                  .work_flops;
+          step.chem_column_work[c] = column_work;
+        });
       }
 
-      step.aerosol_work =
-          aerosol.equilibrate(conc, pm, in.layer_temp_k).work_flops;
-
-      for (int k = 0; k < nl; ++k) {
-        step.transport2_layer_work[k] =
-            transport
-                .advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
-                               0.5 * dt_hours, background)
-                .work_flops;
+      {
+        par::PhaseTimer timer(prof ? &prof->aerosol_s : nullptr);
+        step.aerosol_work =
+            aerosol.equilibrate(conc, pm, in.layer_temp_k).work_flops;
       }
+
+      transport_half(step.transport2_layer_work);
 
       hour_trace.steps.push_back(std::move(step));
     }
@@ -268,6 +295,7 @@ ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
     if (on_hour) on_hour(stats, conc);
   }
 
+  if (prof) prof->thread_busy_s = pool.busy_seconds();
   return result;
 }
 

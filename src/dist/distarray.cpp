@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "airshed/par/pool.hpp"
 #include "airshed/util/error.hpp"
 
 namespace airshed {
@@ -217,20 +218,23 @@ void DistArray3::scatter_from(const Array3<double>& global) {
   AIRSHED_REQUIRE(global.dim0() == shape[0] && global.dim1() == shape[1] &&
                       global.dim2() == shape[2],
                   "global array shape mismatch");
-  for (int p = 0; p < layout_.nodes(); ++p) {
-    const auto i0 = owned_indices(layout_, p, 0);
-    const auto i1 = owned_indices(layout_, p, 1);
-    const auto i2 = owned_indices(layout_, p, 2);
-    std::vector<double>& loc = locals_[p];
-    std::size_t idx = 0;
-    for (std::size_t i : i0) {
-      for (std::size_t j : i1) {
-        for (std::size_t k : i2) {
-          loc[idx++] = global(i, j, k);
+  // Each node fills only its own local block: pooled over nodes.
+  par::WorkerPool::shared().for_each(
+      static_cast<std::size_t>(layout_.nodes()), [&](int, std::size_t p) {
+        const int node = static_cast<int>(p);
+        const auto i0 = owned_indices(layout_, node, 0);
+        const auto i1 = owned_indices(layout_, node, 1);
+        const auto i2 = owned_indices(layout_, node, 2);
+        std::vector<double>& loc = locals_[p];
+        std::size_t idx = 0;
+        for (std::size_t i : i0) {
+          for (std::size_t j : i1) {
+            for (std::size_t k : i2) {
+              loc[idx++] = global(i, j, k);
+            }
+          }
         }
-      }
-    }
-  }
+      });
 }
 
 Array3<double> DistArray3::gather() const {
@@ -256,10 +260,34 @@ Array3<double> DistArray3::gather() const {
 
 namespace {
 
-/// Copies the explicit index set intersection from src node ps to dst node
-/// pd. General path (handles cyclic); the innermost dimension uses memcpy
-/// when both sides are contiguous there.
-void copy_intersection(const DistArray3& src, int ps, DistArray3& dst, int pd) {
+/// Maximal runs of consecutive local offsets (memcpy'able k-line pieces).
+struct OffsetRun {
+  std::size_t begin = 0;  ///< first local offset of the run
+  std::size_t count = 0;  ///< run length
+};
+
+std::vector<OffsetRun> offset_runs(const std::vector<std::size_t>& offs) {
+  std::vector<OffsetRun> runs;
+  for (std::size_t o : offs) {
+    if (!runs.empty() && o == runs.back().begin + runs.back().count) {
+      ++runs.back().count;
+    } else {
+      runs.push_back({o, 1});
+    }
+  }
+  return runs;
+}
+
+/// Copies the index-set intersection from src node ps to dst node pd
+/// through a contiguous staging buffer: one pass packs the source rows
+/// (memcpy per consecutive-offset run), one pass unpacks them at the
+/// destination. This mirrors message pack/send/unpack, touches each
+/// element exactly twice, and hoists all per-dimension local-offset
+/// arithmetic out of the element loops. local_offset is monotonic in the
+/// global index for every distribution kind, so pack and unpack traverse
+/// the intersection in the same element order.
+void copy_intersection(const DistArray3& src, int ps, DistArray3& dst, int pd,
+                       std::vector<double>& staging) {
   const Layout3& ls = src.layout();
   const Layout3& ld = dst.layout();
   const auto i0 = dim_intersection_list(ls, ps, ld, pd, 0);
@@ -267,22 +295,49 @@ void copy_intersection(const DistArray3& src, int ps, DistArray3& dst, int pd) {
   const auto i2 = dim_intersection_list(ls, ps, ld, pd, 2);
   if (i0.empty() || i1.empty() || i2.empty()) return;
 
-  const bool k_contiguous =
-      is_contiguous(ls.dist()[2]) && is_contiguous(ld.dist()[2]) &&
-      !i2.empty() && i2.back() - i2.front() + 1 == i2.size();
+  auto offsets_of = [](const Layout3& l, int node, int dim,
+                       const std::vector<std::size_t>& idx) {
+    std::vector<std::size_t> out(idx.size());
+    for (std::size_t t = 0; t < idx.size(); ++t) {
+      out[t] = local_offset(l, node, dim, idx[t]);
+    }
+    return out;
+  };
+  const auto s0 = offsets_of(ls, ps, 0, i0);
+  const auto s1 = offsets_of(ls, ps, 1, i1);
+  const auto s2 = offsets_of(ls, ps, 2, i2);
+  const auto d0 = offsets_of(ld, pd, 0, i0);
+  const auto d1 = offsets_of(ld, pd, 1, i1);
+  const auto d2 = offsets_of(ld, pd, 2, i2);
+  const auto src_runs = offset_runs(s2);
+  const auto dst_runs = offset_runs(d2);
+
+  const std::size_t sc1 = ls.owned_count(ps, 1);
+  const std::size_t sc2 = ls.owned_count(ps, 2);
+  const std::size_t dc1 = ld.owned_count(pd, 1);
+  const std::size_t dc2 = ld.owned_count(pd, 2);
+
+  staging.resize(i0.size() * i1.size() * i2.size());
   std::span<const double> from = src.local(ps);
   std::span<double> to = dst.local(pd);
-  for (std::size_t i : i0) {
-    for (std::size_t j : i1) {
-      if (k_contiguous) {
-        const std::size_t sidx = src.local_index(ps, i, j, i2.front());
-        const std::size_t didx = dst.local_index(pd, i, j, i2.front());
-        std::memcpy(&to[didx], &from[sidx], i2.size() * sizeof(double));
-      } else {
-        for (std::size_t k : i2) {
-          to[dst.local_index(pd, i, j, k)] =
-              from[src.local_index(ps, i, j, k)];
-        }
+
+  std::size_t cursor = 0;  // pack
+  for (std::size_t o0 : s0) {
+    for (std::size_t o1 : s1) {
+      const double* row = &from[(o0 * sc1 + o1) * sc2];
+      for (const OffsetRun& r : src_runs) {
+        std::memcpy(&staging[cursor], row + r.begin, r.count * sizeof(double));
+        cursor += r.count;
+      }
+    }
+  }
+  cursor = 0;  // unpack
+  for (std::size_t o0 : d0) {
+    for (std::size_t o1 : d1) {
+      double* row = &to[(o0 * dc1 + o1) * dc2];
+      for (const OffsetRun& r : dst_runs) {
+        std::memcpy(row + r.begin, &staging[cursor], r.count * sizeof(double));
+        cursor += r.count;
       }
     }
   }
@@ -365,10 +420,27 @@ RedistributionStats run_redistribution(const Layout3& from, const Layout3& to,
 
 RedistributionStats redistribute(const DistArray3& src, DistArray3& dst,
                                  std::size_t word_size) {
-  return run_redistribution(src.layout(), dst.layout(), word_size,
-                            [&](int ps, int pd) {
-                              copy_intersection(src, ps, dst, pd);
-                            });
+  // Planning pass collects the communicating pairs (and all the traffic
+  // stats); the copies then execute pooled over destination nodes. Each
+  // destination writes only its own local block and source ownership is
+  // unique per element, so the writes are disjoint and the result is
+  // independent of the thread count.
+  std::vector<std::vector<int>> srcs_of(
+      static_cast<std::size_t>(dst.layout().nodes()));
+  RedistributionStats stats =
+      run_redistribution(src.layout(), dst.layout(), word_size,
+                         [&](int ps, int pd) {
+                           srcs_of[static_cast<std::size_t>(pd)].push_back(ps);
+                         });
+  par::WorkerPool& pool = par::WorkerPool::shared();
+  par::PerThread<std::vector<double>> staging(
+      pool.threads(), [] { return std::vector<double>(); });
+  pool.for_each(srcs_of.size(), [&](int t, std::size_t pd) {
+    for (int ps : srcs_of[pd]) {
+      copy_intersection(src, ps, dst, static_cast<int>(pd), staging[t]);
+    }
+  });
+  return stats;
 }
 
 RedistributionStats plan_redistribution(const Layout3& from, const Layout3& to,
