@@ -1,0 +1,369 @@
+// Ablation: storage faults, checkpoint-chain fallback, and restart identity.
+//
+// PR 1 made failures and recovery first-class; this bench attacks the
+// recovery artifacts themselves. Two questions:
+//
+//  1. Correctness on real files: write a checkpoint generation chain for
+//     both LA models (multiscale SUPG and uniform operator-split), hit it
+//     with every storage-fault kind (torn write, single-bit flip, lost
+//     rename), and assert that a vault-based resume is *bit-identical* to
+//     the uninterrupted run (FNV-1a digest over the final fields) whenever
+//     at least one valid generation survives — and a typed StorageError
+//     when none does.
+//
+//  2. Predictability of the cost: sweep the executor's seeded storage-fault
+//     class and compare the measured Recovery overhead against Young's
+//     analysis extended by the corruption probability p (a corrupt newest
+//     generation falls back one interval further with geometric weight, so
+//     the expected loss per failure grows from T/2 by T*p/(1-p)).
+//
+// Emits BENCH_storage_faults.json: per-scenario restore results at
+// 2 seeds x 2 datasets, plus the executor sweep.
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace airshed;
+namespace fs = std::filesystem;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+std::uint64_t field_digest(const RunOutputs& out) {
+  std::uint64_t h = fnv1a_bytes(std::string_view(
+      reinterpret_cast<const char*>(out.conc.flat().data()),
+      out.conc.size() * sizeof(double)));
+  return fnv1a_bytes(
+      std::string_view(reinterpret_cast<const char*>(out.pm.flat().data()),
+                       out.pm.size() * sizeof(double)),
+      h);
+}
+
+/// One corruption pattern applied to a copy of the master generation chain:
+/// kinds are applied newest-first (entry 0 = newest generation); patterns
+/// shorter than the chain leave the older generations intact.
+struct Scenario {
+  const char* name;
+  std::vector<durable::StorageFaultKind> newest_first;
+  bool expect_restorable = true;
+};
+
+std::vector<Scenario> scenarios() {
+  using K = durable::StorageFaultKind;
+  return {
+      {"bitflip-newest", {K::BitFlip}, true},
+      {"torn-newest-flip-second", {K::TornWrite, K::BitFlip}, true},
+      {"lost-rename-newest", {K::LostRename}, true},
+      {"all-generations-corrupt", {}, false},  // pattern filled per chain
+  };
+}
+
+/// One model's half of part 1: the uninterrupted run, its master vault,
+/// and how to resume it (the two model classes differ only here).
+struct ModelCase {
+  std::string name;
+  ModelRunResult full;
+  std::uint64_t full_digest = 0;
+  fs::path master;
+  std::function<ModelRunResult(CheckpointVault&,
+                               CheckpointVault::RestoreResult*)>
+      resume;
+};
+
+void run_corruption_matrix(const ModelCase& mc,
+                           const std::vector<std::uint64_t>& seeds,
+                           bench::JsonWriter& json) {
+  CheckpointVault master_vault(mc.master.string());
+  const std::vector<int> gens = master_vault.generations();
+  std::printf("%s: %zu generations, uninterrupted digest %s\n",
+              mc.name.c_str(), gens.size(), hash_hex(mc.full_digest).c_str());
+  json.key("name").value(mc.name);
+  json.key("generations").value(gens.size());
+  json.key("digest").value(hash_hex(mc.full_digest));
+  json.key("scenarios").begin_array();
+
+  for (const std::uint64_t seed : seeds) {
+    for (Scenario sc : scenarios()) {
+      if (!sc.expect_restorable) {
+        // Corrupt the whole chain, alternating kinds.
+        sc.newest_first.assign(gens.size(),
+                               durable::StorageFaultKind::TornWrite);
+        for (std::size_t i = 1; i < sc.newest_first.size(); i += 2) {
+          sc.newest_first[i] = durable::StorageFaultKind::BitFlip;
+        }
+      }
+      const fs::path scratch =
+          mc.master.parent_path() /
+          (mc.name + "_" + sc.name + "_s" + std::to_string(seed));
+      fs::remove_all(scratch);
+      fs::copy(mc.master, scratch, fs::copy_options::recursive);
+      CheckpointVault vault(scratch.string());
+      for (std::size_t i = 0; i < sc.newest_first.size() && i < gens.size();
+           ++i) {
+        const int gen = gens[gens.size() - 1 - i];
+        durable::inject_storage_fault(vault.generation_path(gen),
+                                      sc.newest_first[i], seed + i);
+      }
+
+      json.begin_object();
+      json.key("scenario").value(sc.name);
+      json.key("seed").value(static_cast<long long>(seed));
+      if (!sc.expect_restorable) {
+        bool threw = false;
+        try {
+          vault.restore_newest_valid();
+        } catch (const durable::StorageError&) {
+          threw = true;
+        }
+        check(threw, mc.name + "/" + sc.name +
+                         ": fully corrupt chain must raise StorageError");
+        json.key("restorable").value(false);
+        json.key("typed_error").value(threw);
+        std::printf(
+            "  %-26s seed %llu: no valid generation -> typed error %s\n",
+            sc.name, static_cast<unsigned long long>(seed),
+            threw ? "raised" : "MISSING");
+      } else {
+        CheckpointVault::RestoreResult info;
+        const ModelRunResult resumed = mc.resume(vault, &info);
+        const bool identical = field_digest(resumed.outputs) == mc.full_digest;
+        check(identical, mc.name + "/" + sc.name +
+                             ": resumed run must be bit-identical");
+        json.key("restorable").value(true);
+        json.key("restored_generation").value(info.generation);
+        json.key("scanned").value(info.scanned);
+        json.key("quarantined").value(info.quarantined.size());
+        json.key("bit_identical").value(identical);
+        std::printf(
+            "  %-26s seed %llu: restored g%d (scanned %d, quarantined %zu), "
+            "fields %s\n",
+            sc.name, static_cast<unsigned long long>(seed), info.generation,
+            info.scanned, info.quarantined.size(),
+            identical ? "identical" : "MISMATCH");
+      }
+      json.end_object();
+      fs::remove_all(scratch);
+    }
+  }
+  json.end_array();
+}
+
+/// Checkpoint cost at node count p: the hour-boundary gather traffic plus
+/// the archive write of the full state (same terms the executor charges).
+double checkpoint_cost_s(const WorkTrace& t, const MachineModel& m, int p,
+                         const CheckpointPolicy& ckpt) {
+  const std::array<std::size_t, 3> shape{t.species, t.layers, t.points};
+  const Layout3 trans = Layout3::block(shape, kLayersDim, p);
+  const Layout3 repl = Layout3::replicated(shape, p);
+  const double gather =
+      plan_redistribution(trans, repl, m.word_size).phase_seconds(m);
+  const double state_bytes =
+      static_cast<double>(t.species * t.layers * t.points * m.word_size);
+  return gather + m.copy_per_byte_s * state_bytes + ckpt.fixed_latency_s;
+}
+
+}  // namespace
+
+int main() {
+  const int hours = bench::kHours;
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const fs::path work = fs::temp_directory_path() /
+                        ("airshed_storage_faults_" + std::to_string(::getpid()));
+  fs::create_directories(work);
+
+  std::printf(
+      "Ablation: storage faults and durable restart, LA models, %d hours\n\n"
+      "part 1: corruption matrix on real checkpoint chains (resume must be\n"
+      "bit-identical whenever >= 1 generation validates)\n\n",
+      hours);
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("hours").value(hours);
+  json.key("datasets").begin_array();
+
+  ModelOptions opts;
+  opts.hours = hours;
+
+  // LA multiscale (SUPG on the triangulated basin mesh).
+  const Dataset la = la_basin_dataset();
+  AirshedModel la_model(la, opts);
+  ModelCase la_case;
+  la_case.name = "LA";
+  la_case.master = work / "LA_master";
+  {
+    CheckpointVault vault(la_case.master.string());
+    la_case.full = la_model.run_with_checkpoints(
+        [&](const CheckpointRecord& rec) { vault.append(rec); });
+    la_case.full_digest = field_digest(la_case.full.outputs);
+  }
+  la_case.resume = [&](CheckpointVault& vault,
+                       CheckpointVault::RestoreResult* info) {
+    return la_model.resume(vault, info);
+  };
+  json.begin_object();
+  run_corruption_matrix(la_case, seeds, json);
+  json.end_object();
+
+  // LA uniform (operator-split 1-D transport on the regular grid).
+  const UniformDataset lau = la_uniform_dataset();
+  UniformAirshedModel lau_model(lau, opts);
+  ModelCase lau_case;
+  lau_case.name = "LA-uniform";
+  lau_case.master = work / "LA_uniform_master";
+  {
+    CheckpointVault vault(lau_case.master.string());
+    lau_case.full = lau_model.run_with_checkpoints(
+        [&](const CheckpointRecord& rec) { vault.append(rec); });
+    lau_case.full_digest = field_digest(lau_case.full.outputs);
+  }
+  lau_case.resume = [&](CheckpointVault& vault,
+                        CheckpointVault::RestoreResult* info) {
+    CheckpointVault::RestoreResult r = vault.restore_newest_valid();
+    ModelRunResult out = lau_model.resume(r.record);
+    if (info) *info = std::move(r);
+    return out;
+  };
+  json.begin_object();
+  run_corruption_matrix(lau_case, seeds, json);
+  json.end_object();
+  json.end_array();
+
+  // Part 2: the executor's seeded storage-fault class. Failures roll the
+  // run back; corrupt generations force deeper, fully accounted fallbacks.
+  std::printf(
+      "\npart 2: seeded executor storage faults vs Young + corruption\n\n");
+  const MachineModel m = cray_t3e();
+  const int p = 16;
+  const double mtbf = 5.0 * hours;  // machine MTBF ~ hours/3.2: a few failures
+
+  json.key("executor_sweep").begin_array();
+  Table t({"dataset", "seed", "P(corrupt)", "failures", "corrupt ckpts",
+           "fallback (h)", "verify (s)", "recovery (s)", "total (s)"});
+  for (const ModelCase* mc : {&la_case, &lau_case}) {
+    const WorkTrace& trace = mc->full.trace;
+    for (const double storage_p : {0.0, 0.3, 0.6}) {
+      for (const std::uint64_t seed : seeds) {
+        FaultModelOptions f;
+        f.node_mtbf_hours = mtbf;
+        f.storage_fault_probability = storage_p;
+        f.payload_corruption_probability = 0.02;
+        ExecutionConfig cfg{m, p, Strategy::DataParallel};
+        cfg.faults = FaultPlan::make(seed, p, hours, f);
+        const RunReport r = simulate_execution(trace, cfg);
+        // Replays must be bit-identical, corrupt storage and all.
+        const RunReport replay = simulate_execution(trace, cfg);
+        check(r.total_seconds == replay.total_seconds &&
+                  r.recovery.corrupt_checkpoints ==
+                      replay.recovery.corrupt_checkpoints,
+              mc->name + ": storage-faulted replay must be bit-identical");
+        t.row()
+            .add(mc->name)
+            .add(static_cast<long long>(seed))
+            .add(storage_p, 1)
+            .add(r.recovery.failures.size())
+            .add(r.recovery.corrupt_checkpoints)
+            .add(r.recovery.fallback_hours, 0)
+            .add(r.recovery.verify_s, 3)
+            .add(r.recovery.total_overhead_s(), 2)
+            .add(r.total_seconds, 1);
+        json.begin_object();
+        json.key("dataset").value(mc->name);
+        json.key("seed").value(static_cast<long long>(seed));
+        json.key("storage_fault_probability").value(storage_p);
+        json.key("payload_corruption_probability").value(0.02);
+        json.key("failures").value(r.recovery.failures.size());
+        json.key("corrupt_checkpoints").value(r.recovery.corrupt_checkpoints);
+        json.key("fallback_hours").value(r.recovery.fallback_hours);
+        json.key("fallback_s").value(r.recovery.fallback_s);
+        json.key("verify_s").value(r.recovery.verify_s);
+        json.key("retransmissions").value(r.recovery.retransmissions);
+        json.key("recovery_s").value(r.recovery.total_overhead_s());
+        json.key("total_s").value(r.total_seconds);
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Measured mean overhead rate vs the corruption-extended Young rate,
+  // averaged over many seeds so the comparison is statistically meaningful.
+  {
+    const WorkTrace& trace = la_case.full.trace;
+    ExecutionConfig clean{m, p, Strategy::DataParallel};
+    const double t_hour =
+        simulate_execution(trace, clean).total_seconds / hours;
+    const double ckpt_c = checkpoint_cost_s(trace, m, p, CheckpointPolicy{});
+    const double mtbf_machine_s = mtbf / p * t_hour;
+    const int sweep_seeds = 64;
+    Table y({"P(corrupt)", "measured rate", "Young rate C/T + T/2M",
+             "Young + corruption"});
+    json.key("young_comparison").begin_array();
+    for (const double storage_p : {0.0, 0.3, 0.6}) {
+      double overhead = 0.0, useful = 0.0;
+      for (int s = 0; s < sweep_seeds; ++s) {
+        FaultModelOptions f;
+        f.node_mtbf_hours = mtbf;
+        f.storage_fault_probability = storage_p;
+        ExecutionConfig cfg{m, p, Strategy::DataParallel};
+        cfg.faults = FaultPlan::make(
+            0xab1e0000ull + static_cast<std::uint64_t>(s), p, hours, f);
+        const RunReport r = simulate_execution(trace, cfg);
+        overhead += r.recovery.total_overhead_s();
+        useful += r.total_seconds - r.recovery.total_overhead_s();
+      }
+      const double measured = overhead / useful;
+      const double young =
+          expected_overhead_rate(ckpt_c, t_hour, mtbf_machine_s);
+      const double young_c = expected_overhead_rate_with_corruption(
+          ckpt_c, t_hour, mtbf_machine_s, storage_p);
+      y.row().add(storage_p, 1).add(measured, 5).add(young, 5).add(young_c, 5);
+      json.begin_object();
+      json.key("storage_fault_probability").value(storage_p);
+      json.key("seeds").value(sweep_seeds);
+      json.key("measured_rate").value(measured);
+      json.key("young_rate").value(young);
+      json.key("young_rate_with_corruption").value(young_c);
+      json.end_object();
+    }
+    json.end_array();
+    std::printf("%s\n", y.to_string().c_str());
+  }
+
+  json.key("failed_checks").value(static_cast<long long>(g_failures));
+  json.end_object();
+  bench::write_bench_json("storage_faults", json);
+  fs::remove_all(work);
+
+  if (g_failures > 0) {
+    std::printf("\n%d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf(
+      "\ntakeaway: the durable container turns storage corruption from a\n"
+      "silent wrong-answer risk into a typed, predictable fallback: every\n"
+      "damaged generation is detected and quarantined, resume is\n"
+      "bit-identical whenever one generation survives, and the executor's\n"
+      "measured fallback cost tracks Young's analysis extended by the\n"
+      "corruption probability.\n");
+  return 0;
+}

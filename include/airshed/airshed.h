@@ -28,6 +28,7 @@
 #include "airshed/dist/airshed_layouts.hpp"
 #include "airshed/dist/distarray.hpp"
 #include "airshed/dist/layout.hpp"
+#include "airshed/durable/container.hpp"
 #include "airshed/emis/emissions.hpp"
 #include "airshed/fault/fault_plan.hpp"
 #include "airshed/fault/recovery.hpp"
@@ -41,6 +42,7 @@
 #include "airshed/io/dataset.hpp"
 #include "airshed/io/archive.hpp"
 #include "airshed/io/hourly.hpp"
+#include "airshed/io/vault.hpp"
 #include "airshed/machine/machine.hpp"
 #include "airshed/met/meteorology.hpp"
 #include "airshed/par/pool.hpp"

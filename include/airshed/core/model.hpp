@@ -22,6 +22,7 @@
 #include "airshed/core/worktrace.hpp"
 #include "airshed/io/archive.hpp"
 #include "airshed/io/hourly.hpp"
+#include "airshed/io/vault.hpp"
 
 namespace airshed {
 
@@ -102,6 +103,16 @@ class AirshedModel {
   /// of an uninterrupted run. Throws ConfigError on dataset or shape
   /// mismatch.
   ModelRunResult resume(const CheckpointRecord& from,
+                        const HourCallback& on_hour = {});
+
+  /// Resumes from the newest *valid* generation in a checkpoint vault,
+  /// quarantining corrupt generations along the way (see
+  /// CheckpointVault::restore_newest_valid). When `info` is non-null it
+  /// receives the restore details (chosen generation, scanned count,
+  /// quarantined files, per-generation errors). Throws
+  /// durable::StorageError when no generation validates.
+  ModelRunResult resume(CheckpointVault& vault,
+                        CheckpointVault::RestoreResult* info = nullptr,
                         const HourCallback& on_hour = {});
 
  private:

@@ -54,7 +54,23 @@ class UniformAirshedModel {
 
   ModelRunResult run(const HourCallback& on_hour = {});
 
+  /// Like run(), but additionally emits a CheckpointRecord after every
+  /// completed hour (restart state as of that boundary).
+  ModelRunResult run_with_checkpoints(const CheckpointCallback& on_checkpoint,
+                                      const HourCallback& on_hour = {});
+
+  /// Resumes from a checkpoint: simulates hours [from.next_hour,
+  /// options().hours). Hourly inputs are generated statelessly, so the
+  /// replayed hours are bit-identical to the same hours of an
+  /// uninterrupted run. Throws ConfigError on dataset/shape mismatch.
+  ModelRunResult resume(const CheckpointRecord& from,
+                        const HourCallback& on_hour = {});
+
  private:
+  ModelRunResult run_hours(int first_hour, ConcentrationField conc,
+                           Array3<double> pm, const HourCallback& on_hour,
+                           const CheckpointCallback& on_checkpoint);
+
   const UniformDataset* dataset_;
   ModelOptions opts_;
 };

@@ -24,6 +24,8 @@ struct StepTrace {
   std::vector<double> chem_column_work;
   /// Replicated aerosol work (total).
   double aerosol_work = 0.0;
+
+  friend bool operator==(const StepTrace&, const StepTrace&) = default;
 };
 
 /// Work of one simulated hour.
@@ -32,6 +34,8 @@ struct HourTrace {
   double pretrans_work = 0.0;  ///< pretrans (sequential)
   double output_work = 0.0;    ///< outputhour (sequential)
   std::vector<StepTrace> steps;
+
+  friend bool operator==(const HourTrace&, const HourTrace&) = default;
 };
 
 /// Complete work trace of a physics run.
@@ -53,10 +57,15 @@ struct WorkTrace {
   double total_io_work() const;
   long long total_steps() const;
 
-  /// Serialization (plain-text, versioned); used to cache expensive physics
-  /// runs between bench invocations.
+  /// Serialization; used to cache expensive physics runs between bench
+  /// invocations. save() writes the durable framed container atomically
+  /// (per-hour CRC32C sections); load() also accepts the legacy v1/v2
+  /// plain-text format for pre-existing trace caches. Corrupt framed
+  /// files throw durable::StorageError (path, section, byte offset).
   void save(const std::string& path) const;
   static WorkTrace load(const std::string& path);
+
+  friend bool operator==(const WorkTrace&, const WorkTrace&) = default;
 
   /// Loads from `path` when present, otherwise calls `produce()`, saves the
   /// result to `path`, and returns it.

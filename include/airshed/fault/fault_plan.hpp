@@ -9,18 +9,25 @@
 // plan therefore produces bit-identical timings, and a restarted hour sees
 // exactly the faults of its first execution.
 //
-// Three fault classes (paper-style cost parameters throughout):
+// Five fault classes (paper-style cost parameters throughout):
 //   * permanent node failures — per-node death times, exponential with the
 //     configured per-node MTBF (the machine-level MTBF is mtbf/P);
 //   * stragglers — per node-hour slowdown factors drawn from a bounded
 //     Pareto (heavy-tailed, as production slowdowns are), inflating the
 //     barrier-synchronized phase maxima;
 //   * message drops — per communication phase, each drop charging one
-//     retransmission (L + G*b) plus bounded exponential backoff.
+//     retransmission (L + G*b) plus bounded exponential backoff;
+//   * storage faults — persisted artifacts (checkpoint generations) hit by
+//     a torn write, single-bit flip or lost rename, indexed by
+//     (hour, artifact) so a replay corrupts exactly the same files;
+//   * payload corruption — a redistribution phase delivers bytes whose
+//     FNV-1a checksum disagrees, forcing a detect-and-retransmit cycle.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "airshed/durable/container.hpp"
 
 namespace airshed {
 
@@ -47,6 +54,18 @@ struct FaultModelOptions {
   /// Retransmission bound per phase (the give-up point of the backoff).
   int max_drops_per_phase = 4;
 
+  /// Probability that a persisted artifact (one checkpoint generation) is
+  /// hit by a storage fault — torn write, single-bit flip or lost rename,
+  /// equiprobable given a hit. 0 disables the class.
+  double storage_fault_probability = 0.0;
+
+  /// Probability that a communication phase delivers a corrupt payload
+  /// (detected by checksum) and must retransmit. Successive retries of the
+  /// same phase redraw with the same probability, up to
+  /// max_drops_per_phase. 0 disables the class — and with it the per-phase
+  /// checksum-verification charge (pay-for-what-you-use).
+  double payload_corruption_probability = 0.0;
+
   friend bool operator==(const FaultModelOptions&,
                          const FaultModelOptions&) = default;
 };
@@ -69,7 +88,8 @@ class FaultPlan {
   bool empty() const {
     return !has_failures() && !has_slowdowns() &&
            opts_.message_drop_probability <= 0.0 &&
-           opts_.node_mtbf_hours <= 0.0;
+           opts_.node_mtbf_hours <= 0.0 && !has_storage_faults() &&
+           !has_payload_corruption();
   }
 
   int nodes() const { return nodes_; }
@@ -92,6 +112,28 @@ class FaultPlan {
   /// of simulated hour `hour` (stateless: a replayed hour drops the same
   /// messages). Bounded by max_drops_per_phase.
   int drops(int hour, long long phase_seq) const;
+
+  /// Storage fault hitting the `artifact`-th persisted artifact, written at
+  /// simulated hour `hour` (stateless in (seed, hour, artifact): replays
+  /// corrupt exactly the same generations). The artifact index must be
+  /// monotonic across the run — never reused for a rewritten file — so a
+  /// checkpoint rewritten after a rollback gets a fresh, independent draw.
+  durable::StorageFaultKind storage_fault(int hour, long long artifact) const;
+  /// Seed for the fault's free parameters (truncation byte, flipped bit),
+  /// derived from the same (seed, hour, artifact) index.
+  std::uint64_t storage_fault_seed(int hour, long long artifact) const;
+  bool has_storage_faults() const {
+    return opts_.storage_fault_probability > 0.0;
+  }
+
+  /// Number of corrupt-payload deliveries of the `phase_seq`-th
+  /// communication phase of hour `hour` (stateless, like drops; bounded by
+  /// max_drops_per_phase). Each one is detected by checksum and charges a
+  /// retransmission.
+  int payload_corruptions(int hour, long long phase_seq) const;
+  bool has_payload_corruption() const {
+    return opts_.payload_corruption_probability > 0.0;
+  }
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 

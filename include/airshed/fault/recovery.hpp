@@ -61,12 +61,24 @@ struct RecoveryReport {
   double restore_s = 0.0;      ///< checkpoint read-back at restart
   double retransmit_s = 0.0;   ///< dropped-message retries incl. backoff
   double straggler_s = 0.0;    ///< phase-maxima inflation from slowdowns
+  /// Checkpoint generations rejected at restore time (failed integrity
+  /// verification; the run fell back to an older generation).
+  long long corrupt_checkpoints = 0;
+  /// Simulated hours rolled back *past* the newest checkpoint because that
+  /// generation (and possibly more) was corrupt.
+  double fallback_hours = 0.0;
+  /// Replay time of those extra rolled-back hours (the seconds behind
+  /// fallback_hours; charged as "corrupt-checkpoint fallback").
+  double fallback_s = 0.0;
+  /// Integrity-verification passes: checkpoint validation at restore and
+  /// payload checksums on redistribution phases.
+  double verify_s = 0.0;
   int final_nodes = 0;         ///< survivors at end of run
   bool foreign_module_gave_up = false;  ///< degraded-mode coupling engaged
 
   double total_overhead_s() const {
     return checkpoint_s + lost_work_s + relayout_s + restore_s +
-           retransmit_s + straggler_s;
+           retransmit_s + straggler_s + fallback_s + verify_s;
   }
 };
 
@@ -85,6 +97,24 @@ inline double expected_overhead_rate(double checkpoint_cost_s,
   double rate = 0.0;
   if (interval_s > 0.0) rate += checkpoint_cost_s / interval_s;
   if (mtbf_s > 0.0) rate += 0.5 * interval_s / mtbf_s;
+  return rate;
+}
+
+/// Young's overhead rate extended for corruption-prone checkpoint storage:
+/// with probability p a generation fails verification at restore, and the
+/// rollback falls back one interval further. The geometric fallback chain
+/// grows the expected loss per failure from T/2 to T/2 + T*p/(1-p) (each
+/// extra level of fallback costs a full interval, levels are geometric in
+/// p). bench/abl_storage_faults compares the executor's measured overhead
+/// against this.
+inline double expected_overhead_rate_with_corruption(double checkpoint_cost_s,
+                                                     double interval_s,
+                                                     double mtbf_s,
+                                                     double corruption_p) {
+  double rate = expected_overhead_rate(checkpoint_cost_s, interval_s, mtbf_s);
+  if (mtbf_s > 0.0 && corruption_p > 0.0 && corruption_p < 1.0) {
+    rate += interval_s * corruption_p / (1.0 - corruption_p) / mtbf_s;
+  }
   return rate;
 }
 

@@ -16,9 +16,13 @@ namespace airshed {
 
 /// A restart checkpoint: the complete model state at an hour boundary.
 /// Written by AirshedModel::run_with_checkpoints and read back by
-/// AirshedModel::resume. The round trip is exact (precision-17 text, like
-/// RunArchive), so a run resumed from a checkpoint reproduces an
-/// uninterrupted run bit for bit.
+/// AirshedModel::resume. The round trip is exact (raw binary doubles in a
+/// durable framed container, like RunArchive), so a run resumed from a
+/// checkpoint reproduces an uninterrupted run bit for bit. save() is
+/// atomic (write-temp/flush/rename) and load() validates per-section
+/// CRC32C checksums plus a whole-file digest, throwing
+/// durable::StorageError (path, section, byte offset) on any truncation
+/// or bit flip.
 struct CheckpointRecord {
   std::string dataset;
   int next_hour = 0;        ///< first hour still to simulate
@@ -31,7 +35,7 @@ struct CheckpointRecord {
   }
 
   void save(const std::string& path) const;
-  /// Throws Error on malformed or truncated files.
+  /// Throws durable::StorageError on malformed, truncated or corrupt files.
   static CheckpointRecord load(const std::string& path);
 
   friend bool operator==(const CheckpointRecord&,
@@ -64,9 +68,11 @@ class RunArchive {
   std::vector<double> series_max_o3() const;
   std::vector<double> series_mean_o3() const;
 
-  /// Writes the archive (versioned text format, exact doubles).
+  /// Writes the archive atomically (durable framed container, exact
+  /// binary doubles, per-hour sections with CRC32C).
   void save(const std::string& path) const;
-  /// Loads an archive; throws Error on malformed/mismatched files.
+  /// Loads an archive; throws durable::StorageError on malformed,
+  /// truncated, corrupt or mismatched files.
   static RunArchive load(const std::string& path);
 
  private:

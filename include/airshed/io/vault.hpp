@@ -1,0 +1,66 @@
+// Checkpoint generation chain: a directory of durable checkpoint files
+// plus a manifest, with verified newest-first restart.
+//
+// A single checkpoint file is a single point of failure: a torn write or
+// bit flip silently destroys the only recovery artifact. The vault keeps
+// every checkpoint as its own *generation* (ckpt_g000001.ckpt, ...) and
+// records the chain in a manifest (itself a durable container, rewritten
+// atomically after each append). Restart scans newest -> oldest, restores
+// from the first generation that validates end to end (framing, section
+// CRC32C, footer digest), and quarantines corrupt files by renaming them
+// to *.corrupt — so a storage fault degrades the run *predictably* (fall
+// back one generation, lose one interval of work) instead of aborting it.
+// When the manifest itself is damaged the vault falls back to a directory
+// scan: the manifest accelerates and orders the chain, it is not a second
+// single point of failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "airshed/io/archive.hpp"
+
+namespace airshed {
+
+class CheckpointVault {
+ public:
+  /// Binds the vault to `dir` (created if missing) with file names
+  /// `<basename>_g<NNNNNN>.ckpt` and manifest `<basename>.manifest`.
+  explicit CheckpointVault(std::string dir, std::string basename = "ckpt");
+
+  const std::string& dir() const { return dir_; }
+
+  /// Persists `rec` as the next generation (atomic write), then rewrites
+  /// the manifest (also atomic). Returns the generation number.
+  int append(const CheckpointRecord& rec);
+
+  /// Generations in the chain, oldest -> newest (from the manifest; falls
+  /// back to a directory scan when the manifest is missing or corrupt).
+  std::vector<int> generations() const;
+  std::string generation_path(int generation) const;
+  bool empty() const { return generations().empty(); }
+
+  struct RestoreResult {
+    CheckpointRecord record;
+    int generation = -1;   ///< generation that validated
+    int scanned = 0;       ///< generations examined (newest first)
+    /// Files of corrupt generations, renamed to "<file>.corrupt".
+    std::vector<std::string> quarantined;
+    /// The typed error text of each rejected generation, newest first.
+    std::vector<std::string> errors;
+  };
+
+  /// Scans newest -> oldest and restores the first generation that
+  /// validates; corrupt or unreadable generations are quarantined.
+  /// Throws durable::StorageError when no generation validates (the
+  /// caller then restarts from initial conditions).
+  RestoreResult restore_newest_valid();
+
+ private:
+  void write_manifest(const std::vector<int>& gens) const;
+
+  std::string dir_;
+  std::string basename_;
+};
+
+}  // namespace airshed

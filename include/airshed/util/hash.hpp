@@ -4,10 +4,12 @@
 // in the hashed state changes the checksum.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 namespace airshed {
 
@@ -30,6 +32,38 @@ inline std::uint64_t fnv1a(std::span<const double> values,
                            std::uint64_t h = kFnvOffset) {
   for (double v : values) h = fnv1a(v, h);
   return h;
+}
+
+/// FNV-1a over raw bytes (the durable container's whole-file footer digest).
+inline std::uint64_t fnv1a_bytes(std::string_view bytes,
+                                 std::uint64_t h = kFnvOffset) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78), the per-section
+/// payload checksum of the durable container format. Software table
+/// implementation; any single-bit flip in the payload changes the CRC.
+inline std::uint32_t crc32c(std::string_view bytes,
+                            std::uint32_t crc = 0xffffffffu) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  for (char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
 }
 
 /// Fixed-width lowercase hex (for bench artifacts and log lines).

@@ -166,10 +166,12 @@ PhaseMaxima max_distributed_work(std::span<const double> work, int nodes,
 }
 
 /// One communication phase of the main loop: its cost-model time plus the
-/// mean message size (what one retransmission re-sends).
+/// mean message size (what one retransmission re-sends) and the total
+/// bytes received (what a payload-integrity pass checksums).
 struct CommPhase {
   double seconds = 0.0;
   double retry_bytes = 0.0;
+  double verify_bytes = 0.0;
 };
 
 struct CommTimes {
@@ -186,6 +188,7 @@ CommPhase comm_phase_of(const RedistributionStats& stats,
   p.retry_bytes = stats.total_messages > 0.0
                       ? stats.total_network_bytes / stats.total_messages
                       : 0.0;
+  p.verify_bytes = stats.total_network_bytes;
   return p;
 }
 
@@ -277,6 +280,33 @@ double hour_main_seconds_impl(const HourTrace& hour,
         if (fault->recovery) {
           fault->recovery->retransmit_s += retry_s;
           ++fault->recovery->retransmissions;
+        }
+      }
+      if (fault->plan->has_payload_corruption()) {
+        // With payload corruption possible, every delivery is checksummed
+        // (an FNV-1a pass over the received bytes, modeled at the local
+        // copy rate) — the detection cost is paid whenever the class is
+        // enabled, corrupt or not.
+        const double check_s =
+            machine.copy_per_byte_s * phase.verify_bytes;
+        charge(PhaseCategory::Recovery, "payload verify", check_s);
+        if (fault->recovery) fault->recovery->verify_s += check_s;
+        const int bad =
+            fault->plan->payload_corruptions(fault->hour, comm_seq);
+        for (int k = 0; k < bad; ++k) {
+          // A corrupt payload retransmits like a drop, plus the re-checksum
+          // of the retransmitted bytes.
+          const double backoff =
+              std::min(fault->retry->backoff_base_s * std::ldexp(1.0, k),
+                       fault->retry->backoff_max_s);
+          const double retry_s =
+              backoff + machine.comm_time(1.0, phase.retry_bytes, 0.0) +
+              machine.copy_per_byte_s * phase.retry_bytes;
+          charge(PhaseCategory::Recovery, "payload retransmission", retry_s);
+          if (fault->recovery) {
+            fault->recovery->retransmit_s += retry_s;
+            ++fault->recovery->retransmissions;
+          }
         }
       }
     }
@@ -403,6 +433,25 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
   CommBreakdown epoch_comm;
   RecoveryReport epoch_rec;    // straggler/retransmit/checkpoint counters
 
+  // Checkpoint generation chain, as a CheckpointVault would hold it. The
+  // artifact index is monotonic across the whole run — a checkpoint
+  // rewritten during a replay is a *new* artifact with an independent
+  // storage-fault draw (otherwise a corrupt generation would deterministically
+  // re-corrupt forever).
+  struct Gen {
+    std::size_t hour = 0;
+    long long artifact = 0;
+  };
+  std::vector<Gen> gens;
+  long long artifact_counter = 0;
+  // Hours below this bound are replays forced by a corrupt newest
+  // checkpoint; their whole duration is resilience overhead.
+  std::size_t fallback_until = 0;
+  const bool storage_on = plan.has_storage_faults();
+  // Restore-time integrity verification: one read+checksum pass per
+  // candidate generation, at the local copy rate.
+  const double verify_cost = machine.copy_per_byte_s * state_bytes;
+
   auto commit_epoch = [&] {
     report.ledger.merge(epoch);
     merge_comm(report.comm, epoch_comm);
@@ -411,6 +460,8 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
     rec.checkpoint_s += epoch_rec.checkpoint_s;
     rec.retransmit_s += epoch_rec.retransmit_s;
     rec.straggler_s += epoch_rec.straggler_s;
+    rec.fallback_s += epoch_rec.fallback_s;
+    rec.verify_s += epoch_rec.verify_s;
     epoch = RunLedger{};
     epoch_comm = CommBreakdown{};
     epoch_rec = RecoveryReport{};
@@ -502,39 +553,93 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
       }
       const double relayout = shrink_relayout_seconds(
           trace, machine, nodes + 1, nodes, config.chemistry_dist);
-      const double restore = archive_write_s;  // read back = write cost model
-      total += spent + relayout + restore;
+
+      // Pick the restart point. Without storage faults the newest
+      // checkpoint is valid by construction; with them, scan the chain
+      // newest -> oldest, charging one verification pass per candidate and
+      // quarantining corrupt generations, exactly as
+      // CheckpointVault::restore_newest_valid does on real files.
+      std::size_t restore_hour = ckpt_hour;
+      double verify_total = 0.0;
+      double restore = archive_write_s;  // read back = write cost model
+      if (storage_on) {
+        bool restored = false;
+        while (!gens.empty()) {
+          const Gen g = gens.back();
+          verify_total += verify_cost;
+          if (plan.storage_fault(static_cast<int>(g.hour), g.artifact) !=
+              durable::StorageFaultKind::None) {
+            gens.pop_back();  // quarantined
+            ++rec.corrupt_checkpoints;
+            continue;
+          }
+          restore_hour = g.hour;
+          restored = true;
+          break;
+        }
+        if (!restored) {
+          // Every generation was corrupt (or none was ever written): fall
+          // back to the initial conditions — nothing to read back.
+          restore_hour = 0;
+          restore = 0.0;
+        }
+        if (restore_hour < ckpt_hour) {
+          rec.fallback_hours +=
+              static_cast<double>(ckpt_hour - restore_hour);
+          fallback_until = ckpt_hour;
+        }
+      }
+
+      total += spent + relayout + restore + verify_total;
       report.ledger.charge(PhaseCategory::Recovery, "lost work (rollback)",
                            lost);
       report.ledger.charge(PhaseCategory::Recovery, "re-layout onto survivors",
                            relayout);
-      report.ledger.charge(PhaseCategory::Recovery, "checkpoint restore",
-                           restore);
+      if (restore > 0.0) {
+        report.ledger.charge(PhaseCategory::Recovery, "checkpoint restore",
+                             restore);
+      }
+      if (verify_total > 0.0) {
+        report.ledger.charge(PhaseCategory::Recovery, "checkpoint verify",
+                             verify_total);
+      }
       rec.lost_work_s += lost;
       rec.relayout_s += relayout;
       rec.restore_s += restore;
+      rec.verify_s += verify_total;
       rec.failures.push_back(
           FailureEvent{dead, hour_i, fraction, lost, relayout, nodes});
       // Discard the epoch (its time is now accounted as lost work) and
-      // replay from the checkpoint on the shrunken machine.
+      // replay from the restart point on the shrunken machine.
       epoch = RunLedger{};
       epoch_comm = CommBreakdown{};
       epoch_rec = RecoveryReport{};
       since_ckpt = 0.0;
+      ckpt_hour = restore_hour;
       // The node set changed: every cached hour cost is stale.
       for (HourEval& e : cache) e.valid = false;
       ct = plan_comm_times(trace, machine, nodes, config.chemistry_dist);
       ckpt_cost = ct.trans_to_repl.seconds + archive_write_s;
-      h = ckpt_hour;
+      h = restore_hour;
       continue;
     }
 
     // Hour survived: fold it into the current epoch.
-    epoch.merge(hour_ledger);
-    merge_comm(epoch_comm, hour_comm);
-    epoch_rec.retransmissions += hour_rec.retransmissions;
-    epoch_rec.retransmit_s += hour_rec.retransmit_s;
-    epoch_rec.straggler_s += hour_rec.straggler_s;
+    if (h < fallback_until) {
+      // Replay of an hour older than the newest checkpoint, forced by a
+      // corrupt generation: its first execution is already committed under
+      // the normal categories, so the whole replay is resilience overhead.
+      epoch.charge(PhaseCategory::Recovery, "corrupt-checkpoint fallback",
+                   t_hour);
+      epoch_rec.fallback_s += t_hour;
+    } else {
+      epoch.merge(hour_ledger);
+      merge_comm(epoch_comm, hour_comm);
+      epoch_rec.retransmissions += hour_rec.retransmissions;
+      epoch_rec.retransmit_s += hour_rec.retransmit_s;
+      epoch_rec.straggler_s += hour_rec.straggler_s;
+      epoch_rec.verify_s += hour_rec.verify_s;
+    }
     total += t_hour;
     since_ckpt += t_hour;
     ++h;
@@ -549,6 +654,7 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
       commit_epoch();
       since_ckpt = 0.0;
       ckpt_hour = h;
+      gens.push_back(Gen{h, artifact_counter++});
     }
   }
   commit_epoch();
@@ -736,6 +842,7 @@ RunReport simulate_execution(const WorkTrace& trace,
       report.recovery.straggler_s += r.straggler_s;
       report.recovery.retransmit_s += r.retransmit_s;
       report.recovery.retransmissions += r.retransmissions;
+      report.recovery.verify_s += r.verify_s;
     }
     report.recovery.final_nodes = config.nodes;
   }

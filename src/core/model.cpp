@@ -79,6 +79,15 @@ ModelRunResult AirshedModel::resume(const CheckpointRecord& from,
   return run_hours(from.next_hour, from.conc, from.pm, on_hour, {});
 }
 
+ModelRunResult AirshedModel::resume(CheckpointVault& vault,
+                                    CheckpointVault::RestoreResult* info,
+                                    const HourCallback& on_hour) {
+  CheckpointVault::RestoreResult restored = vault.restore_newest_valid();
+  ModelRunResult out = resume(restored.record, on_hour);
+  if (info) *info = std::move(restored);
+  return out;
+}
+
 ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
                                        Array3<double> pm0,
                                        const HourCallback& on_hour,

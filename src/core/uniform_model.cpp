@@ -147,6 +147,51 @@ ConcentrationField UniformAirshedModel::initial_conditions(
 
 ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
   const UniformDataset& ds = *dataset_;
+  return run_hours(0, initial_conditions(ds),
+                   Array3<double>(kPmComponents, ds.layers, ds.points(), 0.0),
+                   on_hour, {});
+}
+
+ModelRunResult UniformAirshedModel::run_with_checkpoints(
+    const CheckpointCallback& on_checkpoint, const HourCallback& on_hour) {
+  const UniformDataset& ds = *dataset_;
+  return run_hours(0, initial_conditions(ds),
+                   Array3<double>(kPmComponents, ds.layers, ds.points(), 0.0),
+                   on_hour, on_checkpoint);
+}
+
+ModelRunResult UniformAirshedModel::resume(const CheckpointRecord& from,
+                                           const HourCallback& on_hour) {
+  const UniformDataset& ds = *dataset_;
+  if (from.dataset != ds.name) {
+    throw ConfigError(
+        "UniformAirshedModel::resume: checkpoint is for dataset '" +
+        from.dataset + "', model is bound to '" + ds.name + "'");
+  }
+  if (from.conc.dim0() != static_cast<std::size_t>(kSpeciesCount) ||
+      from.conc.dim1() != static_cast<std::size_t>(ds.layers) ||
+      from.conc.dim2() != ds.points() ||
+      from.pm.dim0() != static_cast<std::size_t>(kPmComponents) ||
+      from.pm.dim1() != static_cast<std::size_t>(ds.layers) ||
+      from.pm.dim2() != ds.points()) {
+    throw ConfigError(
+        "UniformAirshedModel::resume: checkpoint field shape does not match "
+        "dataset '" +
+        ds.name + "'");
+  }
+  if (from.next_hour < 0 || from.next_hour > opts_.hours) {
+    throw ConfigError("UniformAirshedModel::resume: checkpoint next_hour " +
+                      std::to_string(from.next_hour) +
+                      " outside run horizon of " +
+                      std::to_string(opts_.hours) + " hours");
+  }
+  return run_hours(from.next_hour, from.conc, from.pm, on_hour, {});
+}
+
+ModelRunResult UniformAirshedModel::run_hours(
+    int first_hour, ConcentrationField conc0, Array3<double> pm0,
+    const HourCallback& on_hour, const CheckpointCallback& on_checkpoint) {
+  const UniformDataset& ds = *dataset_;
   const std::size_t nc = ds.points();
   const int nl = ds.layers;
 
@@ -157,8 +202,8 @@ ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
   result.trace.points = nc;
   result.trace.transport_row_parallelism = std::min(ds.grid.nx(), ds.grid.ny());
 
-  result.outputs.conc = initial_conditions(ds);
-  result.outputs.pm = Array3<double>(kPmComponents, nl, nc, 0.0);
+  result.outputs.conc = std::move(conc0);
+  result.outputs.pm = std::move(pm0);
   ConcentrationField& conc = result.outputs.conc;
   Array3<double>& pm = result.outputs.pm;
 
@@ -190,7 +235,7 @@ ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
   const std::vector<double> no_elevated;
   const double lapse = ds.met.params().lapse_k_per_layer;
 
-  for (int h = 0; h < opts_.hours; ++h) {
+  for (int h = first_hour; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
     for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
     const UniformHourlyInputs in = [&] {
@@ -293,6 +338,14 @@ ModelRunResult UniformAirshedModel::run(const HourCallback& on_hour) {
     result.outputs.hourly.push_back(stats);
     result.trace.hours.push_back(std::move(hour_trace));
     if (on_hour) on_hour(stats, conc);
+    if (on_checkpoint) {
+      CheckpointRecord rec;
+      rec.dataset = ds.name;
+      rec.next_hour = h + 1;
+      rec.conc = conc;
+      rec.pm = pm;
+      on_checkpoint(rec);
+    }
   }
 
   if (prof) prof->thread_busy_s = pool.busy_seconds();

@@ -3,14 +3,65 @@
 #include <filesystem>
 #include <fstream>
 
+#include "airshed/durable/container.hpp"
 #include "airshed/util/error.hpp"
 
 namespace airshed {
 
 namespace {
+
+// Legacy plain-text headers (v1/v2); still readable so pre-existing trace
+// caches (including the committed traces/ files) keep working. New saves
+// write the durable framed container.
 constexpr const char* kMagicV1 = "airshed-worktrace-v1";
 constexpr const char* kMagicV2 = "airshed-worktrace-v2";
+
+constexpr const char* kTraceFormat = "airshed-worktrace";
+constexpr std::uint32_t kTraceVersion = 3;
+
+std::string hour_section(std::size_t i) {
+  return "hour" + std::to_string(i);
 }
+
+/// Sanity bound on legacy-text counts (a malformed count must produce a
+/// typed error, not an allocation blow-up).
+constexpr std::size_t kMaxLegacyCount = 1u << 24;
+
+WorkTrace load_legacy_text(std::ifstream& is, const std::string& magic,
+                           const std::string& path) {
+  WorkTrace t;
+  std::getline(is, t.dataset);
+  std::size_t nhours = 0;
+  is >> t.species >> t.layers >> t.points;
+  if (magic == kMagicV2) is >> t.transport_row_parallelism;
+  is >> nhours;
+  if (!is || t.layers > kMaxLegacyCount || t.points > kMaxLegacyCount ||
+      nhours > kMaxLegacyCount) {
+    throw Error("malformed trace file shape: " + path);
+  }
+  t.hours.resize(nhours);
+  for (HourTrace& h : t.hours) {
+    std::size_t nsteps = 0;
+    is >> h.input_work >> h.pretrans_work >> h.output_work >> nsteps;
+    if (!is || nsteps > kMaxLegacyCount) {
+      throw Error("malformed trace file hour header: " + path);
+    }
+    h.steps.resize(nsteps);
+    for (StepTrace& s : h.steps) {
+      is >> s.aerosol_work;
+      s.transport1_layer_work.resize(t.layers);
+      for (double& x : s.transport1_layer_work) is >> x;
+      s.transport2_layer_work.resize(t.layers);
+      for (double& x : s.transport2_layer_work) is >> x;
+      s.chem_column_work.resize(t.points);
+      for (double& x : s.chem_column_work) is >> x;
+    }
+  }
+  if (!is) throw Error("truncated trace file: " + path);
+  return t;
+}
+
+}  // namespace
 
 double WorkTrace::total_transport_work() const {
   double w = 0.0;
@@ -56,60 +107,91 @@ long long WorkTrace::total_steps() const {
 }
 
 void WorkTrace::save(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw Error("cannot open trace file for writing: " + path);
-  os.precision(17);
-  os << kMagicV2 << '\n';
-  os << dataset << '\n';
-  os << species << ' ' << layers << ' ' << points << ' '
-     << transport_row_parallelism << ' ' << hours.size() << '\n';
-  for (const HourTrace& h : hours) {
-    os << h.input_work << ' ' << h.pretrans_work << ' ' << h.output_work
-       << ' ' << h.steps.size() << '\n';
+  durable::ContainerWriter c(kTraceFormat, kTraceVersion);
+  durable::PayloadWriter meta;
+  meta.str(dataset)
+      .u64(species).u64(layers).u64(points)
+      .u64(transport_row_parallelism)
+      .u64(hours.size());
+  c.add_section("meta", std::move(meta).take());
+  for (std::size_t i = 0; i < hours.size(); ++i) {
+    const HourTrace& h = hours[i];
+    durable::PayloadWriter p;
+    p.f64(h.input_work).f64(h.pretrans_work).f64(h.output_work);
+    p.u64(h.steps.size());
     for (const StepTrace& s : h.steps) {
-      os << s.aerosol_work << '\n';
-      for (double x : s.transport1_layer_work) os << x << ' ';
-      os << '\n';
-      for (double x : s.transport2_layer_work) os << x << ' ';
-      os << '\n';
-      for (double x : s.chem_column_work) os << x << ' ';
-      os << '\n';
+      p.f64(s.aerosol_work)
+          .doubles(s.transport1_layer_work)
+          .doubles(s.transport2_layer_work)
+          .doubles(s.chem_column_work);
     }
+    c.add_section(hour_section(i), std::move(p).take());
   }
-  if (!os) throw Error("failed writing trace file: " + path);
+  c.write_atomic(path);
 }
 
 WorkTrace WorkTrace::load(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw Error("cannot open trace file: " + path);
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != kMagicV1 && magic != kMagicV2) {
-    throw Error("bad trace file header: " + path);
+  if (!durable::looks_like_container(path)) {
+    // Legacy plain-text trace (or not a trace at all).
+    std::ifstream is(path);
+    if (!is) throw durable::StorageError(path, "file", 0, "cannot open file");
+    std::string magic;
+    std::getline(is, magic);
+    if (magic != kMagicV1 && magic != kMagicV2) {
+      throw Error("bad trace file header: " + path);
+    }
+    return load_legacy_text(is, magic, path);
+  }
+
+  const durable::ContainerReader c =
+      durable::ContainerReader::read_file(path, kTraceFormat);
+  if (c.version() != kTraceVersion) {
+    throw durable::StorageError(path, "header", 0,
+                                "unsupported worktrace version " +
+                                    std::to_string(c.version()));
   }
 
   WorkTrace t;
-  std::getline(is, t.dataset);
-  std::size_t nhours = 0;
-  is >> t.species >> t.layers >> t.points;
-  if (magic == kMagicV2) is >> t.transport_row_parallelism;
-  is >> nhours;
-  t.hours.resize(nhours);
-  for (HourTrace& h : t.hours) {
-    std::size_t nsteps = 0;
-    is >> h.input_work >> h.pretrans_work >> h.output_work >> nsteps;
-    h.steps.resize(nsteps);
-    for (StepTrace& s : h.steps) {
-      is >> s.aerosol_work;
-      s.transport1_layer_work.resize(t.layers);
-      for (double& x : s.transport1_layer_work) is >> x;
-      s.transport2_layer_work.resize(t.layers);
-      for (double& x : s.transport2_layer_work) is >> x;
-      s.chem_column_work.resize(t.points);
-      for (double& x : s.chem_column_work) is >> x;
-    }
+  durable::PayloadReader meta = c.open("meta");
+  t.dataset = meta.str();
+  t.species = static_cast<std::size_t>(meta.u64());
+  t.layers = static_cast<std::size_t>(meta.u64());
+  t.points = static_cast<std::size_t>(meta.u64());
+  t.transport_row_parallelism = static_cast<std::size_t>(meta.u64());
+  const std::uint64_t nhours = meta.u64();
+  meta.expect_end();
+  if (nhours != c.section_count() - 1) {
+    meta.fail("trace claims " + std::to_string(nhours) +
+              " hours but holds " + std::to_string(c.section_count() - 1) +
+              " hour sections");
   }
-  if (!is) throw Error("truncated trace file: " + path);
+
+  t.hours.resize(static_cast<std::size_t>(nhours));
+  for (std::size_t i = 0; i < t.hours.size(); ++i) {
+    durable::PayloadReader p = c.open(hour_section(i));
+    HourTrace& h = t.hours[i];
+    h.input_work = p.f64();
+    h.pretrans_work = p.f64();
+    h.output_work = p.f64();
+    const std::uint64_t nsteps = p.u64();
+    if (nsteps > p.remaining()) {
+      p.fail("step count " + std::to_string(nsteps) +
+             " exceeds remaining payload");
+    }
+    h.steps.resize(static_cast<std::size_t>(nsteps));
+    for (StepTrace& s : h.steps) {
+      s.aerosol_work = p.f64();
+      p.doubles(s.transport1_layer_work);
+      p.doubles(s.transport2_layer_work);
+      p.doubles(s.chem_column_work);
+      if (s.transport1_layer_work.size() != t.layers ||
+          s.transport2_layer_work.size() != t.layers ||
+          s.chem_column_work.size() != t.points) {
+        p.fail("step work vectors disagree with the trace shape");
+      }
+    }
+    p.expect_end();
+  }
   return t;
 }
 

@@ -1,0 +1,445 @@
+#include "airshed/durable/container.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <filesystem>
+#include <fstream>
+
+#include "airshed/util/hash.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed::durable {
+
+namespace {
+
+constexpr std::string_view kMagic = "ASHDUR1\n";
+constexpr std::string_view kTrailer = "ASHDEND\n";
+constexpr std::size_t kMaxFormatLen = 64;
+constexpr std::size_t kMaxSectionName = 256;
+constexpr std::uint32_t kMaxSections = 1u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(std::string_view s, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view s, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+StorageError::StorageError(std::string path, std::string section,
+                           std::uint64_t offset, const std::string& what)
+    : Error(path + ": " + what + " (section '" + section + "', byte offset " +
+            std::to_string(offset) + ")"),
+      path_(std::move(path)),
+      section_(std::move(section)),
+      offset_(offset) {}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  namespace fs = std::filesystem;
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("cannot open temp file for writing: " + tmp);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      os.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error("failed writing temp file: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw Error("failed renaming " + tmp + " over " + path + ": " +
+                ec.message());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PayloadWriter
+// ---------------------------------------------------------------------------
+
+PayloadWriter& PayloadWriter::u32(std::uint32_t v) {
+  put_u32(out_, v);
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::u64(std::uint64_t v) {
+  put_u64(out_, v);
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::i64(std::int64_t v) {
+  put_u64(out_, static_cast<std::uint64_t>(v));
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::f64(double v) {
+  put_u64(out_, std::bit_cast<std::uint64_t>(v));
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::str(std::string_view s) {
+  put_u32(out_, static_cast<std::uint32_t>(s.size()));
+  out_ += s;
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::doubles(std::span<const double> values) {
+  put_u64(out_, values.size());
+  for (double v : values) f64(v);
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// PayloadReader
+// ---------------------------------------------------------------------------
+
+PayloadReader::PayloadReader(std::string_view payload, std::string path,
+                             std::string section, std::uint64_t base_offset)
+    : payload_(payload),
+      path_(std::move(path)),
+      section_(std::move(section)),
+      base_(base_offset) {}
+
+void PayloadReader::fail(const std::string& what) const {
+  throw StorageError(path_, section_, base_ + pos_, what);
+}
+
+void PayloadReader::need(std::size_t n, const char* what) const {
+  if (payload_.size() - pos_ < n) {
+    throw StorageError(path_, section_, base_ + pos_,
+                       std::string("payload truncated reading ") + what);
+  }
+}
+
+std::uint32_t PayloadReader::u32() {
+  need(4, "u32");
+  const std::uint32_t v = get_u32(payload_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  need(8, "u64");
+  const std::uint64_t v = get_u64(payload_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t PayloadReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+
+double PayloadReader::f64() {
+  return std::bit_cast<double>(u64());
+}
+
+std::string PayloadReader::str(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) fail("string length " + std::to_string(len) +
+                          " exceeds bound " + std::to_string(max_len));
+  need(len, "string bytes");
+  std::string s(payload_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+void PayloadReader::doubles(std::vector<double>& out) {
+  const std::uint64_t count = u64();
+  if (count > remaining() / 8) {
+    fail("double-vector count " + std::to_string(count) +
+         " exceeds remaining payload");
+  }
+  out.resize(static_cast<std::size_t>(count));
+  doubles_into(out);
+}
+
+void PayloadReader::doubles_into(std::span<double> out) {
+  need(out.size() * 8, "double values");
+  for (double& v : out) v = f64();
+}
+
+void PayloadReader::expect_end() const {
+  if (pos_ != payload_.size()) {
+    throw StorageError(path_, section_, base_ + pos_,
+                       std::to_string(payload_.size() - pos_) +
+                           " unexpected trailing payload bytes");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ContainerWriter
+// ---------------------------------------------------------------------------
+
+ContainerWriter::ContainerWriter(std::string format, std::uint32_t version)
+    : format_(std::move(format)), version_(version) {
+  AIRSHED_REQUIRE(!format_.empty() && format_.size() <= kMaxFormatLen,
+                  "container format tag must be 1..64 bytes");
+}
+
+void ContainerWriter::add_section(std::string name, std::string payload) {
+  AIRSHED_REQUIRE(!name.empty() && name.size() <= kMaxSectionName,
+                  "section name must be 1..256 bytes");
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string ContainerWriter::encode() const {
+  std::string out;
+  out += kMagic;
+  put_u32(out, static_cast<std::uint32_t>(format_.size()));
+  out += format_;
+  put_u32(out, version_);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out += name;
+    put_u64(out, payload.size());
+    out += payload;
+    put_u32(out, crc32c(payload));
+  }
+  put_u64(out, fnv1a_bytes(out));
+  out += kTrailer;
+  return out;
+}
+
+void ContainerWriter::write_atomic(const std::string& path) const {
+  atomic_write_file(path, encode());
+}
+
+// ---------------------------------------------------------------------------
+// ContainerReader
+// ---------------------------------------------------------------------------
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw StorageError(path, "file", 0, "cannot open file");
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (is.bad()) throw StorageError(path, "file", 0, "read failure");
+  return bytes;
+}
+
+bool looks_like_container(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char head[8] = {};
+  is.read(head, 8);
+  return is.gcount() == 8 && std::string_view(head, 8) == kMagic;
+}
+
+ContainerReader ContainerReader::read_file(const std::string& path,
+                                           std::string_view expect_format) {
+  return parse(read_file_bytes(path), path, expect_format);
+}
+
+ContainerReader ContainerReader::parse(std::string bytes,
+                                       const std::string& path,
+                                       std::string_view expect_format) {
+  ContainerReader r;
+  r.path_ = path;
+  const std::string_view s(bytes);
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n, const std::string& section,
+                  const char* what) {
+    if (s.size() - pos < n) {
+      throw StorageError(path, section, pos,
+                         std::string("file truncated reading ") + what);
+    }
+  };
+
+  // Header.
+  need(kMagic.size(), "header", "magic");
+  if (s.substr(0, kMagic.size()) != kMagic) {
+    throw StorageError(path, "header", 0, "bad container magic");
+  }
+  pos += kMagic.size();
+  need(4, "header", "format tag length");
+  const std::uint32_t fmt_len = get_u32(s, pos);
+  pos += 4;
+  if (fmt_len == 0 || fmt_len > kMaxFormatLen) {
+    throw StorageError(path, "header", pos - 4,
+                       "format tag length out of bounds: " +
+                           std::to_string(fmt_len));
+  }
+  need(fmt_len, "header", "format tag");
+  r.format_ = std::string(s.substr(pos, fmt_len));
+  pos += fmt_len;
+  if (!expect_format.empty() && r.format_ != expect_format) {
+    throw StorageError(path, "header", pos - fmt_len,
+                       "container holds a '" + r.format_ + "', expected a '" +
+                           std::string(expect_format) + "'");
+  }
+  need(8, "header", "version + section count");
+  r.version_ = get_u32(s, pos);
+  pos += 4;
+  const std::uint32_t nsections = get_u32(s, pos);
+  pos += 4;
+  if (nsections > kMaxSections) {
+    throw StorageError(path, "header", pos - 4,
+                       "section count out of bounds: " +
+                           std::to_string(nsections));
+  }
+
+  // Sections.
+  r.sections_.reserve(nsections);
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    const std::string where = "section[" + std::to_string(i) + "]";
+    need(4, where, "name length");
+    const std::uint32_t name_len = get_u32(s, pos);
+    pos += 4;
+    if (name_len == 0 || name_len > kMaxSectionName) {
+      throw StorageError(path, where, pos - 4,
+                         "section name length out of bounds: " +
+                             std::to_string(name_len));
+    }
+    need(name_len, where, "name");
+    SectionView sec;
+    sec.name = std::string(s.substr(pos, name_len));
+    pos += name_len;
+    need(8, sec.name, "payload length");
+    const std::uint64_t payload_len = get_u64(s, pos);
+    pos += 8;
+    if (payload_len > s.size() - pos) {
+      throw StorageError(path, sec.name, pos - 8,
+                         "payload length " + std::to_string(payload_len) +
+                             " extends past end of file");
+    }
+    sec.payload_offset = pos;
+    sec.payload = std::string(s.substr(pos, payload_len));
+    pos += static_cast<std::size_t>(payload_len);
+    need(4, sec.name, "payload CRC");
+    sec.crc = get_u32(s, pos);
+    pos += 4;
+    const std::uint32_t actual = crc32c(sec.payload);
+    if (actual != sec.crc) {
+      throw StorageError(path, sec.name, sec.payload_offset,
+                         "payload CRC32C mismatch (stored " +
+                             hash_hex(sec.crc).substr(8) + ", computed " +
+                             hash_hex(actual).substr(8) + ")");
+    }
+    r.sections_.push_back(std::move(sec));
+  }
+
+  // Footer.
+  const std::size_t footer_pos = pos;
+  need(8 + kTrailer.size(), "footer", "digest + trailer");
+  r.digest_ = get_u64(s, pos);
+  pos += 8;
+  const std::uint64_t actual_digest = fnv1a_bytes(s.substr(0, footer_pos));
+  if (actual_digest != r.digest_) {
+    throw StorageError(path, "footer", footer_pos,
+                       "whole-file digest mismatch (stored " +
+                           hash_hex(r.digest_) + ", computed " +
+                           hash_hex(actual_digest) + ")");
+  }
+  if (s.substr(pos, kTrailer.size()) != kTrailer) {
+    throw StorageError(path, "footer", pos, "bad trailer magic");
+  }
+  pos += kTrailer.size();
+  if (pos != s.size()) {
+    throw StorageError(path, "footer", pos,
+                       std::to_string(s.size() - pos) +
+                           " trailing bytes after the container trailer");
+  }
+  return r;
+}
+
+const SectionView& ContainerReader::section(std::size_t i) const {
+  AIRSHED_REQUIRE(i < sections_.size(), "section index out of range");
+  return sections_[i];
+}
+
+const SectionView* ContainerReader::find(std::string_view name) const {
+  for (const SectionView& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const SectionView& ContainerReader::require(std::string_view name) const {
+  const SectionView* s = find(name);
+  if (!s) {
+    throw StorageError(path_, std::string(name), 0,
+                       "required section is missing");
+  }
+  return *s;
+}
+
+PayloadReader ContainerReader::open(std::string_view name) const {
+  const SectionView& s = require(name);
+  return PayloadReader(s.payload, path_, s.name, s.payload_offset);
+}
+
+// ---------------------------------------------------------------------------
+// Storage-fault injection
+// ---------------------------------------------------------------------------
+
+std::string to_string(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::None:       return "none";
+    case StorageFaultKind::TornWrite:  return "torn-write";
+    case StorageFaultKind::BitFlip:    return "bit-flip";
+    case StorageFaultKind::LostRename: return "lost-rename";
+  }
+  return "unknown";
+}
+
+void inject_storage_fault(const std::string& path, StorageFaultKind kind,
+                          std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  if (kind == StorageFaultKind::None) return;
+  if (kind == StorageFaultKind::LostRename) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    return;
+  }
+  std::string bytes = read_file_bytes(path);
+  if (bytes.empty()) return;
+  Rng rng(seed);
+  if (kind == StorageFaultKind::TornWrite) {
+    // Truncate at a seed-derived byte k in [0, size): the tail of the
+    // write never hit the disk.
+    const std::size_t k =
+        static_cast<std::size_t>(rng.uniform() * static_cast<double>(bytes.size()));
+    bytes.resize(k);
+  } else {  // BitFlip
+    const std::size_t byte =
+        static_cast<std::size_t>(rng.uniform() * static_cast<double>(bytes.size()));
+    const int bit = static_cast<int>(rng.uniform() * 8.0) & 7;
+    bytes[byte] = static_cast<char>(static_cast<unsigned char>(bytes[byte]) ^
+                                    (1u << bit));
+  }
+  // Deliberately NOT atomic_write_file: the fault models a write that
+  // bypassed the framing discipline.
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace airshed::durable

@@ -35,6 +35,12 @@ FaultPlan FaultPlan::make(std::uint64_t seed, int nodes, int horizon_hours,
                       opts.message_drop_probability < 1.0,
                   "drop probability out of [0, 1)");
   AIRSHED_REQUIRE(opts.max_drops_per_phase >= 0, "negative drop bound");
+  AIRSHED_REQUIRE(opts.storage_fault_probability >= 0.0 &&
+                      opts.storage_fault_probability < 1.0,
+                  "storage fault probability out of [0, 1)");
+  AIRSHED_REQUIRE(opts.payload_corruption_probability >= 0.0 &&
+                      opts.payload_corruption_probability < 1.0,
+                  "payload corruption probability out of [0, 1)");
 
   FaultPlan p;
   p.seed_ = seed;
@@ -101,6 +107,53 @@ int FaultPlan::drops(int hour, long long phase_seq) const {
   // Stateless: the draw depends only on (seed, hour, phase index), so a
   // replayed hour — and any evaluation order — sees identical drops.
   Rng r(seed_ ^
+        (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(hour + 1)) ^
+        (0xc2b2ae3d27d4eb4full * static_cast<std::uint64_t>(phase_seq + 1)));
+  int k = 0;
+  while (k < opts_.max_drops_per_phase && r.uniform() < q) ++k;
+  return k;
+}
+
+namespace {
+
+/// Distinct stream per (seed, hour, artifact); the salts keep the storage
+/// stream independent of the drop and corruption streams.
+std::uint64_t storage_stream(std::uint64_t seed, int hour, long long artifact) {
+  return seed ^ 0xd6e8feb86659fd93ull ^
+         (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(hour + 1)) ^
+         (0xc2b2ae3d27d4eb4full * static_cast<std::uint64_t>(artifact + 1));
+}
+
+}  // namespace
+
+durable::StorageFaultKind FaultPlan::storage_fault(int hour,
+                                                   long long artifact) const {
+  const double q = opts_.storage_fault_probability;
+  if (q <= 0.0) return durable::StorageFaultKind::None;
+  Rng r(storage_stream(seed_, hour, artifact));
+  if (r.uniform() >= q) return durable::StorageFaultKind::None;
+  // Equiprobable kinds given a hit.
+  const double pick = r.uniform();
+  if (pick < 1.0 / 3.0) return durable::StorageFaultKind::TornWrite;
+  if (pick < 2.0 / 3.0) return durable::StorageFaultKind::BitFlip;
+  return durable::StorageFaultKind::LostRename;
+}
+
+std::uint64_t FaultPlan::storage_fault_seed(int hour, long long artifact) const {
+  // Two draws ahead of the kind gate/pick, so the free parameters are
+  // independent of whether/which fault fired.
+  Rng r(storage_stream(seed_, hour, artifact));
+  r.uniform();
+  r.uniform();
+  return r.next_u64();
+}
+
+int FaultPlan::payload_corruptions(int hour, long long phase_seq) const {
+  const double q = opts_.payload_corruption_probability;
+  if (q <= 0.0 || opts_.max_drops_per_phase <= 0) return 0;
+  // Stateless like drops(), salted so the corruption stream is independent
+  // of the drop stream of the same phase.
+  Rng r(seed_ ^ 0xa0761d6478bd642full ^
         (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(hour + 1)) ^
         (0xc2b2ae3d27d4eb4full * static_cast<std::uint64_t>(phase_seq + 1)));
   int k = 0;

@@ -1,51 +1,90 @@
 #include "airshed/io/archive.hpp"
 
-#include <fstream>
-
+#include "airshed/durable/container.hpp"
 #include "airshed/util/error.hpp"
 
 namespace airshed {
 
 namespace {
-constexpr const char* kMagic = "airshed-archive-v1";
-constexpr const char* kCheckpointMagic = "airshed-checkpoint-v1";
+
+using durable::ContainerReader;
+using durable::ContainerWriter;
+using durable::PayloadReader;
+using durable::PayloadWriter;
+using durable::StorageError;
+
+constexpr const char* kCheckpointFormat = "airshed-checkpoint";
+constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr const char* kArchiveFormat = "airshed-archive";
+constexpr std::uint32_t kArchiveVersion = 2;
+
+std::string hour_section(std::size_t i) {
+  return "hour" + std::to_string(i);
 }
 
+/// Shared loader helper: reads a count-prefixed double vector into a
+/// freshly shaped Array3, rejecting a count that disagrees with the shape.
+Array3<double> read_field(PayloadReader& pr, std::size_t d0, std::size_t d1,
+                          std::size_t d2, const char* what) {
+  Array3<double> field(d0, d1, d2);
+  const std::uint64_t count = pr.u64();
+  if (count != field.size()) {
+    pr.fail(std::string(what) + " holds " + std::to_string(count) +
+            " values, shape requires " + std::to_string(field.size()));
+  }
+  pr.doubles_into(field.flat());
+  return field;
+}
+
+/// Shared version guard for both loaders.
+void check_version(const ContainerReader& c, std::uint32_t expected) {
+  if (c.version() != expected) {
+    throw StorageError(c.path(), "header", 0,
+                       "unsupported " + c.format() + " version " +
+                           std::to_string(c.version()) + " (expected " +
+                           std::to_string(expected) + ")");
+  }
+}
+
+}  // namespace
+
 void CheckpointRecord::save(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw Error("cannot open checkpoint for writing: " + path);
-  os.precision(17);
-  os << kCheckpointMagic << '\n'
-     << dataset << '\n'
-     << next_hour << ' ' << conc.dim0() << ' ' << conc.dim1() << ' '
-     << conc.dim2() << ' ' << pm.dim0() << ' ' << pm.dim1() << ' '
-     << pm.dim2() << '\n';
-  for (double v : conc.flat()) os << v << ' ';
-  os << '\n';
-  for (double v : pm.flat()) os << v << ' ';
-  os << '\n';
-  if (!os) throw Error("failed writing checkpoint: " + path);
+  ContainerWriter c(kCheckpointFormat, kCheckpointVersion);
+  PayloadWriter meta;
+  meta.str(dataset)
+      .i64(next_hour)
+      .u64(conc.dim0()).u64(conc.dim1()).u64(conc.dim2())
+      .u64(pm.dim0()).u64(pm.dim1()).u64(pm.dim2());
+  c.add_section("meta", std::move(meta).take());
+  PayloadWriter conc_w, pm_w;
+  conc_w.doubles(conc.flat());
+  pm_w.doubles(pm.flat());
+  c.add_section("conc", std::move(conc_w).take());
+  c.add_section("pm", std::move(pm_w).take());
+  c.write_atomic(path);
 }
 
 CheckpointRecord CheckpointRecord::load(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw Error("cannot open checkpoint: " + path);
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != kCheckpointMagic) throw Error("bad checkpoint header: " + path);
+  const ContainerReader c = ContainerReader::read_file(path, kCheckpointFormat);
+  check_version(c, kCheckpointVersion);
 
   CheckpointRecord rec;
-  std::getline(is, rec.dataset);
-  std::size_t cs = 0, cl = 0, cp = 0, ps = 0, pl = 0, pp = 0;
-  is >> rec.next_hour >> cs >> cl >> cp >> ps >> pl >> pp;
-  if (!is || rec.next_hour < 0 || cs == 0 || cl == 0 || cp == 0) {
-    throw Error("malformed checkpoint shape: " + path);
+  PayloadReader meta = c.open("meta");
+  rec.dataset = meta.str();
+  rec.next_hour = static_cast<int>(meta.i64());
+  const std::uint64_t cs = meta.u64(), cl = meta.u64(), cp = meta.u64();
+  const std::uint64_t ps = meta.u64(), pl = meta.u64(), pp = meta.u64();
+  meta.expect_end();
+  if (rec.next_hour < 0 || cs == 0 || cl == 0 || cp == 0) {
+    meta.fail("malformed checkpoint shape");
   }
-  rec.conc = ConcentrationField(cs, cl, cp);
-  for (double& v : rec.conc.flat()) is >> v;
-  rec.pm = Array3<double>(ps, pl, pp);
-  for (double& v : rec.pm.flat()) is >> v;
-  if (!is) throw Error("truncated checkpoint: " + path);
+
+  PayloadReader conc = c.open("conc");
+  rec.conc = read_field(conc, cs, cl, cp, "conc");
+  conc.expect_end();
+  PayloadReader pm = c.open("pm");
+  rec.pm = read_field(pm, ps, pl, pp, "pm");
+  pm.expect_end();
   return rec;
 }
 
@@ -89,51 +128,65 @@ std::vector<double> RunArchive::series_mean_o3() const {
 }
 
 void RunArchive::save(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw Error("cannot open archive for writing: " + path);
-  os.precision(17);
-  os << kMagic << '\n'
-     << dataset_ << '\n'
-     << species_ << ' ' << layers_ << ' ' << points_ << ' ' << hours_.size()
-     << '\n';
-  for (const ArchivedHour& h : hours_) {
-    os << h.stats.hour << ' ' << h.stats.max_surface_o3_ppm << ' '
-       << h.stats.max_o3_location.x << ' ' << h.stats.max_o3_location.y << ' '
-       << h.stats.mean_surface_o3_ppm << ' ' << h.stats.mean_surface_no2_ppm
-       << ' ' << h.stats.mean_surface_co_ppm << ' ' << h.stats.total_pm_nitrate
-       << '\n';
-    for (double v : h.conc.flat()) os << v << ' ';
-    os << '\n';
+  ContainerWriter c(kArchiveFormat, kArchiveVersion);
+  PayloadWriter meta;
+  meta.str(dataset_)
+      .u64(species_).u64(layers_).u64(points_)
+      .u64(hours_.size());
+  c.add_section("meta", std::move(meta).take());
+  for (std::size_t i = 0; i < hours_.size(); ++i) {
+    const ArchivedHour& h = hours_[i];
+    PayloadWriter p;
+    p.i64(h.stats.hour)
+        .f64(h.stats.max_surface_o3_ppm)
+        .f64(h.stats.max_o3_location.x)
+        .f64(h.stats.max_o3_location.y)
+        .f64(h.stats.mean_surface_o3_ppm)
+        .f64(h.stats.mean_surface_no2_ppm)
+        .f64(h.stats.mean_surface_co_ppm)
+        .f64(h.stats.total_pm_nitrate)
+        .doubles(h.conc.flat());
+    c.add_section(hour_section(i), std::move(p).take());
   }
-  if (!os) throw Error("failed writing archive: " + path);
+  c.write_atomic(path);
 }
 
 RunArchive RunArchive::load(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw Error("cannot open archive: " + path);
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != kMagic) throw Error("bad archive header: " + path);
+  const ContainerReader c = ContainerReader::read_file(path, kArchiveFormat);
+  check_version(c, kArchiveVersion);
 
   RunArchive archive;
-  std::getline(is, archive.dataset_);
-  std::size_t nhours = 0;
-  is >> archive.species_ >> archive.layers_ >> archive.points_ >> nhours;
-  if (!is || archive.species_ == 0 || archive.layers_ == 0 ||
-      archive.points_ == 0) {
-    throw Error("malformed archive shape: " + path);
+  PayloadReader meta = c.open("meta");
+  archive.dataset_ = meta.str();
+  archive.species_ = static_cast<std::size_t>(meta.u64());
+  archive.layers_ = static_cast<std::size_t>(meta.u64());
+  archive.points_ = static_cast<std::size_t>(meta.u64());
+  const std::uint64_t nhours = meta.u64();
+  meta.expect_end();
+  if (archive.species_ == 0 || archive.layers_ == 0 || archive.points_ == 0) {
+    meta.fail("malformed archive shape");
   }
-  archive.hours_.reserve(nhours);
+  if (nhours != c.section_count() - 1) {
+    meta.fail("archive claims " + std::to_string(nhours) +
+              " hours but holds " + std::to_string(c.section_count() - 1) +
+              " hour sections");
+  }
+
+  archive.hours_.reserve(static_cast<std::size_t>(nhours));
   for (std::size_t i = 0; i < nhours; ++i) {
+    PayloadReader p = c.open(hour_section(i));
     ArchivedHour h;
-    is >> h.stats.hour >> h.stats.max_surface_o3_ppm >>
-        h.stats.max_o3_location.x >> h.stats.max_o3_location.y >>
-        h.stats.mean_surface_o3_ppm >> h.stats.mean_surface_no2_ppm >>
-        h.stats.mean_surface_co_ppm >> h.stats.total_pm_nitrate;
-    h.conc = ConcentrationField(archive.species_, archive.layers_,
-                                archive.points_);
-    for (double& v : h.conc.flat()) is >> v;
-    if (!is) throw Error("truncated archive: " + path);
+    h.stats.hour = static_cast<int>(p.i64());
+    h.stats.max_surface_o3_ppm = p.f64();
+    h.stats.max_o3_location.x = p.f64();
+    h.stats.max_o3_location.y = p.f64();
+    h.stats.mean_surface_o3_ppm = p.f64();
+    h.stats.mean_surface_no2_ppm = p.f64();
+    h.stats.mean_surface_co_ppm = p.f64();
+    h.stats.total_pm_nitrate = p.f64();
+    h.conc = read_field(p, archive.species_, archive.layers_, archive.points_,
+                        "conc");
+    p.expect_end();
     archive.hours_.push_back(std::move(h));
   }
   return archive;

@@ -1,0 +1,116 @@
+#include "airshed/io/vault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "airshed/durable/container.hpp"
+
+namespace airshed {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kManifestFormat = "airshed-ckpt-manifest";
+constexpr std::uint32_t kManifestVersion = 1;
+}  // namespace
+
+CheckpointVault::CheckpointVault(std::string dir, std::string basename)
+    : dir_(std::move(dir)), basename_(std::move(basename)) {
+  AIRSHED_REQUIRE(!dir_.empty() && !basename_.empty(),
+                  "vault needs a directory and a basename");
+  fs::create_directories(dir_);
+}
+
+std::string CheckpointVault::generation_path(int generation) const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06d", generation);
+  return dir_ + "/" + basename_ + "_g" + buf + ".ckpt";
+}
+
+void CheckpointVault::write_manifest(const std::vector<int>& gens) const {
+  durable::ContainerWriter c(kManifestFormat, kManifestVersion);
+  durable::PayloadWriter p;
+  p.u64(gens.size());
+  for (int g : gens) p.i64(g);
+  c.add_section("generations", std::move(p).take());
+  c.write_atomic(dir_ + "/" + basename_ + ".manifest");
+}
+
+std::vector<int> CheckpointVault::generations() const {
+  // Manifest first; a damaged manifest degrades to the directory scan.
+  try {
+    const durable::ContainerReader c = durable::ContainerReader::read_file(
+        dir_ + "/" + basename_ + ".manifest", kManifestFormat);
+    durable::PayloadReader p = c.open("generations");
+    const std::uint64_t n = p.u64();
+    if (n > p.remaining() / 8) p.fail("generation count exceeds payload");
+    std::vector<int> gens;
+    gens.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      gens.push_back(static_cast<int>(p.i64()));
+    }
+    p.expect_end();
+    // Keep only generations whose files still exist (a lost rename leaves
+    // a manifest entry with no file; restore treats it as corrupt, but the
+    // chain itself must stay scannable).
+    return gens;
+  } catch (const Error&) {
+    // Directory scan: parse "<basename>_g<NNNNNN>.ckpt" names.
+    std::vector<int> gens;
+    const std::string prefix = basename_ + "_g";
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() != prefix.size() + 6 + 5 ||
+          name.compare(0, prefix.size(), prefix) != 0 ||
+          name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+        continue;
+      }
+      const std::string digits = name.substr(prefix.size(), 6);
+      if (digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      gens.push_back(std::atoi(digits.c_str()));
+    }
+    std::sort(gens.begin(), gens.end());
+    return gens;
+  }
+}
+
+int CheckpointVault::append(const CheckpointRecord& rec) {
+  std::vector<int> gens = generations();
+  const int gen = gens.empty() ? 1 : gens.back() + 1;
+  rec.save(generation_path(gen));
+  gens.push_back(gen);
+  write_manifest(gens);
+  return gen;
+}
+
+CheckpointVault::RestoreResult CheckpointVault::restore_newest_valid() {
+  const std::vector<int> gens = generations();
+  RestoreResult out;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = generation_path(*it);
+    ++out.scanned;
+    try {
+      out.record = CheckpointRecord::load(path);
+      out.generation = *it;
+      return out;
+    } catch (const Error& e) {
+      out.errors.push_back(e.what());
+      std::error_code ec;
+      if (fs::exists(path, ec)) {
+        fs::rename(path, path + ".corrupt", ec);
+        if (!ec) out.quarantined.push_back(path + ".corrupt");
+      }
+    }
+  }
+  throw durable::StorageError(
+      dir_, "vault", 0,
+      "no valid checkpoint generation (scanned " +
+          std::to_string(out.scanned) + " of " + std::to_string(gens.size()) +
+          "; restart from initial conditions)");
+}
+
+}  // namespace airshed
