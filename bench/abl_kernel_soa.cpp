@@ -1,0 +1,226 @@
+// Ablation: the cell-batched SoA kernel engine (airshed::kernel).
+//
+// Measures wall clock of the scalar reference path vs the blocked
+// engine on both LA models (multiscale SUPG and uniform van Leer),
+// sweeping host threads {1, 4, 8} and — in full mode — the cell block
+// size {8, 16, 32, 64} at one thread. Every configuration must produce a
+// result bit-identical to the scalar oracle (FNV-1a checksum over the
+// final fields, hourly statistics and the full WorkTrace); the bench
+// exits non-zero ONLY on a checksum mismatch, never on a slow run, so
+// the CI perf-smoke job stays non-gating on timing.
+//
+// Timing protocol: one untimed warmup then `repeats` timed runs; the
+// JSON records median, min and the raw samples (bench_common
+// measure_wall). ns/cell normalizes the median by grid points x layers
+// x simulated hours.
+//
+// Usage: abl_kernel_soa [--smoke]
+//   --smoke: 2 simulated hours, threads {1, 4}, single repeat, no block
+//            sweep — the CI configuration.
+// AIRSHED_BENCH_HOURS overrides the episode length in both modes.
+//
+// Emits BENCH_kernel_soa.json (run from the repo root to land it there).
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace airshed;
+
+std::uint64_t result_checksum(const ModelRunResult& r) {
+  std::uint64_t h = fnv1a(r.outputs.conc.flat());
+  h = fnv1a(r.outputs.pm.flat(), h);
+  for (const HourlyStats& s : r.outputs.hourly) {
+    h = fnv1a(s.max_surface_o3_ppm, h);
+    h = fnv1a(s.mean_surface_o3_ppm, h);
+    h = fnv1a(s.mean_surface_no2_ppm, h);
+    h = fnv1a(s.mean_surface_co_ppm, h);
+    h = fnv1a(s.total_pm_nitrate, h);
+  }
+  for (const HourTrace& hour : r.trace.hours) {
+    h = fnv1a(hour.input_work, h);
+    h = fnv1a(hour.pretrans_work, h);
+    h = fnv1a(hour.output_work, h);
+    for (const StepTrace& step : hour.steps) {
+      h = fnv1a(std::span<const double>(step.transport1_layer_work), h);
+      h = fnv1a(std::span<const double>(step.transport2_layer_work), h);
+      h = fnv1a(std::span<const double>(step.chem_column_work), h);
+      h = fnv1a(step.aerosol_work, h);
+    }
+  }
+  return h;
+}
+
+struct CasePoint {
+  bool blocked = false;
+  int block = 0;    ///< cell block size (0 for the scalar path)
+  int threads = 1;
+  bench::WallStats wall;
+  std::uint64_t checksum = 0;
+};
+
+using RunFn = std::function<ModelRunResult(const ModelOptions&)>;
+
+CasePoint run_case(const RunFn& run, int hours, bool blocked, int block,
+                   int threads, int warmup, int repeats) {
+  CasePoint pt;
+  pt.blocked = blocked;
+  pt.block = blocked ? block : 0;
+  pt.threads = threads;
+  ModelOptions opts;
+  opts.hours = hours;
+  opts.host_threads = threads;
+  opts.kernel.blocked = blocked;
+  if (blocked) opts.kernel.block = block;
+  pt.wall = bench::measure_wall(warmup, repeats, [&] {
+    pt.checksum = result_checksum(run(opts));
+  });
+  return pt;
+}
+
+void emit_point(bench::JsonWriter& json, const CasePoint& pt, double cells,
+                double scalar_median_s, bool match) {
+  json.begin_object();
+  json.key("path").value(pt.blocked ? "blocked" : "scalar");
+  json.key("block").value(pt.block);
+  json.key("threads").value(pt.threads);
+  json.key("median_s").value(pt.wall.median_s);
+  json.key("min_s").value(pt.wall.min_s);
+  json.key("ns_per_cell").value(bench::ns_per_cell(pt.wall.median_s, cells));
+  json.key("speedup_vs_scalar")
+      .value(pt.wall.median_s > 0.0 ? scalar_median_s / pt.wall.median_s : 0.0);
+  json.key("checksum").value(hash_hex(pt.checksum));
+  json.key("checksum_match").value(match);
+  json.key("samples_s").begin_array();
+  for (double s : pt.wall.samples_s) json.value(s);
+  json.end_array();
+  json.end_object();
+}
+
+void print_point(const CasePoint& pt, double cells, double scalar_median_s,
+                 bool match) {
+  std::printf("  %-8s %5d %7d %9.3f %9.3f %8.1f %9.2fx  %s%s\n",
+              pt.blocked ? "blocked" : "scalar", pt.block, pt.threads,
+              pt.wall.median_s, pt.wall.min_s,
+              bench::ns_per_cell(pt.wall.median_s, cells),
+              pt.wall.median_s > 0.0 ? scalar_median_s / pt.wall.median_s : 0.0,
+              hash_hex(pt.checksum).c_str(), match ? "" : "  MISMATCH");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int default_hours = smoke ? 2 : 4;
+  int hours = default_hours;
+  if (const char* e = std::getenv("AIRSHED_BENCH_HOURS")) {
+    const int h = std::atoi(e);
+    if (h >= 1) hours = h;
+  }
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
+  const std::vector<int> block_sweep =
+      smoke ? std::vector<int>{} : std::vector<int>{8, 16, 32, 64};
+  const int warmup = smoke ? 0 : 1;
+  const int repeats = smoke ? 1 : 3;
+  const int cores = par::hardware_threads();
+
+  std::printf(
+      "kernel SoA sweep: %d hours, %d host core(s), %d repeat(s)%s\n\n", hours,
+      cores, repeats, smoke ? " [smoke]" : "");
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("kernel_soa");
+  json.key("smoke").value(smoke);
+  json.key("hours").value(hours);
+  json.key("host_cores").value(cores);
+  json.key("warmup").value(warmup);
+  json.key("repeats").value(repeats);
+  json.key("default_block").value(kernel::KernelOptions{}.block);
+  json.key("models").begin_array();
+
+  struct ModelCase {
+    const char* name;
+    std::size_t points;
+    std::size_t layers;
+    RunFn run;
+  };
+  const Dataset la = la_basin_dataset();
+  const UniformDataset la_uniform = la_uniform_dataset();
+  const std::vector<ModelCase> cases = {
+      {"LA_multiscale", la.mesh.vertex_count(),
+       static_cast<std::size_t>(la.layers),
+       [&](const ModelOptions& o) { return AirshedModel(la, o).run(); }},
+      {"LA_uniform", la_uniform.points(),
+       static_cast<std::size_t>(la_uniform.layers),
+       [&](const ModelOptions& o) {
+         return UniformAirshedModel(la_uniform, o).run();
+       }},
+  };
+
+  bool all_match = true;
+  for (const ModelCase& c : cases) {
+    const double cells = static_cast<double>(c.points) *
+                         static_cast<double>(c.layers) *
+                         static_cast<double>(hours);
+    std::printf("%s (%zu points x %zu layers)\n", c.name, c.points, c.layers);
+    std::printf("  %-8s %5s %7s %9s %9s %8s %9s  %s\n", "path", "block",
+                "threads", "median_s", "min_s", "ns/cell", "speedup",
+                "checksum");
+
+    const int default_block = kernel::KernelOptions{}.block;
+    const CasePoint scalar =
+        run_case(c.run, hours, false, 0, 1, warmup, repeats);
+    print_point(scalar, cells, scalar.wall.median_s, true);
+
+    json.begin_object();
+    json.key("model").value(c.name);
+    json.key("points").value(c.points);
+    json.key("layers").value(c.layers);
+    json.key("sweep").begin_array();
+    emit_point(json, scalar, cells, scalar.wall.median_s, true);
+
+    for (int threads : thread_counts) {
+      const CasePoint pt =
+          run_case(c.run, hours, true, default_block, threads, warmup, repeats);
+      const bool match = pt.checksum == scalar.checksum;
+      all_match = all_match && match;
+      print_point(pt, cells, scalar.wall.median_s, match);
+      emit_point(json, pt, cells, scalar.wall.median_s, match);
+    }
+    for (int block : block_sweep) {
+      if (block == default_block) continue;  // already measured at 1 thread
+      const CasePoint pt =
+          run_case(c.run, hours, true, block, 1, warmup, repeats);
+      const bool match = pt.checksum == scalar.checksum;
+      all_match = all_match && match;
+      print_point(pt, cells, scalar.wall.median_s, match);
+      emit_point(json, pt, cells, scalar.wall.median_s, match);
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("\n");
+  }
+  json.end_array();
+  json.key("checksums_match").value(all_match);
+  json.end_object();
+
+  bench::write_bench_json("kernel_soa", json);
+  if (!all_match) {
+    std::printf("FAILED: blocked results differ from the scalar oracle\n");
+    return 1;
+  }
+  return 0;
+}

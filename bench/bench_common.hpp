@@ -1,11 +1,14 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,9 +64,11 @@ inline WorkTrace load_trace(const std::string& name, int hours = kHours) {
 }
 
 /// Minimal streaming JSON writer for the BENCH_*.json artifacts: keys are
-/// emitted in insertion order, doubles round-trip (%.17g), non-finite
-/// values become null. Commas are managed by a nesting stack, so callers
-/// just alternate key()/value() and begin_*/end_* calls.
+/// emitted in insertion order (callers emit them in a fixed order, so
+/// artifact diffs are stable), doubles round-trip (%.17g), non-finite
+/// values become null, and strings are fully escaped (quotes, backslash,
+/// and every control character). Commas are managed by a nesting stack, so
+/// callers just alternate key()/value() and begin_*/end_* calls.
 class JsonWriter {
  public:
   JsonWriter& begin_object() { open('{'); return *this; }
@@ -141,9 +146,21 @@ class JsonWriter {
       switch (c) {
         case '"': out_ += "\\\""; break;
         case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
         case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
         case '\t': out_ += "\\t"; break;
-        default: out_ += c;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            // Remaining control characters are invalid raw in JSON strings.
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
       }
     }
     out_ += '"';
@@ -153,6 +170,43 @@ class JsonWriter {
   std::vector<bool> need_comma_;
   bool after_key_ = false;
 };
+
+/// Wall-clock measurement of one bench configuration: `warmup` untimed runs
+/// followed by `repeats` timed runs of `fn`. Median and min are the robust
+/// summary statistics (mean is polluted by one-off scheduler noise).
+struct WallStats {
+  double median_s = 0.0;
+  double min_s = 0.0;
+  std::vector<double> samples_s;  ///< raw timed samples, run order
+};
+
+inline WallStats measure_wall(int warmup, int repeats,
+                              const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  WallStats stats;
+  for (int i = 0; i < warmup; ++i) fn();
+  stats.samples_s.reserve(static_cast<std::size_t>(std::max(repeats, 0)));
+  for (int i = 0; i < repeats; ++i) {
+    const clock::time_point t0 = clock::now();
+    fn();
+    stats.samples_s.push_back(
+        std::chrono::duration<double>(clock::now() - t0).count());
+  }
+  if (stats.samples_s.empty()) return stats;
+  std::vector<double> sorted = stats.samples_s;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min_s = sorted.front();
+  const std::size_t n = sorted.size();
+  stats.median_s = n % 2 == 1 ? sorted[n / 2]
+                              : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return stats;
+}
+
+/// Normalizes a wall time to nanoseconds per processed cell (the kernel
+/// engine's figure of merit: cells = grid points x layers x steps).
+inline double ns_per_cell(double seconds, double cells) {
+  return cells > 0.0 ? seconds * 1e9 / cells : 0.0;
+}
 
 /// Writes a bench artifact `BENCH_<name>.json` into the current directory
 /// (run benches from the repo root to land them there).

@@ -43,6 +43,7 @@
 #include "airshed/io/archive.hpp"
 #include "airshed/io/hourly.hpp"
 #include "airshed/io/vault.hpp"
+#include "airshed/kernel/cellblock.hpp"
 #include "airshed/machine/machine.hpp"
 #include "airshed/met/meteorology.hpp"
 #include "airshed/par/pool.hpp"

@@ -63,6 +63,17 @@ class Mechanism {
   void production_loss(std::span<const double> c, std::span<const double> k,
                        std::span<double> p_out, std::span<double> l_out) const;
 
+  /// Cell-batched production_loss over an SoA panel of `lanes` cells:
+  /// `c`/`p_out`/`l_out` are species-major (kSpeciesCount rows of `stride`
+  /// doubles), `k` is reaction-major (reaction_count() rows of `stride`,
+  /// one rate column per lane), `rate_scratch` holds `lanes` doubles. Every
+  /// lane executes exactly the scalar production_loss operation sequence,
+  /// so each output column is bit-identical to a scalar call on that cell.
+  /// The panels must not alias; rows should be kAlign-aligned for speed.
+  void production_loss_block(const double* c, const double* k, double* p_out,
+                             double* l_out, std::size_t lanes,
+                             std::size_t stride, double* rate_scratch) const;
+
   /// Approximate floating-point work of one production_loss + compute_rates
   /// evaluation; used by the work-trace accounting.
   double flops_per_evaluation() const { return flops_per_eval_; }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "airshed/chem/mechanism.hpp"
+#include "airshed/kernel/cellblock.hpp"
 
 namespace airshed {
 
@@ -50,9 +51,12 @@ struct YoungBorisOptions {
   /// the exact vector a recomputation would produce, so results are
   /// bit-identical with the cache on or off.
   bool cache_rates = true;
-  /// Cache capacity in distinct (temp_k, sun) keys; the cache is cleared
-  /// wholesale when full (typical runs hold one key per (layer, hour)).
-  std::size_t rate_cache_entries = 1024;
+  /// Cache capacity in distinct (temp_k, sun) keys. On overflow a single
+  /// victim is evicted (bounded second-chance scan), so a working set
+  /// slightly above capacity degrades gracefully instead of dumping the
+  /// whole cache. Sized for the LA per-vertex temperature field (~3.5k
+  /// distinct keys per hour).
+  std::size_t rate_cache_entries = 4096;
 };
 
 struct YoungBorisResult {
@@ -78,6 +82,19 @@ class YoungBorisSolver {
                              double temp_k, double sun,
                              std::span<const double> source_ppm_min = {});
 
+  /// Cell-batched integrate over an SoA block (no source term): lane i of
+  /// `cells` is one cell state, integrated over `dt_total_min` at
+  /// temperature `temp_k[i]` and the shared photolysis factor `sun`.
+  /// Lanes run in lockstep but each follows its own scalar control path
+  /// (own substep size, own corrector convergence) through masked blends,
+  /// so every lane's final state and YoungBorisResult are bit-identical to
+  /// a scalar integrate() on that cell. `temp_k` and `results` must have
+  /// cells.width() entries. Throws NumericalError (naming the lane) if any
+  /// lane's state becomes non-finite.
+  void integrate_block(kernel::CellBlock& cells, double dt_total_min,
+                       std::span<const double> temp_k, double sun,
+                       std::span<YoungBorisResult> results);
+
   /// Starts a new rate-cache epoch (e.g. a new simulated hour): a changed
   /// epoch clears the cache, bounding reuse to inputs frozen within the
   /// epoch. Calling with the current epoch is a no-op.
@@ -86,14 +103,36 @@ class YoungBorisSolver {
   /// Rate-constant evaluations skipped / performed since construction.
   long long rate_cache_hits() const { return rate_cache_hits_; }
   long long rate_evals() const { return rate_evals_; }
+  /// Single-victim evictions performed on cache overflow.
+  long long rate_cache_evictions() const { return rate_cache_evictions_; }
+  /// Distinct (temp_k, sun) keys currently cached.
+  std::size_t rate_cache_size() const { return rate_cache_.size(); }
 
  private:
   void load_rates(double temp_k, double sun);
+  /// Returns a view of the rate vector for (temp_k, sun) — the cached copy
+  /// when caching is on (valid until the next cache mutation), otherwise
+  /// the member scratch.
+  std::span<const double> rates_ref(double temp_k, double sun);
+  void evict_one_rate_entry();
 
   const Mechanism* mech_;
   YoungBorisOptions opts_;
   // Scratch (sized in ctor, reused across calls).
   std::vector<double> rates_, p0_, l0_, p1_, l1_, cp_, cn_;
+  // Blocked-path scratch: panel arena plus per-lane control state (sized on
+  // first integrate_block call, reused afterwards).
+  kernel::Arena arena_;
+  // Lane masks are doubles holding 0.0/1.0: the dense blend loops compare
+  // them against 0.0, which keeps the whole loop at one 64-bit vector
+  // width *and* uses an FP compare. (An 8-bit mask has no SSE2 vectype
+  // next to 64-bit lanes, and a 64-bit integer compare needs SSE4.1, so
+  // either choice blocks vectorization of the blends at the baseline ISA.)
+  std::vector<double> active_, corr_, conv_, plv_, accept_;
+  std::vector<int> iters_;
+  // Slot -> original block lane. integrate_block compacts finished lanes
+  // out of the dense panels, so slot order diverges from lane order.
+  std::vector<int> slot_lane_;
   // Rate-constant cache keyed on the bit patterns of (temp_k, sun).
   struct RateKey {
     std::uint64_t temp_bits = 0;
@@ -110,10 +149,15 @@ class YoungBorisSolver {
       return static_cast<std::size_t>(x);
     }
   };
-  std::unordered_map<RateKey, std::vector<double>, RateKeyHash> rate_cache_;
+  struct CachedRates {
+    std::vector<double> k;
+    bool used = true;  ///< second-chance reference bit
+  };
+  std::unordered_map<RateKey, CachedRates, RateKeyHash> rate_cache_;
   std::int64_t rate_epoch_ = 0;
   long long rate_cache_hits_ = 0;
   long long rate_evals_ = 0;
+  long long rate_cache_evictions_ = 0;
 };
 
 }  // namespace airshed

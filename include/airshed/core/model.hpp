@@ -20,6 +20,7 @@
 
 #include "airshed/chem/youngboris.hpp"
 #include "airshed/core/worktrace.hpp"
+#include "airshed/kernel/cellblock.hpp"
 #include "airshed/io/archive.hpp"
 #include "airshed/io/hourly.hpp"
 #include "airshed/io/vault.hpp"
@@ -49,6 +50,11 @@ struct ModelOptions {
   /// (transport layers, chemistry columns). 0 = AIRSHED_THREADS env or
   /// hardware concurrency. Results are bit-identical for every value.
   int host_threads = 0;
+  /// Cell-batched SoA kernel engine (airshed::kernel): blocked chemistry,
+  /// vertical diffusion, and transport. Bit-identical to the scalar path
+  /// at every block size and thread count; kernel.blocked = false selects
+  /// the scalar reference oracle.
+  kernel::KernelOptions kernel;
   /// Optional host-execution profile sink (see HostProfile).
   HostProfile* profile = nullptr;
 };

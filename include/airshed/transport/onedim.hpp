@@ -41,6 +41,16 @@ class OneDimTransport {
                                     double kh_km2h, double dt_hours,
                                     std::span<const double> background_ppm);
 
+  /// Species-blocked advance_layer: the interface velocities (and Courant
+  /// numbers) of a sweep line are species-independent, so they are computed
+  /// once per line and shared across a block of `species_block` species.
+  /// Per species the operation sequence is unchanged — bit-identical to
+  /// advance_layer at every block size.
+  TransportStepResult advance_layer_blocked(
+      ConcentrationField& conc, std::size_t layer,
+      std::span<const Point2> velocity_kmh, double kh_km2h, double dt_hours,
+      std::span<const double> background_ppm, int species_block);
+
   /// Degree of parallelism of one 1-D sweep when distributed over layers
   /// and rows: layers * (rows orthogonal to the sweep). This is the number
   /// the ablation bench feeds to the useful-parallelism model.
@@ -57,10 +67,17 @@ class OneDimTransport {
   TransportOptions opts_;
   std::vector<double> line_;   // gathered 1-D line with ghost cells
   std::vector<double> flux_;   // interface fluxes
+  std::vector<double> uline_;  // hoisted interface velocities (blocked path)
+  std::vector<double> nuline_; // hoisted interface Courant numbers
+  std::vector<double*> crow_;  // species-block row pointers
 
   // One van-Leer sweep along x (axis=0) or y (axis=1) for one species.
   void sweep(std::span<double> c, std::span<const Point2> vel, int axis,
              double kh, double dt, double bg);
+  // One sweep of a block of species sharing the hoisted line velocities.
+  void sweep_block(std::span<double* const> c_rows,
+                   std::span<const double> bg, std::span<const Point2> vel,
+                   int axis, double kh, double dt);
 };
 
 }  // namespace airshed

@@ -62,6 +62,17 @@ class SupgTransport {
                                     double kh_km2h, double dt_hours,
                                     std::span<const double> background_ppm);
 
+  /// Species-blocked advance_layer: assembles `species_block` species per
+  /// element sweep, so the per-element geometry/velocity loads are
+  /// amortized over the block, and hoists the species-independent
+  /// boundary-relaxation factor out of the species loop. Per species the
+  /// floating-point operation sequence is unchanged — results are
+  /// bit-identical to advance_layer at every block size.
+  TransportStepResult advance_layer_blocked(
+      ConcentrationField& conc, std::size_t layer,
+      std::span<const Point2> velocity_kmh, double kh_km2h, double dt_hours,
+      std::span<const double> background_ppm, int species_block);
+
   /// Total tracer mass (concentration integrated over vertex dual areas)
   /// of one (species, layer) slice; conserved by the interior scheme.
   double layer_mass(const ConcentrationField& conc, std::size_t species,
@@ -75,6 +86,11 @@ class SupgTransport {
   std::vector<double> elem_tau_;
   // Per-vertex accumulation buffer.
   std::vector<double> rate_;
+  // Blocked-path scratch (sized on first blocked call, reused): per-vertex
+  // boundary relaxation factors and the species-block rate panel.
+  std::vector<double> lam_;
+  std::vector<double> rate_block_;
+  std::vector<double*> crow_;
 };
 
 }  // namespace airshed

@@ -26,4 +26,18 @@ void solve_tridiagonal(std::span<const double> lower,
                        std::span<const double> upper,
                        std::span<double> rhs);
 
+/// Cell-batched Thomas solve: one shared coefficient set, `lanes`
+/// right-hand sides stored as an SoA panel (row i holds rhs[i] for every
+/// lane, rows `stride` doubles apart). The pivots and modified
+/// superdiagonal are lane-independent, so the forward/back sweeps become
+/// contiguous vector loops over lanes; each lane's arithmetic is exactly
+/// the scalar solve_tridiagonal sequence (bit-identical results).
+/// `scratch` needs diag.size() entries. Throws NumericalError on a
+/// singular pivot (every lane would fail identically).
+void solve_tridiagonal_block(std::span<const double> lower,
+                             std::span<const double> diag,
+                             std::span<const double> upper, double* rhs,
+                             std::size_t lanes, std::size_t stride,
+                             std::span<double> scratch);
+
 }  // namespace airshed

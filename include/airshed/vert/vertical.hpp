@@ -45,6 +45,22 @@ class VerticalTransport {
       std::span<const double> deposition_velocity_ms,
       std::span<const double> elevated_flux_ppm_m_min, double dt_min);
 
+  /// Cell-batched advance of the columns [first_node, first_node + width):
+  /// the tridiagonal coefficients are column-independent, so they are
+  /// assembled once per species and the Thomas sweeps run as vector loops
+  /// over the column lanes (bit-identical to advance_column per column).
+  ///  * surface_flux_ppm_m_min: the (species, nodes) surface emission field
+  ///  * elevated_flux_ppm_m_min: one pointer per column (nullptr = none),
+  ///    each to a row-major species*nlayers flux array
+  /// The returned work_flops is per column (identical for every column in
+  /// the block); the caller accounts it per column.
+  VerticalStepResult advance_columns(
+      ConcentrationField& conc, std::size_t first_node, std::size_t width,
+      std::span<const double> kz_m2s,
+      const Array2<double>& surface_flux_ppm_m_min,
+      std::span<const double> deposition_velocity_ms,
+      std::span<const double* const> elevated_flux_ppm_m_min, double dt_min);
+
   /// Column burden of one species at one node: sum of c_k * dz_k (ppm*m).
   double column_burden(const ConcentrationField& conc, std::size_t species,
                        std::size_t node) const;
@@ -54,6 +70,9 @@ class VerticalTransport {
   std::vector<double> dz_half_;   // interface distances (m)
   // Tridiagonal scratch.
   std::vector<double> lower_, diag_, upper_, rhs_, scratch_;
+  // Blocked-path scratch: SoA rhs panel (layers x lanes), sized on first
+  // advance_columns call and reused.
+  std::vector<double> rhs_block_;
 };
 
 }  // namespace airshed

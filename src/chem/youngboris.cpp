@@ -32,6 +32,26 @@ void YoungBorisSolver::set_rate_epoch(std::int64_t epoch) {
   rate_cache_.clear();
 }
 
+void YoungBorisSolver::evict_one_rate_entry() {
+  // Bounded second-chance scan (unordered_map order is as good as a clock
+  // hand here): clear reference bits along the way, evict the first entry
+  // seen without one, else the first scanned. O(kScan) worst case — no
+  // thundering-herd refill when the working set exceeds capacity.
+  constexpr int kScan = 16;
+  auto it = rate_cache_.begin();
+  auto victim = it;
+  for (int scanned = 0; it != rate_cache_.end() && scanned < kScan;
+       ++it, ++scanned) {
+    if (!it->second.used) {
+      victim = it;
+      break;
+    }
+    it->second.used = false;
+  }
+  rate_cache_.erase(victim);
+  ++rate_cache_evictions_;
+}
+
 void YoungBorisSolver::load_rates(double temp_k, double sun) {
   if (!opts_.cache_rates || opts_.rate_cache_entries == 0) {
     mech_->compute_rates(temp_k, sun, rates_);
@@ -41,14 +61,35 @@ void YoungBorisSolver::load_rates(double temp_k, double sun) {
   const RateKey key{std::bit_cast<std::uint64_t>(temp_k),
                     std::bit_cast<std::uint64_t>(sun)};
   if (const auto it = rate_cache_.find(key); it != rate_cache_.end()) {
-    std::copy(it->second.begin(), it->second.end(), rates_.begin());
+    std::copy(it->second.k.begin(), it->second.k.end(), rates_.begin());
+    it->second.used = true;
     ++rate_cache_hits_;
     return;
   }
   mech_->compute_rates(temp_k, sun, rates_);
   ++rate_evals_;
-  if (rate_cache_.size() >= opts_.rate_cache_entries) rate_cache_.clear();
-  rate_cache_.emplace(key, rates_);
+  if (rate_cache_.size() >= opts_.rate_cache_entries) evict_one_rate_entry();
+  rate_cache_.emplace(key, CachedRates{rates_, true});
+}
+
+std::span<const double> YoungBorisSolver::rates_ref(double temp_k, double sun) {
+  if (!opts_.cache_rates || opts_.rate_cache_entries == 0) {
+    mech_->compute_rates(temp_k, sun, rates_);
+    ++rate_evals_;
+    return rates_;
+  }
+  const RateKey key{std::bit_cast<std::uint64_t>(temp_k),
+                    std::bit_cast<std::uint64_t>(sun)};
+  if (const auto it = rate_cache_.find(key); it != rate_cache_.end()) {
+    it->second.used = true;
+    ++rate_cache_hits_;
+    return it->second.k;
+  }
+  mech_->compute_rates(temp_k, sun, rates_);
+  ++rate_evals_;
+  if (rate_cache_.size() >= opts_.rate_cache_entries) evict_one_rate_entry();
+  return rate_cache_.emplace(key, CachedRates{rates_, true})
+      .first->second.k;
 }
 
 YoungBorisResult YoungBorisSolver::integrate(
@@ -192,6 +233,400 @@ YoungBorisResult YoungBorisSolver::integrate(
                       static_cast<double>(result.substeps) * 12.0 *
                           static_cast<double>(n);
   return result;
+}
+
+namespace {
+
+// Dense lane loops of the blocked integrator, runtime-dispatched to the
+// widest vector ISA available (AIRSHED_LANE_CLONES; every clone is
+// bit-identical — the kernel TUs compile with -ffp-contract=off and lane
+// grouping never reorders a lane's own operations). Panels are species-major
+// with stride L; the loops cover the live+padded prefix La. The row
+// pointers are __restrict: every panel is a distinct arena allocation, and
+// without the annotation the runtime alias checks for this many streams
+// exceed GCC's versioning limit, so the lane loops would not vectorize.
+
+// Explicit slope e0 = P0 - L0*c (a pure function of the accepted state,
+// shared verbatim by the predictor and every corrector iteration — the
+// scalar path groups it in parentheses in both places, so hoisting it
+// cannot change a bit), then the predictor itself.
+AIRSHED_LANE_CLONES
+void yb_predictor(const double* cw, const double* p0, const double* l0,
+                  double* e0, double* cp, const double* h, std::size_t n,
+                  std::size_t La, std::size_t L, double stiff,
+                  double floor_ppm) {
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* __restrict cs = cw + s * L;
+    const double* __restrict p0s = p0 + s * L;
+    const double* __restrict l0s = l0 + s * L;
+    double* __restrict e0s = e0 + s * L;
+    double* __restrict cps = cp + s * L;
+    const double* __restrict hh = h;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) e0s[i] = p0s[i] - l0s[i] * cs[i];
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      const double hl = hh[i] * l0s[i];
+      const double vs =
+          (cs[i] * (2.0 - hl) + 2.0 * hh[i] * p0s[i]) / (2.0 + hl);
+      const double ve = cs[i] + hh[i] * e0s[i];
+      const double v = hl > stiff ? vs : ve;
+      cps[i] = std::max(v, floor_ppm);
+    }
+  }
+}
+
+// One corrector iteration: trapezoidal/rational update, per-lane running
+// max of the relative correction, and the freeze blend (iterating lanes
+// take the corrected value, frozen lanes keep their state).
+AIRSHED_LANE_CLONES
+void yb_corrector(const double* cw, const double* p0, const double* l0,
+                  const double* e0, const double* p1, const double* l1,
+                  const double* cp, double* cn, const double* h,
+                  const double* corr, double* maxrel, std::size_t n,
+                  std::size_t La, std::size_t L, double stiff,
+                  double floor_ppm, double check_floor) {
+  for (std::size_t i = 0; i < La; ++i) maxrel[i] = 0.0;
+  const double* __restrict corrm = corr;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* __restrict cs = cw + s * L;
+    const double* __restrict p0s = p0 + s * L;
+    const double* __restrict l0s = l0 + s * L;
+    const double* __restrict e0s = e0 + s * L;
+    const double* __restrict p1s = p1 + s * L;
+    const double* __restrict l1s = l1 + s * L;
+    const double* __restrict cps = cp + s * L;
+    double* __restrict cns = cn + s * L;
+    const double* __restrict hh = h;
+    double* __restrict mrel = maxrel;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      const double pb = 0.5 * (p0s[i] + p1s[i]);
+      const double lb = 0.5 * (l0s[i] + l1s[i]);
+      const double hl = hh[i] * lb;
+      const double vs = (cs[i] * (2.0 - hl) + 2.0 * hh[i] * pb) / (2.0 + hl);
+      const double vt =
+          cs[i] + 0.5 * hh[i] * (e0s[i] + (p1s[i] - l1s[i] * cps[i]));
+      double v = hl > stiff ? vs : vt;
+      v = std::max(v, floor_ppm);
+      const double scale = std::max(std::max(v, cps[i]), check_floor);
+      const double rel = std::abs(v - cps[i]) / scale;
+      cns[i] = corrm[i] != 0.0 ? v : cps[i];
+      mrel[i] = std::max(mrel[i], rel);
+    }
+  }
+}
+
+// Accuracy controller: per-lane max relative change over the substep
+// (identical reduction order to the scalar path: species ascending).
+AIRSHED_LANE_CLONES
+void yb_max_change(const double* cw, const double* cp, double* mc,
+                   std::size_t n, std::size_t La, std::size_t L,
+                   double change_floor) {
+  for (std::size_t i = 0; i < La; ++i) mc[i] = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* __restrict cs = cw + s * L;
+    const double* __restrict cps = cp + s * L;
+    double* __restrict mcc = mc;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      const double scale = std::max(std::max(cps[i], cs[i]), change_floor);
+      mcc[i] = std::max(mcc[i], std::abs(cps[i] - cs[i]) / scale);
+    }
+  }
+}
+
+// Commit blend: accepted lanes take the substep result, others are frozen.
+AIRSHED_LANE_CLONES
+void yb_commit(double* cw, const double* cp, const double* acc, std::size_t n,
+               std::size_t La, std::size_t L) {
+  const double* __restrict accm = acc;
+  for (std::size_t s = 0; s < n; ++s) {
+    double* __restrict cs = cw + s * L;
+    const double* __restrict cps = cp + s * L;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      cs[i] = accm[i] != 0.0 ? cps[i] : cs[i];
+    }
+  }
+}
+
+}  // namespace
+
+void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
+                                       double dt_total_min,
+                                       std::span<const double> temp_k,
+                                       double sun,
+                                       std::span<YoungBorisResult> results) {
+  const std::size_t n = static_cast<std::size_t>(mech_->species_count());
+  const std::size_t w = static_cast<std::size_t>(cells.width());
+  const std::size_t L = cells.stride();  // dense lane count (padded)
+  AIRSHED_REQUIRE(cells.species() == mech_->species_count(),
+                  "cell block has wrong species count");
+  AIRSHED_REQUIRE(w >= 1, "cell block is empty (gather first)");
+  AIRSHED_REQUIRE(temp_k.size() == w, "temperature vector has wrong size");
+  AIRSHED_REQUIRE(results.size() == w, "result vector has wrong size");
+  AIRSHED_REQUIRE(dt_total_min >= 0.0, "negative integration interval");
+
+  for (YoungBorisResult& r : results) r = YoungBorisResult{};
+  if (dt_total_min == 0.0) return;
+
+  // The lockstep VM: dense elementwise panels over the live lanes wherever
+  // the value is a pure function of unchanged inputs (recomputing is
+  // bit-safe), masked per-lane blends wherever state carries across
+  // iterations (a converged or finished lane must freeze exactly where the
+  // scalar path froze it).
+  //
+  // Lanes live in *slots*: the dense panels are a working copy of the cell
+  // block, and when a lane finishes its interval it is scattered back to
+  // its original column and compacted out, so the dense loop cost tracks
+  // the number of still-running lanes instead of the slowest lane in the
+  // block. slot_lane_ maps slot -> original lane. All elementwise work is
+  // position-independent, so moving a lane between slots cannot change its
+  // values. Padding slots [nact, La) replicate the last live lane
+  // (CellBlock::gather seeds the initial tail the same way), keeping dense
+  // arithmetic inside normal floating-point range; they are masked off and
+  // never scattered back.
+  const std::size_t nr = mech_->reaction_count();
+  arena_.reset();
+  double* kp = arena_.alloc(nr * L);
+  double* cw = arena_.alloc(n * L);
+  double* p0 = arena_.alloc(n * L);
+  double* l0 = arena_.alloc(n * L);
+  double* e0 = arena_.alloc(n * L);
+  double* p1 = arena_.alloc(n * L);
+  double* l1 = arena_.alloc(n * L);
+  double* cp = arena_.alloc(n * L);
+  double* cn = arena_.alloc(n * L);
+  double* rate_scr = arena_.alloc(L);
+  double* t = arena_.alloc(L);
+  double* h = arena_.alloc(L);
+  double* maxrel = arena_.alloc(L);
+  double* mc = arena_.alloc(L);
+  active_.assign(L, 0.0);
+  corr_.assign(L, 0.0);
+  conv_.assign(L, 0.0);
+  plv_.assign(L, 0.0);
+  accept_.assign(L, 0.0);
+  iters_.assign(L, 0);
+  slot_lane_.assign(L, 0);
+
+  // One rate-constant load per distinct (temp, sun) in the block: lanes at
+  // the same temperature share the cached vector; the panel is filled
+  // column by column. Tail lanes replicate the last real lane.
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::span<const double> kr = rates_ref(temp_k[i], sun);
+    for (std::size_t r = 0; r < nr; ++r) kp[r * L + i] = kr[r];
+  }
+  for (std::size_t i = w; i < L; ++i) {
+    for (std::size_t r = 0; r < nr; ++r) kp[r * L + i] = kp[r * L + (w - 1)];
+  }
+
+  // Working copy of the state: the caller's panel keeps its lane order, so
+  // finished lanes scatter back there while the working panel compacts.
+  double* c = cells.data();
+  std::copy(c, c + n * L, cw);
+
+  const double floor = opts_.conc_floor_ppm;
+  const double dt_total = dt_total_min;
+  for (std::size_t i = 0; i < L; ++i) {
+    t[i] = 0.0;
+    h[i] = std::min(opts_.dt_init_min, dt_total);
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    active_[i] = 1.0;
+    slot_lane_[i] = static_cast<int>(i);
+  }
+  std::size_t nact = w;
+
+  const double stiff = opts_.stiff_threshold;
+  const double check_floor = opts_.check_floor_ppm;
+  const double change_floor = opts_.change_floor_ppm;
+
+  while (nact > 0) {
+    // Dense lane count this round: live slots, padded to the lane-round so
+    // the vector loops keep whole vectors (stride stays L).
+    const std::size_t La = std::min(L, kernel::padded_lanes(nact));
+
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i)
+      h[i] = std::min(h[i], dt_total - t[i]);
+
+    // ---- P0/L0 ---------------------------------------------------------
+    // Dense recompute whenever any live slot needs it: slots whose P/L is
+    // still valid get the identical value back (cw unchanged since it was
+    // computed), so only the per-lane eval counters need the mask. When
+    // every live slot is valid — the whole block retried its substep — the
+    // recompute is skipped outright, matching the scalar pl_valid reuse.
+    // (Padding slots may then keep stale P/L from before a compaction;
+    // their dense arithmetic stays finite and is masked off regardless.)
+    bool any_pl_invalid = false;
+    for (std::size_t s = 0; s < nact; ++s) {
+      if (plv_[s] == 0.0) {
+        any_pl_invalid = true;
+        break;
+      }
+    }
+    if (any_pl_invalid) {
+      mech_->production_loss_block(cw, kp, p0, l0, La, L, rate_scr);
+      for (std::size_t s = 0; s < nact; ++s) {
+        if (plv_[s] == 0.0) {
+          ++results[slot_lane_[s]].corrector_evals;
+          plv_[s] = 1.0;
+        }
+      }
+    }
+
+    // ---- Explicit slope + predictor (dense; pure function of cw, p0,
+    // l0, h) --------------------------------------------------------------
+    yb_predictor(cw, p0, l0, e0, cp, h, n, La, L, stiff, floor);
+
+    // ---- Corrector iterations (masked: converged lanes freeze) ----------
+    for (std::size_t i = 0; i < La; ++i) {
+      corr_[i] = i < nact ? 1.0 : 0.0;
+      conv_[i] = 0.0;
+      iters_[i] = 0;
+    }
+    std::size_t n_corr = nact;
+    for (int iter = 0; iter < opts_.max_corrector_iters && n_corr > 0;
+         ++iter) {
+      mech_->production_loss_block(cp, kp, p1, l1, La, L, rate_scr);
+      for (std::size_t s = 0; s < nact; ++s) {
+        if (corr_[s] != 0.0) {
+          iters_[s] = iter + 1;
+          ++results[slot_lane_[s]].corrector_evals;
+        }
+      }
+      yb_corrector(cw, p0, l0, e0, p1, l1, cp, cn, h, corr_.data(), maxrel,
+                   n, La, L, stiff, floor, check_floor);
+      std::swap(cp, cn);
+      for (std::size_t s = 0; s < nact; ++s) {
+        if (corr_[s] != 0.0 && maxrel[s] < opts_.eps) {
+          conv_[s] = 1.0;
+          corr_[s] = 0.0;
+          --n_corr;
+        }
+      }
+    }
+
+    // ---- Accuracy controller (dense max-change per lane) ----------------
+    // mc is only read for slots that converged or sit at the minimum
+    // substep (the scalar path guards it the same way), so when the whole
+    // block failed to converge above dt_min the dense pass is skipped.
+    bool mc_needed = false;
+    for (std::size_t s = 0; s < nact; ++s) {
+      if (conv_[s] != 0.0 || h[s] <= opts_.dt_min_min * 1.0000001) {
+        mc_needed = true;
+        break;
+      }
+    }
+    if (mc_needed) yb_max_change(cw, cp, mc, n, La, L, change_floor);
+
+    // ---- Per-slot acceptance and substep control (scalar control path) --
+    std::size_t n_done = 0;
+    std::size_t n_acc = 0;
+    for (std::size_t i = 0; i < La; ++i) accept_[i] = 0.0;
+    for (std::size_t s = 0; s < nact; ++s) {
+      const bool at_min_step = h[s] <= opts_.dt_min_min * 1.0000001;
+      const bool conv = conv_[s] != 0.0;
+      YoungBorisResult& res = results[slot_lane_[s]];
+      if ((conv && mc[s] <= 2.0 * opts_.max_rel_change) || at_min_step) {
+        if (!conv) ++res.nonconverged_steps;
+        ++n_acc;
+        for (std::size_t sp = 0; sp < n; ++sp) {
+          if (!std::isfinite(cp[sp * L + s])) {
+            throw NumericalError(
+                "YoungBoris: non-finite concentration for species " +
+                std::string(species_name(static_cast<int>(sp))) +
+                " at substep " + std::to_string(res.substeps) + " (t = " +
+                std::to_string(t[s]) + " min into the step, block lane " +
+                std::to_string(slot_lane_[s]) + ")");
+          }
+        }
+        accept_[s] = 1.0;
+        t[s] += h[s];
+        ++res.substeps;
+        plv_[s] = 0.0;
+        double factor = 0.8 * opts_.max_rel_change / std::max(mc[s], 1e-9);
+        factor = std::clamp(factor, 0.5, 2.0);
+        if (iters_[s] >= opts_.max_corrector_iters - 1) {
+          factor = std::min(factor, 1.0);
+        }
+        h[s] = std::clamp(h[s] * factor, opts_.dt_min_min, opts_.dt_max_min);
+        if (!(t[s] < dt_total * (1.0 - 1e-12))) {
+          active_[s] = 0.0;
+          ++n_done;
+        }
+      } else if (conv) {
+        const double factor =
+            std::clamp(0.7 * opts_.max_rel_change / mc[s], 0.2, 0.9);
+        h[s] = std::max(h[s] * factor, opts_.dt_min_min);
+      } else {
+        h[s] = std::max(h[s] * opts_.shrink, opts_.dt_min_min);
+      }
+    }
+
+    // ---- Commit accepted slots (masked blend; a fully rejected round
+    // leaves cw untouched, so the pass is skipped) ------------------------
+    if (n_acc > 0) yb_commit(cw, cp, accept_.data(), n, La, L);
+
+    // ---- Retire finished lanes and compact the live slots ---------------
+    if (n_done > 0) {
+      std::size_t ns = 0;
+      for (std::size_t s = 0; s < nact; ++s) {
+        if (active_[s] == 0.0) {
+          // Final state goes home to the caller's panel, original column.
+          const std::size_t lane = static_cast<std::size_t>(slot_lane_[s]);
+          for (std::size_t sp = 0; sp < n; ++sp)
+            c[sp * L + lane] = cw[sp * L + s];
+          continue;
+        }
+        if (ns != s) {
+          // p0/l0 move with the slot: a surviving slot in the retry state
+          // (plv_ == 1) reuses them without a dense recompute, so they must
+          // stay that slot's own values after the shift.
+          for (std::size_t sp = 0; sp < n; ++sp) {
+            cw[sp * L + ns] = cw[sp * L + s];
+            p0[sp * L + ns] = p0[sp * L + s];
+            l0[sp * L + ns] = l0[sp * L + s];
+          }
+          for (std::size_t r = 0; r < nr; ++r)
+            kp[r * L + ns] = kp[r * L + s];
+          t[ns] = t[s];
+          h[ns] = h[s];
+          plv_[ns] = plv_[s];
+          slot_lane_[ns] = slot_lane_[s];
+        }
+        ++ns;
+      }
+      nact = ns;
+      if (nact > 0) {
+        // Refresh padding slots from the last live lane so the next dense
+        // round keeps clean values in the tail.
+        const std::size_t pad_to = std::min(L, kernel::padded_lanes(nact));
+        for (std::size_t s = nact; s < pad_to; ++s) {
+          for (std::size_t sp = 0; sp < n; ++sp) {
+            cw[sp * L + s] = cw[sp * L + (nact - 1)];
+            p0[sp * L + s] = p0[sp * L + (nact - 1)];
+            l0[sp * L + s] = l0[sp * L + (nact - 1)];
+          }
+          for (std::size_t r = 0; r < nr; ++r)
+            kp[r * L + s] = kp[r * L + (nact - 1)];
+          t[s] = t[nact - 1];
+          h[s] = h[nact - 1];
+        }
+        for (std::size_t s = 0; s < L; ++s)
+          active_[s] = s < nact ? 1.0 : 0.0;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < w; ++i) {
+    results[i].work_flops = static_cast<double>(results[i].corrector_evals) *
+                                mech_->flops_per_evaluation() +
+                            static_cast<double>(results[i].substeps) * 12.0 *
+                                static_cast<double>(n);
+  }
 }
 
 }  // namespace airshed

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "airshed/aerosol/aerosol.hpp"
+#include "airshed/kernel/cellblock.hpp"
 #include "airshed/par/pool.hpp"
 #include "airshed/transport/supg.hpp"
 #include "airshed/util/error.hpp"
@@ -13,6 +14,28 @@
 namespace airshed {
 
 using par::PhaseTimer;
+
+namespace {
+
+/// Per-thread scratch of the blocked chemistry + vertical phase: the cell
+/// panel plus the per-lane side arrays, sized once per run (allocation
+/// never happens inside the hour loop).
+struct ChemBlockScratch {
+  explicit ChemBlockScratch(int block)
+      : cells(kSpeciesCount, block),
+        temps(static_cast<std::size_t>(block)),
+        res(static_cast<std::size_t>(block)),
+        colwork(static_cast<std::size_t>(block)),
+        elev(static_cast<std::size_t>(block)) {}
+
+  kernel::CellBlock cells;
+  std::vector<double> temps;
+  std::vector<YoungBorisResult> res;
+  std::vector<double> colwork;
+  std::vector<const double*> elev;
+};
+
+}  // namespace
 
 AirshedModel::AirshedModel(const Dataset& dataset, ModelOptions opts)
     : dataset_(&dataset), opts_(opts) {
@@ -123,6 +146,12 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   });
   par::PerThread<VerticalTransport> vert(
       nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
+  const kernel::KernelOptions& ko = opts_.kernel;
+  const std::size_t cell_block =
+      static_cast<std::size_t>(std::max(1, ko.block));
+  par::PerThread<ChemBlockScratch> chem_scratch(nthreads, [&] {
+    return ChemBlockScratch(static_cast<int>(ko.blocked ? cell_block : 1));
+  });
   HostProfile* prof = opts_.profile;
   if (prof) {
     *prof = HostProfile{};
@@ -165,8 +194,13 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
         PhaseTimer timer(prof ? &prof->transport_s : nullptr);
         pool.for_each(static_cast<std::size_t>(nl), [&](int t, std::size_t k) {
           const TransportStepResult r =
-              supg[t].advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
-                                    0.5 * dt_hours, background);
+              ko.blocked
+                  ? supg[t].advance_layer_blocked(conc, k, in.wind_kmh[k],
+                                                  in.kh_km2h, 0.5 * dt_hours,
+                                                  background,
+                                                  ko.species_block)
+                  : supg[t].advance_layer(conc, k, in.wind_kmh[k], in.kh_km2h,
+                                          0.5 * dt_hours, background);
           layer_work[k] = r.work_flops;
         });
       };
@@ -182,7 +216,53 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
 
       // Columns are independent; each writes only its own (s, k, v) cells
       // and its own chem_column_work slot.
-      {
+      if (ko.blocked) {
+        // Cell-batched path: contiguous runs of columns gather into SoA
+        // panels; a block is owned by one thread and one output range, so
+        // the airshed::par fixed-block contract still holds and results
+        // stay bit-identical at every thread count and block size.
+        PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        const std::size_t nblocks = (nv + cell_block - 1) / cell_block;
+        pool.for_each(nblocks, [&](int t, std::size_t blk) {
+          ChemBlockScratch& scr = chem_scratch[t];
+          const std::size_t v0 = blk * cell_block;
+          const std::size_t bw = std::min(cell_block, nv - v0);
+          for (std::size_t i = 0; i < bw; ++i) scr.colwork[i] = 0.0;
+          for (int k = 0; k < nl; ++k) {
+            scr.cells.gather(conc, static_cast<std::size_t>(k), v0,
+                             static_cast<int>(bw));
+            for (std::size_t i = 0; i < bw; ++i) {
+              scr.temps[i] = in.vertex_temp_k[v0 + i] - lapse * k;
+            }
+            try {
+              chem[t].integrate_block(
+                  scr.cells, dt_min, std::span<const double>(scr.temps).first(bw),
+                  sun, std::span<YoungBorisResult>(scr.res).first(bw));
+            } catch (const NumericalError& e) {
+              throw NumericalError(std::string(e.what()) + " (grid points [" +
+                                   std::to_string(v0) + ", " +
+                                   std::to_string(v0 + bw) + "), layer " +
+                                   std::to_string(k) + ", hour " +
+                                   std::to_string(h) + ")");
+            }
+            scr.cells.scatter(conc, static_cast<std::size_t>(k), v0);
+            for (std::size_t i = 0; i < bw; ++i) {
+              scr.colwork[i] += scr.res[i].work_flops;
+            }
+          }
+          for (std::size_t i = 0; i < bw; ++i) {
+            const auto it = in.elevated_flux.find(v0 + i);
+            scr.elev[i] =
+                it != in.elevated_flux.end() ? it->second.data() : nullptr;
+          }
+          const VerticalStepResult vr = vert[t].advance_columns(
+              conc, v0, bw, in.kz_m2s, in.surface_flux, deposition,
+              std::span<const double* const>(scr.elev.data(), bw), dt_min);
+          for (std::size_t i = 0; i < bw; ++i) {
+            step.chem_column_work[v0 + i] = scr.colwork[i] + vr.work_flops;
+          }
+        });
+      } else {
         PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
         pool.for_each(nv, [&](int t, std::size_t v) {
           std::array<double, kSpeciesCount> cell{};

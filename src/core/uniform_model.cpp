@@ -9,6 +9,7 @@
 #include "airshed/aerosol/aerosol.hpp"
 #include "airshed/chem/youngboris.hpp"
 #include "airshed/io/dataset.hpp"
+#include "airshed/kernel/cellblock.hpp"
 #include "airshed/par/pool.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/vert/vertical.hpp"
@@ -16,6 +17,23 @@
 namespace airshed {
 
 namespace {
+
+/// Per-thread scratch of the blocked chemistry + vertical phase (the
+/// uniform-grid twin of the scratch in model.cpp).
+struct ChemBlockScratch {
+  explicit ChemBlockScratch(int block)
+      : cells(kSpeciesCount, block),
+        temps(static_cast<std::size_t>(block)),
+        res(static_cast<std::size_t>(block)),
+        colwork(static_cast<std::size_t>(block)),
+        elev(static_cast<std::size_t>(block)) {}
+
+  kernel::CellBlock cells;
+  std::vector<double> temps;
+  std::vector<YoungBorisResult> res;
+  std::vector<double> colwork;
+  std::vector<const double*> elev;
+};
 
 /// Hourly inputs on a uniform grid (the cell-centered analog of
 /// InputGenerator).
@@ -221,6 +239,12 @@ ModelRunResult UniformAirshedModel::run_hours(
   });
   par::PerThread<VerticalTransport> vert(
       nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
+  const kernel::KernelOptions& ko = opts_.kernel;
+  const std::size_t cell_block =
+      static_cast<std::size_t>(std::max(1, ko.block));
+  par::PerThread<ChemBlockScratch> chem_scratch(nthreads, [&] {
+    return ChemBlockScratch(static_cast<int>(ko.blocked ? cell_block : 1));
+  });
   HostProfile* prof = opts_.profile;
   if (prof) {
     *prof = HostProfile{};
@@ -259,11 +283,15 @@ ModelRunResult UniformAirshedModel::run_hours(
       auto transport_half = [&](std::vector<double>& layer_work) {
         par::PhaseTimer timer(prof ? &prof->transport_s : nullptr);
         pool.for_each(static_cast<std::size_t>(nl), [&](int t, std::size_t k) {
-          layer_work[k] = transport[t]
-                              .advance_layer(conc, k, in.wind_kmh[k],
-                                             in.kh_km2h, 0.5 * dt_hours,
-                                             background)
-                              .work_flops;
+          layer_work[k] =
+              (ko.blocked
+                   ? transport[t].advance_layer_blocked(
+                         conc, k, in.wind_kmh[k], in.kh_km2h, 0.5 * dt_hours,
+                         background, ko.species_block)
+                   : transport[t].advance_layer(conc, k, in.wind_kmh[k],
+                                                in.kh_km2h, 0.5 * dt_hours,
+                                                background))
+                  .work_flops;
         });
       };
 
@@ -272,7 +300,41 @@ ModelRunResult UniformAirshedModel::run_hours(
       const double t_mid = t_step + 0.5 * dt_hours;
       const double sun = ds.met.photolysis_factor(t_mid);
       const double dt_min = dt_hours * 60.0;
-      {
+      if (ko.blocked) {
+        par::PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        const std::size_t nblocks = (nc + cell_block - 1) / cell_block;
+        pool.for_each(nblocks, [&](int t, std::size_t blk) {
+          ChemBlockScratch& scr = chem_scratch[t];
+          const std::size_t c0 = blk * cell_block;
+          const std::size_t bw = std::min(cell_block, nc - c0);
+          for (std::size_t i = 0; i < bw; ++i) scr.colwork[i] = 0.0;
+          for (int k = 0; k < nl; ++k) {
+            scr.cells.gather(conc, static_cast<std::size_t>(k), c0,
+                             static_cast<int>(bw));
+            for (std::size_t i = 0; i < bw; ++i) {
+              scr.temps[i] = in.cell_temp_k[c0 + i] - lapse * k;
+            }
+            chem[t].integrate_block(
+                scr.cells, dt_min, std::span<const double>(scr.temps).first(bw),
+                sun, std::span<YoungBorisResult>(scr.res).first(bw));
+            scr.cells.scatter(conc, static_cast<std::size_t>(k), c0);
+            for (std::size_t i = 0; i < bw; ++i) {
+              scr.colwork[i] += scr.res[i].work_flops;
+            }
+          }
+          for (std::size_t i = 0; i < bw; ++i) {
+            const auto it = in.elevated_flux.find(c0 + i);
+            scr.elev[i] =
+                it != in.elevated_flux.end() ? it->second.data() : nullptr;
+          }
+          const VerticalStepResult vr = vert[t].advance_columns(
+              conc, c0, bw, in.kz_m2s, in.surface_flux, deposition,
+              std::span<const double* const>(scr.elev.data(), bw), dt_min);
+          for (std::size_t i = 0; i < bw; ++i) {
+            step.chem_column_work[c0 + i] = scr.colwork[i] + vr.work_flops;
+          }
+        });
+      } else {
         par::PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
         pool.for_each(nc, [&](int t, std::size_t c) {
           std::array<double, kSpeciesCount> cell{}, column_flux{};

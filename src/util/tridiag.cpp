@@ -47,4 +47,43 @@ void solve_tridiagonal(std::span<const double> lower,
   solve_tridiagonal(lower, diag, upper, rhs, scratch);
 }
 
+void solve_tridiagonal_block(std::span<const double> lower,
+                             std::span<const double> diag,
+                             std::span<const double> upper, double* rhs,
+                             std::size_t lanes, std::size_t stride,
+                             std::span<double> scratch) {
+  const std::size_t n = diag.size();
+  AIRSHED_REQUIRE(lower.size() == n && upper.size() == n,
+                  "tridiagonal bands must have equal length");
+  AIRSHED_REQUIRE(scratch.size() >= n, "tridiagonal scratch too small");
+  AIRSHED_REQUIRE(lanes >= 1 && lanes <= stride,
+                  "tridiagonal block: bad lane count");
+  if (n == 0) return;
+
+  double pivot = diag[0];
+  if (pivot == 0.0) throw NumericalError("tridiagonal: zero pivot at row 0");
+  scratch[0] = upper[0] / pivot;
+  for (std::size_t j = 0; j < lanes; ++j) rhs[j] /= pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag[i] - lower[i] * scratch[i - 1];
+    if (pivot == 0.0 || !std::isfinite(pivot)) {
+      throw NumericalError("tridiagonal: singular pivot during elimination");
+    }
+    scratch[i] = upper[i] / pivot;
+    double* ri = rhs + i * stride;
+    const double* rp = ri - stride;
+    const double li = lower[i];
+    for (std::size_t j = 0; j < lanes; ++j) {
+      ri[j] = (ri[j] - li * rp[j]) / pivot;
+    }
+  }
+
+  for (std::size_t i = n - 1; i-- > 0;) {
+    double* ri = rhs + i * stride;
+    const double* rn = ri + stride;
+    const double ci = scratch[i];
+    for (std::size_t j = 0; j < lanes; ++j) ri[j] -= ci * rn[j];
+  }
+}
+
 }  // namespace airshed

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "airshed/kernel/cellblock.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/util/tridiag.hpp"
 
@@ -80,6 +81,84 @@ VerticalStepResult VerticalTransport::advance_column(
   }
 
   // ~14 flops per layer for assembly + ~8 for the Thomas solve, per species.
+  result.work_flops = static_cast<double>(ns) * static_cast<double>(nl) * 22.0;
+  return result;
+}
+
+VerticalStepResult VerticalTransport::advance_columns(
+    ConcentrationField& conc, std::size_t first_node, std::size_t width,
+    std::span<const double> kz_m2s,
+    const Array2<double>& surface_flux_ppm_m_min,
+    std::span<const double> deposition_velocity_ms,
+    std::span<const double* const> elevated_flux_ppm_m_min, double dt_min) {
+  const std::size_t nl = dz_.size();
+  const std::size_t ns = conc.dim0();
+  AIRSHED_REQUIRE(conc.dim1() == nl, "field layer count mismatch");
+  AIRSHED_REQUIRE(width >= 1 && first_node + width <= conc.dim2(),
+                  "column block out of range");
+  AIRSHED_REQUIRE(kz_m2s.size() == dz_half_.size(),
+                  "kz must have one value per interior interface");
+  AIRSHED_REQUIRE(surface_flux_ppm_m_min.rows() == ns &&
+                      surface_flux_ppm_m_min.cols() == conc.dim2(),
+                  "surface flux field has wrong shape");
+  AIRSHED_REQUIRE(deposition_velocity_ms.size() == ns,
+                  "deposition velocities have wrong size");
+  AIRSHED_REQUIRE(elevated_flux_ppm_m_min.size() == width,
+                  "need one elevated-flux pointer per column");
+  AIRSHED_REQUIRE(dt_min >= 0.0, "negative vertical step");
+
+  VerticalStepResult result;
+  if (dt_min == 0.0) return result;
+
+  const std::size_t stride = kernel::padded_lanes(width);
+  if (rhs_block_.size() < nl * stride) rhs_block_.resize(nl * stride);
+  double* rhs = rhs_block_.data();
+
+  // The coefficients depend only on the layer geometry and dt (plus the
+  // species' deposition velocity in the surface layer), never on the
+  // column, so one assembly per species serves every lane bit-identically.
+  for (std::size_t k = 0; k < nl; ++k) {
+    const double ek_dn =
+        (k > 0) ? dt_min * kz_m2s[k - 1] * 60.0 / dz_half_[k - 1] : 0.0;
+    const double ek_up =
+        (k + 1 < nl) ? dt_min * kz_m2s[k] * 60.0 / dz_half_[k] : 0.0;
+    lower_[k] = -ek_dn / dz_[k];
+    upper_[k] = -ek_up / dz_[k];
+    diag_[k] = 1.0 + (ek_dn + ek_up) / dz_[k];
+  }
+  const double diag0_base = diag_[0];
+
+  for (std::size_t s = 0; s < ns; ++s) {
+    diag_[0] = diag0_base + dt_min * deposition_velocity_ms[s] * 60.0 / dz_[0];
+
+    for (std::size_t k = 0; k < nl; ++k) {
+      const double* src = conc.slice(s, k).data() + first_node;
+      double* rk = rhs + k * stride;
+      for (std::size_t j = 0; j < width; ++j) rk[j] = src[j];
+    }
+    const double* sf = surface_flux_ppm_m_min.row(s).data() + first_node;
+    for (std::size_t j = 0; j < width; ++j) {
+      rhs[j] += dt_min * sf[j] / dz_[0];
+    }
+    for (std::size_t j = 0; j < width; ++j) {
+      const double* elev = elevated_flux_ppm_m_min[j];
+      if (!elev) continue;
+      for (std::size_t k = 0; k < nl; ++k) {
+        rhs[k * stride + j] += dt_min * elev[s * nl + k] / dz_[k];
+      }
+    }
+
+    solve_tridiagonal_block(lower_, diag_, upper_, rhs, width, stride,
+                            scratch_);
+
+    for (std::size_t k = 0; k < nl; ++k) {
+      double* dst = conc.slice(s, k).data() + first_node;
+      const double* rk = rhs + k * stride;
+      for (std::size_t j = 0; j < width; ++j) dst[j] = std::max(rk[j], 0.0);
+    }
+  }
+
+  // Per-column work, as in advance_column (identical for every lane).
   result.work_flops = static_cast<double>(ns) * static_cast<double>(nl) * 22.0;
   return result;
 }
