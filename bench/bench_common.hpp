@@ -63,113 +63,11 @@ inline WorkTrace load_trace(const std::string& name, int hours = kHours) {
                            [&] { return generate_trace(name, hours); });
 }
 
-/// Minimal streaming JSON writer for the BENCH_*.json artifacts: keys are
-/// emitted in insertion order (callers emit them in a fixed order, so
-/// artifact diffs are stable), doubles round-trip (%.17g), non-finite
-/// values become null, and strings are fully escaped (quotes, backslash,
-/// and every control character). Commas are managed by a nesting stack, so
-/// callers just alternate key()/value() and begin_*/end_* calls.
-class JsonWriter {
- public:
-  JsonWriter& begin_object() { open('{'); return *this; }
-  JsonWriter& end_object() { close('}'); return *this; }
-  JsonWriter& begin_array() { open('['); return *this; }
-  JsonWriter& end_array() { close(']'); return *this; }
-
-  JsonWriter& key(std::string_view k) {
-    separate();
-    quote(k);
-    out_ += ':';
-    after_key_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(double v) {
-    separate();
-    if (!std::isfinite(v)) {
-      out_ += "null";
-    } else {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.17g", v);
-      out_ += buf;
-    }
-    return *this;
-  }
-  JsonWriter& value(long long v) {
-    separate();
-    out_ += std::to_string(v);
-    return *this;
-  }
-  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
-  JsonWriter& value(std::size_t v) {
-    separate();
-    out_ += std::to_string(v);
-    return *this;
-  }
-  JsonWriter& value(bool v) {
-    separate();
-    out_ += v ? "true" : "false";
-    return *this;
-  }
-  JsonWriter& value(std::string_view v) {
-    separate();
-    quote(v);
-    return *this;
-  }
-  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
-
-  const std::string& str() const { return out_; }
-
- private:
-  void open(char c) {
-    separate();
-    out_ += c;
-    need_comma_.push_back(false);
-  }
-  void close(char c) {
-    out_ += c;
-    need_comma_.pop_back();
-  }
-  void separate() {
-    if (after_key_) {
-      after_key_ = false;
-      return;
-    }
-    if (!need_comma_.empty()) {
-      if (need_comma_.back()) out_ += ',';
-      need_comma_.back() = true;
-    }
-  }
-  void quote(std::string_view s) {
-    out_ += '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\b': out_ += "\\b"; break;
-        case '\f': out_ += "\\f"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\r': out_ += "\\r"; break;
-        case '\t': out_ += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            // Remaining control characters are invalid raw in JSON strings.
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(static_cast<unsigned char>(c)));
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
-      }
-    }
-    out_ += '"';
-  }
-
-  std::string out_;
-  std::vector<bool> need_comma_;
-  bool after_key_ = false;
-};
+/// The BENCH_*.json artifacts use the project's shared schema writer
+/// (airshed/obs/json.hpp): insertion-ordered keys, %.17g doubles with
+/// non-finite -> null, fully escaped strings. See docs/BENCHMARKS.md for
+/// the per-bench field reference.
+using JsonWriter = obs::JsonWriter;
 
 /// Wall-clock measurement of one bench configuration: `warmup` untimed runs
 /// followed by `repeats` timed runs of `fn`. Median and min are the robust
@@ -212,8 +110,10 @@ inline double ns_per_cell(double seconds, double cells) {
 /// (run benches from the repo root to land them there).
 inline void write_bench_json(const std::string& name, const JsonWriter& json) {
   const std::string path = "BENCH_" + name + ".json";
-  std::ofstream out(path);
-  out << json.str() << "\n";
+  if (!obs::write_json_file(path, json)) {
+    std::printf("FAILED to write %s\n", path.c_str());
+    return;
+  }
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), json.str().size() + 1);
 }
 

@@ -10,10 +10,18 @@
 //   airshed_cli verify <file>
 //       Validate a durable artifact end to end (framing, section CRCs,
 //       footer digest) and print its layout. Exit 0 = intact, 1 = corrupt.
+//   airshed_cli trace <dataset> [hours] [--machine m] [--nodes P]
+//                     [--threads N] [--out dir]
+//       Run the physics with the observability layer attached, simulate the
+//       run on a machine, and write trace.json (Chrome trace-event JSON,
+//       Perfetto-loadable), metrics.json (airshed-metrics-v1) and trace.obs
+//       (durable container) into the output directory.
 //
 // Datasets: TEST, LA, NE, LA-uniform. Machines: paragon, t3d, t3e.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,7 +40,10 @@ int usage() {
                "  airshed_cli simulate <trace> <paragon|t3d|t3e>"
                " [--nodes a,b,c] [--task-parallel] [--cyclic]\n"
                "  airshed_cli series <archive>\n"
-               "  airshed_cli verify <checkpoint|archive|trace|manifest>\n");
+               "  airshed_cli verify <checkpoint|archive|trace|manifest>\n"
+               "  airshed_cli trace <TEST|LA|NE|LA-uniform> [hours]"
+               " [--machine paragon|t3d|t3e]\n"
+               "               [--nodes P] [--threads N] [--out dir]\n");
   return 2;
 }
 
@@ -215,6 +226,103 @@ int cmd_verify(int argc, char** argv) {
   }
 }
 
+int cmd_trace(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string name = argv[0];
+  int hours = 6;
+  int nodes = 16;
+  int threads = 0;
+  std::string machine_name = "paragon";
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+      if (nodes < 1) return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      hours = std::atoi(argv[i]);
+      if (hours < 1) return usage();
+    }
+  }
+  if (out_dir.empty()) {
+    const char* env = std::getenv("AIRSHED_TRACE_DIR");
+    out_dir = (env && *env) ? env : ".";
+  }
+  std::filesystem::create_directories(out_dir);
+
+  const MachineModel machine = machine_by_name(machine_name);
+  const int host_threads = par::resolve_threads(threads);
+  obs::TraceRecorder recorder(host_threads);
+  HostProfile profile;
+
+  ModelOptions opts;
+  opts.hours = hours;
+  opts.host_threads = host_threads;
+  opts.trace = &recorder;
+  opts.profile = &profile;
+
+  std::printf("tracing %s: %d hours, %d host threads\n", name.c_str(), hours,
+              host_threads);
+  ModelRunResult run;
+  if (name == "LA-uniform") {
+    run = UniformAirshedModel(la_uniform_dataset(), opts).run();
+  } else {
+    const Dataset ds = name == "LA"   ? la_basin_dataset()
+                       : name == "NE" ? northeast_dataset()
+                                      : test_basin_dataset();
+    run = AirshedModel(ds, opts).run();
+  }
+  obs::TraceSession session = recorder.drain();
+
+  // Replay the recorded work on the simulated machine, building the
+  // virtual half of the trace (barrier phases + per-node busy tracks).
+  obs::VirtualTimeline timeline;
+  ExecutionConfig cfg{machine, nodes, Strategy::DataParallel};
+  cfg.host_threads = host_threads;
+  cfg.timeline = &timeline;
+  const RunReport report = simulate_execution(run.trace, cfg);
+  session.virt = timeline.take();
+
+  obs::MetricsRegistry registry;
+  record_metrics(registry, report);
+  record_metrics(registry, profile);
+  registry.counter("obs/host_spans", "host spans recorded")
+      .inc(static_cast<long long>(session.host.size()));
+  registry.counter("obs/virtual_spans", "virtual spans recorded")
+      .inc(static_cast<long long>(session.virt.size()));
+  registry.counter("obs/dropped_spans", "host spans lost to full lanes")
+      .inc(static_cast<long long>(session.dropped));
+  obs::Histogram& span_ms = registry.histogram(
+      "obs/host_span_ms", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0},
+      "host span durations in milliseconds");
+  for (const obs::CompletedSpan& s : session.host) {
+    span_ms.observe(static_cast<double>(s.end_ns - s.start_ns) / 1e6);
+  }
+
+  const std::string run_name =
+      name + "-" + machine_name + "-p" + std::to_string(nodes);
+  const std::string trace_path = out_dir + "/trace.json";
+  const std::string metrics_path = out_dir + "/metrics.json";
+  const std::string container_path = out_dir + "/trace.obs";
+  obs::write_chrome_trace(trace_path, session);
+  obs::write_metrics_json(metrics_path, registry, run_name);
+  obs::save_trace_container(container_path, session);
+
+  std::printf("%s\n", summarize_report(report).c_str());
+  std::printf("host spans %zu (dropped %llu), virtual spans %zu\n",
+              session.host.size(),
+              static_cast<unsigned long long>(session.dropped),
+              session.virt.size());
+  std::printf("wrote %s, %s, %s\n", trace_path.c_str(), metrics_path.c_str(),
+              container_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +339,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "verify") == 0) {
       return cmd_verify(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "trace") == 0) {
+      return cmd_trace(argc - 2, argv + 2);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -46,6 +46,10 @@
 #include "airshed/kernel/cellblock.hpp"
 #include "airshed/machine/machine.hpp"
 #include "airshed/met/meteorology.hpp"
+#include "airshed/obs/export.hpp"
+#include "airshed/obs/json.hpp"
+#include "airshed/obs/metrics.hpp"
+#include "airshed/obs/trace.hpp"
 #include "airshed/par/pool.hpp"
 #include "airshed/perf/model.hpp"
 #include "airshed/popexp/popexp.hpp"

@@ -26,6 +26,7 @@
 #include "airshed/fxsim/ledger.hpp"
 #include "airshed/fxsim/pipeline.hpp"
 #include "airshed/machine/machine.hpp"
+#include "airshed/obs/trace.hpp"
 
 namespace airshed {
 
@@ -62,6 +63,18 @@ struct ExecutionConfig {
   /// are reduced in hour order). 0 = AIRSHED_THREADS env or hardware
   /// concurrency. Reports are bit-identical for every value.
   int host_threads = 0;
+
+  /// Optional virtual-timeline sink (airshed::obs): every phase the
+  /// simulated machine executes becomes a span in simulated seconds —
+  /// barrier phases on the shared track, per-node busy time on per-node
+  /// tracks (timeline->per_node), and the Recovery events (checkpoints,
+  /// rollback, verify, restore, fallback replay). Spans are appended in
+  /// hour order, so the timeline is bit-identical at every host_threads
+  /// value. Supported under Strategy::DataParallel (with or without
+  /// faults); the pipelined strategy records nothing (stages overlap, so
+  /// a single virtual clock has no meaning there). Pass an empty timeline;
+  /// purely observational — the report itself is unchanged.
+  obs::VirtualTimeline* timeline = nullptr;
 };
 
 /// Per-redistribution-kind communication totals (for Figs 5 and 6).

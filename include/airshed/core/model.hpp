@@ -24,6 +24,7 @@
 #include "airshed/io/archive.hpp"
 #include "airshed/io/hourly.hpp"
 #include "airshed/io/vault.hpp"
+#include "airshed/obs/trace.hpp"
 
 namespace airshed {
 
@@ -57,6 +58,12 @@ struct ModelOptions {
   kernel::KernelOptions kernel;
   /// Optional host-execution profile sink (see HostProfile).
   HostProfile* profile = nullptr;
+  /// Optional host-span trace recorder (airshed::obs): model phases,
+  /// per-layer transport and per-cell-block chemistry become wall-clock
+  /// spans, one lane per pool thread. Must have at least as many lanes as
+  /// the resolved host thread count. Purely observational — results are
+  /// bit-identical with or without it (tests/obs_test.cpp asserts this).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct RunOutputs {

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "airshed/core/executor.hpp"
+#include "airshed/core/model.hpp"
+#include "airshed/obs/metrics.hpp"
 #include "airshed/util/table.hpp"
 
 namespace airshed {
@@ -25,5 +27,19 @@ Table phase_table(const RunReport& report);
 Table sweep_table(const WorkTrace& trace, const MachineModel& machine,
                   const std::vector<int>& node_counts,
                   Strategy strategy = Strategy::DataParallel);
+
+/// Flattens a RunReport into the shared metrics registry ("airshed-
+/// metrics-v1" snapshot namespace): sim/* run shape, phase/<category>/*
+/// virtual-time totals and execution counts, comm/* redistribution
+/// breakdown, and recovery/* resilience accounting (emitted only when the
+/// report carries recovery events). Repeated calls with the same registry
+/// accumulate counters and overwrite gauges.
+void record_metrics(obs::MetricsRegistry& registry, const RunReport& report);
+
+/// Flattens a model run's host-execution profile: host/* phase wall
+/// seconds plus a host/thread_busy_s histogram (one observation per pool
+/// thread, fixed log-spaced buckets).
+void record_metrics(obs::MetricsRegistry& registry,
+                    const HostProfile& profile);
 
 }  // namespace airshed

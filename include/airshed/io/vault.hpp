@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "airshed/io/archive.hpp"
+#include "airshed/obs/trace.hpp"
 
 namespace airshed {
 
@@ -56,11 +57,21 @@ class CheckpointVault {
   /// caller then restarts from initial conditions).
   RestoreResult restore_newest_valid();
 
+  /// Attaches a trace recorder: appends and restores become host spans on
+  /// lane `thread` (the vault is used from the run's serial sections, so
+  /// this defaults to lane 0). Span hours are the checkpoint's next_hour.
+  void set_observer(obs::TraceRecorder* rec, int thread = 0) {
+    obs_ = rec;
+    obs_thread_ = thread;
+  }
+
  private:
   void write_manifest(const std::vector<int>& gens) const;
 
   std::string dir_;
   std::string basename_;
+  obs::TraceRecorder* obs_ = nullptr;
+  int obs_thread_ = 0;
 };
 
 }  // namespace airshed

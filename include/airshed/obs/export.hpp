@@ -1,0 +1,57 @@
+// airshed::obs — trace and metrics exporters.
+//
+// Two destinations for a drained TraceSession:
+//
+//   * Chrome trace-event JSON (chrome_trace_json / write_chrome_trace):
+//     loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//     Host spans appear under process "host", one track per host thread;
+//     virtual spans under process "fxsim virtual machine", track 0 for
+//     barrier phases (all nodes in lockstep) plus one track per virtual
+//     node that recorded per-node detail.
+//
+//   * The durable framed container (save_trace_container /
+//     load_trace_container): format tag "airshed-obs-trace", sections with
+//     per-section CRC32C and a whole-file digest, written atomically —
+//     the archival form, verifiable with `airshed_cli verify`.
+//
+// Metrics snapshots export through metrics_json / write_metrics_json in
+// the "airshed-metrics-v1" schema (see obs/metrics.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "airshed/obs/metrics.hpp"
+#include "airshed/obs/trace.hpp"
+
+namespace airshed::obs {
+
+/// Chrome trace-event JSON for the whole session. Deterministic layout:
+/// metadata events first (process/thread names), then host spans in
+/// session order, then virtual spans in session order. Timestamps are
+/// microseconds (host: wall ns / 1000; virtual: simulated s * 1e6).
+std::string chrome_trace_json(const TraceSession& session);
+
+/// chrome_trace_json + write to `path`. Throws airshed::Error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path, const TraceSession& session);
+
+/// Saves the session as a durable framed container (atomic write).
+void save_trace_container(const std::string& path,
+                          const TraceSession& session);
+
+/// Loads and fully validates a saved session; throws
+/// durable::StorageError on any corruption.
+TraceSession load_trace_container(const std::string& path);
+
+/// MetricsRegistry::to_json rendered to a string (convenience).
+std::string metrics_json(const MetricsRegistry& registry,
+                         std::string_view run_name);
+
+/// Writes the metrics snapshot to `path`. Throws airshed::Error on I/O
+/// failure.
+void write_metrics_json(const std::string& path,
+                        const MetricsRegistry& registry,
+                        std::string_view run_name);
+
+}  // namespace airshed::obs

@@ -1,0 +1,139 @@
+// airshed::obs — shared JSON schema writer.
+//
+// One streaming writer behind every JSON artifact the project emits: the
+// BENCH_*.json bench artifacts (bench/bench_common.hpp), the metrics
+// snapshots (obs/metrics.hpp) and the Chrome trace-event export
+// (obs/export.hpp). Centralizing it keeps the escaping and number rules in
+// one place:
+//
+//   * keys are emitted in insertion order (callers emit a fixed order, so
+//     artifact diffs are stable);
+//   * doubles round-trip (%.17g) and non-finite values become null (NaN or
+//     Inf must never produce syntactically invalid JSON);
+//   * strings are fully escaped: quote, backslash, and every control
+//     character (named escapes where JSON has them, \u00XX otherwise);
+//   * commas are managed by a nesting stack, so callers just alternate
+//     key()/value() and begin_*/end_* calls.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace airshed::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    separate();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+  }
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            // Remaining control characters are invalid raw in JSON strings.
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+/// Writes a finished JSON document to `path` with a trailing newline.
+/// Returns false (without throwing) when the file cannot be written.
+inline bool write_json_file(const std::string& path, const JsonWriter& json) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json.str() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace airshed::obs

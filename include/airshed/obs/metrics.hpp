@@ -1,0 +1,118 @@
+// airshed::obs — metrics registry.
+//
+// Counters, gauges and fixed-bucket latency histograms with one shared
+// JSON snapshot schema ("airshed-metrics-v1", documented in
+// docs/OBSERVABILITY.md). The registry is the machine-readable side of the
+// run reports: bridges in core/report.hpp flatten the existing reporting
+// structs (RunLedger, RecoveryReport, HostProfile) into it, so every
+// subsystem's numbers land in one cross-comparable namespace instead of
+// four ad-hoc emitters.
+//
+// Instruments are registered once (stable addresses, registration order
+// preserved in the snapshot) and updated from a single thread — metrics
+// are drained at run end from the owning thread, like the trace recorder.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "airshed/obs/json.hpp"
+
+namespace airshed::obs {
+
+/// Monotonic integer count (events, retries, checkpoints...).
+class Counter {
+ public:
+  void inc(long long n = 1) { value_ += n; }
+  long long value() const { return value_; }
+
+ private:
+  long long value_ = 0;
+};
+
+/// Last-written floating-point value (phase seconds, speedups...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with Prometheus-style "le" semantics: an
+/// observation lands in the first bucket whose upper bound is >= the
+/// value; values above the last bound land in the implicit overflow
+/// bucket. Bounds are fixed at registration, so merging and comparing
+/// snapshots across runs is bucket-by-bucket exact.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing (finite).
+  /// Throws airshed::Error otherwise.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size == upper_bounds().size() + 1 (last entry is
+  /// the overflow bucket).
+  const std::vector<long long>& bucket_counts() const { return counts_; }
+  long long count() const { return count_; }
+  double sum() const { return sum_; }
+  /// +Inf / -Inf while empty (exported as null by the JSON writer).
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<long long> counts_;
+  long long count_ = 0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Named instruments with stable addresses. Re-requesting a name returns
+/// the existing instrument; requesting it as a different kind throws
+/// airshed::Error.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string name, std::string help = "");
+  Gauge& gauge(std::string name, std::string help = "");
+  /// `upper_bounds` is only consulted on first registration.
+  Histogram& histogram(std::string name, std::vector<double> upper_bounds,
+                       std::string help = "");
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Snapshot in the "airshed-metrics-v1" schema:
+  ///   {"schema":"airshed-metrics-v1","run":<run_name>,"metrics":[
+  ///     {"name":...,"type":"counter","help":...,"value":N},
+  ///     {"name":...,"type":"gauge","help":...,"value":X},
+  ///     {"name":...,"type":"histogram","help":...,
+  ///      "upper_bounds":[...],"counts":[...],
+  ///      "count":N,"sum":X,"min":m,"max":M}]}
+  /// Metrics appear in registration order; doubles round-trip and
+  /// non-finite values (e.g. min/max of an empty histogram) become null.
+  JsonWriter to_json(std::string_view run_name) const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* find(std::string_view name);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace airshed::obs

@@ -1,0 +1,213 @@
+// airshed::obs — unified tracing substrate.
+//
+// One observability layer for both halves of the system:
+//
+//   * HOST spans (wall clock): what the real threads did — model phases,
+//     per-layer transport, per-cell-block chemistry, worker-pool blocks,
+//     checkpoint-vault writes/restores. Recorded through `ObsSpan` RAII
+//     guards into a `TraceRecorder`: one pre-allocated per-thread lane,
+//     written only by its owning thread, so the hot path is a steady-clock
+//     read plus a fixed-slot store — no locks, no allocation. When the
+//     lane is full new spans are dropped and counted (never reallocated),
+//     so tracing cannot perturb the run it observes.
+//
+//   * VIRTUAL spans (simulated seconds): what the simulated Fx machine
+//     did — every phase the executor charges to the RunLedger becomes a
+//     span on a virtual timeline, including per-node phase durations
+//     (imbalance and barrier wait become visible) and the Recovery events
+//     (checkpoints, rollback, verify, fallback replay).
+//
+// Both streams drain into a `TraceSession` at run end and export to
+// Chrome trace-event JSON (obs/export.hpp) — loadable in Perfetto or
+// chrome://tracing — or to a durable framed container for archival.
+//
+// Instrumentation is strictly observational: with no recorder attached the
+// guards are a single null check, and results are bit-identical either way
+// (tests/obs_test.cpp asserts this with util/hash checksums). Defining
+// AIRSHED_OBS_DISABLE compiles the host-span guards out entirely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "airshed/fxsim/ledger.hpp"
+
+namespace airshed::obs {
+
+/// Short stable label for a phase category (Chrome trace "cat" field,
+/// metrics name component). Distinct from airshed::to_string, which is the
+/// human-readable report name.
+const char* category_label(PhaseCategory cat);
+
+/// One completed host span as stored on the hot path. `name` must be a
+/// string with static storage duration (a literal): the recorder never
+/// copies or frees it.
+struct SpanEvent {
+  const char* name = "";
+  PhaseCategory category = PhaseCategory::IoProcessing;
+  std::int32_t hour = -1;  ///< simulated hour, -1 = not hour-scoped
+  std::int32_t node = -1;  ///< virtual fxsim node, -1 = not node-scoped
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// A drained host span (owned strings; safe to outlive the recorder).
+struct CompletedSpan {
+  std::string name;
+  PhaseCategory category = PhaseCategory::IoProcessing;
+  int thread = 0;
+  int hour = -1;
+  int node = -1;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// One span of the simulated machine's timeline, in virtual seconds.
+/// node == -1 is a barrier phase (all nodes in lockstep); node >= 0 is
+/// that node's own busy time inside the barrier.
+struct VirtualSpan {
+  std::string name;
+  PhaseCategory category = PhaseCategory::IoProcessing;
+  int node = -1;
+  int hour = -1;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+};
+
+/// Everything one run recorded, ready for export.
+struct TraceSession {
+  int host_threads = 0;
+  std::uint64_t dropped = 0;  ///< host spans lost to full lanes
+  std::vector<CompletedSpan> host;
+  std::vector<VirtualSpan> virt;
+};
+
+/// Bounded per-thread span recorder. Thread t may call record(t, ...) with
+/// no synchronization: lanes are pre-sized at construction, each lane is
+/// written only by its owner, and drains happen after the joining barrier
+/// of the parallel region that produced the spans.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// `threads` lanes of `capacity_per_thread` pre-allocated span slots.
+  explicit TraceRecorder(int threads,
+                         std::size_t capacity_per_thread = kDefaultCapacity);
+
+  int threads() const { return static_cast<int>(lanes_.size()); }
+
+  /// Nanoseconds since recorder construction (steady clock).
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Appends to thread `thread`'s lane. Owning thread only. When the lane
+  /// is full the span is dropped and counted — never an allocation.
+  void record(int thread, const SpanEvent& ev) {
+    Lane& lane = lanes_[static_cast<std::size_t>(thread)];
+    if (lane.count < lane.slots.size()) {
+      lane.slots[lane.count++] = ev;
+    } else {
+      ++lane.drops;
+    }
+  }
+
+  /// Total spans dropped across all lanes (cold path).
+  std::uint64_t dropped() const;
+
+  /// Moves every lane's spans into a session (lanes in thread order, each
+  /// lane in record order) and resets the recorder for reuse. Call only
+  /// after all recording threads have synchronized (e.g. after the model
+  /// run returned).
+  TraceSession drain();
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<SpanEvent> slots;
+    std::size_t count = 0;
+    std::uint64_t drops = 0;
+  };
+  std::vector<Lane> lanes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII host span: captures the clock at construction, records at
+/// destruction. A null recorder makes both ends a single branch. Compiled
+/// to an empty object under AIRSHED_OBS_DISABLE.
+class ObsSpan {
+ public:
+#if defined(AIRSHED_OBS_DISABLE)
+  ObsSpan(TraceRecorder*, int, const char*, PhaseCategory, int = -1,
+          int = -1) {}
+#else
+  ObsSpan(TraceRecorder* rec, int thread, const char* name, PhaseCategory cat,
+          int hour = -1, int node = -1)
+      : rec_(rec), thread_(thread) {
+    if (rec_) {
+      ev_.name = name;
+      ev_.category = cat;
+      ev_.hour = hour;
+      ev_.node = node;
+      ev_.start_ns = rec_->now_ns();
+    }
+  }
+  ~ObsSpan() {
+    if (rec_) {
+      ev_.end_ns = rec_->now_ns();
+      rec_->record(thread_, ev_);
+    }
+  }
+#endif
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+#if !defined(AIRSHED_OBS_DISABLE)
+  TraceRecorder* rec_ = nullptr;
+  int thread_ = 0;
+  SpanEvent ev_{};
+#endif
+};
+
+/// Ordered collection of virtual spans. The executor builds one timeline
+/// per simulated hour (hours evaluate concurrently on host threads), then
+/// appends them to the run timeline in hour order with the hour's virtual
+/// start offset — so the result is bit-identical at every host thread
+/// count.
+class VirtualTimeline {
+ public:
+  /// Also emit per-node spans inside compute barriers (one span per node
+  /// showing its own busy time). Costs nodes× more spans; the export shows
+  /// load imbalance directly.
+  bool per_node = true;
+
+  void emit(const char* name, PhaseCategory cat, int node, int hour,
+            double start_s, double dur_s) {
+    spans_.push_back(VirtualSpan{name, cat, node, hour, start_s, dur_s});
+  }
+
+  /// Appends `other`'s spans shifted by `offset_s` virtual seconds.
+  void append(VirtualTimeline&& other, double offset_s) {
+    spans_.reserve(spans_.size() + other.spans_.size());
+    for (VirtualSpan& s : other.spans_) {
+      s.start_s += offset_s;
+      spans_.push_back(std::move(s));
+    }
+    other.spans_.clear();
+  }
+
+  void clear() { spans_.clear(); }
+  const std::vector<VirtualSpan>& spans() const { return spans_; }
+  std::vector<VirtualSpan> take() { return std::move(spans_); }
+
+ private:
+  std::vector<VirtualSpan> spans_;
+};
+
+}  // namespace airshed::obs

@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "airshed/obs/trace.hpp"
+
 namespace airshed::par {
 
 /// Hardware concurrency, at least 1.
@@ -88,6 +90,21 @@ class WorkerPool {
   /// redistribution engine).
   static WorkerPool& shared();
 
+  /// Attaches (or detaches, with nullptr) a trace recorder: every block a
+  /// thread executes becomes one host span in the recorder, labelled by
+  /// the current phase (set_phase). The recorder must have at least
+  /// threads() lanes and must outlive the pool or be detached first.
+  /// Call only between parallel regions (for_blocks is not reentrant).
+  void set_observer(obs::TraceRecorder* rec) { obs_ = rec; }
+
+  /// Labels the spans of subsequent blocks. Call before each for_blocks /
+  /// for_each; `name` must have static storage duration.
+  void set_phase(const char* name, PhaseCategory cat, int hour = -1) {
+    phase_name_ = name;
+    phase_cat_ = cat;
+    phase_hour_ = hour;
+  }
+
  private:
   void worker_main(int thread);
   void run_block(int thread, std::size_t n, const BlockFn& fn);
@@ -105,6 +122,12 @@ class WorkerPool {
   bool stop_ = false;
   std::vector<std::exception_ptr> errors_;  // per thread, current job
   std::vector<double> busy_s_;              // per thread, accumulated
+
+  // Observation (written between parallel regions, read inside them).
+  obs::TraceRecorder* obs_ = nullptr;
+  const char* phase_name_ = "pool";
+  PhaseCategory phase_cat_ = PhaseCategory::Communication;
+  int phase_hour_ = -1;
 };
 
 /// Scoped wall-clock timer: accumulates the scope's duration into `*sink`

@@ -123,46 +123,59 @@ double max_slowdown(const FaultCtx* f, int count) {
 }
 
 /// Nominal and straggler-inflated phase maxima of a distributed work vector.
+/// When per-node detail is requested (virtual-timeline export), `per_node`
+/// holds each node's own straggler-inflated busy work — what that node
+/// actually spends inside the barrier, the barrier itself waiting for the
+/// maximum.
 struct PhaseMaxima {
   double nominal = 0.0;
   double inflated = 0.0;
+  std::vector<double> per_node;
 };
 
 PhaseMaxima max_block_work(std::span<const double> work, int nodes,
-                           const FaultCtx* fault) {
+                           const FaultCtx* fault, bool want_per_node = false) {
   const std::size_t n = work.size();
   const std::size_t bs = (n + nodes - 1) / static_cast<std::size_t>(nodes);
   PhaseMaxima m;
+  if (want_per_node) m.per_node.assign(static_cast<std::size_t>(nodes), 0.0);
   int node = 0;
   for (std::size_t lo = 0; lo < n; lo += bs, ++node) {
     const std::size_t hi = std::min(lo + bs, n);
     double acc = 0.0;
     for (std::size_t i = lo; i < hi; ++i) acc += work[i];
+    const double inflated = acc * node_slowdown(fault, node);
     m.nominal = std::max(m.nominal, acc);
-    m.inflated = std::max(m.inflated, acc * node_slowdown(fault, node));
+    m.inflated = std::max(m.inflated, inflated);
+    if (want_per_node) m.per_node[static_cast<std::size_t>(node)] = inflated;
   }
   return m;
 }
 
 PhaseMaxima max_cyclic_work(std::span<const double> work, int nodes,
-                            const FaultCtx* fault) {
+                            const FaultCtx* fault, bool want_per_node = false) {
   std::vector<double> acc(static_cast<std::size_t>(nodes), 0.0);
   for (std::size_t i = 0; i < work.size(); ++i) {
     acc[i % static_cast<std::size_t>(nodes)] += work[i];
   }
   PhaseMaxima m;
+  if (want_per_node) m.per_node.assign(static_cast<std::size_t>(nodes), 0.0);
   for (int node = 0; node < nodes; ++node) {
-    const double a = acc[static_cast<std::size_t>(node)];
-    m.nominal = std::max(m.nominal, a);
-    m.inflated = std::max(m.inflated, a * node_slowdown(fault, node));
+    const double inflated =
+        acc[static_cast<std::size_t>(node)] * node_slowdown(fault, node);
+    m.nominal = std::max(m.nominal, acc[static_cast<std::size_t>(node)]);
+    m.inflated = std::max(m.inflated, inflated);
+    if (want_per_node) m.per_node[static_cast<std::size_t>(node)] = inflated;
   }
   return m;
 }
 
 PhaseMaxima max_distributed_work(std::span<const double> work, int nodes,
-                                 DimDist dist, const FaultCtx* fault) {
-  return dist == DimDist::Cyclic ? max_cyclic_work(work, nodes, fault)
-                                 : max_block_work(work, nodes, fault);
+                                 DimDist dist, const FaultCtx* fault,
+                                 bool want_per_node = false) {
+  return dist == DimDist::Cyclic
+             ? max_cyclic_work(work, nodes, fault, want_per_node)
+             : max_block_work(work, nodes, fault, want_per_node);
 }
 
 /// One communication phase of the main loop: its cost-model time plus the
@@ -221,9 +234,10 @@ CommTimes plan_comm_times(const WorkTrace& trace, const MachineModel& machine,
 /// layers * R uniform units.
 PhaseMaxima transport_phase_work(std::span<const double> layer_work,
                                  int nodes, std::size_t row_parallelism,
-                                 const FaultCtx* fault) {
+                                 const FaultCtx* fault,
+                                 bool want_per_node = false) {
   if (row_parallelism <= 1) {
-    return max_block_work(layer_work, nodes, fault);
+    return max_block_work(layer_work, nodes, fault, want_per_node);
   }
   double total = 0.0;
   for (double w : layer_work) total += w;
@@ -233,6 +247,14 @@ PhaseMaxima transport_phase_work(std::span<const double> layer_work,
   PhaseMaxima m;
   m.nominal = total / static_cast<double>(units) * max_units;
   m.inflated = m.nominal * max_slowdown(fault, static_cast<int>(used));
+  if (want_per_node) {
+    // Uniform units: every used node carries the nominal load, scaled by
+    // its own straggler factor.
+    m.per_node.assign(static_cast<std::size_t>(nodes), 0.0);
+    for (std::size_t i = 0; i < used; ++i) {
+      m.per_node[i] = m.nominal * node_slowdown(fault, static_cast<int>(i));
+    }
+  }
   return m;
 }
 
@@ -241,9 +263,13 @@ double hour_main_seconds_impl(const HourTrace& hour,
                               const CommTimes& ct, DimDist chemistry_dist,
                               std::size_t row_parallelism,
                               RunLedger* ledger, CommBreakdown* comm,
-                              const FaultCtx* fault) {
+                              const FaultCtx* fault,
+                              obs::VirtualTimeline* tl = nullptr,
+                              int hour_no = -1, double tl_offset = 0.0) {
   double total = 0.0;
+  const bool per_node = tl && tl->per_node;
   auto charge = [&](PhaseCategory cat, const char* name, double seconds) {
+    if (tl) tl->emit(name, cat, -1, hour_no, tl_offset + total, seconds);
     total += seconds;
     if (ledger) ledger->charge(cat, name, seconds);
   };
@@ -251,11 +277,20 @@ double hour_main_seconds_impl(const HourTrace& hour,
   // part goes to the phase's own category, the inflation to Recovery.
   auto charge_compute = [&](PhaseCategory cat, const char* name,
                             const PhaseMaxima& work) {
+    const double start = tl_offset + total;
     charge(cat, name, machine.compute_time(work.nominal));
     const double inflation = machine.compute_time(work.inflated - work.nominal);
     if (inflation > 0.0) {
       charge(PhaseCategory::Recovery, "straggler inflation", inflation);
       if (fault && fault->recovery) fault->recovery->straggler_s += inflation;
+    }
+    if (per_node) {
+      // Each node's own busy time inside the barrier (the shared-track
+      // span above is the barrier itself, waiting for the maximum).
+      for (std::size_t n = 0; n < work.per_node.size(); ++n) {
+        tl->emit(name, cat, static_cast<int>(n), hour_no, start,
+                 machine.compute_time(work.per_node[n]));
+      }
     }
   };
   long long comm_seq = 0;  // comm phase index within this hour (drop key)
@@ -323,26 +358,33 @@ double hour_main_seconds_impl(const HourTrace& hour,
     }
     charge_compute(PhaseCategory::Transport, "transport (first half)",
                    transport_phase_work(step.transport1_layer_work, nodes,
-                                        row_parallelism, fault));
+                                        row_parallelism, fault, per_node));
     charge_comm("D_Trans->D_Chem", ct.trans_to_chem,
                 &CommBreakdown::trans_to_chem_s);
     charge_compute(PhaseCategory::Chemistry, "chemistry + vertical",
                    max_distributed_work(step.chem_column_work, nodes,
-                                        chemistry_dist, fault));
+                                        chemistry_dist, fault, per_node));
     // Aerosol requires replication (paper §2.2): D_Chem -> D_Repl, then the
     // replicated aerosol step on every node (the barrier waits for the
     // slowest straggler).
     charge_comm("D_Chem->D_Repl", ct.chem_to_repl,
                 &CommBreakdown::chem_to_repl_s);
-    charge_compute(
-        PhaseCategory::Aerosol, "aerosol (replicated)",
-        PhaseMaxima{step.aerosol_work,
-                    step.aerosol_work * max_slowdown(fault, nodes)});
+    PhaseMaxima aerosol{step.aerosol_work,
+                        step.aerosol_work * max_slowdown(fault, nodes),
+                        {}};
+    if (per_node) {
+      aerosol.per_node.assign(static_cast<std::size_t>(nodes), 0.0);
+      for (int n = 0; n < nodes; ++n) {
+        aerosol.per_node[static_cast<std::size_t>(n)] =
+            step.aerosol_work * node_slowdown(fault, n);
+      }
+    }
+    charge_compute(PhaseCategory::Aerosol, "aerosol (replicated)", aerosol);
     charge_comm("D_Repl->D_Trans", ct.repl_to_trans,
                 &CommBreakdown::repl_to_trans_s);
     charge_compute(PhaseCategory::Transport, "transport (second half)",
                    transport_phase_work(step.transport2_layer_work, nodes,
-                                        row_parallelism, fault));
+                                        row_parallelism, fault, per_node));
     // Consecutive steps chain transport->transport with no redistribution.
   }
   // Hour boundary: gather to replicated for outputhour / next inputhour.
@@ -361,13 +403,21 @@ void merge_comm(CommBreakdown& into, const CommBreakdown& from) {
 
 /// A sequential I/O stage runs on one node; a straggling host inflates it.
 /// Returns the actual (inflated) duration and charges nominal + inflation.
+/// Timeline: one span on node 0's track (the node that computes while the
+/// others wait).
 double charge_io_stage(RunLedger& ledger, RecoveryReport* rec,
-                       const char* name, double nominal_s, double slowdown) {
+                       const char* name, double nominal_s, double slowdown,
+                       obs::VirtualTimeline* tl = nullptr, int hour_no = -1,
+                       double tl_offset = 0.0) {
   ledger.charge(PhaseCategory::IoProcessing, name, nominal_s);
   const double inflation = nominal_s * (slowdown - 1.0);
   if (inflation > 0.0) {
     ledger.charge(PhaseCategory::Recovery, "straggler inflation", inflation);
     if (rec) rec->straggler_s += inflation;
+  }
+  if (tl) {
+    tl->emit(name, PhaseCategory::IoProcessing, 0, hour_no, tl_offset,
+             nominal_s + inflation);
   }
   return nominal_s + inflation;
 }
@@ -476,11 +526,13 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
   // changes the node set and invalidates the cache; the replayed hours are
   // then re-evaluated (pooled again) against the shrunken machine.
   par::WorkerPool pool(config.host_threads);
+  obs::VirtualTimeline* run_tl = config.timeline;
   struct HourEval {
     double t_hour = 0.0;
     RunLedger ledger;
     CommBreakdown comm;
     RecoveryReport rec;
+    obs::VirtualTimeline tl;  ///< hour-local spans, offsets from hour start
     bool valid = false;
   };
   std::vector<HourEval> cache(trace.hours.size());
@@ -488,19 +540,27 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
   auto evaluate_hour = [&](std::size_t hh) {
     HourEval& e = cache[hh];
     e = HourEval{};
+    obs::VirtualTimeline* tl = nullptr;
+    if (run_tl) {
+      e.tl.per_node = run_tl->per_node;
+      tl = &e.tl;
+    }
+    const int hour_no = static_cast<int>(hh);
     const HourTrace& hour = trace.hours[hh];
-    FaultCtx ctx{&plan, &alive, static_cast<int>(hh), &config.retry, &e.rec};
+    FaultCtx ctx{&plan, &alive, hour_no, &config.retry, &e.rec};
     e.t_hour = charge_io_stage(
         e.ledger, &e.rec, "inputhour + pretrans",
         machine.compute_time(hour.input_work + hour.pretrans_work),
-        node_slowdown(&ctx, 0));
+        node_slowdown(&ctx, 0), tl, hour_no, 0.0);
     e.t_hour += hour_main_seconds_impl(hour, machine, nodes, ct,
                                        config.chemistry_dist,
                                        trace.transport_row_parallelism,
-                                       &e.ledger, &e.comm, &ctx);
+                                       &e.ledger, &e.comm, &ctx, tl, hour_no,
+                                       e.t_hour);
     e.t_hour += charge_io_stage(e.ledger, &e.rec, "outputhour",
                                 machine.compute_time(hour.output_work),
-                                node_slowdown(&ctx, 0));
+                                node_slowdown(&ctx, 0), tl, hour_no,
+                                e.t_hour);
     e.valid = true;
   };
 
@@ -590,6 +650,27 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
         }
       }
 
+      if (run_tl) {
+        // Recovery sequence on the shared track: the interrupted partial
+        // hour (on the dead node's own track), the shrink re-layout, then
+        // verify + restore of the checkpoint chain.
+        double at = total;
+        run_tl->emit("interrupted hour (node failure)",
+                     PhaseCategory::Recovery, dead, hour_i, at, spent);
+        at += spent;
+        run_tl->emit("re-layout onto survivors", PhaseCategory::Recovery, -1,
+                     hour_i, at, relayout);
+        at += relayout;
+        if (verify_total > 0.0) {
+          run_tl->emit("checkpoint verify", PhaseCategory::Recovery, -1,
+                       hour_i, at, verify_total);
+          at += verify_total;
+        }
+        if (restore > 0.0) {
+          run_tl->emit("checkpoint restore", PhaseCategory::Recovery, -1,
+                       hour_i, at, restore);
+        }
+      }
       total += spent + relayout + restore + verify_total;
       report.ledger.charge(PhaseCategory::Recovery, "lost work (rollback)",
                            lost);
@@ -632,6 +713,10 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
       epoch.charge(PhaseCategory::Recovery, "corrupt-checkpoint fallback",
                    t_hour);
       epoch_rec.fallback_s += t_hour;
+      if (run_tl) {
+        run_tl->emit("corrupt-checkpoint fallback (replay)",
+                     PhaseCategory::Recovery, -1, hour_i, total, t_hour);
+      }
     } else {
       epoch.merge(hour_ledger);
       merge_comm(epoch_comm, hour_comm);
@@ -639,6 +724,7 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
       epoch_rec.retransmit_s += hour_rec.retransmit_s;
       epoch_rec.straggler_s += hour_rec.straggler_s;
       epoch_rec.verify_s += hour_rec.verify_s;
+      if (run_tl) run_tl->append(std::move(cache[h].tl), total);
     }
     total += t_hour;
     since_ckpt += t_hour;
@@ -650,6 +736,10 @@ RunReport simulate_faulty_data_parallel(const WorkTrace& trace,
       epoch.charge(PhaseCategory::Recovery, "checkpoint", ckpt_cost);
       epoch_rec.checkpoint_s += ckpt_cost;
       ++epoch_rec.checkpoints;
+      if (run_tl) {
+        run_tl->emit("checkpoint (gather + write)", PhaseCategory::Recovery,
+                     -1, static_cast<int>(h) - 1, total, ckpt_cost);
+      }
       total += ckpt_cost;
       commit_epoch();
       since_ckpt = 0.0;
@@ -771,25 +861,42 @@ RunReport simulate_execution(const WorkTrace& trace,
       double io_out = 0.0;
       RunLedger ledger;
       CommBreakdown comm;
+      obs::VirtualTimeline tl;  ///< hour-local spans, offsets from hour start
     };
     std::vector<PlainHourEval> evals(trace.hours.size());
     par::WorkerPool pool(config.host_threads);
     pool.for_each(trace.hours.size(), [&](int, std::size_t h) {
       const HourTrace& hour = trace.hours[h];
+      const int hour_no = static_cast<int>(h);
       PlainHourEval& e = evals[h];
+      obs::VirtualTimeline* tl = nullptr;
+      if (config.timeline) {
+        e.tl.per_node = config.timeline->per_node;
+        tl = &e.tl;
+      }
       e.io_in =
           config.machine.compute_time(hour.input_work + hour.pretrans_work);
       e.ledger.charge(PhaseCategory::IoProcessing, "inputhour + pretrans",
                       e.io_in);
+      if (tl) {
+        tl->emit("inputhour + pretrans", PhaseCategory::IoProcessing, 0,
+                 hour_no, 0.0, e.io_in);
+      }
       e.main_s = hour_main_seconds_impl(hour, config.machine, config.nodes, ct,
                                         config.chemistry_dist,
                                         trace.transport_row_parallelism,
-                                        &e.ledger, &e.comm, nullptr);
+                                        &e.ledger, &e.comm, nullptr, tl,
+                                        hour_no, e.io_in);
       e.io_out = config.machine.compute_time(hour.output_work);
       e.ledger.charge(PhaseCategory::IoProcessing, "outputhour", e.io_out);
+      if (tl) {
+        tl->emit("outputhour", PhaseCategory::IoProcessing, 0, hour_no,
+                 e.io_in + e.main_s, e.io_out);
+      }
     });
     double total = 0.0;
-    for (const PlainHourEval& e : evals) {
+    for (PlainHourEval& e : evals) {
+      if (config.timeline) config.timeline->append(std::move(e.tl), total);
       total += e.io_in;
       total += e.main_s;
       total += e.io_out;
@@ -854,6 +961,9 @@ RunReport simulate_execution(const WorkTrace& trace,
   // the paper's Fig 9 curves coincide at small node counts.
   ExecutionConfig dp_config = config;
   dp_config.strategy = Strategy::DataParallel;
+  // No timeline under the pipelined strategy (stages overlap — a single
+  // virtual clock has no meaning), including the folded-back DP candidate.
+  dp_config.timeline = nullptr;
   const RunReport data_parallel = simulate_execution(trace, dp_config);
   if (data_parallel.total_seconds < report.total_seconds) {
     report.total_seconds = data_parallel.total_seconds;

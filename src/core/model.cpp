@@ -157,6 +157,13 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     *prof = HostProfile{};
     prof->threads = nthreads;
   }
+  obs::TraceRecorder* rec = opts_.trace;
+  if (rec) {
+    AIRSHED_REQUIRE(rec->threads() >= nthreads,
+                    "ModelOptions::trace recorder has fewer lanes than the "
+                    "resolved host thread count");
+    pool.set_observer(rec);
+  }
 
   std::array<double, kSpeciesCount> background{};
   std::array<double, kSpeciesCount> deposition{};
@@ -173,6 +180,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
     HourlyInputs in = [&] {
       PhaseTimer timer(prof ? &prof->io_s : nullptr);
+      obs::ObsSpan span(rec, 0, "inputhour", PhaseCategory::IoProcessing, h);
       return inputs.generate(static_cast<int>(hour_start));
     }();
 
@@ -192,7 +200,12 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
       // thread advances its own block of layers with its own operator.
       auto transport_half = [&](std::vector<double>& layer_work) {
         PhaseTimer timer(prof ? &prof->transport_s : nullptr);
+        obs::ObsSpan phase(rec, 0, "transport Lxy", PhaseCategory::Transport,
+                           h);
+        pool.set_phase("transport Lxy", PhaseCategory::Transport, h);
         pool.for_each(static_cast<std::size_t>(nl), [&](int t, std::size_t k) {
+          obs::ObsSpan layer(rec, t, "transport layer",
+                             PhaseCategory::Transport, h);
           const TransportStepResult r =
               ko.blocked
                   ? supg[t].advance_layer_blocked(conc, k, in.wind_kmh[k],
@@ -222,8 +235,12 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
         // the airshed::par fixed-block contract still holds and results
         // stay bit-identical at every thread count and block size.
         PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        obs::ObsSpan phase(rec, 0, "chemistry Lcz", PhaseCategory::Chemistry,
+                           h);
+        pool.set_phase("chemistry Lcz", PhaseCategory::Chemistry, h);
         const std::size_t nblocks = (nv + cell_block - 1) / cell_block;
         pool.for_each(nblocks, [&](int t, std::size_t blk) {
+          obs::ObsSpan block(rec, t, "chem block", PhaseCategory::Chemistry, h);
           ChemBlockScratch& scr = chem_scratch[t];
           const std::size_t v0 = blk * cell_block;
           const std::size_t bw = std::min(cell_block, nv - v0);
@@ -264,6 +281,9 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
         });
       } else {
         PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        obs::ObsSpan phase(rec, 0, "chemistry Lcz", PhaseCategory::Chemistry,
+                           h);
+        pool.set_phase("chemistry Lcz", PhaseCategory::Chemistry, h);
         pool.for_each(nv, [&](int t, std::size_t v) {
           std::array<double, kSpeciesCount> cell{};
           std::array<double, kSpeciesCount> column_flux{};
@@ -302,6 +322,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
       // ---- Aerosol (sequential, replicated) ------------------------------
       {
         PhaseTimer timer(prof ? &prof->aerosol_s : nullptr);
+        obs::ObsSpan span(rec, 0, "aerosol", PhaseCategory::Aerosol, h);
         const AerosolResult ar = aerosol.equilibrate(conc, pm, in.layer_temp_k);
         step.aerosol_work = ar.work_flops;
       }
@@ -315,6 +336,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     // ---- outputhour ------------------------------------------------------
     const HourlyStats stats = [&] {
       PhaseTimer timer(prof ? &prof->io_s : nullptr);
+      obs::ObsSpan span(rec, 0, "outputhour", PhaseCategory::IoProcessing, h);
       return compute_hourly_stats(ds, conc, pm, static_cast<int>(hour_start));
     }();
     hour_trace.output_work = inputs.outputhour_work_flops();
@@ -322,12 +344,13 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     result.trace.hours.push_back(std::move(hour_trace));
     if (on_hour) on_hour(stats, conc);
     if (on_checkpoint) {
-      CheckpointRecord rec;
-      rec.dataset = ds.name;
-      rec.next_hour = h + 1;
-      rec.conc = conc;
-      rec.pm = pm;
-      on_checkpoint(rec);
+      obs::ObsSpan span(rec, 0, "checkpoint", PhaseCategory::Recovery, h);
+      CheckpointRecord record;
+      record.dataset = ds.name;
+      record.next_hour = h + 1;
+      record.conc = conc;
+      record.pm = pm;
+      on_checkpoint(record);
     }
   }
 

@@ -38,6 +38,86 @@ Table phase_table(const RunReport& report) {
   return t;
 }
 
+void record_metrics(obs::MetricsRegistry& registry, const RunReport& report) {
+  registry.gauge("sim/total_seconds", "virtual run time").set(
+      report.total_seconds);
+  registry.gauge("sim/nodes", "virtual machine nodes").set(report.nodes);
+
+  static constexpr PhaseCategory kCategories[] = {
+      PhaseCategory::IoProcessing, PhaseCategory::Transport,
+      PhaseCategory::Chemistry,    PhaseCategory::Aerosol,
+      PhaseCategory::Communication, PhaseCategory::Exposure,
+      PhaseCategory::Coupling,     PhaseCategory::Recovery};
+  for (PhaseCategory cat : kCategories) {
+    const std::string base = std::string("phase/") + obs::category_label(cat);
+    registry.gauge(base + "/seconds", "virtual seconds charged")
+        .set(report.ledger.category_seconds(cat));
+    registry.gauge(base + "/count", "phase executions")
+        .set(static_cast<double>(report.ledger.category_count(cat)));
+  }
+
+  registry.gauge("comm/repl_to_trans_s", "D_Repl->D_Trans redistribution")
+      .set(report.comm.repl_to_trans_s);
+  registry.gauge("comm/trans_to_chem_s", "D_Trans->D_Chem redistribution")
+      .set(report.comm.trans_to_chem_s);
+  registry.gauge("comm/chem_to_repl_s", "D_Chem->D_Repl redistribution")
+      .set(report.comm.chem_to_repl_s);
+  registry.gauge("comm/trans_to_repl_s", "hour-boundary gather")
+      .set(report.comm.trans_to_repl_s);
+  registry.counter("comm/phases", "communication phases executed")
+      .inc(report.comm.phases);
+
+  const RecoveryReport& rec = report.recovery;
+  if (rec.total_overhead_s() > 0.0 || rec.checkpoints > 0 ||
+      !rec.failures.empty()) {
+    registry.counter("recovery/checkpoints", "checkpoints written")
+        .inc(rec.checkpoints);
+    registry.counter("recovery/retransmissions", "messages re-sent")
+        .inc(rec.retransmissions);
+    registry.counter("recovery/failures", "node failures survived")
+        .inc(static_cast<long long>(rec.failures.size()));
+    registry.counter("recovery/corrupt_checkpoints",
+                     "generations rejected at restore")
+        .inc(rec.corrupt_checkpoints);
+    registry.gauge("recovery/checkpoint_s", "gather + archive writes")
+        .set(rec.checkpoint_s);
+    registry.gauge("recovery/lost_work_s", "discarded virtual time")
+        .set(rec.lost_work_s);
+    registry.gauge("recovery/relayout_s", "re-layout onto survivors")
+        .set(rec.relayout_s);
+    registry.gauge("recovery/restore_s", "checkpoint read-back")
+        .set(rec.restore_s);
+    registry.gauge("recovery/retransmit_s", "retries incl. backoff")
+        .set(rec.retransmit_s);
+    registry.gauge("recovery/straggler_s", "phase-maxima inflation")
+        .set(rec.straggler_s);
+    registry.gauge("recovery/fallback_s", "corrupt-checkpoint replays")
+        .set(rec.fallback_s);
+    registry.gauge("recovery/verify_s", "integrity verification passes")
+        .set(rec.verify_s);
+    registry.gauge("recovery/final_nodes", "survivors at end of run")
+        .set(rec.final_nodes);
+  }
+}
+
+void record_metrics(obs::MetricsRegistry& registry,
+                    const HostProfile& profile) {
+  registry.gauge("host/threads", "resolved worker-pool size")
+      .set(profile.threads);
+  registry.gauge("host/transport_s", "wall seconds in pooled transport")
+      .set(profile.transport_s);
+  registry.gauge("host/chemistry_s", "wall seconds in pooled chemistry")
+      .set(profile.chemistry_s);
+  registry.gauge("host/aerosol_s", "wall seconds in serial aerosol")
+      .set(profile.aerosol_s);
+  registry.gauge("host/io_s", "wall seconds in inputs + outputhour")
+      .set(profile.io_s);
+  obs::Histogram& busy = registry.histogram(
+      "host/thread_busy_s", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0},
+      "CPU seconds per pool thread inside parallel blocks");
+  for (double b : profile.thread_busy_s) busy.observe(b);
+}
+
 Table sweep_table(const WorkTrace& trace, const MachineModel& machine,
                   const std::vector<int>& node_counts, Strategy strategy) {
   Table t({"nodes", "total (s)", "chemistry (s)", "transport (s)",

@@ -250,6 +250,13 @@ ModelRunResult UniformAirshedModel::run_hours(
     *prof = HostProfile{};
     prof->threads = nthreads;
   }
+  obs::TraceRecorder* rec = opts_.trace;
+  if (rec) {
+    AIRSHED_REQUIRE(rec->threads() >= nthreads,
+                    "ModelOptions::trace recorder has fewer lanes than the "
+                    "resolved host thread count");
+    pool.set_observer(rec);
+  }
 
   std::array<double, kSpeciesCount> background{}, deposition{};
   for (int s = 0; s < kSpeciesCount; ++s) {
@@ -264,6 +271,7 @@ ModelRunResult UniformAirshedModel::run_hours(
     for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
     const UniformHourlyInputs in = [&] {
       par::PhaseTimer timer(prof ? &prof->io_s : nullptr);
+      obs::ObsSpan span(rec, 0, "inputhour", PhaseCategory::IoProcessing, h);
       return generate_uniform_inputs(ds, opts_.transport, opts_.io_work,
                                      static_cast<int>(hour_start));
     }();
@@ -282,7 +290,12 @@ ModelRunResult UniformAirshedModel::run_hours(
 
       auto transport_half = [&](std::vector<double>& layer_work) {
         par::PhaseTimer timer(prof ? &prof->transport_s : nullptr);
+        obs::ObsSpan phase(rec, 0, "transport Lxy", PhaseCategory::Transport,
+                           h);
+        pool.set_phase("transport Lxy", PhaseCategory::Transport, h);
         pool.for_each(static_cast<std::size_t>(nl), [&](int t, std::size_t k) {
+          obs::ObsSpan layer(rec, t, "transport layer",
+                             PhaseCategory::Transport, h);
           layer_work[k] =
               (ko.blocked
                    ? transport[t].advance_layer_blocked(
@@ -302,8 +315,12 @@ ModelRunResult UniformAirshedModel::run_hours(
       const double dt_min = dt_hours * 60.0;
       if (ko.blocked) {
         par::PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        obs::ObsSpan phase(rec, 0, "chemistry Lcz", PhaseCategory::Chemistry,
+                           h);
+        pool.set_phase("chemistry Lcz", PhaseCategory::Chemistry, h);
         const std::size_t nblocks = (nc + cell_block - 1) / cell_block;
         pool.for_each(nblocks, [&](int t, std::size_t blk) {
+          obs::ObsSpan block(rec, t, "chem block", PhaseCategory::Chemistry, h);
           ChemBlockScratch& scr = chem_scratch[t];
           const std::size_t c0 = blk * cell_block;
           const std::size_t bw = std::min(cell_block, nc - c0);
@@ -336,6 +353,9 @@ ModelRunResult UniformAirshedModel::run_hours(
         });
       } else {
         par::PhaseTimer timer(prof ? &prof->chemistry_s : nullptr);
+        obs::ObsSpan phase(rec, 0, "chemistry Lcz", PhaseCategory::Chemistry,
+                           h);
+        pool.set_phase("chemistry Lcz", PhaseCategory::Chemistry, h);
         pool.for_each(nc, [&](int t, std::size_t c) {
           std::array<double, kSpeciesCount> cell{}, column_flux{};
           double column_work = 0.0;
@@ -364,6 +384,7 @@ ModelRunResult UniformAirshedModel::run_hours(
 
       {
         par::PhaseTimer timer(prof ? &prof->aerosol_s : nullptr);
+        obs::ObsSpan span(rec, 0, "aerosol", PhaseCategory::Aerosol, h);
         step.aerosol_work =
             aerosol.equilibrate(conc, pm, in.layer_temp_k).work_flops;
       }
@@ -401,12 +422,13 @@ ModelRunResult UniformAirshedModel::run_hours(
     result.trace.hours.push_back(std::move(hour_trace));
     if (on_hour) on_hour(stats, conc);
     if (on_checkpoint) {
-      CheckpointRecord rec;
-      rec.dataset = ds.name;
-      rec.next_hour = h + 1;
-      rec.conc = conc;
-      rec.pm = pm;
-      on_checkpoint(rec);
+      obs::ObsSpan span(rec, 0, "checkpoint", PhaseCategory::Recovery, h);
+      CheckpointRecord record;
+      record.dataset = ds.name;
+      record.next_hour = h + 1;
+      record.conc = conc;
+      record.pm = pm;
+      on_checkpoint(record);
     }
   }
 

@@ -79,6 +79,8 @@ std::vector<int> CheckpointVault::generations() const {
 }
 
 int CheckpointVault::append(const CheckpointRecord& rec) {
+  obs::ObsSpan span(obs_, obs_thread_, "vault append",
+                    PhaseCategory::Recovery, rec.next_hour);
   std::vector<int> gens = generations();
   const int gen = gens.empty() ? 1 : gens.back() + 1;
   rec.save(generation_path(gen));
@@ -94,6 +96,12 @@ CheckpointVault::RestoreResult CheckpointVault::restore_newest_valid() {
     const std::string path = generation_path(*it);
     ++out.scanned;
     try {
+      // Load includes end-to-end validation (framing, CRCs, digest): one
+      // span per attempted generation, so rejected generations show up in
+      // the trace as short "vault verify+restore" spans before the one
+      // that succeeds.
+      obs::ObsSpan span(obs_, obs_thread_, "vault verify+restore",
+                        PhaseCategory::Recovery);
       out.record = CheckpointRecord::load(path);
       out.generation = *it;
       return out;

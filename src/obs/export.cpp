@@ -1,0 +1,230 @@
+#include "airshed/obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "airshed/durable/container.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed::obs {
+
+namespace {
+
+// Chrome trace-event process ids: real host threads vs the simulated
+// machine's virtual timeline.
+constexpr int kHostPid = 1;
+constexpr int kVirtualPid = 2;
+
+// Virtual track 0 carries barrier phases (all nodes in lockstep);
+// node n's own spans land on track n + 1.
+int virtual_tid(int node) { return node + 1; }
+
+void metadata_event(JsonWriter& json, const char* kind, int pid, int tid,
+                    const std::string& name) {
+  json.begin_object();
+  json.key("name").value(kind);
+  json.key("ph").value("M");
+  json.key("pid").value(pid);
+  if (tid >= 0) json.key("tid").value(tid);
+  json.key("args").begin_object().key("name").value(name).end_object();
+  json.end_object();
+}
+
+void span_event(JsonWriter& json, std::string_view name, PhaseCategory cat,
+                int pid, int tid, double ts_us, double dur_us, int hour,
+                int node) {
+  json.begin_object();
+  json.key("name").value(name);
+  json.key("cat").value(category_label(cat));
+  json.key("ph").value("X");
+  json.key("pid").value(pid);
+  json.key("tid").value(tid);
+  json.key("ts").value(ts_us);
+  json.key("dur").value(dur_us);
+  if (hour >= 0 || node >= 0) {
+    json.key("args").begin_object();
+    if (hour >= 0) json.key("hour").value(hour);
+    if (node >= 0) json.key("node").value(node);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+constexpr std::uint32_t kTraceFormatVersion = 1;
+constexpr const char* kTraceFormat = "airshed-obs-trace";
+
+PhaseCategory decode_category(std::uint32_t raw,
+                              durable::PayloadReader& reader) {
+  if (raw > static_cast<std::uint32_t>(PhaseCategory::Recovery)) {
+    reader.fail("span category " + std::to_string(raw) + " out of range");
+  }
+  return static_cast<PhaseCategory>(raw);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSession& session) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("otherData")
+      .begin_object()
+      .key("dropped_spans")
+      .value(static_cast<long long>(session.dropped))
+      .end_object();
+  json.key("traceEvents").begin_array();
+
+  // Metadata first: process and thread names, in deterministic order.
+  if (!session.host.empty()) {
+    metadata_event(json, "process_name", kHostPid, -1, "host");
+    int max_thread = session.host_threads - 1;
+    for (const CompletedSpan& s : session.host) {
+      max_thread = std::max(max_thread, s.thread);
+    }
+    for (int t = 0; t <= max_thread; ++t) {
+      metadata_event(json, "thread_name", kHostPid, t,
+                     "host thread " + std::to_string(t));
+    }
+  }
+  if (!session.virt.empty()) {
+    metadata_event(json, "process_name", kVirtualPid, -1,
+                   "fxsim virtual machine");
+    bool any_barrier = false;
+    std::set<int> nodes;
+    for (const VirtualSpan& s : session.virt) {
+      if (s.node < 0) {
+        any_barrier = true;
+      } else {
+        nodes.insert(s.node);
+      }
+    }
+    if (any_barrier) {
+      metadata_event(json, "thread_name", kVirtualPid, virtual_tid(-1),
+                     "barrier (all nodes)");
+    }
+    for (int n : nodes) {
+      metadata_event(json, "thread_name", kVirtualPid, virtual_tid(n),
+                     "node " + std::to_string(n));
+    }
+  }
+
+  for (const CompletedSpan& s : session.host) {
+    const double start_us = static_cast<double>(s.start_ns) / 1e3;
+    const double dur_us =
+        static_cast<double>(s.end_ns - s.start_ns) / 1e3;
+    span_event(json, s.name, s.category, kHostPid, s.thread, start_us, dur_us,
+               s.hour, s.node);
+  }
+  for (const VirtualSpan& s : session.virt) {
+    span_event(json, s.name, s.category, kVirtualPid, virtual_tid(s.node),
+               s.start_s * 1e6, s.dur_s * 1e6, s.hour, s.node);
+  }
+
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void write_chrome_trace(const std::string& path, const TraceSession& session) {
+  const std::string body = chrome_trace_json(session);
+  std::ofstream out(path);
+  if (!out || !(out << body << "\n")) {
+    throw Error("failed to write Chrome trace to '" + path + "'");
+  }
+}
+
+void save_trace_container(const std::string& path,
+                          const TraceSession& session) {
+  durable::ContainerWriter container(kTraceFormat, kTraceFormatVersion);
+
+  durable::PayloadWriter meta;
+  meta.u32(static_cast<std::uint32_t>(session.host_threads));
+  meta.u64(session.dropped);
+  meta.u64(session.host.size());
+  meta.u64(session.virt.size());
+  container.add_section("meta", std::move(meta).take());
+
+  durable::PayloadWriter host;
+  for (const CompletedSpan& s : session.host) {
+    host.str(s.name);
+    host.u32(static_cast<std::uint32_t>(s.category));
+    host.i64(s.thread);
+    host.i64(s.hour);
+    host.i64(s.node);
+    host.u64(s.start_ns);
+    host.u64(s.end_ns);
+  }
+  container.add_section("host_spans", std::move(host).take());
+
+  durable::PayloadWriter virt;
+  for (const VirtualSpan& s : session.virt) {
+    virt.str(s.name);
+    virt.u32(static_cast<std::uint32_t>(s.category));
+    virt.i64(s.node);
+    virt.i64(s.hour);
+    virt.f64(s.start_s);
+    virt.f64(s.dur_s);
+  }
+  container.add_section("virtual_spans", std::move(virt).take());
+
+  container.write_atomic(path);
+}
+
+TraceSession load_trace_container(const std::string& path) {
+  const durable::ContainerReader container =
+      durable::ContainerReader::read_file(path, kTraceFormat);
+
+  TraceSession session;
+  durable::PayloadReader meta = container.open("meta");
+  session.host_threads = static_cast<int>(meta.u32());
+  session.dropped = meta.u64();
+  const std::uint64_t host_count = meta.u64();
+  const std::uint64_t virt_count = meta.u64();
+  meta.expect_end();
+
+  durable::PayloadReader host = container.open("host_spans");
+  session.host.reserve(host_count);
+  for (std::uint64_t i = 0; i < host_count; ++i) {
+    CompletedSpan s;
+    s.name = host.str();
+    s.category = decode_category(host.u32(), host);
+    s.thread = static_cast<int>(host.i64());
+    s.hour = static_cast<int>(host.i64());
+    s.node = static_cast<int>(host.i64());
+    s.start_ns = host.u64();
+    s.end_ns = host.u64();
+    session.host.push_back(std::move(s));
+  }
+  host.expect_end();
+
+  durable::PayloadReader virt = container.open("virtual_spans");
+  session.virt.reserve(virt_count);
+  for (std::uint64_t i = 0; i < virt_count; ++i) {
+    VirtualSpan s;
+    s.name = virt.str();
+    s.category = decode_category(virt.u32(), virt);
+    s.node = static_cast<int>(virt.i64());
+    s.hour = static_cast<int>(virt.i64());
+    s.start_s = virt.f64();
+    s.dur_s = virt.f64();
+    session.virt.push_back(std::move(s));
+  }
+  virt.expect_end();
+  return session;
+}
+
+std::string metrics_json(const MetricsRegistry& registry,
+                         std::string_view run_name) {
+  return registry.to_json(run_name).str();
+}
+
+void write_metrics_json(const std::string& path,
+                        const MetricsRegistry& registry,
+                        std::string_view run_name) {
+  if (!write_json_file(path, registry.to_json(run_name))) {
+    throw Error("failed to write metrics JSON to '" + path + "'");
+  }
+}
+
+}  // namespace airshed::obs

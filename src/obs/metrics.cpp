@@ -1,0 +1,140 @@
+#include "airshed/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  AIRSHED_REQUIRE(!bounds_.empty(),
+                  "Histogram needs at least one bucket upper bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i])) {
+      throw Error("Histogram bucket bounds must be finite");
+    }
+    if (i > 0 && !(bounds_[i] > bounds_[i - 1])) {
+      throw Error("Histogram bucket bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  // First bucket with bound >= v ("le" semantics); overflow past the last.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string name, std::string help) {
+  if (Entry* e = find(name)) {
+    if (e->kind != Kind::Counter) {
+      throw Error("metric '" + name + "' already registered as a non-counter");
+    }
+    return *e->counter;
+  }
+  Entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.kind = Kind::Counter;
+  e.counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(e));
+  return *entries_.back().counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string name, std::string help) {
+  if (Entry* e = find(name)) {
+    if (e->kind != Kind::Gauge) {
+      throw Error("metric '" + name + "' already registered as a non-gauge");
+    }
+    return *e->gauge;
+  }
+  Entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.kind = Kind::Gauge;
+  e.gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(e));
+  return *entries_.back().gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string name,
+                                      std::vector<double> upper_bounds,
+                                      std::string help) {
+  if (Entry* e = find(name)) {
+    if (e->kind != Kind::Histogram) {
+      throw Error("metric '" + name +
+                  "' already registered as a non-histogram");
+    }
+    return *e->histogram;
+  }
+  Entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.kind = Kind::Histogram;
+  e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  entries_.push_back(std::move(e));
+  return *entries_.back().histogram;
+}
+
+JsonWriter MetricsRegistry::to_json(std::string_view run_name) const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("airshed-metrics-v1");
+  json.key("run").value(run_name);
+  json.key("metrics").begin_array();
+  for (const Entry& e : entries_) {
+    json.begin_object();
+    json.key("name").value(e.name);
+    switch (e.kind) {
+      case Kind::Counter:
+        json.key("type").value("counter");
+        json.key("help").value(e.help);
+        json.key("value").value(e.counter->value());
+        break;
+      case Kind::Gauge:
+        json.key("type").value("gauge");
+        json.key("help").value(e.help);
+        json.key("value").value(e.gauge->value());
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        json.key("type").value("histogram");
+        json.key("help").value(e.help);
+        json.key("upper_bounds").begin_array();
+        for (double b : h.upper_bounds()) json.value(b);
+        json.end_array();
+        json.key("counts").begin_array();
+        for (long long c : h.bucket_counts()) json.value(c);
+        json.end_array();
+        json.key("count").value(h.count());
+        json.key("sum").value(h.sum());
+        json.key("min").value(h.min());  // null while empty (non-finite)
+        json.key("max").value(h.max());
+        break;
+      }
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json;
+}
+
+}  // namespace airshed::obs

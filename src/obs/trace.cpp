@@ -1,0 +1,59 @@
+#include "airshed/obs/trace.hpp"
+
+#include "airshed/util/error.hpp"
+
+namespace airshed::obs {
+
+const char* category_label(PhaseCategory cat) {
+  switch (cat) {
+    case PhaseCategory::IoProcessing:  return "io";
+    case PhaseCategory::Transport:     return "transport";
+    case PhaseCategory::Chemistry:     return "chemistry";
+    case PhaseCategory::Aerosol:       return "aerosol";
+    case PhaseCategory::Communication: return "comm";
+    case PhaseCategory::Exposure:      return "exposure";
+    case PhaseCategory::Coupling:      return "coupling";
+    case PhaseCategory::Recovery:      return "recovery";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(int threads, std::size_t capacity_per_thread)
+    : epoch_(std::chrono::steady_clock::now()) {
+  AIRSHED_REQUIRE(threads >= 1, "TraceRecorder needs at least one lane");
+  AIRSHED_REQUIRE(capacity_per_thread >= 1,
+                  "TraceRecorder lanes need capacity for at least one span");
+  lanes_.resize(static_cast<std::size_t>(threads));
+  for (Lane& lane : lanes_) lane.slots.resize(capacity_per_thread);
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.drops;
+  return total;
+}
+
+TraceSession TraceRecorder::drain() {
+  TraceSession session;
+  session.host_threads = threads();
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.count;
+    session.dropped += lane.drops;
+  }
+  session.host.reserve(total);
+  for (std::size_t t = 0; t < lanes_.size(); ++t) {
+    Lane& lane = lanes_[t];
+    for (std::size_t i = 0; i < lane.count; ++i) {
+      const SpanEvent& ev = lane.slots[i];
+      session.host.push_back(CompletedSpan{ev.name, ev.category,
+                                           static_cast<int>(t), ev.hour,
+                                           ev.node, ev.start_ns, ev.end_ns});
+    }
+    lane.count = 0;
+    lane.drops = 0;
+  }
+  return session;
+}
+
+}  // namespace airshed::obs

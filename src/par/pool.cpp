@@ -69,6 +69,7 @@ void WorkerPool::run_block(int thread, std::size_t n, const BlockFn& fn) {
   if (begin >= end) return;
   const double t0 = thread_cpu_seconds();
   try {
+    obs::ObsSpan span(obs_, thread, phase_name_, phase_cat_, phase_hour_);
     fn(thread, begin, end);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -108,6 +109,7 @@ void WorkerPool::for_blocks(std::size_t n, const BlockFn& fn) {
     // propagate directly.
     const double t0 = thread_cpu_seconds();
     try {
+      obs::ObsSpan span(obs_, 0, phase_name_, phase_cat_, phase_hour_);
       fn(0, 0, n);
     } catch (...) {
       busy_s_[0] += thread_cpu_seconds() - t0;

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md file for inline links and images
+([text](target), ![alt](target)), ignores absolute URLs and pure
+anchors, and verifies that each relative target exists on disk
+(anchors and query strings are stripped first). Exits non-zero and
+lists every broken link otherwise.
+
+Usage: python3 tools/check_links.py [root]
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "traces", "node_modules"}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check_file(md: Path, root: Path):
+    broken = []
+    text = md.read_text(encoding="utf-8", errors="replace")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            plain = target.split("#", 1)[0].split("?", 1)[0]
+            if not plain:
+                continue
+            if plain.startswith("/"):
+                resolved = root / plain.lstrip("/")
+            else:
+                resolved = md.parent / plain
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    root = root.resolve()
+    total_files = 0
+    failures = 0
+    for md in markdown_files(root):
+        total_files += 1
+        for lineno, target in check_file(md, root):
+            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
+            failures += 1
+    print(f"checked {total_files} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
