@@ -10,6 +10,19 @@
 //   airshed_cli verify <file>
 //       Validate a durable artifact end to end (framing, section CRCs,
 //       footer digest) and print its layout. Exit 0 = intact, 1 = corrupt.
+//   airshed_cli verify --dir <dir>
+//       Validate every framed container under a batch output tree
+//       (recursively, quarantined *.corrupt files skipped). Exit 0 when
+//       all are intact, 1 naming the first corrupt artifact.
+//   airshed_cli batch <dataset> [--scenarios N] [--seed S] [--threads N]
+//                     [--max-attempts N] [--out dir] [--no-degrade]
+//                     [--chaos-node-death P] [--chaos-straggler P]
+//                     [--chaos-storage P] [--chaos-payload P]
+//                     [--chaos-numerics P] [--poison id,id,...]
+//       Run a seeded scenario batch under the resilient supervisor:
+//       per-scenario isolation, retry/backoff, deadlines, circuit breaker,
+//       coarse-grid degradation. Writes <out>/archive/ (durable results +
+//       manifest), batch_report.json and metrics.json.
 //   airshed_cli trace <dataset> [hours] [--machine m] [--nodes P]
 //                     [--threads N] [--out dir]
 //       Run the physics with the observability layer attached, simulate the
@@ -18,6 +31,7 @@
 //       (durable container) into the output directory.
 //
 // Datasets: TEST, LA, NE, LA-uniform. Machines: paragon, t3d, t3e.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +55,14 @@ int usage() {
                " [--nodes a,b,c] [--task-parallel] [--cyclic]\n"
                "  airshed_cli series <archive>\n"
                "  airshed_cli verify <checkpoint|archive|trace|manifest>\n"
+               "  airshed_cli verify --dir <batch-output-dir>\n"
+               "  airshed_cli batch <TEST|LA|NE> [--scenarios N] [--seed S]"
+               " [--threads N]\n"
+               "               [--max-attempts N] [--out dir] [--no-degrade]"
+               " [--poison id,...]\n"
+               "               [--chaos-node-death|--chaos-straggler|"
+               "--chaos-storage|\n"
+               "                --chaos-payload|--chaos-numerics P]\n"
                "  airshed_cli trace <TEST|LA|NE|LA-uniform> [hours]"
                " [--machine paragon|t3d|t3e]\n"
                "               [--nodes P] [--threads N] [--out dir]\n");
@@ -170,10 +192,63 @@ int cmd_series(int argc, char** argv) {
   return 0;
 }
 
+int verify_one(const std::string& path);
+
+/// Recursively validates every framed container under `dir` (sorted path
+/// order, so the "first corrupt artifact" is deterministic). Quarantined
+/// *.corrupt files and in-flight *.tmp.* files are skipped; non-container
+/// files (reports, metrics JSON) are ignored.
+int cmd_verify_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    std::fprintf(stderr, "verify --dir: not a directory: %s\n", dir.c_str());
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (const fs::directory_entry& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    const std::string p = e.path().string();
+    const std::string name = e.path().filename().string();
+    if (name.size() >= 8 && name.substr(name.size() - 8) == ".corrupt") {
+      continue;  // already quarantined — that is the recorded state
+    }
+    if (name.find(".tmp.") != std::string::npos) continue;
+    if (!durable::looks_like_container(p)) continue;
+    files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t checked = 0;
+  for (const std::string& p : files) {
+    try {
+      const durable::ContainerReader c = durable::ContainerReader::read_file(p);
+      ++checked;
+      std::printf("  %-52s %s v%u  intact\n", p.c_str(), c.format().c_str(),
+                  c.version());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s: CORRUPT — %s\n", p.c_str(), e.what());
+      std::fprintf(stderr, "verify --dir %s: FAILED after %zu intact file(s)\n",
+                   dir.c_str(), checked);
+      return 1;
+    }
+  }
+  std::printf("verify --dir %s: %zu container(s) intact\n", dir.c_str(),
+              checked);
+  return 0;
+}
+
 int cmd_verify(int argc, char** argv) {
   if (argc < 1) return usage();
+  if (std::strcmp(argv[0], "--dir") == 0) {
+    if (argc < 2) return usage();
+    return cmd_verify_dir(argv[1]);
+  }
   const std::string path = argv[0];
+  return verify_one(path);
+}
 
+int verify_one(const std::string& path) {
   if (!durable::looks_like_container(path)) {
     // Legacy text work traces predate the framed format; validate them by
     // loading through the trace reader.
@@ -224,6 +299,98 @@ int cmd_verify(int argc, char** argv) {
     std::fprintf(stderr, "%s: CORRUPT — %s\n", path.c_str(), e.what());
     return 1;
   }
+}
+
+int cmd_batch(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string dataset = argv[0];
+  if (dataset != "TEST" && dataset != "LA" && dataset != "NE") {
+    // Fail fast on a typo'd dataset instead of quarantining every
+    // scenario with the same ConfigError and exiting 0.
+    std::fprintf(stderr, "error: unknown batch dataset: %s\n",
+                 dataset.c_str());
+    return 2;
+  }
+  svc::JobMixOptions mix;
+  mix.dataset = dataset;
+  svc::BatchOptions opts;
+  std::string out_dir = "batch_out";
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--scenarios")) {
+      mix.scenarios = std::atoi(argv[++i]);
+      if (mix.scenarios < 1) return usage();
+    } else if (flag("--seed")) {
+      opts.batch_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag("--threads")) {
+      opts.threads = std::atoi(argv[++i]);
+    } else if (flag("--max-attempts")) {
+      opts.max_attempts = std::atoi(argv[++i]);
+      if (opts.max_attempts < 1) return usage();
+    } else if (flag("--out")) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+      opts.degrade = false;
+    } else if (flag("--chaos-node-death")) {
+      opts.chaos.node_death = std::atof(argv[++i]);
+    } else if (flag("--chaos-straggler")) {
+      opts.chaos.straggler = std::atof(argv[++i]);
+    } else if (flag("--chaos-storage")) {
+      opts.chaos.storage_fault = std::atof(argv[++i]);
+    } else if (flag("--chaos-payload")) {
+      opts.chaos.payload_corruption = std::atof(argv[++i]);
+    } else if (flag("--chaos-numerics")) {
+      opts.chaos.numerics = std::atof(argv[++i]);
+    } else if (flag("--poison")) {
+      for (int id : parse_nodes(argv[++i])) {
+        opts.chaos.poison_scenarios.push_back(id);
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  std::filesystem::create_directories(out_dir);
+  opts.archive_dir = out_dir + "/archive";
+  const int threads = par::resolve_threads(opts.threads);
+  opts.threads = threads;
+  obs::TraceRecorder recorder(threads);
+  obs::MetricsRegistry registry;
+  opts.trace = &recorder;
+  opts.metrics = &registry;
+
+  const std::vector<svc::ScenarioSpec> specs =
+      svc::make_job_mix(opts.batch_seed, mix);
+  std::printf("batch: %d %s scenario(s), seed %llu, %d thread(s), chaos %s\n",
+              mix.scenarios, dataset.c_str(),
+              static_cast<unsigned long long>(opts.batch_seed), threads,
+              opts.chaos.any() ? "on" : "off");
+
+  svc::BatchSupervisor supervisor(opts);
+  const svc::BatchReport report = supervisor.run(specs);
+
+  for (const svc::ScenarioResult& r : report.results) {
+    std::printf("  %-8s %2dh  %-11s attempts %zu  checksum %s\n",
+                r.spec.name.c_str(), r.spec.hours, to_string(r.status),
+                r.attempts.size(),
+                r.checksum.empty() ? "-" : r.checksum.c_str());
+  }
+  std::printf("rounds %d: %d ok, %d degraded, %d quarantined; "
+              "%d retries, %d infra / %d scenario faults, %d breaker trip(s)\n",
+              report.rounds, report.completed, report.degraded,
+              report.quarantined, report.retries, report.infra_faults,
+              report.scenario_faults, report.breaker_trips);
+
+  const std::string report_path = out_dir + "/batch_report.json";
+  const std::string metrics_path = out_dir + "/metrics.json";
+  obs::write_json_file(report_path, report.canonical_json());
+  obs::write_json_file(metrics_path,
+                       registry.to_json(dataset + "-batch"));
+  std::printf("wrote %s, %s, archive in %s\n", report_path.c_str(),
+              metrics_path.c_str(), opts.archive_dir.c_str());
+  return 0;
 }
 
 int cmd_trace(int argc, char** argv) {
@@ -342,6 +509,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "trace") == 0) {
       return cmd_trace(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "batch") == 0) {
+      return cmd_batch(argc - 2, argv + 2);
     }
     return usage();
   } catch (const std::exception& e) {

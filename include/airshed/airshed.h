@@ -53,6 +53,9 @@
 #include "airshed/par/pool.hpp"
 #include "airshed/perf/model.hpp"
 #include "airshed/popexp/popexp.hpp"
+#include "airshed/svc/archive.hpp"
+#include "airshed/svc/scenario.hpp"
+#include "airshed/svc/supervisor.hpp"
 #include "airshed/transport/onedim.hpp"
 #include "airshed/transport/supg.hpp"
 #include "airshed/util/array.hpp"

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -53,10 +54,26 @@ class StorageError : public Error {
   std::uint64_t offset_ = 0;
 };
 
+/// Consecutive zero-progress write attempts tolerated by atomic_write_file
+/// before it gives up. Transient EINTR / EAGAIN / short writes within the
+/// budget are retried silently; the budget resets on any progress.
+inline constexpr int kMaxWriteRetries = 8;
+
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
-/// flush to disk, rename over the target. Throws Error on I/O failure
-/// (the temp file is removed; the previous `path` content is untouched).
+/// write with bounded retry of transient EINTR/short-write failures,
+/// fsync, then rename over the target. Throws StorageError (section
+/// "atomic-write", offset = bytes landed) on persistent I/O failure; the
+/// temp file is removed and the previous `path` content is untouched.
 void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// Test seam: replaces the write(2) call inside atomic_write_file. The
+/// hook receives (fd, buf, len) and returns bytes written, 0 for a
+/// zero-progress short write, or -1 with errno set (e.g. EINTR). Pass an
+/// empty function to restore the real write(2). Not thread-safe: install
+/// only from single-threaded test setup.
+using AtomicWriteHook = std::function<long(int fd, const void* buf,
+                                           std::size_t len)>;
+void set_atomic_write_hook(AtomicWriteHook hook);
 
 // ---------------------------------------------------------------------------
 // Payload codec: little-endian primitives inside a section payload.

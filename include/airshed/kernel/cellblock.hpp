@@ -16,12 +16,15 @@
 // the reference oracle; results match bit for bit at every block size.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <memory>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "airshed/util/array.hpp"
+#include "airshed/util/error.hpp"
 
 namespace airshed::kernel {
 
@@ -206,6 +209,58 @@ class CellBlock {
   AlignedBuffer data_;
 };
 
+/// Non-finite values detected at a block commit. Unlike the solvers' plain
+/// NumericalError (a convergence failure inside one integrator), this names
+/// exactly where poisoned state entered the committed field — (hour, block,
+/// species, cell) — so a batch supervisor can quarantine the one scenario
+/// instead of debugging a NaN that surfaced hours later.
+class NumericsError : public NumericalError {
+ public:
+  NumericsError(int hour, int block, int species, std::size_t cell)
+      : NumericalError("non-finite concentration committed at hour " +
+                       std::to_string(hour) + ", cell block " +
+                       std::to_string(block) + ", species " +
+                       std::to_string(species) + ", cell " +
+                       std::to_string(cell)),
+        hour_(hour),
+        block_(block),
+        species_(species),
+        cell_(cell) {}
+
+  int hour() const { return hour_; }
+  int block() const { return block_; }
+  int species() const { return species_; }
+  std::size_t cell() const { return cell_; }
+
+ private:
+  int hour_ = -1;
+  int block_ = -1;
+  int species_ = -1;
+  std::size_t cell_ = 0;
+};
+
+/// Block-commit tripwire: scans cells [first, first + width) of every
+/// species and layer and throws NumericsError at the first NaN/Inf. Called
+/// once per (block, step) after vertical transport writes the block back,
+/// so poisoned state is caught at the commit that produced it. Cost is one
+/// predictable read pass over data already hot in cache.
+inline void check_block_finite(const ConcentrationField& conc,
+                               std::size_t first, std::size_t width, int hour,
+                               int block) {
+  const std::size_t species = conc.dim0();
+  const std::size_t layers = conc.dim1();
+  for (std::size_t s = 0; s < species; ++s) {
+    for (std::size_t k = 0; k < layers; ++k) {
+      const double* lane = conc.slice(s, k).data() + first;
+      for (std::size_t i = 0; i < width; ++i) {
+        if (!std::isfinite(lane[i])) {
+          throw NumericsError(hour, block, static_cast<int>(s), first + i);
+        }
+      }
+    }
+  }
+}
+
 /// Knobs for the blocked execution path, carried in ModelOptions. The
 /// blocked path is bit-identical to the scalar oracle at every block size
 /// and thread count, so these only trade speed.
@@ -217,6 +272,9 @@ struct KernelOptions {
   int block = 32;
   /// Species per transport inner block (amortizes element/line loads).
   int species_block = 8;
+  /// Detect NaN/Inf at chemistry block commit (check_block_finite) and
+  /// raise a typed NumericsError naming (hour, block, species, cell).
+  bool tripwire = true;
 };
 
 }  // namespace airshed::kernel

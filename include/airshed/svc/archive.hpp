@@ -1,0 +1,91 @@
+// airshed::svc — durable batch result archive.
+//
+// Scenario results stream into a directory of framed containers, one file
+// per (scenario, attempt) generation — the CheckpointVault pattern applied
+// to batch outputs. A retried scenario leaves its failed generations on
+// disk (renamed *.corrupt when detected bad), and the manifest — itself a
+// durable container, rewritten atomically after the batch — records which
+// generation is authoritative per scenario. `airshed_cli verify --dir`
+// re-validates the whole tree offline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "airshed/io/hourly.hpp"
+#include "airshed/svc/scenario.hpp"
+
+namespace airshed::svc {
+
+class BatchArchive {
+ public:
+  static constexpr const char* kResultFormat = "airshed-scenario-result";
+  static constexpr const char* kManifestFormat = "airshed-batch-manifest";
+
+  /// Binds the archive to `dir` (created if missing).
+  explicit BatchArchive(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// "<dir>/scn_<id>_a<NN>.result" — attempt is the generation number.
+  std::string result_path(int scenario_id, int attempt) const;
+  std::string manifest_path() const;
+
+  /// Encodes a result container (sections "spec" + "result") in memory.
+  /// Exposed separately from write_result so the supervisor's chaos path
+  /// can corrupt the encoded bytes before they land on disk.
+  static std::string encode_result(const ScenarioSpec& spec,
+                                   const std::string& status, int attempt,
+                                   std::uint64_t checksum,
+                                   const std::vector<HourlyStats>& hourly);
+
+  /// encode_result + atomic write. Returns the file path. Throws
+  /// durable::StorageError on write failure.
+  std::string write_result(const ScenarioSpec& spec, const std::string& status,
+                           int attempt, std::uint64_t checksum,
+                           const std::vector<HourlyStats>& hourly) const;
+
+  /// A fully validated stored result.
+  struct StoredResult {
+    ScenarioSpec spec;
+    std::string status;
+    int attempt = 0;
+    std::uint64_t checksum = 0;
+    std::vector<HourlyStats> hourly;
+  };
+
+  /// Reads and fully validates a result file (framing, CRCs, digest,
+  /// payload decode). Throws durable::StorageError on any defect.
+  static StoredResult read_result(const std::string& path);
+
+  /// Renames a corrupt artifact to "<path>.corrupt" (the vault's
+  /// quarantine idiom). Returns the new path; missing files return "".
+  static std::string quarantine(const std::string& path);
+
+  /// One manifest row: the authoritative generation for a scenario.
+  struct ManifestEntry {
+    int id = 0;
+    std::string status;   ///< "ok" | "degraded" | "quarantined"
+    int attempt = 0;      ///< authoritative generation (-1 = none on disk)
+    std::uint64_t checksum = 0;
+    std::string file;     ///< result file name relative to dir ("" = none)
+  };
+
+  /// Atomically rewrites the manifest (entries in scenario-id order).
+  void write_manifest(std::uint64_t batch_seed,
+                      const std::vector<ManifestEntry>& entries) const;
+
+  struct Manifest {
+    std::uint64_t batch_seed = 0;
+    std::vector<ManifestEntry> entries;
+  };
+
+  /// Reads and validates the manifest. Throws durable::StorageError.
+  Manifest read_manifest() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace airshed::svc

@@ -1,0 +1,231 @@
+// airshed::svc — resilient multi-scenario batch supervisor.
+//
+// Runs a seeded job queue of scenario simulations concurrently over the
+// worker pool, fault-first: a scenario that throws, produces non-finite
+// fields, or hits a corrupt artifact is isolated — retried with seeded
+// exponential backoff, degraded to the coarse uniform grid, or quarantined
+// — and NEVER aborts the batch. Repeated *infrastructure* faults (storage
+// errors, node deaths, deadline blowouts — as opposed to scenario faults
+// like bad numerics) trip a circuit breaker that pauses dispatch for a
+// cooldown, then probes with a single scenario before reopening the gates
+// (the ParalleX-style reschedule-instead-of-abort discipline,
+// arXiv:1109.5201).
+//
+// Determinism contract: execution is round-structured. Each round runs one
+// attempt for every dispatchable scenario under a pool barrier; retry /
+// degrade / quarantine / breaker decisions are then taken serially in
+// scenario-id order. Every injected fault, backoff jitter, straggler
+// factor and death hour is pure in (batch_seed, scenario_id, attempt) —
+// so the batch report (BatchReport::canonical_json) is bit-identical at
+// every thread count, including which scenarios were degraded or
+// quarantined and when the breaker tripped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "airshed/core/model.hpp"
+#include "airshed/obs/json.hpp"
+#include "airshed/obs/metrics.hpp"
+#include "airshed/obs/trace.hpp"
+#include "airshed/svc/archive.hpp"
+#include "airshed/svc/scenario.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed::svc {
+
+/// Infrastructure failure (node death, resource loss): the work was fine,
+/// the machinery failed. Feeds the circuit breaker; retried with backoff.
+class InfraError : public Error {
+ public:
+  explicit InfraError(const std::string& what) : Error(what) {}
+};
+
+/// A scenario exceeded its virtual-time deadline (straggler detection).
+/// Classified as an infrastructure fault: stragglers are a property of the
+/// machine, not of the scenario's inputs.
+class DeadlineError : public InfraError {
+ public:
+  explicit DeadlineError(const std::string& what) : InfraError(what) {}
+};
+
+/// The fault class injected into one (scenario, attempt) execution.
+enum class FaultClass {
+  None,
+  NodeDeath,          ///< the executing node dies mid-run (infra)
+  Straggler,          ///< bounded-Pareto slowdown; may blow the deadline (infra)
+  StorageFault,       ///< archive write corrupted on disk (infra)
+  PayloadCorruption,  ///< result payload corrupted in flight (infra)
+  Numerics,           ///< poisoned inputs -> non-finite fields (scenario)
+};
+
+const char* to_string(FaultClass fault);
+
+/// Per-attempt fault-injection probabilities. Draws are mutually exclusive
+/// (one uniform per attempt walks the cumulative distribution) and pure in
+/// (batch_seed, scenario_id, attempt).
+struct ChaosOptions {
+  double node_death = 0.0;
+  double straggler = 0.0;
+  double storage_fault = 0.0;
+  double payload_corruption = 0.0;
+  double numerics = 0.0;
+  /// Straggler slowdown distribution: bounded Pareto on [1, cap], tail
+  /// index alpha (the FaultPlan straggler model).
+  double straggler_alpha = 1.5;
+  double straggler_cap = 8.0;
+  /// Scenarios whose fine-grid inputs are poisoned on EVERY attempt (a
+  /// persistent NaN stack emission): retries cannot save them, so they
+  /// exercise the degrade -> quarantine ladder end to end.
+  std::vector<int> poison_scenarios;
+
+  bool any() const {
+    return node_death > 0 || straggler > 0 || storage_fault > 0 ||
+           payload_corruption > 0 || numerics > 0 || !poison_scenarios.empty();
+  }
+};
+
+struct BatchOptions {
+  std::uint64_t batch_seed = 42;
+  /// Worker-pool size for scenario-level parallelism (0 = AIRSHED_THREADS
+  /// or hardware). Scenario model runs are pinned to host_threads = 1, so
+  /// this is the only parallelism knob.
+  int threads = 0;
+  /// Fine-grid attempts per scenario before degradation / quarantine.
+  int max_attempts = 3;
+  /// Seeded exponential backoff between fine-grid attempts:
+  /// min(cap, base * 2^(attempt-1)) * jitter, jitter uniform in [0.5, 1).
+  double backoff_base_ms = 100.0;
+  double backoff_cap_ms = 5000.0;
+  /// Fraction of the computed backoff actually slept (0 = record only —
+  /// the default, so tests and benches never wait on wall clock).
+  double backoff_scale = 0.0;
+  /// Virtual-time deadline: an attempt is aborted when
+  /// completed_hours * slowdown exceeds deadline_factor * scenario hours.
+  double deadline_factor = 2.0;
+  /// Breaker trips after this many consecutive infra faults (scenario-id
+  /// order across rounds); <= 0 disables the breaker.
+  int breaker_threshold = 4;
+  /// Rounds the breaker stays open before half-open probing.
+  int breaker_cooldown_rounds = 2;
+  /// Rerun exhausted scenarios on the coarse uniform grid (tagged
+  /// "degraded") instead of quarantining outright.
+  bool degrade = true;
+  std::size_t degrade_nx = 8;
+  std::size_t degrade_ny = 8;
+  ChaosOptions chaos;
+  /// Durable archive directory; empty = no on-disk archive (payload /
+  /// storage chaos is then simulated on the in-memory encoding).
+  std::string archive_dir;
+  /// Optional host-span recorder. Needs at least as many lanes as the
+  /// resolved thread count. Purely observational.
+  obs::TraceRecorder* trace = nullptr;
+  /// Optional metrics sink: retry/degrade/quarantine/breaker counters
+  /// (see record_metrics) are published here after the run.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+enum class ScenarioStatus { Ok, Degraded, Quarantined };
+
+const char* to_string(ScenarioStatus status);
+
+/// One executed attempt of one scenario.
+struct AttemptRecord {
+  int attempt = 0;      ///< 0-based; degrade attempts keep counting
+  int round = 0;        ///< supervisor round that ran it
+  FaultClass injected = FaultClass::None;
+  bool degraded_run = false;  ///< coarse-grid fallback attempt
+  bool ok = false;
+  bool infra = false;   ///< failure classified as infrastructure
+  double slowdown = 1.0;
+  /// Backoff scheduled before the NEXT attempt (0 when terminal).
+  double backoff_ms = 0.0;
+  std::string error;    ///< exception text ("" on success)
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  ScenarioStatus status = ScenarioStatus::Quarantined;
+  std::vector<AttemptRecord> attempts;
+  /// FNV-1a field digest (hex) of the committed result ("" if quarantined).
+  std::string checksum;
+  std::string archive_file;       ///< committed artifact ("" without archive)
+  std::string quarantine_reason;  ///< last error ("" unless quarantined)
+
+  int retries() const {
+    return attempts.empty() ? 0 : static_cast<int>(attempts.size()) - 1;
+  }
+};
+
+/// One circuit-breaker state transition.
+struct BreakerEvent {
+  int round = 0;
+  std::string transition;  ///< "open" | "half-open" | "close" | "reopen"
+  int consecutive_infra = 0;
+};
+
+struct BatchReport {
+  std::uint64_t batch_seed = 0;
+  int rounds = 0;
+  int completed = 0;    ///< status Ok
+  int degraded = 0;
+  int quarantined = 0;
+  int retries = 0;      ///< attempts beyond the first, summed
+  int infra_faults = 0;
+  int scenario_faults = 0;
+  int breaker_trips = 0;
+  std::vector<ScenarioResult> results;  ///< scenario-id order
+  std::vector<BreakerEvent> breaker_events;
+
+  /// Thread-count-invariant JSON ("airshed-batch-report-v1"): everything
+  /// above, no wall-clock and no thread count — byte-identical for the
+  /// same (batch_seed, specs, options) at 1, 2 or N threads.
+  obs::JsonWriter canonical_json() const;
+};
+
+// ---------------------------------------------------------------------------
+// Pure decision functions (exposed for tests: every one is a function of
+// its arguments only).
+// ---------------------------------------------------------------------------
+
+/// Fault class injected into (scenario, attempt). One uniform draw walks
+/// the cumulative class probabilities, so classes are mutually exclusive.
+FaultClass injected_fault(std::uint64_t batch_seed, int scenario_id,
+                          int attempt, const ChaosOptions& chaos);
+
+/// Straggler slowdown factor >= 1 (bounded Pareto).
+double straggler_factor(std::uint64_t batch_seed, int scenario_id, int attempt,
+                        const ChaosOptions& chaos);
+
+/// Hour after which a NodeDeath attempt dies, in [0, hours).
+int death_hour(std::uint64_t batch_seed, int scenario_id, int attempt,
+               int hours);
+
+/// Backoff before `attempt` (>= 1): exponential with seeded jitter.
+double backoff_ms(std::uint64_t batch_seed, int scenario_id, int attempt,
+                  const BatchOptions& opts);
+
+/// Bit-exact digest over a run's final fields (conc then pm, raw bytes).
+std::uint64_t field_digest(const RunOutputs& outputs);
+
+/// Publishes the report's counts into `reg` under the "svc/" namespace.
+void record_metrics(obs::MetricsRegistry& reg, const BatchReport& report);
+
+/// The supervisor. One instance runs one batch.
+class BatchSupervisor {
+ public:
+  explicit BatchSupervisor(BatchOptions opts = {});
+
+  const BatchOptions& options() const { return opts_; }
+
+  /// Executes every scenario to a terminal status. Never throws for
+  /// scenario-level failures (that is the point); throws only on
+  /// supervisor-level misconfiguration (e.g. unwritable archive dir).
+  BatchReport run(const std::vector<ScenarioSpec>& specs);
+
+ private:
+  BatchOptions opts_;
+};
+
+}  // namespace airshed::svc

@@ -275,6 +275,12 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
           const VerticalStepResult vr = vert[t].advance_columns(
               conc, v0, bw, in.kz_m2s, in.surface_flux, deposition,
               std::span<const double* const>(scr.elev.data(), bw), dt_min);
+          // Block commit: everything this block writes (chemistry scatter +
+          // vertical transport) is now in the field — last chance to catch
+          // poisoned state where it entered rather than hours downstream.
+          if (ko.tripwire) {
+            kernel::check_block_finite(conc, v0, bw, h, static_cast<int>(blk));
+          }
           for (std::size_t i = 0; i < bw; ++i) {
             step.chem_column_work[v0 + i] = scr.colwork[i] + vr.work_flops;
           }

@@ -347,6 +347,11 @@ ModelRunResult UniformAirshedModel::run_hours(
           const VerticalStepResult vr = vert[t].advance_columns(
               conc, c0, bw, in.kz_m2s, in.surface_flux, deposition,
               std::span<const double* const>(scr.elev.data(), bw), dt_min);
+          // Block commit tripwire (see core/model.cpp): trap non-finite
+          // state at the block that produced it.
+          if (ko.tripwire) {
+            kernel::check_block_finite(conc, c0, bw, h, static_cast<int>(blk));
+          }
           for (std::size_t i = 0; i < bw; ++i) {
             step.chem_column_work[c0 + i] = scr.colwork[i] + vr.work_flops;
           }

@@ -1,8 +1,11 @@
 #include "airshed/durable/container.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <bit>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -55,29 +58,82 @@ StorageError::StorageError(std::string path, std::string section,
       section_(std::move(section)),
       offset_(offset) {}
 
+namespace {
+
+AtomicWriteHook g_write_hook;
+
+long write_some(int fd, const void* buf, std::size_t n) {
+  if (g_write_hook) return g_write_hook(fd, buf, n);
+  return static_cast<long>(::write(fd, buf, n));
+}
+
+}  // namespace
+
+void set_atomic_write_hook(AtomicWriteHook hook) {
+  g_write_hook = std::move(hook);
+}
+
 void atomic_write_file(const std::string& path, std::string_view bytes) {
   namespace fs = std::filesystem;
-  const std::string tmp =
-      path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw Error("cannot open temp file for writing: " + tmp);
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) {
-      os.close();
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw StorageError(path, "atomic-write", 0,
+                       "cannot open temp file for writing: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+
+  // write(2) may legally transfer fewer bytes than asked or fail with
+  // EINTR; both are transient, not corruption. Retry a bounded number of
+  // times — the budget resets whenever a call makes progress, so only a
+  // genuinely stuck file (kMaxWriteRetries consecutive zero-progress
+  // attempts) surfaces as a StorageError.
+  std::size_t off = 0;
+  int stalled = 0;
+  while (off < bytes.size()) {
+    const long n = write_some(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      stalled = 0;
+      continue;
+    }
+    const bool transient = n == 0 || errno == EINTR || errno == EAGAIN;
+    if (!transient || ++stalled >= kMaxWriteRetries) {
+      const std::string reason =
+          n < 0 ? std::strerror(errno) : "no progress (short writes)";
+      ::close(fd);
       std::error_code ec;
       fs::remove(tmp, ec);
-      throw Error("failed writing temp file: " + tmp);
+      throw StorageError(path, "atomic-write", off,
+                         "failed writing temp file " + tmp + " after " +
+                             std::to_string(stalled) + " retries: " + reason);
     }
   }
+
+  // Flush file data before the rename: a crash between rename and flush
+  // must not leave the *final* name pointing at torn data.
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 || ::close(fd) != 0) {
+    const std::string reason = std::strerror(errno);
+    if (rc != 0) ::close(fd);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw StorageError(path, "atomic-write", off,
+                       "failed flushing temp file " + tmp + ": " + reason);
+  }
+
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     std::error_code ec2;
     fs::remove(tmp, ec2);
-    throw Error("failed renaming " + tmp + " over " + path + ": " +
-                ec.message());
+    throw StorageError(path, "atomic-write", off,
+                       "failed renaming " + tmp + " over " + path + ": " +
+                           ec.message());
   }
 }
 

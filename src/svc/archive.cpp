@@ -1,0 +1,182 @@
+#include "airshed/svc/archive.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "airshed/durable/container.hpp"
+#include "airshed/util/error.hpp"
+
+namespace airshed::svc {
+
+namespace fs = std::filesystem;
+using durable::ContainerReader;
+using durable::ContainerWriter;
+using durable::PayloadReader;
+using durable::PayloadWriter;
+
+BatchArchive::BatchArchive(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  AIRSHED_REQUIRE(!ec, "BatchArchive: cannot create archive directory");
+}
+
+std::string BatchArchive::result_path(int scenario_id, int attempt) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "scn_%03d_a%02d.result", scenario_id,
+                attempt);
+  return (fs::path(dir_) / name).string();
+}
+
+std::string BatchArchive::manifest_path() const {
+  return (fs::path(dir_) / "batch.manifest").string();
+}
+
+namespace {
+
+void put_spec(PayloadWriter& w, const ScenarioSpec& s) {
+  w.u32(static_cast<std::uint32_t>(s.id))
+      .str(s.name)
+      .str(s.dataset)
+      .u32(static_cast<std::uint32_t>(s.hours))
+      .f64(s.controls.nox_scale)
+      .f64(s.controls.voc_scale)
+      .f64(s.controls.co_scale)
+      .f64(s.controls.so2_scale)
+      .f64(s.controls.nh3_scale)
+      .f64(s.emission_perturbation);
+}
+
+ScenarioSpec get_spec(PayloadReader& r) {
+  ScenarioSpec s;
+  s.id = static_cast<int>(r.u32());
+  s.name = r.str();
+  s.dataset = r.str();
+  s.hours = static_cast<int>(r.u32());
+  s.controls.nox_scale = r.f64();
+  s.controls.voc_scale = r.f64();
+  s.controls.co_scale = r.f64();
+  s.controls.so2_scale = r.f64();
+  s.controls.nh3_scale = r.f64();
+  s.emission_perturbation = r.f64();
+  return s;
+}
+
+}  // namespace
+
+std::string BatchArchive::encode_result(const ScenarioSpec& spec,
+                                        const std::string& status, int attempt,
+                                        std::uint64_t checksum,
+                                        const std::vector<HourlyStats>& hourly) {
+  ContainerWriter w(kResultFormat, 1);
+
+  PayloadWriter sp;
+  put_spec(sp, spec);
+  w.add_section("spec", std::move(sp).take());
+
+  PayloadWriter rp;
+  rp.str(status)
+      .u32(static_cast<std::uint32_t>(attempt))
+      .u64(checksum)
+      .u64(hourly.size());
+  for (const HourlyStats& h : hourly) {
+    rp.u32(static_cast<std::uint32_t>(h.hour))
+        .f64(h.max_surface_o3_ppm)
+        .f64(h.max_o3_location.x)
+        .f64(h.max_o3_location.y)
+        .f64(h.mean_surface_o3_ppm)
+        .f64(h.mean_surface_no2_ppm)
+        .f64(h.mean_surface_co_ppm)
+        .f64(h.total_pm_nitrate);
+  }
+  w.add_section("result", std::move(rp).take());
+  return w.encode();
+}
+
+std::string BatchArchive::write_result(
+    const ScenarioSpec& spec, const std::string& status, int attempt,
+    std::uint64_t checksum, const std::vector<HourlyStats>& hourly) const {
+  const std::string path = result_path(spec.id, attempt);
+  durable::atomic_write_file(
+      path, encode_result(spec, status, attempt, checksum, hourly));
+  return path;
+}
+
+BatchArchive::StoredResult BatchArchive::read_result(const std::string& path) {
+  ContainerReader c = ContainerReader::read_file(path, kResultFormat);
+  StoredResult out;
+
+  PayloadReader sp = c.open("spec");
+  out.spec = get_spec(sp);
+  sp.expect_end();
+
+  PayloadReader rp = c.open("result");
+  out.status = rp.str();
+  out.attempt = static_cast<int>(rp.u32());
+  out.checksum = rp.u64();
+  const std::uint64_t n = rp.u64();
+  if (n > (1u << 20)) rp.fail("implausible hourly-stats count");
+  out.hourly.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    HourlyStats h;
+    h.hour = static_cast<int>(rp.u32());
+    h.max_surface_o3_ppm = rp.f64();
+    h.max_o3_location.x = rp.f64();
+    h.max_o3_location.y = rp.f64();
+    h.mean_surface_o3_ppm = rp.f64();
+    h.mean_surface_no2_ppm = rp.f64();
+    h.mean_surface_co_ppm = rp.f64();
+    h.total_pm_nitrate = rp.f64();
+    out.hourly.push_back(h);
+  }
+  rp.expect_end();
+  return out;
+}
+
+std::string BatchArchive::quarantine(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return {};
+  const std::string target = path + ".corrupt";
+  fs::rename(path, target, ec);
+  if (ec) return {};
+  return target;
+}
+
+void BatchArchive::write_manifest(
+    std::uint64_t batch_seed, const std::vector<ManifestEntry>& entries) const {
+  ContainerWriter w(kManifestFormat, 1);
+  PayloadWriter p;
+  p.u64(batch_seed).u64(entries.size());
+  for (const ManifestEntry& e : entries) {
+    p.u32(static_cast<std::uint32_t>(e.id))
+        .str(e.status)
+        .i64(e.attempt)
+        .u64(e.checksum)
+        .str(e.file);
+  }
+  w.add_section("scenarios", std::move(p).take());
+  w.write_atomic(manifest_path());
+}
+
+BatchArchive::Manifest BatchArchive::read_manifest() const {
+  ContainerReader c = ContainerReader::read_file(manifest_path(), kManifestFormat);
+  PayloadReader p = c.open("scenarios");
+  Manifest m;
+  m.batch_seed = p.u64();
+  const std::uint64_t n = p.u64();
+  if (n > (1u << 20)) p.fail("implausible manifest entry count");
+  m.entries.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ManifestEntry e;
+    e.id = static_cast<int>(p.u32());
+    e.status = p.str();
+    e.attempt = static_cast<int>(p.i64());
+    e.checksum = p.u64();
+    e.file = p.str();
+    m.entries.push_back(std::move(e));
+  }
+  p.expect_end();
+  return m;
+}
+
+}  // namespace airshed::svc

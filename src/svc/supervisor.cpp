@@ -1,0 +1,585 @@
+#include "airshed/svc/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <thread>
+
+#include "airshed/core/uniform_model.hpp"
+#include "airshed/durable/container.hpp"
+#include "airshed/par/pool.hpp"
+#include "airshed/util/hash.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed::svc {
+
+namespace {
+
+/// Hash-derived stream for one (batch_seed, scenario, attempt, salt) tuple:
+/// the draw for any attempt never depends on any other attempt's draws.
+Rng decision_stream(std::uint64_t batch_seed, int scenario_id, int attempt,
+                    const char* salt) {
+  std::uint64_t h = fnv1a_bytes(salt);
+  h = h * kFnvPrime ^ batch_seed;
+  h = h * kFnvPrime ^ static_cast<std::uint64_t>(scenario_id);
+  h = h * kFnvPrime ^ static_cast<std::uint64_t>(attempt);
+  return Rng(h);
+}
+
+std::string_view double_bytes(std::span<const double> v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size() * sizeof(double)};
+}
+
+}  // namespace
+
+const char* to_string(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::None: return "none";
+    case FaultClass::NodeDeath: return "node-death";
+    case FaultClass::Straggler: return "straggler";
+    case FaultClass::StorageFault: return "storage-fault";
+    case FaultClass::PayloadCorruption: return "payload-corruption";
+    case FaultClass::Numerics: return "numerics";
+  }
+  return "unknown";
+}
+
+const char* to_string(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::Ok: return "ok";
+    case ScenarioStatus::Degraded: return "degraded";
+    case ScenarioStatus::Quarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+FaultClass injected_fault(std::uint64_t batch_seed, int scenario_id,
+                          int attempt, const ChaosOptions& chaos) {
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-fault");
+  const double u = rng.uniform();
+  double edge = chaos.node_death;
+  if (u < edge) return FaultClass::NodeDeath;
+  edge += chaos.straggler;
+  if (u < edge) return FaultClass::Straggler;
+  edge += chaos.storage_fault;
+  if (u < edge) return FaultClass::StorageFault;
+  edge += chaos.payload_corruption;
+  if (u < edge) return FaultClass::PayloadCorruption;
+  edge += chaos.numerics;
+  if (u < edge) return FaultClass::Numerics;
+  return FaultClass::None;
+}
+
+double straggler_factor(std::uint64_t batch_seed, int scenario_id, int attempt,
+                        const ChaosOptions& chaos) {
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-straggler");
+  return bounded_pareto(rng.uniform(), 1.0, chaos.straggler_cap,
+                        chaos.straggler_alpha);
+}
+
+int death_hour(std::uint64_t batch_seed, int scenario_id, int attempt,
+               int hours) {
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-death");
+  return static_cast<int>(
+      rng.uniform_index(static_cast<std::uint64_t>(std::max(1, hours))));
+}
+
+double backoff_ms(std::uint64_t batch_seed, int scenario_id, int attempt,
+                  const BatchOptions& opts) {
+  AIRSHED_REQUIRE(attempt >= 1, "backoff precedes a retry attempt");
+  const double exp =
+      opts.backoff_base_ms * std::ldexp(1.0, std::min(attempt - 1, 30));
+  const double capped = std::min(exp, opts.backoff_cap_ms);
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-backoff");
+  return capped * (0.5 + 0.5 * rng.uniform());
+}
+
+std::uint64_t field_digest(const RunOutputs& outputs) {
+  std::uint64_t h = fnv1a_bytes(double_bytes(outputs.conc.flat()));
+  return fnv1a_bytes(double_bytes(outputs.pm.flat()), h);
+}
+
+void record_metrics(obs::MetricsRegistry& reg, const BatchReport& report) {
+  const auto set = [&reg](const char* name, long long v, const char* help) {
+    reg.counter(name, help).inc(v);
+  };
+  set("svc/scenarios", static_cast<long long>(report.results.size()),
+      "scenarios in the batch");
+  set("svc/completed", report.completed, "scenarios finished on the fine grid");
+  set("svc/degraded", report.degraded,
+      "scenarios downgraded to the coarse uniform grid");
+  set("svc/quarantined", report.quarantined,
+      "scenarios isolated after exhausting retries and degradation");
+  set("svc/retries", report.retries, "attempts beyond each scenario's first");
+  set("svc/infra_faults", report.infra_faults,
+      "attempt failures classified as infrastructure");
+  set("svc/scenario_faults", report.scenario_faults,
+      "attempt failures classified as scenario-inherent");
+  set("svc/breaker_trips", report.breaker_trips,
+      "circuit-breaker open transitions");
+  set("svc/rounds", report.rounds, "supervisor dispatch rounds");
+  obs::Histogram& attempts = reg.histogram(
+      "svc/attempts", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0},
+      "attempts per scenario (fine + degraded)");
+  for (const ScenarioResult& r : report.results) {
+    attempts.observe(static_cast<double>(r.attempts.size()));
+  }
+}
+
+obs::JsonWriter BatchReport::canonical_json() const {
+  obs::JsonWriter j;
+  j.begin_object();
+  j.key("schema").value("airshed-batch-report-v1");
+  j.key("batch_seed").value(static_cast<long long>(batch_seed));
+  j.key("rounds").value(rounds);
+  j.key("totals").begin_object();
+  j.key("scenarios").value(results.size());
+  j.key("completed").value(completed);
+  j.key("degraded").value(degraded);
+  j.key("quarantined").value(quarantined);
+  j.key("retries").value(retries);
+  j.key("infra_faults").value(infra_faults);
+  j.key("scenario_faults").value(scenario_faults);
+  j.key("breaker_trips").value(breaker_trips);
+  j.end_object();
+  j.key("breaker_events").begin_array();
+  for (const BreakerEvent& e : breaker_events) {
+    j.begin_object();
+    j.key("round").value(e.round);
+    j.key("transition").value(e.transition);
+    j.key("consecutive_infra").value(e.consecutive_infra);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("scenarios").begin_array();
+  for (const ScenarioResult& r : results) {
+    j.begin_object();
+    j.key("id").value(r.spec.id);
+    j.key("name").value(r.spec.name);
+    j.key("dataset").value(r.spec.dataset);
+    j.key("hours").value(r.spec.hours);
+    j.key("status").value(to_string(r.status));
+    j.key("checksum").value(r.checksum);
+    j.key("archive_file").value(r.archive_file);
+    j.key("quarantine_reason").value(r.quarantine_reason);
+    j.key("attempts").begin_array();
+    for (const AttemptRecord& a : r.attempts) {
+      j.begin_object();
+      j.key("attempt").value(a.attempt);
+      j.key("round").value(a.round);
+      j.key("fault").value(to_string(a.injected));
+      j.key("degraded_run").value(a.degraded_run);
+      j.key("ok").value(a.ok);
+      j.key("infra").value(a.infra);
+      j.key("slowdown").value(a.slowdown);
+      j.key("backoff_ms").value(a.backoff_ms);
+      j.key("error").value(a.error);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j;
+}
+
+namespace {
+
+/// Per-scenario mutable state. Outcome fields are written only by the one
+/// pool thread executing this scenario's attempt in the current round and
+/// read serially after the barrier.
+struct Slot {
+  ScenarioSpec spec;
+  int attempt = 0;             ///< next attempt number
+  bool degrade_mode = false;   ///< next attempt runs the coarse grid
+  std::optional<Dataset> clean_ds;  ///< cached fine-grid inputs
+  ScenarioResult result;
+
+  // Outcome of the attempt just executed.
+  FaultClass fault = FaultClass::None;
+  bool ok = false;
+  bool infra = false;
+  double slowdown = 1.0;
+  std::string error;
+  std::uint64_t checksum = 0;
+  std::vector<HourlyStats> hourly;
+  std::string archive_file;
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+/// Flips one seeded bit of an encoded container (in-flight payload
+/// corruption; the read-back validation must reject it).
+void corrupt_bytes(std::string& bytes, std::uint64_t batch_seed,
+                   int scenario_id, int attempt) {
+  if (bytes.empty()) return;
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-corrupt");
+  const std::size_t pos =
+      static_cast<std::size_t>(rng.uniform_index(bytes.size()));
+  bytes[pos] = static_cast<char>(
+      static_cast<unsigned char>(bytes[pos]) ^
+      static_cast<unsigned char>(1u << rng.uniform_index(8)));
+}
+
+durable::StorageFaultKind storage_fault_kind(std::uint64_t batch_seed,
+                                             int scenario_id, int attempt) {
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-storage");
+  switch (rng.uniform_index(3)) {
+    case 0: return durable::StorageFaultKind::TornWrite;
+    case 1: return durable::StorageFaultKind::BitFlip;
+    default: return durable::StorageFaultKind::LostRename;
+  }
+}
+
+}  // namespace
+
+BatchSupervisor::BatchSupervisor(BatchOptions opts) : opts_(std::move(opts)) {
+  AIRSHED_REQUIRE(opts_.max_attempts >= 1,
+                  "BatchOptions::max_attempts must be >= 1");
+  AIRSHED_REQUIRE(opts_.deadline_factor > 0.0,
+                  "BatchOptions::deadline_factor must be > 0");
+}
+
+BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
+  const BatchOptions& o = opts_;
+  std::optional<BatchArchive> archive;
+  if (!o.archive_dir.empty()) archive.emplace(o.archive_dir);
+
+  std::vector<Slot> slots(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    slots[i].spec = specs[i];
+    slots[i].result.spec = specs[i];
+  }
+
+  BatchReport report;
+  report.batch_seed = o.batch_seed;
+
+  // Keep the canonical report independent of where the archive lives:
+  // artifact references are relative to the archive dir, and error texts
+  // (which embed paths via StorageError) have the dir replaced by a stable
+  // token. Two runs of the same batch into different directories then
+  // produce byte-identical reports.
+  const auto sanitize = [&](std::string text) {
+    if (o.archive_dir.empty()) return text;
+    const std::string prefix = o.archive_dir + "/";
+    std::size_t pos = 0;
+    while ((pos = text.find(prefix, pos)) != std::string::npos) {
+      text.replace(pos, prefix.size(), "<archive>/");
+      pos += 10;
+    }
+    return text;
+  };
+
+  // Executes one attempt of `slot` on pool thread `t`, catching everything:
+  // a scenario failure must never escape into the pool (which would rethrow
+  // it after the barrier and abort the batch).
+  const auto run_attempt = [&](Slot& slot, int t) {
+    const int id = slot.spec.id;
+    const int attempt = slot.attempt;
+    obs::ObsSpan span(o.trace, t, "scenario attempt", PhaseCategory::Recovery,
+                      attempt, id);
+
+    slot.ok = false;
+    slot.infra = false;
+    slot.error.clear();
+    slot.archive_file.clear();
+    slot.slowdown = 1.0;
+    // Degrade attempts run chaos-free: the fallback must not inherit the
+    // failure modes it exists to escape.
+    slot.fault = slot.degrade_mode
+                     ? FaultClass::None
+                     : injected_fault(o.batch_seed, id, attempt, o.chaos);
+
+    if (attempt > 0 && o.backoff_scale > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          o.backoff_scale * backoff_ms(o.batch_seed, id, attempt, o)));
+    }
+
+    try {
+      ModelOptions mo;
+      mo.hours = slot.spec.hours;
+      mo.host_threads = 1;  // scenario-level parallelism only: no nested pools
+
+      std::uint64_t digest = 0;
+      std::vector<HourlyStats> hourly;
+      std::string status;
+      if (slot.degrade_mode) {
+        UniformDataset coarse =
+            build_degraded_dataset(slot.spec, o.degrade_nx, o.degrade_ny);
+        ModelRunResult r = UniformAirshedModel(coarse, mo).run();
+        digest = field_digest(r.outputs);
+        hourly = std::move(r.outputs.hourly);
+        status = "degraded";
+      } else {
+        const bool poison =
+            slot.fault == FaultClass::Numerics ||
+            std::find(o.chaos.poison_scenarios.begin(),
+                      o.chaos.poison_scenarios.end(),
+                      id) != o.chaos.poison_scenarios.end();
+        const Dataset* ds = nullptr;
+        std::optional<Dataset> poisoned;
+        if (poison) {
+          poisoned.emplace(build_scenario_dataset(slot.spec, true));
+          ds = &*poisoned;
+        } else {
+          if (!slot.clean_ds) {
+            slot.clean_ds.emplace(build_scenario_dataset(slot.spec));
+          }
+          ds = &*slot.clean_ds;
+        }
+
+        if (slot.fault == FaultClass::Straggler) {
+          slot.slowdown = straggler_factor(o.batch_seed, id, attempt, o.chaos);
+        }
+        const int death = slot.fault == FaultClass::NodeDeath
+                              ? death_hour(o.batch_seed, id, attempt,
+                                           slot.spec.hours)
+                              : -1;
+
+        int hours_done = 0;
+        const HourCallback watchdog = [&](const HourlyStats&,
+                                          const ConcentrationField&) {
+          ++hours_done;
+          if (death >= 0 && hours_done > death) {
+            throw InfraError("node executing scenario " + std::to_string(id) +
+                             " died after hour " + std::to_string(death));
+          }
+          if (static_cast<double>(hours_done) * slot.slowdown >
+              o.deadline_factor * static_cast<double>(slot.spec.hours)) {
+            throw DeadlineError(
+                "scenario " + std::to_string(id) + " missed its deadline: " +
+                std::to_string(hours_done) + " h at slowdown " +
+                std::to_string(slot.slowdown));
+          }
+        };
+
+        ModelRunResult r = AirshedModel(*ds, mo).run(watchdog);
+        digest = field_digest(r.outputs);
+        hourly = std::move(r.outputs.hourly);
+        status = "ok";
+      }
+
+      // Commit: encode the durable artifact, let the chaos plan attack it,
+      // and accept the result only after read-back validation — a corrupt
+      // artifact is an infrastructure fault, not a success.
+      std::string bytes = BatchArchive::encode_result(slot.spec, status,
+                                                      attempt, digest, hourly);
+      if (slot.fault == FaultClass::PayloadCorruption) {
+        corrupt_bytes(bytes, o.batch_seed, id, attempt);
+      }
+      if (archive) {
+        const std::string path = archive->result_path(id, attempt);
+        durable::atomic_write_file(path, bytes);
+        if (slot.fault == FaultClass::StorageFault) {
+          durable::inject_storage_fault(
+              path, storage_fault_kind(o.batch_seed, id, attempt),
+              o.batch_seed ^ static_cast<std::uint64_t>(id));
+        }
+        try {
+          (void)BatchArchive::read_result(path);
+        } catch (const durable::StorageError&) {
+          BatchArchive::quarantine(path);
+          throw;
+        }
+        slot.archive_file = path;
+      } else {
+        // No archive directory: validate the in-memory encoding so the
+        // payload/storage fault classes still bite identically.
+        if (slot.fault == FaultClass::StorageFault) {
+          corrupt_bytes(bytes, o.batch_seed, id, attempt);
+        }
+        (void)durable::ContainerReader::parse(bytes, "<memory>",
+                                              BatchArchive::kResultFormat);
+      }
+
+      slot.checksum = digest;
+      slot.hourly = std::move(hourly);
+      slot.ok = true;
+    } catch (const durable::StorageError& e) {
+      slot.infra = true;
+      slot.error = sanitize(e.what());
+    } catch (const InfraError& e) {  // includes DeadlineError
+      slot.infra = true;
+      slot.error = e.what();
+    } catch (const std::exception& e) {
+      // NumericsError, NumericalError, ConfigError, anything else: the
+      // scenario itself is at fault.
+      slot.infra = false;
+      slot.error = e.what();
+    }
+  };
+
+  par::WorkerPool pool(o.threads);
+  if (o.trace) pool.set_observer(o.trace);
+
+  std::vector<std::size_t> pending(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) pending[i] = i;
+
+  BreakerState breaker = BreakerState::Closed;
+  int consecutive_infra = 0;
+  int cooldown = 0;
+
+  const auto breaker_event = [&](const char* transition, int round) {
+    report.breaker_events.push_back(
+        BreakerEvent{round, transition, consecutive_infra});
+    obs::ObsSpan span(o.trace, 0, "svc breaker", PhaseCategory::Recovery,
+                      round);
+  };
+
+  while (!pending.empty()) {
+    const int round = report.rounds++;
+
+    // Dispatch set for this round, by breaker state. Half-open probes with
+    // the single lowest pending scenario id.
+    std::vector<std::size_t> runnable;
+    if (breaker == BreakerState::Open) {
+      if (--cooldown > 0) continue;  // burn a cooldown round, dispatch nothing
+      breaker = BreakerState::HalfOpen;
+      breaker_event("half-open", round);
+      runnable.push_back(pending.front());
+    } else if (breaker == BreakerState::HalfOpen) {
+      runnable.push_back(pending.front());
+    } else {
+      runnable = pending;
+    }
+
+    pool.set_phase("svc attempt", PhaseCategory::Recovery, round);
+    pool.for_each(runnable.size(), [&](int t, std::size_t i) {
+      run_attempt(slots[runnable[i]], t);
+    });
+
+    // Serial decision pass in scenario-id order: breaker accounting and
+    // retry / degrade / quarantine transitions are execution-order-free.
+    std::vector<std::size_t> still_pending;
+    const bool probing = breaker == BreakerState::HalfOpen;
+    for (std::size_t idx : pending) {
+      Slot& slot = slots[idx];
+      const bool ran =
+          std::find(runnable.begin(), runnable.end(), idx) != runnable.end();
+      if (!ran) {
+        still_pending.push_back(idx);
+        continue;
+      }
+
+      AttemptRecord rec;
+      rec.attempt = slot.attempt;
+      rec.round = round;
+      rec.injected = slot.fault;
+      rec.degraded_run = slot.degrade_mode;
+      rec.ok = slot.ok;
+      rec.infra = !slot.ok && slot.infra;
+      rec.slowdown = slot.slowdown;
+      rec.error = slot.error;
+
+      if (slot.ok) {
+        consecutive_infra = 0;
+        slot.result.status = slot.degrade_mode ? ScenarioStatus::Degraded
+                                               : ScenarioStatus::Ok;
+        slot.result.checksum = hash_hex(slot.checksum);
+        slot.result.archive_file =
+            slot.archive_file.empty()
+                ? std::string()
+                : std::filesystem::path(slot.archive_file).filename().string();
+        if (slot.degrade_mode) {
+          ++report.degraded;
+        } else {
+          ++report.completed;
+        }
+      } else {
+        if (rec.infra) {
+          ++report.infra_faults;
+          ++consecutive_infra;
+        } else {
+          ++report.scenario_faults;
+          consecutive_infra = 0;
+        }
+
+        if (slot.degrade_mode) {
+          // The chaos-free fallback failed too: isolate the scenario.
+          slot.result.status = ScenarioStatus::Quarantined;
+          slot.result.quarantine_reason = slot.error;
+          ++report.quarantined;
+          obs::ObsSpan span(o.trace, 0, "svc quarantine",
+                            PhaseCategory::Recovery, round, slot.spec.id);
+        } else if (slot.attempt + 1 < o.max_attempts) {
+          rec.backoff_ms =
+              backoff_ms(o.batch_seed, slot.spec.id, slot.attempt + 1, o);
+          ++slot.attempt;
+          ++report.retries;
+          still_pending.push_back(idx);
+          obs::ObsSpan span(o.trace, 0, "svc retry", PhaseCategory::Recovery,
+                            round, slot.spec.id);
+        } else if (o.degrade) {
+          slot.degrade_mode = true;
+          ++slot.attempt;
+          ++report.retries;
+          still_pending.push_back(idx);
+          obs::ObsSpan span(o.trace, 0, "svc degrade", PhaseCategory::Recovery,
+                            round, slot.spec.id);
+        } else {
+          slot.result.status = ScenarioStatus::Quarantined;
+          slot.result.quarantine_reason = slot.error;
+          ++report.quarantined;
+          obs::ObsSpan span(o.trace, 0, "svc quarantine",
+                            PhaseCategory::Recovery, round, slot.spec.id);
+        }
+      }
+      const bool attempt_infra = rec.infra;
+      slot.result.attempts.push_back(std::move(rec));
+
+      if (probing) {
+        // Half-open verdict comes from the probe attempt alone.
+        if (attempt_infra) {
+          breaker = BreakerState::Open;
+          cooldown = std::max(1, o.breaker_cooldown_rounds);
+          breaker_event("reopen", round);
+        } else {
+          breaker = BreakerState::Closed;
+          breaker_event("close", round);
+        }
+      } else if (breaker == BreakerState::Closed && o.breaker_threshold > 0 &&
+                 consecutive_infra >= o.breaker_threshold) {
+        breaker = BreakerState::Open;
+        cooldown = std::max(1, o.breaker_cooldown_rounds);
+        ++report.breaker_trips;
+        breaker_event("open", round);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+
+  report.results.reserve(slots.size());
+  for (Slot& slot : slots) report.results.push_back(std::move(slot.result));
+
+  if (archive) {
+    std::vector<BatchArchive::ManifestEntry> entries;
+    entries.reserve(report.results.size());
+    for (const ScenarioResult& r : report.results) {
+      BatchArchive::ManifestEntry e;
+      e.id = r.spec.id;
+      e.status = to_string(r.status);
+      const bool committed = r.status != ScenarioStatus::Quarantined;
+      e.attempt = committed && !r.attempts.empty()
+                      ? r.attempts.back().attempt
+                      : -1;
+      e.checksum = 0;
+      if (committed && !r.checksum.empty()) {
+        e.checksum = std::strtoull(r.checksum.c_str(), nullptr, 16);
+      }
+      if (!r.archive_file.empty()) {
+        e.file = std::filesystem::path(r.archive_file).filename().string();
+      }
+      entries.push_back(std::move(e));
+    }
+    archive->write_manifest(o.batch_seed, entries);
+  }
+
+  if (o.metrics) record_metrics(*o.metrics, report);
+  return report;
+}
+
+}  // namespace airshed::svc

@@ -5,6 +5,9 @@
 // storage-fault classes of FaultPlan, and vault-based model resume.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -151,6 +154,79 @@ TEST_F(DurableDir, AtomicWriteLeavesNoTempFilesAndReplacesWhole) {
     ++entries;
   }
   EXPECT_EQ(entries, 1);  // no lingering "<path>.tmp.<pid>" files
+}
+
+/// Restores the real write(2) even if a test assertion throws.
+struct WriteHookGuard {
+  ~WriteHookGuard() { durable::set_atomic_write_hook({}); }
+};
+
+TEST_F(DurableDir, AtomicWriteRetriesTransientWriteFailures) {
+  WriteHookGuard guard;
+  const std::string p = path("artifact.bin");
+  const std::string content = "transient-but-eventually-complete";
+
+  // Three EINTRs up front, then the kernel dribbles one byte per call.
+  // Both are transient: progress (or a recoverable errno) resets the
+  // retry budget, so the write must still land intact.
+  int eintrs = 0;
+  int calls = 0;
+  durable::set_atomic_write_hook(
+      [&](int fd, const void* buf, std::size_t len) -> long {
+        ++calls;
+        if (eintrs < 3) {
+          ++eintrs;
+          errno = EINTR;
+          return -1;
+        }
+        return static_cast<long>(
+            ::write(fd, buf, len == 0 ? 0 : 1));
+      });
+  durable::atomic_write_file(p, content);
+  durable::set_atomic_write_hook({});
+
+  EXPECT_EQ(durable::read_file_bytes(p), content);
+  EXPECT_EQ(calls, 3 + static_cast<int>(content.size()));
+  int entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);  // temp file renamed away, nothing lingers
+}
+
+TEST_F(DurableDir, AtomicWritePersistentFailureIsBoundedAndTyped) {
+  WriteHookGuard guard;
+  const std::string p = path("artifact.bin");
+  durable::atomic_write_file(p, "previous generation");
+
+  // A device that never makes progress: the retry loop must give up
+  // after kMaxWriteRetries attempts, surface a typed StorageError, clean
+  // up its temp file, and leave the previous generation untouched.
+  int calls = 0;
+  durable::set_atomic_write_hook(
+      [&](int, const void*, std::size_t) -> long {
+        ++calls;
+        errno = EINTR;
+        return -1;
+      });
+  try {
+    durable::atomic_write_file(p, "next generation");
+    FAIL() << "persistent write failure was swallowed";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.path(), p);
+    EXPECT_EQ(e.section(), "atomic-write");
+  }
+  durable::set_atomic_write_hook({});
+
+  EXPECT_EQ(calls, durable::kMaxWriteRetries);
+  EXPECT_EQ(durable::read_file_bytes(p), "previous generation");
+  int entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);  // failed temp file was removed
 }
 
 TEST_F(DurableDir, InjectStorageFaultIsDeterministic) {

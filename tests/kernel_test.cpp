@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <airshed/airshed.h>
@@ -521,6 +523,68 @@ TEST(Kernel, UniformModelBlockedMatchesScalarAcrossBlocksAndThreads) {
       EXPECT_EQ(h, oracle) << "block=" << block << " threads=" << threads;
     }
   }
+}
+
+// ------------------------------------------------------------- tripwire
+
+TEST(Kernel, CheckBlockFiniteNamesTheFirstPoisonedCell) {
+  ConcentrationField conc(3, 2, 10, 1e-3);
+  // A clean field passes every block.
+  EXPECT_NO_THROW(kernel::check_block_finite(conc, 0, 10, 5, 0));
+
+  conc(1, 1, 6) = std::numeric_limits<double>::quiet_NaN();
+  // Blocks that do not cover cell 6 stay clean.
+  EXPECT_NO_THROW(kernel::check_block_finite(conc, 0, 6, 5, 0));
+  try {
+    kernel::check_block_finite(conc, 4, 4, 5, 1);
+    FAIL() << "NaN not detected";
+  } catch (const kernel::NumericsError& e) {
+    EXPECT_EQ(e.hour(), 5);
+    EXPECT_EQ(e.block(), 1);
+    EXPECT_EQ(e.species(), 1);
+    EXPECT_EQ(e.cell(), 6u);
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+
+  // Infinities trip it too.
+  conc(1, 1, 6) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(kernel::check_block_finite(conc, 0, 10, 5, 0),
+               kernel::NumericsError);
+}
+
+TEST(Kernel, ModelTripwireRaisesTypedErrorOnPoisonedEmissionStack) {
+  // An infinite emission rate is the classic way poisoned state enters
+  // the field (a NaN is already rejected by the inventory's rate >= 0
+  // validation): it flows through the elevated flux into vertical
+  // transport and must be caught at the very block commit that wrote it —
+  // hour 0, with the poisoned species named — not hours later as a
+  // mystery NaN.
+  DatasetSpec spec = test_basin_spec();
+  spec.stacks.push_back(PointSource{spec.domain.center(), 1, Species::SO2,
+                                    std::numeric_limits<double>::infinity()});
+  const Dataset ds = build_dataset(spec);
+
+  ModelOptions opts;
+  opts.hours = 1;
+  try {
+    AirshedModel(ds, opts).run();
+    FAIL() << "poisoned stack survived the run";
+  } catch (const kernel::NumericsError& e) {
+    EXPECT_EQ(e.hour(), 0);
+    EXPECT_GE(e.block(), 0);
+    EXPECT_EQ(e.species(), static_cast<int>(Species::SO2));
+  }
+
+  // The tripwire is free on clean runs: disabling it must not change the
+  // committed fields bit-for-bit.
+  DatasetSpec clean_spec = test_basin_spec();
+  const Dataset clean = build_dataset(clean_spec);
+  ModelOptions on = kernel_opts(true, 32, 2);
+  on.kernel.tripwire = true;
+  ModelOptions off = kernel_opts(true, 32, 2);
+  off.kernel.tripwire = false;
+  EXPECT_EQ(outputs_checksum(AirshedModel(clean, on).run()),
+            outputs_checksum(AirshedModel(clean, off).run()));
 }
 
 // ------------------------------------------------------------ bench utils

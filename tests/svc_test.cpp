@@ -1,0 +1,442 @@
+// Tests for airshed::svc — the resilient multi-scenario batch supervisor:
+// seeded job mixes (bounded-Pareto episode lengths), pure retry/backoff/
+// fault-injection decisions, failure isolation (quarantine never aborts the
+// batch), graceful degradation to the coarse uniform grid, circuit-breaker
+// determinism, the durable batch archive, and the headline property: the
+// same (batch_seed, chaos plan) yields byte-identical batch reports and
+// manifests at 1, 2 and 8 threads.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "airshed/core/model.hpp"
+#include "airshed/core/uniform_model.hpp"
+#include "airshed/durable/container.hpp"
+#include "airshed/obs/metrics.hpp"
+#include "airshed/svc/archive.hpp"
+#include "airshed/svc/scenario.hpp"
+#include "airshed/svc/supervisor.hpp"
+#include "airshed/util/hash.hpp"
+
+namespace airshed {
+namespace {
+
+namespace fs = std::filesystem;
+using svc::BatchArchive;
+using svc::BatchOptions;
+using svc::BatchReport;
+using svc::BatchSupervisor;
+using svc::ChaosOptions;
+using svc::FaultClass;
+using svc::JobMixOptions;
+using svc::ScenarioSpec;
+using svc::ScenarioStatus;
+
+/// Fresh scratch directory per test (removed on teardown).
+class SvcDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("airshed_svc_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// Small, fast job mix: TEST dataset, short episodes.
+JobMixOptions tiny_mix(int scenarios) {
+  JobMixOptions mix;
+  mix.scenarios = scenarios;
+  mix.dataset = "TEST";
+  mix.hours_min = 1;
+  mix.hours_max = 2;
+  return mix;
+}
+
+TEST(JobMix, DeterministicInSeed) {
+  const auto a = svc::make_job_mix(1234, tiny_mix(8));
+  const auto b = svc::make_job_mix(1234, tiny_mix(8));
+  ASSERT_EQ(a.size(), 8u);
+  EXPECT_EQ(a, b);
+
+  const auto c = svc::make_job_mix(1235, tiny_mix(8));
+  EXPECT_NE(a, c);
+
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].id, i);
+    EXPECT_GE(a[static_cast<std::size_t>(i)].hours, 1);
+    EXPECT_LE(a[static_cast<std::size_t>(i)].hours, 2);
+  }
+}
+
+TEST(JobMix, BoundedParetoStaysInRangeAndIsHeavyTailed) {
+  // Monotone inverse CDF within [lo, hi].
+  EXPECT_DOUBLE_EQ(svc::bounded_pareto(0.0, 2.0, 8.0, 1.1), 2.0);
+  double prev = 0.0;
+  for (double u = 0.0; u < 1.0; u += 0.01) {
+    const double x = svc::bounded_pareto(u, 2.0, 8.0, 1.1);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 8.0 + 1e-9);
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+
+  // Heavy tail: most mass near the minimum.
+  JobMixOptions mix;
+  mix.scenarios = 200;
+  mix.hours_min = 2;
+  mix.hours_max = 12;
+  mix.hours_alpha = 1.1;
+  int at_min = 0, at_max = 0;
+  for (const ScenarioSpec& s : svc::make_job_mix(99, mix)) {
+    at_min += s.hours <= 3;
+    at_max += s.hours >= 11;
+  }
+  EXPECT_GT(at_min, at_max * 2);
+}
+
+TEST(Decisions, PureInSeedScenarioAttempt) {
+  ChaosOptions chaos;
+  chaos.node_death = 0.2;
+  chaos.straggler = 0.2;
+  chaos.storage_fault = 0.2;
+  chaos.numerics = 0.2;
+  BatchOptions opts;
+  opts.batch_seed = 77;
+
+  for (int id = 0; id < 16; ++id) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(svc::injected_fault(77, id, attempt, chaos),
+                svc::injected_fault(77, id, attempt, chaos));
+      EXPECT_DOUBLE_EQ(svc::straggler_factor(77, id, attempt, chaos),
+                       svc::straggler_factor(77, id, attempt, chaos));
+      const double s = svc::straggler_factor(77, id, attempt, chaos);
+      EXPECT_GE(s, 1.0);
+      EXPECT_LE(s, chaos.straggler_cap + 1e-9);
+      EXPECT_EQ(svc::death_hour(77, id, attempt, 6),
+                svc::death_hour(77, id, attempt, 6));
+      EXPECT_GE(svc::death_hour(77, id, attempt, 6), 0);
+      EXPECT_LT(svc::death_hour(77, id, attempt, 6), 6);
+    }
+    for (int attempt = 1; attempt < 5; ++attempt) {
+      const double b = svc::backoff_ms(77, id, attempt, opts);
+      EXPECT_DOUBLE_EQ(b, svc::backoff_ms(77, id, attempt, opts));
+      const double cap = std::min(
+          opts.backoff_base_ms * std::ldexp(1.0, attempt - 1),
+          opts.backoff_cap_ms);
+      EXPECT_GE(b, 0.5 * cap);
+      EXPECT_LT(b, cap);
+    }
+  }
+
+  // Fault classes are mutually exclusive draws: probabilities 0 mean the
+  // class never fires.
+  ChaosOptions none;
+  for (int id = 0; id < 32; ++id) {
+    EXPECT_EQ(svc::injected_fault(1, id, 0, none), FaultClass::None);
+  }
+}
+
+ChaosOptions full_chaos() {
+  ChaosOptions chaos;
+  chaos.node_death = 0.15;
+  chaos.straggler = 0.2;
+  chaos.storage_fault = 0.1;
+  chaos.payload_corruption = 0.05;
+  chaos.numerics = 0.1;
+  chaos.poison_scenarios = {2};
+  return chaos;
+}
+
+TEST_F(SvcDir, BatchReportByteIdenticalAcrossThreadCounts) {
+  const auto specs = svc::make_job_mix(7, tiny_mix(6));
+
+  std::string reference_report;
+  std::string reference_manifest;
+  for (int threads : {1, 2, 8}) {
+    const std::string archive_dir =
+        path("archive_t" + std::to_string(threads));
+    BatchOptions opts;
+    opts.batch_seed = 7;
+    opts.threads = threads;
+    opts.chaos = full_chaos();
+    opts.archive_dir = archive_dir;
+
+    const BatchReport report = BatchSupervisor(opts).run(specs);
+    const std::string json = report.canonical_json().str();
+    const std::string manifest = durable::read_file_bytes(
+        BatchArchive(archive_dir).manifest_path());
+    if (reference_report.empty()) {
+      reference_report = json;
+      reference_manifest = manifest;
+      // The chaos plan must actually be doing something for this test to
+      // mean anything.
+      EXPECT_GT(report.retries, 0);
+      EXPECT_GT(report.degraded + report.quarantined, 0);
+    } else {
+      EXPECT_EQ(json, reference_report) << "threads=" << threads;
+      EXPECT_EQ(manifest, reference_manifest) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(SvcDir, QuarantineIsolatesFailuresWithoutAbortingTheBatch) {
+  auto specs = svc::make_job_mix(3, tiny_mix(4));
+  BatchOptions opts;
+  opts.batch_seed = 3;
+  opts.threads = 2;
+  opts.max_attempts = 2;
+  opts.degrade = false;  // exhausted scenarios quarantine directly
+  opts.chaos.poison_scenarios = {0, 2};
+  opts.archive_dir = path("archive");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_EQ(report.quarantined, 2);
+  EXPECT_EQ(report.completed, 2);
+
+  for (int id : {0, 2}) {
+    const svc::ScenarioResult& r = report.results[static_cast<std::size_t>(id)];
+    EXPECT_EQ(r.status, ScenarioStatus::Quarantined);
+    EXPECT_EQ(r.attempts.size(), 2u);  // max_attempts, then isolation
+    // The poisoned stack trips the kernel block tripwire: a typed
+    // scenario fault, not an infrastructure fault.
+    EXPECT_FALSE(r.attempts.back().infra);
+    EXPECT_NE(r.quarantine_reason.find("non-finite"), std::string::npos)
+        << r.quarantine_reason;
+  }
+  for (int id : {1, 3}) {
+    EXPECT_EQ(report.results[static_cast<std::size_t>(id)].status,
+              ScenarioStatus::Ok);
+  }
+}
+
+TEST_F(SvcDir, DegradedScenarioMatchesDirectCoarseRunBitForBit) {
+  auto specs = svc::make_job_mix(11, tiny_mix(3));
+  BatchOptions opts;
+  opts.batch_seed = 11;
+  opts.threads = 2;
+  opts.max_attempts = 2;
+  opts.chaos.poison_scenarios = {1};
+  opts.archive_dir = path("archive");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  const svc::ScenarioResult& r = report.results[1];
+  ASSERT_EQ(r.status, ScenarioStatus::Degraded);
+  EXPECT_TRUE(r.attempts.back().degraded_run);
+
+  // The degraded result is the coarse uniform model on the scenario's own
+  // inputs — reproducible outside the supervisor.
+  ModelOptions mo;
+  mo.hours = specs[1].hours;
+  mo.host_threads = 1;
+  const ModelRunResult direct =
+      UniformAirshedModel(svc::build_degraded_dataset(specs[1], 8, 8), mo)
+          .run();
+  EXPECT_EQ(r.checksum, hash_hex(svc::field_digest(direct.outputs)));
+}
+
+TEST_F(SvcDir, CleanBatchChecksumsMatchFaultFreeSoloRuns) {
+  const auto specs = svc::make_job_mix(21, tiny_mix(3));
+  BatchOptions opts;
+  opts.batch_seed = 21;
+  opts.threads = 3;
+  opts.archive_dir = path("archive");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(report.completed, 3);
+  EXPECT_EQ(report.retries, 0);
+  for (const svc::ScenarioResult& r : report.results) {
+    ModelOptions mo;
+    mo.hours = r.spec.hours;
+    mo.host_threads = 1;
+    const ModelRunResult solo =
+        AirshedModel(svc::build_scenario_dataset(r.spec), mo).run();
+    EXPECT_EQ(r.checksum, hash_hex(svc::field_digest(solo.outputs)))
+        << "scenario " << r.spec.id;
+  }
+}
+
+TEST_F(SvcDir, InfraFaultsRetryToTheFaultFreeResult) {
+  // Infrastructure-only chaos: retried scenarios must converge to exactly
+  // the fault-free checksum (the work is deterministic; only the machinery
+  // flakes).
+  const auto specs = svc::make_job_mix(31, tiny_mix(4));
+  BatchOptions opts;
+  opts.batch_seed = 31;
+  opts.threads = 2;
+  opts.max_attempts = 4;
+  opts.chaos.node_death = 0.4;
+  opts.chaos.storage_fault = 0.2;
+  opts.archive_dir = path("archive");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_GT(report.infra_faults, 0);
+  for (const svc::ScenarioResult& r : report.results) {
+    if (r.status == ScenarioStatus::Quarantined) continue;
+    if (r.status == ScenarioStatus::Degraded) continue;
+    ModelOptions mo;
+    mo.hours = r.spec.hours;
+    mo.host_threads = 1;
+    const ModelRunResult solo =
+        AirshedModel(svc::build_scenario_dataset(r.spec), mo).run();
+    EXPECT_EQ(r.checksum, hash_hex(svc::field_digest(solo.outputs)))
+        << "scenario " << r.spec.id;
+  }
+}
+
+TEST_F(SvcDir, CircuitBreakerTripsDeterministically) {
+  const auto specs = svc::make_job_mix(5, tiny_mix(8));
+  BatchOptions opts;
+  opts.batch_seed = 5;
+  opts.threads = 4;
+  opts.max_attempts = 3;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown_rounds = 1;
+  opts.chaos.node_death = 0.7;  // infra-heavy: the breaker must trip
+  opts.archive_dir = path("archive_a");
+
+  const BatchReport a = BatchSupervisor(opts).run(specs);
+  EXPECT_GT(a.breaker_trips, 0);
+  ASSERT_FALSE(a.breaker_events.empty());
+  EXPECT_EQ(a.breaker_events.front().transition, "open");
+
+  // Same seed, different thread count and archive dir: identical breaker
+  // history and identical report bytes.
+  opts.threads = 1;
+  opts.archive_dir = path("archive_b");
+  const BatchReport b = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(a.canonical_json().str(), b.canonical_json().str());
+}
+
+TEST_F(SvcDir, DeadlineWatchdogClassifiesStragglersAsInfra) {
+  const auto specs = svc::make_job_mix(13, tiny_mix(2));
+  BatchOptions opts;
+  opts.batch_seed = 13;
+  opts.threads = 2;
+  opts.max_attempts = 1;
+  opts.chaos.straggler = 1.0;  // every fine-grid attempt straggles
+  opts.chaos.straggler_alpha = 0.2;  // heavy tail: big slowdowns likely
+  opts.deadline_factor = 0.5;  // and the deadline is tight
+  opts.archive_dir = path("archive");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_GT(report.infra_faults, 0);
+  bool saw_deadline = false;
+  for (const svc::ScenarioResult& r : report.results) {
+    for (const svc::AttemptRecord& a : r.attempts) {
+      if (a.error.find("deadline") != std::string::npos) {
+        EXPECT_TRUE(a.infra);
+        saw_deadline = true;
+      }
+    }
+    // Degradation rescues every deadline victim: the coarse grid runs
+    // chaos-free.
+    EXPECT_NE(r.status, ScenarioStatus::Quarantined);
+  }
+  EXPECT_TRUE(saw_deadline);
+}
+
+TEST_F(SvcDir, StorageChaosQuarantinesTheCorruptArtifact) {
+  const auto specs = svc::make_job_mix(17, tiny_mix(2));
+  BatchOptions opts;
+  opts.batch_seed = 17;
+  opts.threads = 1;
+  opts.max_attempts = 1;
+  opts.degrade = false;
+  opts.chaos.storage_fault = 1.0;  // every archive write is attacked
+  opts.archive_dir = path("archive");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(report.quarantined, 2);
+  for (const svc::ScenarioResult& r : report.results) {
+    EXPECT_EQ(r.status, ScenarioStatus::Quarantined);
+    EXPECT_TRUE(r.attempts.back().infra);
+  }
+  // Detected-corrupt artifacts were renamed *.corrupt (LostRename leaves
+  // nothing behind); no un-quarantined .result file may remain.
+  for (const fs::directory_entry& e : fs::directory_iterator(path("archive"))) {
+    const std::string name = e.path().filename().string();
+    EXPECT_TRUE(name.find(".result") == std::string::npos ||
+                name.find(".corrupt") != std::string::npos)
+        << "corrupt artifact left in place: " << name;
+  }
+}
+
+TEST_F(SvcDir, ArchiveRoundTripAndManifest) {
+  BatchArchive archive(path("archive"));
+  ScenarioSpec spec;
+  spec.id = 4;
+  spec.name = "scn-004";
+  spec.dataset = "TEST";
+  spec.hours = 2;
+  spec.controls.nox_scale = 0.8;
+  spec.emission_perturbation = 1.05;
+
+  std::vector<HourlyStats> hourly(2);
+  hourly[0].hour = 0;
+  hourly[0].max_surface_o3_ppm = 0.08;
+  hourly[1].hour = 1;
+  hourly[1].mean_surface_no2_ppm = 0.002;
+
+  const std::string file =
+      archive.write_result(spec, "ok", 1, 0xdeadbeefULL, hourly);
+  const BatchArchive::StoredResult stored = BatchArchive::read_result(file);
+  EXPECT_EQ(stored.spec, spec);
+  EXPECT_EQ(stored.status, "ok");
+  EXPECT_EQ(stored.attempt, 1);
+  EXPECT_EQ(stored.checksum, 0xdeadbeefULL);
+  ASSERT_EQ(stored.hourly.size(), 2u);
+  EXPECT_DOUBLE_EQ(stored.hourly[0].max_surface_o3_ppm, 0.08);
+  EXPECT_DOUBLE_EQ(stored.hourly[1].mean_surface_no2_ppm, 0.002);
+
+  archive.write_manifest(
+      7, {{4, "ok", 1, 0xdeadbeefULL, "scn_004_a01.result"}});
+  const BatchArchive::Manifest m = archive.read_manifest();
+  EXPECT_EQ(m.batch_seed, 7u);
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].id, 4);
+  EXPECT_EQ(m.entries[0].file, "scn_004_a01.result");
+
+  // Quarantine renames; a second quarantine of the missing file is a no-op.
+  const std::string q = BatchArchive::quarantine(file);
+  EXPECT_EQ(q, file + ".corrupt");
+  EXPECT_FALSE(fs::exists(file));
+  EXPECT_TRUE(fs::exists(q));
+  EXPECT_EQ(BatchArchive::quarantine(file), "");
+}
+
+TEST_F(SvcDir, MetricsPublishTheReportCounts) {
+  const auto specs = svc::make_job_mix(7, tiny_mix(4));
+  BatchOptions opts;
+  opts.batch_seed = 7;
+  opts.threads = 2;
+  opts.chaos.poison_scenarios = {0};
+  opts.archive_dir = path("archive");
+  obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(registry.counter("svc/scenarios").value(), 4);
+  EXPECT_EQ(registry.counter("svc/completed").value(), report.completed);
+  EXPECT_EQ(registry.counter("svc/degraded").value(), report.degraded);
+  EXPECT_EQ(registry.counter("svc/quarantined").value(), report.quarantined);
+  EXPECT_EQ(registry.counter("svc/retries").value(), report.retries);
+  EXPECT_EQ(registry.counter("svc/scenario_faults").value(),
+            report.scenario_faults);
+  EXPECT_GT(report.scenario_faults, 0);  // the poisoned scenario
+}
+
+}  // namespace
+}  // namespace airshed
