@@ -92,6 +92,9 @@ SweepPoint run_point(int threads, RunFn&& run) {
   ModelOptions opts;
   opts.hours = bench::kHours;
   opts.host_threads = threads;
+  // The sweep is the point: run the requested count even past the core
+  // count (the default cap would silently collapse the thread axis).
+  opts.oversubscribe = true;
   opts.profile = &pt.profile;
   const auto t0 = std::chrono::steady_clock::now();
   const ModelRunResult result = run(opts);

@@ -3,11 +3,15 @@
 // Measures wall clock of the scalar reference path vs the blocked
 // engine on both LA models (multiscale SUPG and uniform van Leer),
 // sweeping host threads {1, 4, 8} and — in full mode — the cell block
-// size {8, 16, 32, 64} at one thread. Every configuration must produce a
-// result bit-identical to the scalar oracle (FNV-1a checksum over the
-// final fields, hourly statistics and the full WorkTrace); the bench
-// exits non-zero ONLY on a checksum mismatch, never on a slow run, so
-// the CI perf-smoke job stays non-gating on timing.
+// size {8, 16, 32, 64} at one thread. The blocked rows carry a `mode`
+// field: "strict" rows (the default LaneMode) must be bit-identical to
+// the scalar oracle (FNV-1a checksum over the final fields, hourly
+// statistics and the full WorkTrace); the "tolerance" row (FMA-contracted
+// SIMD kernels, block 64, 1 thread) is instead held to a maximum relative
+// error against the scalar fields (docs/BENCHMARKS.md documents the
+// bound). The bench exits non-zero ONLY on a strict checksum mismatch or
+// a tolerance bound violation, never on a slow run, so the CI perf-smoke
+// job stays non-gating on timing.
 //
 // Timing protocol: one untimed warmup then `repeats` timed runs; the
 // JSON records median, min and the raw samples (bench_common
@@ -20,8 +24,11 @@
 // AIRSHED_BENCH_HOURS overrides the episode length in both modes.
 //
 // Emits BENCH_kernel_soa.json (run from the repo root to land it there).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <functional>
 #include <string>
 #include <vector>
@@ -58,37 +65,71 @@ std::uint64_t result_checksum(const ModelRunResult& r) {
   return h;
 }
 
+// Documented accuracy contract of LaneMode::tolerance: maximum relative
+// error of any final concentration / PM value against the scalar oracle,
+// rel = |tol - ref| / max(|ref|, 1e-9 ppm). See docs/BENCHMARKS.md.
+constexpr double kToleranceRelBound = 1e-6;
+
 struct CasePoint {
   bool blocked = false;
   int block = 0;    ///< cell block size (0 for the scalar path)
   int threads = 1;
+  kernel::LaneMode mode = kernel::LaneMode::strict;
   bench::WallStats wall;
   std::uint64_t checksum = 0;
+  double max_rel_err = -1.0;  ///< vs scalar fields (tolerance rows only)
 };
 
 using RunFn = std::function<ModelRunResult(const ModelOptions&)>;
 
 CasePoint run_case(const RunFn& run, int hours, bool blocked, int block,
-                   int threads, int warmup, int repeats) {
+                   int threads, int warmup, int repeats,
+                   kernel::LaneMode mode = kernel::LaneMode::strict,
+                   ModelRunResult* keep = nullptr) {
   CasePoint pt;
   pt.blocked = blocked;
   pt.block = blocked ? block : 0;
   pt.threads = threads;
+  pt.mode = mode;
   ModelOptions opts;
   opts.hours = hours;
   opts.host_threads = threads;
+  // The thread axis is the point of the sweep: run the requested count
+  // even past the core count (the model default caps at the cores).
+  opts.oversubscribe = true;
   opts.kernel.blocked = blocked;
+  opts.kernel.lane_mode = mode;
   if (blocked) opts.kernel.block = block;
   pt.wall = bench::measure_wall(warmup, repeats, [&] {
-    pt.checksum = result_checksum(run(opts));
+    ModelRunResult r = run(opts);
+    pt.checksum = result_checksum(r);
+    if (keep) *keep = std::move(r);
   });
   return pt;
+}
+
+double max_rel_err(const ModelRunResult& got, const ModelRunResult& ref) {
+  double worst = 0.0;
+  const auto scan = [&](std::span<const double> a, std::span<const double> b) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double scale = std::max(std::abs(b[i]), 1e-9);
+      worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+    }
+  };
+  scan(got.outputs.conc.flat(), ref.outputs.conc.flat());
+  scan(std::span<const double>(got.outputs.pm.flat()),
+       std::span<const double>(ref.outputs.pm.flat()));
+  return worst;
 }
 
 void emit_point(bench::JsonWriter& json, const CasePoint& pt, double cells,
                 double scalar_median_s, bool match) {
   json.begin_object();
   json.key("path").value(pt.blocked ? "blocked" : "scalar");
+  json.key("mode").value(!pt.blocked ? "scalar"
+                         : pt.mode == kernel::LaneMode::tolerance
+                             ? "tolerance"
+                             : "strict");
   json.key("block").value(pt.block);
   json.key("threads").value(pt.threads);
   json.key("median_s").value(pt.wall.median_s);
@@ -98,6 +139,10 @@ void emit_point(bench::JsonWriter& json, const CasePoint& pt, double cells,
       .value(pt.wall.median_s > 0.0 ? scalar_median_s / pt.wall.median_s : 0.0);
   json.key("checksum").value(hash_hex(pt.checksum));
   json.key("checksum_match").value(match);
+  if (pt.max_rel_err >= 0.0) {
+    json.key("max_rel_err").value(pt.max_rel_err);
+    json.key("rel_err_bound").value(kToleranceRelBound);
+  }
   json.key("samples_s").begin_array();
   for (double s : pt.wall.samples_s) json.value(s);
   json.end_array();
@@ -106,9 +151,11 @@ void emit_point(bench::JsonWriter& json, const CasePoint& pt, double cells,
 
 void print_point(const CasePoint& pt, double cells, double scalar_median_s,
                  bool match) {
-  std::printf("  %-8s %5d %7d %9.3f %9.3f %8.1f %9.2fx  %s%s\n",
-              pt.blocked ? "blocked" : "scalar", pt.block, pt.threads,
-              pt.wall.median_s, pt.wall.min_s,
+  const char* label = !pt.blocked ? "scalar"
+                      : pt.mode == kernel::LaneMode::tolerance ? "simd-tol"
+                                                               : "blocked";
+  std::printf("  %-8s %5d %7d %9.3f %9.3f %8.1f %9.2fx  %s%s\n", label,
+              pt.block, pt.threads, pt.wall.median_s, pt.wall.min_s,
               bench::ns_per_cell(pt.wall.median_s, cells),
               pt.wall.median_s > 0.0 ? scalar_median_s / pt.wall.median_s : 0.0,
               hash_hex(pt.checksum).c_str(), match ? "" : "  MISMATCH");
@@ -181,8 +228,10 @@ int main(int argc, char** argv) {
                 "checksum");
 
     const int default_block = kernel::KernelOptions{}.block;
-    const CasePoint scalar =
-        run_case(c.run, hours, false, 0, 1, warmup, repeats);
+    ModelRunResult scalar_result;
+    const CasePoint scalar = run_case(c.run, hours, false, 0, 1, warmup,
+                                      repeats, kernel::LaneMode::strict,
+                                      &scalar_result);
     print_point(scalar, cells, scalar.wall.median_s, true);
 
     json.begin_object();
@@ -209,6 +258,24 @@ int main(int argc, char** argv) {
       print_point(pt, cells, scalar.wall.median_s, match);
       emit_point(json, pt, cells, scalar.wall.median_s, match);
     }
+
+    // Tolerance profile: FMA-contracted SIMD kernels at the default block,
+    // one thread. Not bit-identical by design — held to the relative-error
+    // bound against the scalar fields instead of the checksum.
+    {
+      ModelRunResult tol_result;
+      CasePoint pt = run_case(c.run, hours, true, default_block, 1, warmup,
+                              repeats, kernel::LaneMode::tolerance,
+                              &tol_result);
+      pt.max_rel_err = max_rel_err(tol_result, scalar_result);
+      const bool within = pt.max_rel_err <= kToleranceRelBound;
+      all_match = all_match && within;
+      print_point(pt, cells, scalar.wall.median_s, within);
+      emit_point(json, pt, cells, scalar.wall.median_s, within);
+      std::printf("           tolerance max_rel_err = %.3e (bound %.1e)%s\n",
+                  pt.max_rel_err, kToleranceRelBound,
+                  within ? "" : "  EXCEEDED");
+    }
     json.end_array();
     json.end_object();
     std::printf("\n");
@@ -219,7 +286,9 @@ int main(int argc, char** argv) {
 
   bench::write_bench_json("kernel_soa", json);
   if (!all_match) {
-    std::printf("FAILED: blocked results differ from the scalar oracle\n");
+    std::printf(
+        "FAILED: strict results differ from the scalar oracle, or the "
+        "tolerance profile exceeded its relative-error bound\n");
     return 1;
   }
   return 0;

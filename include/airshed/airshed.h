@@ -19,6 +19,7 @@
 #include "airshed/chem/mechanism.hpp"
 #include "airshed/chem/reference.hpp"
 #include "airshed/chem/species.hpp"
+#include "airshed/chem/yb_block.hpp"
 #include "airshed/chem/youngboris.hpp"
 #include "airshed/core/executor.hpp"
 #include "airshed/core/model.hpp"
@@ -44,6 +45,7 @@
 #include "airshed/io/hourly.hpp"
 #include "airshed/io/vault.hpp"
 #include "airshed/kernel/cellblock.hpp"
+#include "airshed/kernel/lanemask.hpp"
 #include "airshed/machine/machine.hpp"
 #include "airshed/met/meteorology.hpp"
 #include "airshed/obs/export.hpp"

@@ -74,6 +74,16 @@ class Mechanism {
                              double* l_out, std::size_t lanes,
                              std::size_t stride, double* rate_scratch) const;
 
+  /// FMA-contracted twin of production_loss_block (same flat tables, same
+  /// per-lane operation sequence, but compiled with -ffp-contract=fast so
+  /// FMA-capable clones fuse mul+add). Backs the tolerance profile of the
+  /// blocked Young-Boris solver; NOT bit-identical to the scalar path —
+  /// results agree to the documented relative bound (docs/BENCHMARKS.md).
+  void production_loss_block_fast(const double* c, const double* k,
+                                  double* p_out, double* l_out,
+                                  std::size_t lanes, std::size_t stride,
+                                  double* rate_scratch) const;
+
   /// Approximate floating-point work of one production_loss + compute_rates
   /// evaluation; used by the work-trace accounting.
   double flops_per_evaluation() const { return flops_per_eval_; }

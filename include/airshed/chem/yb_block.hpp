@@ -1,0 +1,55 @@
+// Lane-mode front end of the blocked Young-Boris integrator.
+//
+// YoungBorisBlockSolver binds a YoungBorisSolver to a kernel::LaneMode and
+// routes integrate_block through the matching lane-kernel bundle:
+//
+//  - LaneMode::strict     — kernels from the -ffp-contract=off TU; every
+//    lane executes exactly the scalar integrate() operation sequence, so
+//    the blocked result is bit-identical to the scalar oracle.
+//  - LaneMode::tolerance  — FMA-contracted kernels with a division-free
+//    convergence slack; faster, results within the documented relative
+//    bound of strict (docs/BENCHMARKS.md), not bit-reproducible across
+//    vector ISAs.
+//
+// The wrapped scalar solver stays reachable through scalar() for the
+// unblocked reference path; the rate-constant cache (and its counters) is
+// shared between both paths, so per-thread instances keep one cache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "airshed/chem/youngboris.hpp"
+#include "airshed/kernel/cellblock.hpp"
+
+namespace airshed {
+
+class YoungBorisBlockSolver {
+ public:
+  explicit YoungBorisBlockSolver(
+      const Mechanism& mech, YoungBorisOptions opts = {},
+      kernel::LaneMode mode = kernel::LaneMode::strict)
+      : solver_(mech, opts), mode_(mode) {}
+
+  kernel::LaneMode mode() const { return mode_; }
+
+  /// The wrapped scalar solver (reference path, shared rate cache).
+  YoungBorisSolver& scalar() { return solver_; }
+  const YoungBorisSolver& scalar() const { return solver_; }
+
+  /// Forwarded rate-cache epoch control (see YoungBorisSolver).
+  void set_rate_epoch(std::int64_t epoch) { solver_.set_rate_epoch(epoch); }
+
+  /// Integrates every lane of the block over [0, dt_total_min] with the
+  /// lane-kernel bundle selected by mode(). Same contract as
+  /// YoungBorisSolver::integrate_block.
+  void integrate_block(kernel::CellBlock& cells, double dt_total_min,
+                       std::span<const double> temp_k, double sun,
+                       std::span<YoungBorisResult> results);
+
+ private:
+  YoungBorisSolver solver_;
+  kernel::LaneMode mode_;
+};
+
+}  // namespace airshed

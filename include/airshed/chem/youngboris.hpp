@@ -20,8 +20,13 @@
 
 #include "airshed/chem/mechanism.hpp"
 #include "airshed/kernel/cellblock.hpp"
+#include "airshed/kernel/lanemask.hpp"
 
 namespace airshed {
+
+namespace yb_detail {
+struct LaneOps;
+}
 
 struct YoungBorisOptions {
   double eps = 0.01;              ///< corrector relative convergence tolerance
@@ -95,6 +100,15 @@ class YoungBorisSolver {
                        std::span<const double> temp_k, double sun,
                        std::span<YoungBorisResult> results);
 
+  /// Engine entry point behind integrate_block: the same lockstep control
+  /// flow driven by an explicit dense-kernel bundle (strict or tolerance
+  /// profile; see chem/yb_lanes.hpp). Internal plumbing — models select a
+  /// profile through YoungBorisBlockSolver (chem/yb_block.hpp).
+  void integrate_block_ops(kernel::CellBlock& cells, double dt_total_min,
+                           std::span<const double> temp_k, double sun,
+                           std::span<YoungBorisResult> results,
+                           const yb_detail::LaneOps& ops);
+
   /// Starts a new rate-cache epoch (e.g. a new simulated hour): a changed
   /// epoch clears the cache, bounding reuse to inputs frozen within the
   /// epoch. Calling with the current epoch is a no-op.
@@ -107,6 +121,19 @@ class YoungBorisSolver {
   long long rate_cache_evictions() const { return rate_cache_evictions_; }
   /// Distinct (temp_k, sun) keys currently cached.
   std::size_t rate_cache_size() const { return rate_cache_.size(); }
+
+  /// Lane-occupancy counters of the blocked path, accumulated across
+  /// integrate_block calls: dense lanes the vector kernels actually
+  /// processed (production/loss and corrector passes, padding included)
+  /// versus lanes that carried live work. Their ratio is the SIMD lane
+  /// occupancy; the masked-segment scheduling (kernel/lanemask.hpp) keeps
+  /// dense close to live. Exported as chem/lanes/* metrics.
+  long long lane_evals_dense() const { return lane_evals_dense_; }
+  long long lane_evals_live() const { return lane_evals_live_; }
+  /// Lockstep engine rounds (one adaptive-substep attempt per live slot).
+  long long block_rounds() const { return block_rounds_; }
+  /// Accepted chemistry substeps, both paths, over the solver's lifetime.
+  long long substeps_total() const { return substeps_total_; }
 
  private:
   void load_rates(double temp_k, double sun);
@@ -130,6 +157,9 @@ class YoungBorisSolver {
   // either choice blocks vectorization of the blends at the baseline ISA.)
   std::vector<double> active_, corr_, conv_, plv_, accept_;
   std::vector<int> iters_;
+  // Masked-segment scratch: aligned lane runs that still carry live work
+  // (dense kernels skip fully converged / fully valid vector groups).
+  std::vector<kernel::LaneSegment> segs_;
   // Slot -> original block lane. integrate_block compacts finished lanes
   // out of the dense panels, so slot order diverges from lane order.
   std::vector<int> slot_lane_;
@@ -158,6 +188,10 @@ class YoungBorisSolver {
   long long rate_cache_hits_ = 0;
   long long rate_evals_ = 0;
   long long rate_cache_evictions_ = 0;
+  long long lane_evals_dense_ = 0;
+  long long lane_evals_live_ = 0;
+  long long block_rounds_ = 0;
+  long long substeps_total_ = 0;
 };
 
 }  // namespace airshed

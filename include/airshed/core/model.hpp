@@ -39,6 +39,21 @@ struct HostProfile {
   double io_s = 0.0;        ///< wall seconds in input generation + outputhour
   /// CPU seconds each pool thread spent inside parallel blocks.
   std::vector<double> thread_busy_s;
+
+  // Chemistry-solver counters, aggregated over the per-thread solvers when
+  // the run finishes. record_metrics(HostProfile) exports them through the
+  // obs MetricsRegistry, so `airshed_cli trace` prints them per run.
+  long long rate_cache_hits = 0;      ///< rate-constant cache hits
+  long long rate_evals = 0;           ///< full rate-constant evaluations
+  long long rate_cache_evictions = 0; ///< single-victim cache evictions
+  /// Lane-columns swept by the dense SIMD chemistry passes (includes lanes
+  /// carried along inside a live vector group).
+  long long lane_evals_dense = 0;
+  /// Lane-columns that actually held live work. dense/live is the SIMD
+  /// occupancy overhead of the lockstep blocked solver.
+  long long lane_evals_live = 0;
+  long long block_rounds = 0;   ///< lockstep rounds of the blocked solver
+  long long chem_substeps = 0;  ///< accepted chemistry substeps (all cells)
 };
 
 struct ModelOptions {
@@ -51,6 +66,13 @@ struct ModelOptions {
   /// (transport layers, chemistry columns). 0 = AIRSHED_THREADS env or
   /// hardware concurrency. Results are bit-identical for every value.
   int host_threads = 0;
+  /// Allow resolving more worker threads than the host has cores. Default
+  /// false: the resolved count is capped at par::hardware_threads(),
+  /// because oversubscribing the compute-bound chemistry/transport pools
+  /// only adds scheduling contention (measured ~15% slower at 4 threads on
+  /// a 1-core host — see EXPERIMENTS.md). Results are bit-identical either
+  /// way; set true to force the requested count (e.g. scheduler tests).
+  bool oversubscribe = false;
   /// Cell-batched SoA kernel engine (airshed::kernel): blocked chemistry,
   /// vertical diffusion, and transport. Bit-identical to the scalar path
   /// at every block size and thread count; kernel.blocked = false selects

@@ -261,20 +261,37 @@ inline void check_block_finite(const ConcentrationField& conc,
   }
 }
 
+/// Numeric profile of the lane-parallel (SIMD) chemistry kernels.
+enum class LaneMode {
+  /// Bit-identical to the scalar oracle: kernels compiled with
+  /// -ffp-contract=off, per-lane exact scalar operation sequence.
+  strict,
+  /// FMA-contracted kernels with a division-free convergence test:
+  /// faster, results within a documented relative bound of strict
+  /// (docs/BENCHMARKS.md), not bit-reproducible across vector ISAs.
+  tolerance,
+};
+
 /// Knobs for the blocked execution path, carried in ModelOptions. The
-/// blocked path is bit-identical to the scalar oracle at every block size
-/// and thread count, so these only trade speed.
+/// blocked path with LaneMode::strict is bit-identical to the scalar
+/// oracle at every block size and thread count, so those knobs only trade
+/// speed; LaneMode::tolerance trades a bounded relative error for more.
 struct KernelOptions {
   /// Route chemistry columns, vertical diffusion, and transport layers
   /// through the cell-batched SoA kernels (false = scalar reference path).
   bool blocked = true;
-  /// Cells per chemistry/vertical block (lanes of the SoA panels).
-  int block = 32;
+  /// Cells per chemistry/vertical block (lanes of the SoA panels). 64 is
+  /// the measured sweet spot on the reference host (see
+  /// BENCH_kernel_soa.json): wide enough to amortize per-round control
+  /// overhead, small enough that the hot panels stay cache-resident.
+  int block = 64;
   /// Species per transport inner block (amortizes element/line loads).
   int species_block = 8;
   /// Detect NaN/Inf at chemistry block commit (check_block_finite) and
   /// raise a typed NumericsError naming (hour, block, species, cell).
   bool tripwire = true;
+  /// Numeric profile of the lane-parallel chemistry kernels.
+  LaneMode lane_mode = LaneMode::strict;
 };
 
 }  // namespace airshed::kernel

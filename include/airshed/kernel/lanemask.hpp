@@ -1,0 +1,69 @@
+// airshed::kernel — masked-lane utilities for the lockstep block solvers.
+//
+// The blocked integrators track per-lane control state (converged, frozen,
+// finished) in 0.0/1.0 double masks (see youngboris.hpp for why doubles).
+// Dense vector kernels cannot skip individual masked lanes, but they can
+// skip whole vector groups: this header turns a lane mask into maximal
+// kLaneRound-aligned segments that still carry live work, so a dense kernel
+// runs only over those runs and leaves every skipped lane bit-untouched.
+// Skipping never changes an evaluated lane's operation sequence, so the
+// bit-identity contract of the blocked path is preserved.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "airshed/kernel/cellblock.hpp"
+
+namespace airshed::kernel {
+
+/// One contiguous, kLaneRound-aligned run of dense lanes [begin, end).
+struct LaneSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t width() const { return end - begin; }
+};
+
+/// Splits the dense lane range [0, La) into maximal kLaneRound-aligned
+/// segments whose groups contain at least one lane i < limit with
+/// mask[i] == want. `La` must be a multiple of kLaneRound (the padded
+/// round of the block solvers); `limit` is the live-slot count, so padding
+/// lanes never make a group live on their own but are swept along when
+/// their group holds live work (their values are finite by the padding
+/// contract, and they are masked off downstream). Adjacent live groups
+/// merge, so a fully live range yields one segment [0, La).
+inline void segments_where(const double* mask, double want, std::size_t limit,
+                           std::size_t La, std::vector<LaneSegment>& out) {
+  out.clear();
+  for (std::size_t g = 0; g < La; g += kLaneRound) {
+    const std::size_t ge = g + kLaneRound < limit ? g + kLaneRound : limit;
+    bool live = false;
+    for (std::size_t i = g; i < ge; ++i) live = live || mask[i] == want;
+    if (!live) continue;
+    const std::size_t end = g + kLaneRound < La ? g + kLaneRound : La;
+    if (!out.empty() && out.back().end == g) {
+      out.back().end = end;
+    } else {
+      out.push_back(LaneSegment{g, end});
+    }
+  }
+}
+
+/// Total dense lanes covered by a segment list (the cost a dense kernel
+/// actually pays; feeds the lane-occupancy metrics).
+inline std::size_t segment_lanes(const std::vector<LaneSegment>& segs) {
+  std::size_t total = 0;
+  for (const LaneSegment& s : segs) total += s.width();
+  return total;
+}
+
+/// Number of lanes i < limit with mask[i] == want (the useful share of a
+/// dense pass; numerator of the lane-occupancy metric).
+inline std::size_t count_lanes(const double* mask, double want,
+                               std::size_t limit) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < limit; ++i) n += mask[i] == want ? 1 : 0;
+  return n;
+}
+
+}  // namespace airshed::kernel

@@ -1,0 +1,111 @@
+// Lane-dense production/loss body — one source, two translation units.
+// mechanism.cpp includes this (inside an anonymous namespace) with the
+// kernel strict flags, backing Mechanism::production_loss_block;
+// yb_lanes_fast.cpp includes it with -ffp-contract=fast, backing
+// Mechanism::production_loss_block_fast (FMA-fused clones for the
+// tolerance profile of the blocked Young-Boris solver). The including TU
+// must provide <cstddef>, species.hpp and cellblock.hpp (for
+// AIRSHED_LANE_CLONES).
+//
+// Runtime-dispatched to the widest vector ISA the CPU offers (see
+// AIRSHED_LANE_CLONES). Under -ffp-contract=off every clone is
+// bit-identical — only the lane grouping differs; under contraction the
+// clones may fuse mul+add and differ from the scalar oracle by the fused
+// rounding steps.
+AIRSHED_LANE_CLONES
+void pl_block_lanes(const double* c, const double* k, double* p_out,
+                    double* l_out, std::size_t lanes, std::size_t stride,
+                    double* rate_scratch, std::size_t nr,
+                    const int* reactant1, const int* reactant2,
+                    const int* prod_begin, const int* prod_species,
+                    const double* prod_coef) {
+  constexpr double kTiny = 1e-30;  // floor for negative-product loss terms
+
+  // No alignment assumption: the API only recommends kAlign rows, and the
+  // wide clones would turn an assumed-aligned load on an unaligned caller
+  // buffer into a fault. Unaligned vector moves cost nothing when the data
+  // is in fact aligned (as the arena-backed hot path guarantees).
+  const double* __restrict cc = c;
+  const double* __restrict kk = k;
+  double* __restrict pp = p_out;
+  double* __restrict ll = l_out;
+  double* __restrict rate = rate_scratch;
+
+  // The lane loops carry `#pragma GCC ivdep`: every stream is a distinct
+  // panel row (or the rate scratch), so there are no loop-carried
+  // dependences across lanes. Without the assertion GCC versions each loop
+  // with runtime alias checks — per-entry overhead that a handful of
+  // vector iterations never amortizes (block-scope __restrict locals do
+  // not reach the vectorizer the way parameters do).
+
+  // Zero only the live lane prefix of each row; columns past `lanes` are
+  // never accumulated or read.
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    double* __restrict pz = pp + static_cast<std::size_t>(s) * stride;
+    double* __restrict lz = ll + static_cast<std::size_t>(s) * stride;
+#pragma GCC ivdep
+    for (std::size_t j = 0; j < lanes; ++j) {
+      pz[j] = 0.0;
+      lz[j] = 0.0;
+    }
+  }
+
+  // Per reaction, each lane sees the exact scalar sequence: loss terms of
+  // the reactants, then the reaction rate, then the product scatter in
+  // table order. The dense loops only interchange the (reaction, lane)
+  // order, which never reorders any single lane's operations.
+  for (std::size_t i = 0; i < nr; ++i) {
+    const int a = reactant1[i];
+    const int b = reactant2[i];
+    const double* __restrict ki = kk + i * stride;
+    const double* __restrict ca = cc + static_cast<std::size_t>(a) * stride;
+    double* __restrict la = ll + static_cast<std::size_t>(a) * stride;
+    if (b < 0) {
+#pragma GCC ivdep
+      for (std::size_t j = 0; j < lanes; ++j) {
+        la[j] += ki[j];
+        rate[j] = ki[j] * ca[j];
+      }
+    } else if (b == a) {
+      // Self-reaction (e.g. HO2 + HO2): the scalar path adds the same loss
+      // frequency to the one reactant twice; keep both adds, in order.
+#pragma GCC ivdep
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const double lf = ki[j] * ca[j];
+        la[j] += lf;
+        la[j] += lf;
+        rate[j] = ki[j] * ca[j] * ca[j];
+      }
+    } else {
+      const double* __restrict cb = cc + static_cast<std::size_t>(b) * stride;
+      double* __restrict lb = ll + static_cast<std::size_t>(b) * stride;
+      // a != b here (self-reactions took the branch above), so the two loss
+      // rows never alias; a lane's adds target distinct rows, so the
+      // single fused loop preserves every lane's operation values.
+#pragma GCC ivdep
+      for (std::size_t j = 0; j < lanes; ++j) {
+        la[j] += ki[j] * cb[j];
+        lb[j] += ki[j] * ca[j];
+        rate[j] = ki[j] * ca[j] * cb[j];
+      }
+    }
+    const int pe = prod_begin[i + 1];
+    for (int t = prod_begin[i]; t < pe; ++t) {
+      const std::size_t s = static_cast<std::size_t>(prod_species[t]);
+      const double coef = prod_coef[t];
+      if (coef >= 0.0) {
+        double* __restrict ps = pp + s * stride;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < lanes; ++j) ps[j] += coef * rate[j];
+      } else {
+        const double* __restrict cs = cc + s * stride;
+        double* __restrict ls = ll + s * stride;
+        const double mcoef = -coef;
+#pragma GCC ivdep
+        for (std::size_t j = 0; j < lanes; ++j) {
+          ls[j] += mcoef * rate[j] / (cs[j] > kTiny ? cs[j] : kTiny);
+        }
+      }
+    }
+  }
+}

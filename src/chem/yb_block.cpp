@@ -1,0 +1,17 @@
+#include "airshed/chem/yb_block.hpp"
+
+#include "airshed/chem/yb_lanes.hpp"
+
+namespace airshed {
+
+void YoungBorisBlockSolver::integrate_block(
+    kernel::CellBlock& cells, double dt_total_min,
+    std::span<const double> temp_k, double sun,
+    std::span<YoungBorisResult> results) {
+  const yb_detail::LaneOps& ops = mode_ == kernel::LaneMode::tolerance
+                                      ? yb_detail::tolerance_lane_ops()
+                                      : yb_detail::strict_lane_ops();
+  solver_.integrate_block_ops(cells, dt_total_min, temp_k, sun, results, ops);
+}
+
+}  // namespace airshed

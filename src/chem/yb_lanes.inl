@@ -1,0 +1,136 @@
+// Dense lane kernels of the blocked Young-Boris integrator — one source,
+// two translation units. yb_lanes_strict.cpp includes this with the kernel
+// strict flags (-ffp-contract=off: every clone bit-identical to the scalar
+// oracle); yb_lanes_fast.cpp includes it with -ffp-contract=fast and
+// AIRSHED_YB_SLACK_METRIC=1 (FMA-fused clones, division-free convergence
+// test). The including TU wraps the include in its own namespace and must
+// provide: <algorithm>, <cmath>, <cstddef>, <limits>, mechanism.hpp,
+// cellblock.hpp, yb_lanes.hpp.
+//
+// The loops are runtime-dispatched to the widest vector ISA available
+// (AIRSHED_LANE_CLONES). Panels are species-major with stride L; each call
+// covers the lane prefix [0, La) of its pointers, which may be an aligned
+// sub-segment of a block (see kernel/lanemask.hpp). Row pointers are
+// __restrict: every panel is a distinct arena allocation, and without the
+// annotation the runtime alias checks for this many streams exceed GCC's
+// versioning limit, so the lane loops would not vectorize.
+
+#ifndef AIRSHED_YB_SLACK_METRIC
+#error "define AIRSHED_YB_SLACK_METRIC before including yb_lanes.inl"
+#endif
+
+// Explicit slope e0 = P0 - L0*c (a pure function of the accepted state,
+// shared verbatim by the predictor and every corrector iteration — the
+// scalar path groups it in parentheses in both places, so hoisting it
+// cannot change a bit), then the predictor itself.
+AIRSHED_LANE_CLONES
+void predictor(const double* cw, const double* p0, const double* l0,
+               double* e0, double* cp, const double* h, std::size_t n,
+               std::size_t La, std::size_t L, double stiff, double floor_ppm) {
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* __restrict cs = cw + s * L;
+    const double* __restrict p0s = p0 + s * L;
+    const double* __restrict l0s = l0 + s * L;
+    double* __restrict e0s = e0 + s * L;
+    double* __restrict cps = cp + s * L;
+    const double* __restrict hh = h;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) e0s[i] = p0s[i] - l0s[i] * cs[i];
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      const double hl = hh[i] * l0s[i];
+      const double vs =
+          (cs[i] * (2.0 - hl) + 2.0 * hh[i] * p0s[i]) / (2.0 + hl);
+      const double ve = cs[i] + hh[i] * e0s[i];
+      const double v = hl > stiff ? vs : ve;
+      cps[i] = std::max(v, floor_ppm);
+    }
+  }
+}
+
+// One corrector iteration, in place: the trapezoidal/rational update, the
+// per-lane running convergence metric, and the freeze blend (iterating
+// lanes take the corrected value, frozen lanes keep their state). The
+// update is elementwise — species row s reads only row s of cp — so
+// writing cp in place produces the values the scalar path's cp/cn swap
+// produces, and skipped segments simply keep their lanes (see the engine).
+AIRSHED_LANE_CLONES
+void corrector(const double* cw, const double* p0, const double* l0,
+               const double* e0, const double* p1, const double* l1,
+               double* cp, const double* h, const double* corr, double* metric,
+               std::size_t n, std::size_t La, std::size_t L, double stiff,
+               double floor_ppm, double check_floor, double eps) {
+#if AIRSHED_YB_SLACK_METRIC
+  for (std::size_t i = 0; i < La; ++i)
+    metric[i] = -std::numeric_limits<double>::infinity();
+#else
+  (void)eps;
+  for (std::size_t i = 0; i < La; ++i) metric[i] = 0.0;
+#endif
+  const double* __restrict corrm = corr;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* __restrict cs = cw + s * L;
+    const double* __restrict p0s = p0 + s * L;
+    const double* __restrict l0s = l0 + s * L;
+    const double* __restrict e0s = e0 + s * L;
+    const double* __restrict p1s = p1 + s * L;
+    const double* __restrict l1s = l1 + s * L;
+    double* __restrict cps = cp + s * L;
+    const double* __restrict hh = h;
+    double* __restrict mrel = metric;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      const double ci = cps[i];
+      const double pb = 0.5 * (p0s[i] + p1s[i]);
+      const double lb = 0.5 * (l0s[i] + l1s[i]);
+      const double hl = hh[i] * lb;
+      const double vs = (cs[i] * (2.0 - hl) + 2.0 * hh[i] * pb) / (2.0 + hl);
+      const double vt = cs[i] + 0.5 * hh[i] * (e0s[i] + (p1s[i] - l1s[i] * ci));
+      double v = hl > stiff ? vs : vt;
+      v = std::max(v, floor_ppm);
+      const double scale = std::max(std::max(v, ci), check_floor);
+#if AIRSHED_YB_SLACK_METRIC
+      // Division-free convergence slack: |v - c| - eps*scale < 0 is the
+      // same test as |v - c| / scale < eps up to one rounding step.
+      const double m = std::abs(v - ci) - eps * scale;
+#else
+      const double m = std::abs(v - ci) / scale;
+#endif
+      cps[i] = corrm[i] != 0.0 ? v : ci;
+      mrel[i] = std::max(mrel[i], m);
+    }
+  }
+}
+
+// Accuracy controller: per-lane max relative change over the substep
+// (identical reduction order to the scalar path: species ascending).
+AIRSHED_LANE_CLONES
+void max_change(const double* cw, const double* cp, double* mc, std::size_t n,
+                std::size_t La, std::size_t L, double change_floor) {
+  for (std::size_t i = 0; i < La; ++i) mc[i] = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* __restrict cs = cw + s * L;
+    const double* __restrict cps = cp + s * L;
+    double* __restrict mcc = mc;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      const double scale = std::max(std::max(cps[i], cs[i]), change_floor);
+      mcc[i] = std::max(mcc[i], std::abs(cps[i] - cs[i]) / scale);
+    }
+  }
+}
+
+// Commit blend: accepted lanes take the substep result, others are frozen.
+AIRSHED_LANE_CLONES
+void commit(double* cw, const double* cp, const double* acc, std::size_t n,
+            std::size_t La, std::size_t L) {
+  const double* __restrict accm = acc;
+  for (std::size_t s = 0; s < n; ++s) {
+    double* __restrict cs = cw + s * L;
+    const double* __restrict cps = cp + s * L;
+#pragma GCC ivdep
+    for (std::size_t i = 0; i < La; ++i) {
+      cs[i] = accm[i] != 0.0 ? cps[i] : cs[i];
+    }
+  }
+}

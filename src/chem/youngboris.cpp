@@ -1,5 +1,7 @@
 #include "airshed/chem/youngboris.hpp"
 
+#include "airshed/chem/yb_lanes.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -208,6 +210,7 @@ YoungBorisResult YoungBorisSolver::integrate(
       }
       t += h;
       ++result.substeps;
+      ++substeps_total_;
       pl_valid = false;
       // Grow toward the change target (capped), unless the corrector was
       // already struggling.
@@ -235,129 +238,21 @@ YoungBorisResult YoungBorisSolver::integrate(
   return result;
 }
 
-namespace {
-
-// Dense lane loops of the blocked integrator, runtime-dispatched to the
-// widest vector ISA available (AIRSHED_LANE_CLONES; every clone is
-// bit-identical — the kernel TUs compile with -ffp-contract=off and lane
-// grouping never reorders a lane's own operations). Panels are species-major
-// with stride L; the loops cover the live+padded prefix La. The row
-// pointers are __restrict: every panel is a distinct arena allocation, and
-// without the annotation the runtime alias checks for this many streams
-// exceed GCC's versioning limit, so the lane loops would not vectorize.
-
-// Explicit slope e0 = P0 - L0*c (a pure function of the accepted state,
-// shared verbatim by the predictor and every corrector iteration — the
-// scalar path groups it in parentheses in both places, so hoisting it
-// cannot change a bit), then the predictor itself.
-AIRSHED_LANE_CLONES
-void yb_predictor(const double* cw, const double* p0, const double* l0,
-                  double* e0, double* cp, const double* h, std::size_t n,
-                  std::size_t La, std::size_t L, double stiff,
-                  double floor_ppm) {
-  for (std::size_t s = 0; s < n; ++s) {
-    const double* __restrict cs = cw + s * L;
-    const double* __restrict p0s = p0 + s * L;
-    const double* __restrict l0s = l0 + s * L;
-    double* __restrict e0s = e0 + s * L;
-    double* __restrict cps = cp + s * L;
-    const double* __restrict hh = h;
-#pragma GCC ivdep
-    for (std::size_t i = 0; i < La; ++i) e0s[i] = p0s[i] - l0s[i] * cs[i];
-#pragma GCC ivdep
-    for (std::size_t i = 0; i < La; ++i) {
-      const double hl = hh[i] * l0s[i];
-      const double vs =
-          (cs[i] * (2.0 - hl) + 2.0 * hh[i] * p0s[i]) / (2.0 + hl);
-      const double ve = cs[i] + hh[i] * e0s[i];
-      const double v = hl > stiff ? vs : ve;
-      cps[i] = std::max(v, floor_ppm);
-    }
-  }
-}
-
-// One corrector iteration: trapezoidal/rational update, per-lane running
-// max of the relative correction, and the freeze blend (iterating lanes
-// take the corrected value, frozen lanes keep their state).
-AIRSHED_LANE_CLONES
-void yb_corrector(const double* cw, const double* p0, const double* l0,
-                  const double* e0, const double* p1, const double* l1,
-                  const double* cp, double* cn, const double* h,
-                  const double* corr, double* maxrel, std::size_t n,
-                  std::size_t La, std::size_t L, double stiff,
-                  double floor_ppm, double check_floor) {
-  for (std::size_t i = 0; i < La; ++i) maxrel[i] = 0.0;
-  const double* __restrict corrm = corr;
-  for (std::size_t s = 0; s < n; ++s) {
-    const double* __restrict cs = cw + s * L;
-    const double* __restrict p0s = p0 + s * L;
-    const double* __restrict l0s = l0 + s * L;
-    const double* __restrict e0s = e0 + s * L;
-    const double* __restrict p1s = p1 + s * L;
-    const double* __restrict l1s = l1 + s * L;
-    const double* __restrict cps = cp + s * L;
-    double* __restrict cns = cn + s * L;
-    const double* __restrict hh = h;
-    double* __restrict mrel = maxrel;
-#pragma GCC ivdep
-    for (std::size_t i = 0; i < La; ++i) {
-      const double pb = 0.5 * (p0s[i] + p1s[i]);
-      const double lb = 0.5 * (l0s[i] + l1s[i]);
-      const double hl = hh[i] * lb;
-      const double vs = (cs[i] * (2.0 - hl) + 2.0 * hh[i] * pb) / (2.0 + hl);
-      const double vt =
-          cs[i] + 0.5 * hh[i] * (e0s[i] + (p1s[i] - l1s[i] * cps[i]));
-      double v = hl > stiff ? vs : vt;
-      v = std::max(v, floor_ppm);
-      const double scale = std::max(std::max(v, cps[i]), check_floor);
-      const double rel = std::abs(v - cps[i]) / scale;
-      cns[i] = corrm[i] != 0.0 ? v : cps[i];
-      mrel[i] = std::max(mrel[i], rel);
-    }
-  }
-}
-
-// Accuracy controller: per-lane max relative change over the substep
-// (identical reduction order to the scalar path: species ascending).
-AIRSHED_LANE_CLONES
-void yb_max_change(const double* cw, const double* cp, double* mc,
-                   std::size_t n, std::size_t La, std::size_t L,
-                   double change_floor) {
-  for (std::size_t i = 0; i < La; ++i) mc[i] = 0.0;
-  for (std::size_t s = 0; s < n; ++s) {
-    const double* __restrict cs = cw + s * L;
-    const double* __restrict cps = cp + s * L;
-    double* __restrict mcc = mc;
-#pragma GCC ivdep
-    for (std::size_t i = 0; i < La; ++i) {
-      const double scale = std::max(std::max(cps[i], cs[i]), change_floor);
-      mcc[i] = std::max(mcc[i], std::abs(cps[i] - cs[i]) / scale);
-    }
-  }
-}
-
-// Commit blend: accepted lanes take the substep result, others are frozen.
-AIRSHED_LANE_CLONES
-void yb_commit(double* cw, const double* cp, const double* acc, std::size_t n,
-               std::size_t La, std::size_t L) {
-  const double* __restrict accm = acc;
-  for (std::size_t s = 0; s < n; ++s) {
-    double* __restrict cs = cw + s * L;
-    const double* __restrict cps = cp + s * L;
-#pragma GCC ivdep
-    for (std::size_t i = 0; i < La; ++i) {
-      cs[i] = accm[i] != 0.0 ? cps[i] : cs[i];
-    }
-  }
-}
-
-}  // namespace
-
 void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
                                        double dt_total_min,
                                        std::span<const double> temp_k,
                                        double sun,
                                        std::span<YoungBorisResult> results) {
+  integrate_block_ops(cells, dt_total_min, temp_k, sun, results,
+                      yb_detail::strict_lane_ops());
+}
+
+void YoungBorisSolver::integrate_block_ops(kernel::CellBlock& cells,
+                                           double dt_total_min,
+                                           std::span<const double> temp_k,
+                                           double sun,
+                                           std::span<YoungBorisResult> results,
+                                           const yb_detail::LaneOps& ops) {
   const std::size_t n = static_cast<std::size_t>(mech_->species_count());
   const std::size_t w = static_cast<std::size_t>(cells.width());
   const std::size_t L = cells.stride();  // dense lane count (padded)
@@ -387,6 +282,16 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
   // (CellBlock::gather seeds the initial tail the same way), keeping dense
   // arithmetic inside normal floating-point range; they are masked off and
   // never scattered back.
+  //
+  // Divergence *within* a round — slots whose P/L is still valid, slots
+  // whose corrector already converged — is handled at vector-group
+  // granularity: the dense production/loss and corrector passes run only
+  // over the kLaneRound-aligned segments that still carry live work
+  // (kernel::segments_where). A skipped lane is left bit-untouched — for
+  // P/L reuse its values are already exactly right, and the in-place
+  // corrector means a frozen lane's state simply stays put — so the
+  // masking changes which lanes are *processed*, never what any processed
+  // lane computes.
   const std::size_t nr = mech_->reaction_count();
   arena_.reset();
   double* kp = arena_.alloc(nr * L);
@@ -397,7 +302,6 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
   double* p1 = arena_.alloc(n * L);
   double* l1 = arena_.alloc(n * L);
   double* cp = arena_.alloc(n * L);
-  double* cn = arena_.alloc(n * L);
   double* rate_scr = arena_.alloc(L);
   double* t = arena_.alloc(L);
   double* h = arena_.alloc(L);
@@ -442,8 +346,13 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
   const double stiff = opts_.stiff_threshold;
   const double check_floor = opts_.check_floor_ppm;
   const double change_floor = opts_.change_floor_ppm;
+  // Strict profile: converged when max_s |v - c| / scale < eps. Tolerance
+  // profile: the corrector reports the slack max_s (|v - c| - eps*scale),
+  // converged when it drops below 0 — the same test, division-free.
+  const double conv_thresh = ops.metric_is_slack ? 0.0 : opts_.eps;
 
   while (nact > 0) {
+    ++block_rounds_;
     // Dense lane count this round: live slots, padded to the lane-round so
     // the vector loops keep whole vectors (stride stays L).
     const std::size_t La = std::min(L, kernel::padded_lanes(nact));
@@ -453,25 +362,25 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
       h[i] = std::min(h[i], dt_total - t[i]);
 
     // ---- P0/L0 ---------------------------------------------------------
-    // Dense recompute whenever any live slot needs it: slots whose P/L is
-    // still valid get the identical value back (cw unchanged since it was
-    // computed), so only the per-lane eval counters need the mask. When
-    // every live slot is valid — the whole block retried its substep — the
-    // recompute is skipped outright, matching the scalar pl_valid reuse.
-    // (Padding slots may then keep stale P/L from before a compaction;
-    // their dense arithmetic stays finite and is masked off regardless.)
-    bool any_pl_invalid = false;
-    for (std::size_t s = 0; s < nact; ++s) {
-      if (plv_[s] == 0.0) {
-        any_pl_invalid = true;
-        break;
+    // Recompute only the vector groups holding a slot that needs it: a
+    // slot whose P/L is still valid (the whole slot retried its substep)
+    // either sits in a skipped group and keeps its exact values, or is
+    // swept along in a live group and gets the identical value back (cw
+    // unchanged since it was computed). Only truly invalid slots count as
+    // live lane work.
+    kernel::segments_where(plv_.data(), 0.0, nact, La, segs_);
+    if (!segs_.empty()) {
+      for (const kernel::LaneSegment& seg : segs_) {
+        ops.production_loss(*mech_, cw + seg.begin, kp + seg.begin,
+                            p0 + seg.begin, l0 + seg.begin, seg.width(), L,
+                            rate_scr + seg.begin);
       }
-    }
-    if (any_pl_invalid) {
-      mech_->production_loss_block(cw, kp, p0, l0, La, L, rate_scr);
+      lane_evals_dense_ +=
+          static_cast<long long>(kernel::segment_lanes(segs_));
       for (std::size_t s = 0; s < nact; ++s) {
         if (plv_[s] == 0.0) {
           ++results[slot_lane_[s]].corrector_evals;
+          ++lane_evals_live_;
           plv_[s] = 1.0;
         }
       }
@@ -479,7 +388,7 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
 
     // ---- Explicit slope + predictor (dense; pure function of cw, p0,
     // l0, h) --------------------------------------------------------------
-    yb_predictor(cw, p0, l0, e0, cp, h, n, La, L, stiff, floor);
+    ops.predictor(cw, p0, l0, e0, cp, h, n, La, L, stiff, floor);
 
     // ---- Corrector iterations (masked: converged lanes freeze) ----------
     for (std::size_t i = 0; i < La; ++i) {
@@ -490,18 +399,34 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
     std::size_t n_corr = nact;
     for (int iter = 0; iter < opts_.max_corrector_iters && n_corr > 0;
          ++iter) {
-      mech_->production_loss_block(cp, kp, p1, l1, La, L, rate_scr);
+      // Dense P/L of the predicted state and the in-place corrector blend
+      // run only over groups that still hold an iterating lane; a group
+      // whose lanes all froze keeps its cp columns bit-untouched (exactly
+      // what the freeze blend would have written back).
+      kernel::segments_where(corr_.data(), 1.0, nact, La, segs_);
+      for (const kernel::LaneSegment& seg : segs_) {
+        ops.production_loss(*mech_, cp + seg.begin, kp + seg.begin,
+                            p1 + seg.begin, l1 + seg.begin, seg.width(), L,
+                            rate_scr + seg.begin);
+      }
+      lane_evals_dense_ +=
+          static_cast<long long>(kernel::segment_lanes(segs_));
+      lane_evals_live_ += static_cast<long long>(n_corr);
       for (std::size_t s = 0; s < nact; ++s) {
         if (corr_[s] != 0.0) {
           iters_[s] = iter + 1;
           ++results[slot_lane_[s]].corrector_evals;
         }
       }
-      yb_corrector(cw, p0, l0, e0, p1, l1, cp, cn, h, corr_.data(), maxrel,
-                   n, La, L, stiff, floor, check_floor);
-      std::swap(cp, cn);
+      for (const kernel::LaneSegment& seg : segs_) {
+        ops.corrector(cw + seg.begin, p0 + seg.begin, l0 + seg.begin,
+                      e0 + seg.begin, p1 + seg.begin, l1 + seg.begin,
+                      cp + seg.begin, h + seg.begin, corr_.data() + seg.begin,
+                      maxrel + seg.begin, n, seg.width(), L, stiff, floor,
+                      check_floor, opts_.eps);
+      }
       for (std::size_t s = 0; s < nact; ++s) {
-        if (corr_[s] != 0.0 && maxrel[s] < opts_.eps) {
+        if (corr_[s] != 0.0 && maxrel[s] < conv_thresh) {
           conv_[s] = 1.0;
           corr_[s] = 0.0;
           --n_corr;
@@ -520,7 +445,7 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
         break;
       }
     }
-    if (mc_needed) yb_max_change(cw, cp, mc, n, La, L, change_floor);
+    if (mc_needed) ops.max_change(cw, cp, mc, n, La, L, change_floor);
 
     // ---- Per-slot acceptance and substep control (scalar control path) --
     std::size_t n_done = 0;
@@ -546,6 +471,7 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
         accept_[s] = 1.0;
         t[s] += h[s];
         ++res.substeps;
+        ++substeps_total_;
         plv_[s] = 0.0;
         double factor = 0.8 * opts_.max_rel_change / std::max(mc[s], 1e-9);
         factor = std::clamp(factor, 0.5, 2.0);
@@ -568,7 +494,7 @@ void YoungBorisSolver::integrate_block(kernel::CellBlock& cells,
 
     // ---- Commit accepted slots (masked blend; a fully rejected round
     // leaves cw untouched, so the pass is skipped) ------------------------
-    if (n_acc > 0) yb_commit(cw, cp, accept_.data(), n, La, L);
+    if (n_acc > 0) ops.commit(cw, cp, accept_.data(), n, La, L);
 
     // ---- Retire finished lanes and compact the live slots ---------------
     if (n_done > 0) {

@@ -1,10 +1,12 @@
 #include "airshed/core/model.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
 
 #include "airshed/aerosol/aerosol.hpp"
+#include "airshed/chem/yb_block.hpp"
 #include "airshed/kernel/cellblock.hpp"
 #include "airshed/par/pool.hpp"
 #include "airshed/transport/supg.hpp"
@@ -137,16 +139,24 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   // layers, chemistry + vertical transport over columns. Each thread owns
   // its solver instances (scratch is stateful), each item its output slot,
   // so results are bit-identical for every thread count.
-  par::WorkerPool pool(opts_.host_threads);
+  int requested = par::resolve_threads(opts_.host_threads);
+  if (!opts_.oversubscribe) {
+    // Compute-bound pools gain nothing past the core count; oversubscribing
+    // just adds contention (EXPERIMENTS.md). Results are thread-count
+    // independent, so the cap cannot change any output.
+    requested = std::min(requested, par::hardware_threads());
+  }
+  par::WorkerPool pool(requested);
   const int nthreads = pool.threads();
+  const kernel::KernelOptions& ko = opts_.kernel;
   par::PerThread<SupgTransport> supg(
       nthreads, [&] { return SupgTransport(ds.mesh, opts_.transport); });
-  par::PerThread<YoungBorisSolver> chem(nthreads, [&] {
-    return YoungBorisSolver(Mechanism::cb4_condensed(), opts_.chem);
+  par::PerThread<YoungBorisBlockSolver> chem(nthreads, [&] {
+    return YoungBorisBlockSolver(Mechanism::cb4_condensed(), opts_.chem,
+                                 ko.lane_mode);
   });
   par::PerThread<VerticalTransport> vert(
       nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
-  const kernel::KernelOptions& ko = opts_.kernel;
   const std::size_t cell_block =
       static_cast<std::size_t>(std::max(1, ko.block));
   par::PerThread<ChemBlockScratch> chem_scratch(nthreads, [&] {
@@ -177,7 +187,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   for (int h = first_hour; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
     // Rate constants frozen on (temp, sun) are reusable within the hour.
-    for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
+    for (YoungBorisBlockSolver& solver : chem) solver.set_rate_epoch(h);
     HourlyInputs in = [&] {
       PhaseTimer timer(prof ? &prof->io_s : nullptr);
       obs::ObsSpan span(rec, 0, "inputhour", PhaseCategory::IoProcessing, h);
@@ -299,7 +309,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
             const double temp = in.vertex_temp_k[v] - lapse * k;
             YoungBorisResult r;
             try {
-              r = chem[t].integrate(cell, dt_min, temp, sun);
+              r = chem[t].scalar().integrate(cell, dt_min, temp, sun);
             } catch (const NumericalError& e) {
               // The box solver is cell-local; attach the grid location here.
               throw NumericalError(std::string(e.what()) + " (grid point " +
@@ -360,7 +370,19 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     }
   }
 
-  if (prof) prof->thread_busy_s = pool.busy_seconds();
+  if (prof) {
+    prof->thread_busy_s = pool.busy_seconds();
+    for (const YoungBorisBlockSolver& solver : chem) {
+      const YoungBorisSolver& yb = solver.scalar();
+      prof->rate_cache_hits += yb.rate_cache_hits();
+      prof->rate_evals += yb.rate_evals();
+      prof->rate_cache_evictions += yb.rate_cache_evictions();
+      prof->lane_evals_dense += yb.lane_evals_dense();
+      prof->lane_evals_live += yb.lane_evals_live();
+      prof->block_rounds += yb.block_rounds();
+      prof->chem_substeps += yb.substeps_total();
+    }
+  }
   return result;
 }
 

@@ -116,6 +116,30 @@ void record_metrics(obs::MetricsRegistry& registry,
       "host/thread_busy_s", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0},
       "CPU seconds per pool thread inside parallel blocks");
   for (double b : profile.thread_busy_s) busy.observe(b);
+
+  // Chemistry-solver counters (summed over per-thread solvers): rate-cache
+  // effectiveness and the SIMD lane occupancy of the blocked path.
+  registry.counter("chem/rate_cache/hits", "rate-constant cache hits")
+      .inc(profile.rate_cache_hits);
+  registry.counter("chem/rate_cache/evals", "full rate-constant evaluations")
+      .inc(profile.rate_evals);
+  registry.counter("chem/rate_cache/evictions", "single-victim evictions")
+      .inc(profile.rate_cache_evictions);
+  registry.counter("chem/lanes/dense", "lane-columns swept by dense passes")
+      .inc(profile.lane_evals_dense);
+  registry.counter("chem/lanes/live", "lane-columns carrying live work")
+      .inc(profile.lane_evals_live);
+  registry.counter("chem/block_rounds", "lockstep rounds of blocked solver")
+      .inc(profile.block_rounds);
+  registry.counter("chem/substeps", "accepted chemistry substeps")
+      .inc(profile.chem_substeps);
+  if (profile.lane_evals_dense > 0) {
+    registry
+        .gauge("chem/lanes/occupancy",
+               "live / dense lane fraction of the SIMD chemistry passes")
+        .set(static_cast<double>(profile.lane_evals_live) /
+             static_cast<double>(profile.lane_evals_dense));
+  }
 }
 
 Table sweep_table(const WorkTrace& trace, const MachineModel& machine,

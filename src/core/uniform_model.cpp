@@ -7,7 +7,7 @@
 #include <unordered_map>
 
 #include "airshed/aerosol/aerosol.hpp"
-#include "airshed/chem/youngboris.hpp"
+#include "airshed/chem/yb_block.hpp"
 #include "airshed/io/dataset.hpp"
 #include "airshed/kernel/cellblock.hpp"
 #include "airshed/par/pool.hpp"
@@ -230,16 +230,22 @@ ModelRunResult UniformAirshedModel::run_hours(
   // Pooled virtual-node kernels, as in AirshedModel::run_hours: per-thread
   // operator instances, per-item output slots, bit-identical results for
   // every thread count.
-  par::WorkerPool pool(opts_.host_threads);
+  int requested = par::resolve_threads(opts_.host_threads);
+  if (!opts_.oversubscribe) {
+    // Same cap as AirshedModel::run_hours: no gain past the core count.
+    requested = std::min(requested, par::hardware_threads());
+  }
+  par::WorkerPool pool(requested);
   const int nthreads = pool.threads();
+  const kernel::KernelOptions& ko = opts_.kernel;
   par::PerThread<OneDimTransport> transport(
       nthreads, [&] { return OneDimTransport(ds.grid, opts_.transport); });
-  par::PerThread<YoungBorisSolver> chem(nthreads, [&] {
-    return YoungBorisSolver(Mechanism::cb4_condensed(), opts_.chem);
+  par::PerThread<YoungBorisBlockSolver> chem(nthreads, [&] {
+    return YoungBorisBlockSolver(Mechanism::cb4_condensed(), opts_.chem,
+                                 ko.lane_mode);
   });
   par::PerThread<VerticalTransport> vert(
       nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
-  const kernel::KernelOptions& ko = opts_.kernel;
   const std::size_t cell_block =
       static_cast<std::size_t>(std::max(1, ko.block));
   par::PerThread<ChemBlockScratch> chem_scratch(nthreads, [&] {
@@ -268,7 +274,7 @@ ModelRunResult UniformAirshedModel::run_hours(
 
   for (int h = first_hour; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
-    for (YoungBorisSolver& solver : chem) solver.set_rate_epoch(h);
+    for (YoungBorisBlockSolver& solver : chem) solver.set_rate_epoch(h);
     const UniformHourlyInputs in = [&] {
       par::PhaseTimer timer(prof ? &prof->io_s : nullptr);
       obs::ObsSpan span(rec, 0, "inputhour", PhaseCategory::IoProcessing, h);
@@ -368,7 +374,7 @@ ModelRunResult UniformAirshedModel::run_hours(
             for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, c);
             const double temp = in.cell_temp_k[c] - lapse * k;
             column_work +=
-                chem[t].integrate(cell, dt_min, temp, sun).work_flops;
+                chem[t].scalar().integrate(cell, dt_min, temp, sun).work_flops;
             for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, c) = cell[s];
           }
           for (int s = 0; s < kSpeciesCount; ++s) {
@@ -437,7 +443,19 @@ ModelRunResult UniformAirshedModel::run_hours(
     }
   }
 
-  if (prof) prof->thread_busy_s = pool.busy_seconds();
+  if (prof) {
+    prof->thread_busy_s = pool.busy_seconds();
+    for (const YoungBorisBlockSolver& solver : chem) {
+      const YoungBorisSolver& yb = solver.scalar();
+      prof->rate_cache_hits += yb.rate_cache_hits();
+      prof->rate_evals += yb.rate_evals();
+      prof->rate_cache_evictions += yb.rate_cache_evictions();
+      prof->lane_evals_dense += yb.lane_evals_dense();
+      prof->lane_evals_live += yb.lane_evals_live();
+      prof->block_rounds += yb.block_rounds();
+      prof->chem_substeps += yb.substeps_total();
+    }
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 // eviction, and the bench JSON/timing helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -235,6 +236,244 @@ TEST(Kernel, IntegrateBlockCompactionKeepsBitIdentity) {
       EXPECT_EQ(res[i].corrector_evals, ref.corrector_evals)
           << "width=" << width << " lane=" << i;
     }
+  }
+}
+
+// --------------------------------------- lane masking / SIMD edge cases
+
+TEST(Kernel, LaneSegmentsSkipDeadGroupsAndCoalesce) {
+  const std::size_t R = kernel::kLaneRound;
+  std::vector<double> mask(4 * R, 0.0);
+  std::vector<kernel::LaneSegment> segs;
+
+  // All dead: no segments, no lanes.
+  kernel::segments_where(mask.data(), 1.0, 4 * R, 4 * R, segs);
+  EXPECT_TRUE(segs.empty());
+  EXPECT_EQ(kernel::segment_lanes(segs), 0u);
+
+  // One live lane in group 0 and one in group 2: two segments, a full
+  // group each; the dead group between them is skipped.
+  mask[1] = 1.0;
+  mask[2 * R + 3] = 1.0;
+  kernel::segments_where(mask.data(), 1.0, 4 * R, 4 * R, segs);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, R);
+  EXPECT_EQ(segs[1].begin, 2 * R);
+  EXPECT_EQ(segs[1].end, 3 * R);
+  EXPECT_EQ(kernel::segment_lanes(segs), 2 * R);
+
+  // Adjacent live groups coalesce: with group 1 now live too, groups
+  // 0..2 form one contiguous segment.
+  mask[R] = 1.0;
+  kernel::segments_where(mask.data(), 1.0, 4 * R, 4 * R, segs);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, 3 * R);
+
+  // limit < La: live flags beyond `limit` are ignored, but a live group
+  // still extends to La (padding lanes ride along in the dense pass).
+  std::fill(mask.begin(), mask.end(), 0.0);
+  mask[0] = 1.0;
+  mask[R + 1] = 1.0;  // beyond limit: must not wake group 1
+  kernel::segments_where(mask.data(), 1.0, /*limit=*/3, /*La=*/2 * R, segs);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, R);
+  EXPECT_EQ(kernel::count_lanes(mask.data(), 1.0, 3), 1u);
+}
+
+// The block-solver front end: LaneMode::strict must reproduce the scalar
+// oracle bit for bit, including at widths below one vector group (the
+// whole block is one ragged tail).
+TEST(Kernel, BlockSolverStrictMatchesScalarBitwise) {
+  const Mechanism& m = Mechanism::cb4_condensed();
+  for (int width : {1, 3, 8, 21, 64}) {
+    ConcentrationField conc(kSpeciesCount, 1, width);
+    std::vector<double> temps(width);
+    for (int i = 0; i < width; ++i) {
+      const std::vector<double> cell = lane_state(i);
+      for (int s = 0; s < kSpeciesCount; ++s) conc(s, 0, i) = cell[s];
+      temps[i] = 288.0 + 0.5 * i;
+    }
+
+    kernel::CellBlock block(kSpeciesCount, width);
+    block.gather(conc, 0, 0, width);
+    YoungBorisBlockSolver blocked(m);
+    EXPECT_EQ(blocked.mode(), kernel::LaneMode::strict);
+    std::vector<YoungBorisResult> res(width);
+    blocked.integrate_block(block, 10.0, temps, 0.8, res);
+
+    YoungBorisSolver scalar(m);
+    std::vector<double> cell(kSpeciesCount);
+    for (int i = 0; i < width; ++i) {
+      for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, 0, i);
+      const YoungBorisResult ref = scalar.integrate(cell, 10.0, temps[i], 0.8);
+      for (int s = 0; s < kSpeciesCount; ++s) {
+        EXPECT_EQ(block.row(s)[i], cell[s])
+            << "width=" << width << " lane=" << i << " species=" << s;
+      }
+      EXPECT_EQ(res[i].substeps, ref.substeps) << "lane=" << i;
+      EXPECT_EQ(res[i].corrector_evals, ref.corrector_evals) << "lane=" << i;
+    }
+  }
+}
+
+// One stiff outlier in an otherwise quiet block: the outlier keeps
+// iterating (and substepping) long after every other lane converged, so
+// the group-masked corrector scheduling must freeze the quiet lanes
+// bit-exactly while the hot lane runs to completion.
+TEST(Kernel, IntegrateBlockSingleStiffLaneKeepsBitIdentity) {
+  const Mechanism& m = Mechanism::cb4_condensed();
+  const int width = 24;
+  const int hot = 13;  // inside the second vector group
+  ConcentrationField conc(kSpeciesCount, 1, width);
+  std::vector<double> temps(width, 292.0);
+  for (int i = 0; i < width; ++i) {
+    // Quiet near-background lanes...
+    for (int s = 0; s < kSpeciesCount; ++s) conc(s, 0, i) = 1e-4;
+    if (i == hot) {
+      // ...except one polluted, fast-chemistry cell.
+      const std::vector<double> cell = lane_state(3);
+      for (int s = 0; s < kSpeciesCount; ++s) conc(s, 0, i) = 10.0 * cell[s];
+      temps[i] = 310.0;
+    }
+  }
+
+  kernel::CellBlock block(kSpeciesCount, width);
+  block.gather(conc, 0, 0, width);
+  YoungBorisSolver blocked(m);
+  std::vector<YoungBorisResult> res(width);
+  blocked.integrate_block(block, 30.0, temps, 0.9, res);
+
+  YoungBorisSolver scalar(m);
+  std::vector<double> cell(kSpeciesCount);
+  for (int i = 0; i < width; ++i) {
+    for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, 0, i);
+    const YoungBorisResult ref = scalar.integrate(cell, 30.0, temps[i], 0.9);
+    for (int s = 0; s < kSpeciesCount; ++s) {
+      EXPECT_EQ(block.row(s)[i], cell[s]) << "lane=" << i << " species=" << s;
+    }
+    EXPECT_EQ(res[i].corrector_evals, ref.corrector_evals) << "lane=" << i;
+    EXPECT_EQ(res[i].substeps, ref.substeps) << "lane=" << i;
+  }
+  // The scenario is only meaningful if per-lane work actually diverged
+  // (the masked scheduling had converged/live groups to tell apart).
+  EXPECT_NE(res[hot].corrector_evals, res[0].corrector_evals);
+  EXPECT_GT(blocked.lane_evals_dense(), blocked.lane_evals_live());
+}
+
+// A block of identical easy lanes converges in lockstep; the
+// all-lanes-converged early exit must not change any per-lane accounting
+// relative to the scalar oracle, and the live/dense occupancy counters
+// must see full groups.
+TEST(Kernel, IntegrateBlockAllLanesConvergedEarlyExit) {
+  const Mechanism& m = Mechanism::cb4_condensed();
+  const int width = 16;
+  ConcentrationField conc(kSpeciesCount, 1, width);
+  std::vector<double> temps(width, 295.0);
+  const std::vector<double> cell0 = lane_state(0);
+  for (int i = 0; i < width; ++i) {
+    for (int s = 0; s < kSpeciesCount; ++s) conc(s, 0, i) = cell0[s];
+  }
+
+  kernel::CellBlock block(kSpeciesCount, width);
+  block.gather(conc, 0, 0, width);
+  YoungBorisSolver blocked(m);
+  std::vector<YoungBorisResult> res(width);
+  blocked.integrate_block(block, 2.0, temps, 0.0, res);
+
+  YoungBorisSolver scalar(m);
+  std::vector<double> cell(kSpeciesCount);
+  for (int s = 0; s < kSpeciesCount; ++s) cell[s] = cell0[s];
+  const YoungBorisResult ref = scalar.integrate(cell, 2.0, temps[0], 0.0);
+  for (int i = 0; i < width; ++i) {
+    for (int s = 0; s < kSpeciesCount; ++s) {
+      EXPECT_EQ(block.row(s)[i], cell[s]) << "lane=" << i << " species=" << s;
+    }
+    EXPECT_EQ(res[i].corrector_evals, ref.corrector_evals) << "lane=" << i;
+    EXPECT_EQ(res[i].substeps, ref.substeps) << "lane=" << i;
+  }
+
+  // Identical lanes: every dense group held live work, so occupancy is
+  // exactly nact/La (16 live of 16 padded); dense >= live always.
+  EXPECT_GT(blocked.block_rounds(), 0LL);
+  EXPECT_GT(blocked.lane_evals_live(), 0LL);
+  EXPECT_EQ(blocked.lane_evals_dense(), blocked.lane_evals_live());
+}
+
+// NaN poison entering the vector path must be caught at the substep that
+// produced it, with the species and lane named — not committed silently.
+TEST(Kernel, IntegrateBlockNaNTripwireNamesSpeciesAndLane) {
+  const Mechanism& m = Mechanism::cb4_condensed();
+  const int width = 8;
+  ConcentrationField conc(kSpeciesCount, 1, width);
+  std::vector<double> temps(width, 298.0);
+  for (int i = 0; i < width; ++i) {
+    const std::vector<double> cell = lane_state(i);
+    for (int s = 0; s < kSpeciesCount; ++s) conc(s, 0, i) = cell[s];
+  }
+  conc(2, 0, 5) = std::numeric_limits<double>::quiet_NaN();
+
+  kernel::CellBlock block(kSpeciesCount, width);
+  block.gather(conc, 0, 0, width);
+  YoungBorisSolver blocked(m);
+  std::vector<YoungBorisResult> res(width);
+  try {
+    blocked.integrate_block(block, 10.0, temps, 0.8, res);
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("block lane 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+  }
+}
+
+// The tolerance profile (FMA-contracted kernels, division-free convergence
+// slack) is not bit-identical — it is held to the documented relative
+// bound against the strict/scalar result instead (docs/BENCHMARKS.md).
+TEST(Kernel, ToleranceModeStaysWithinRelativeBound) {
+  const Mechanism& m = Mechanism::cb4_condensed();
+  const int width = 64;
+  ConcentrationField conc(kSpeciesCount, 1, width);
+  std::vector<double> temps(width);
+  for (int i = 0; i < width; ++i) {
+    const std::vector<double> cell = lane_state(i);
+    for (int s = 0; s < kSpeciesCount; ++s) conc(s, 0, i) = cell[s];
+    temps[i] = 288.0 + 0.5 * i;
+  }
+
+  kernel::CellBlock strict_block(kSpeciesCount, width);
+  strict_block.gather(conc, 0, 0, width);
+  YoungBorisBlockSolver strict_solver(m);
+  std::vector<YoungBorisResult> res(width);
+  strict_solver.integrate_block(strict_block, 30.0, temps, 0.8, res);
+
+  kernel::CellBlock tol_block(kSpeciesCount, width);
+  tol_block.gather(conc, 0, 0, width);
+  YoungBorisBlockSolver tol_solver(m, {}, kernel::LaneMode::tolerance);
+  EXPECT_EQ(tol_solver.mode(), kernel::LaneMode::tolerance);
+  std::vector<YoungBorisResult> tol_res(width);
+  tol_solver.integrate_block(tol_block, 30.0, temps, 0.8, tol_res);
+
+  double worst = 0.0;
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    for (int i = 0; i < width; ++i) {
+      const double ref = strict_block.row(s)[i];
+      const double got = tol_block.row(s)[i];
+      ASSERT_TRUE(std::isfinite(got)) << "lane=" << i << " species=" << s;
+      const double scale = std::max(std::abs(ref), 1e-9);
+      worst = std::max(worst, std::abs(got - ref) / scale);
+    }
+  }
+  // Documented bound (with margin over the measured error on the
+  // reference host): every final concentration within 1e-6 relative.
+  EXPECT_LE(worst, 1e-6);
+  // Same physics: substep counts may differ slightly but must be close.
+  for (int i = 0; i < width; ++i) {
+    EXPECT_NEAR(tol_res[i].substeps, res[i].substeps,
+                std::max(2.0, 0.25 * res[i].substeps))
+        << "lane=" << i;
   }
 }
 
@@ -489,6 +728,7 @@ ModelOptions kernel_opts(bool blocked, int block, int threads) {
   ModelOptions opts;
   opts.hours = 1;
   opts.host_threads = threads;
+  opts.oversubscribe = true;  // keep real multi-thread coverage on small hosts
   opts.kernel.blocked = blocked;
   opts.kernel.block = block;
   return opts;

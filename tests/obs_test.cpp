@@ -265,6 +265,7 @@ ModelRunResult run_test_model(int host_threads, obs::TraceRecorder* rec) {
   ModelOptions opts;
   opts.hours = 2;
   opts.host_threads = host_threads;
+  opts.oversubscribe = true;  // keep real multi-thread coverage on small hosts
   opts.trace = rec;
   return AirshedModel(test_basin_dataset(), opts).run();
 }

@@ -123,6 +123,7 @@ ModelRunResult run_model(int host_threads, int hours = 3) {
   ModelOptions opts;
   opts.hours = hours;
   opts.host_threads = host_threads;
+  opts.oversubscribe = true;  // keep real multi-thread coverage on small hosts
   return AirshedModel(ds, opts).run();
 }
 
@@ -164,6 +165,7 @@ TEST(HostParallelModel, UniformModelBitIdenticalAcrossThreadCounts) {
     ModelOptions opts;
     opts.hours = 2;
     opts.host_threads = threads;
+    opts.oversubscribe = true;
     return UniformAirshedModel(ds, opts).run();
   };
   const ModelRunResult base = run(1);
@@ -177,6 +179,7 @@ TEST(HostParallelModel, ProfileReportsResolvedThreads) {
   ModelOptions opts;
   opts.hours = 1;
   opts.host_threads = 2;
+  opts.oversubscribe = true;  // the default caps at the core count
   opts.profile = &prof;
   AirshedModel(ds, opts).run();
   EXPECT_EQ(prof.threads, 2);
