@@ -16,13 +16,21 @@
 //       all are intact, 1 naming the first corrupt artifact.
 //   airshed_cli batch <dataset> [--scenarios N] [--seed S] [--threads N]
 //                     [--max-attempts N] [--out dir] [--no-degrade]
-//                     [--chaos-node-death P] [--chaos-straggler P]
-//                     [--chaos-storage P] [--chaos-payload P]
-//                     [--chaos-numerics P] [--poison id,id,...]
+//                     [--no-journal] [--watchdog-budget F] [--queue-depth N]
+//                     [--max-in-flight N] [--chaos-node-death P]
+//                     [--chaos-straggler P] [--chaos-storage P]
+//                     [--chaos-payload P] [--chaos-numerics P]
+//                     [--chaos-hang P] [--poison id,id,...]
 //       Run a seeded scenario batch under the resilient supervisor:
 //       per-scenario isolation, retry/backoff, deadlines, circuit breaker,
-//       coarse-grid degradation. Writes <out>/archive/ (durable results +
-//       manifest), batch_report.json and metrics.json.
+//       coarse-grid degradation, hung-scenario watchdog, bounded admission.
+//       Writes <out>/archive/ (durable results + manifest), batch.journal
+//       (crash-resume write-ahead log), batch_report.json and metrics.json.
+//   airshed_cli batch --resume <dir> [--threads N]
+//       Resume a crashed batch from <dir>/batch.journal: replay the
+//       journal, verify committed artifacts by digest, re-execute only
+//       unfinished scenarios. The final archive and manifest are
+//       byte-identical to an uninterrupted run.
 //   airshed_cli trace <dataset> [hours] [--machine m] [--nodes P]
 //                     [--threads N] [--out dir]
 //       Run the physics with the observability layer attached, simulate the
@@ -60,9 +68,13 @@ int usage() {
                " [--threads N]\n"
                "               [--max-attempts N] [--out dir] [--no-degrade]"
                " [--poison id,...]\n"
+               "               [--no-journal] [--watchdog-budget F]"
+               " [--queue-depth N] [--max-in-flight N]\n"
                "               [--chaos-node-death|--chaos-straggler|"
                "--chaos-storage|\n"
-               "                --chaos-payload|--chaos-numerics P]\n"
+               "                --chaos-payload|--chaos-numerics|"
+               "--chaos-hang P]\n"
+               "  airshed_cli batch --resume <batch-output-dir> [--threads N]\n"
                "  airshed_cli trace <TEST|LA|NE|LA-uniform> [hours]"
                " [--machine paragon|t3d|t3e]\n"
                "               [--nodes P] [--threads N] [--out dir]\n");
@@ -210,8 +222,8 @@ int cmd_verify_dir(const std::string& dir) {
     if (!e.is_regular_file()) continue;
     const std::string p = e.path().string();
     const std::string name = e.path().filename().string();
-    if (name.size() >= 8 && name.substr(name.size() - 8) == ".corrupt") {
-      continue;  // already quarantined — that is the recorded state
+    if (name.find(".corrupt") != std::string::npos) {
+      continue;  // quarantined (*.corrupt, *.corrupt.N) — the recorded state
     }
     if (name.find(".tmp.") != std::string::npos) continue;
     if (!durable::looks_like_container(p)) continue;
@@ -303,53 +315,105 @@ int verify_one(const std::string& path) {
 
 int cmd_batch(int argc, char** argv) {
   if (argc < 1) return usage();
-  const std::string dataset = argv[0];
-  if (dataset != "TEST" && dataset != "LA" && dataset != "NE") {
-    // Fail fast on a typo'd dataset instead of quarantining every
-    // scenario with the same ConfigError and exiting 0.
-    std::fprintf(stderr, "error: unknown batch dataset: %s\n",
-                 dataset.c_str());
-    return 2;
-  }
+
   svc::JobMixOptions mix;
-  mix.dataset = dataset;
   svc::BatchOptions opts;
   std::string out_dir = "batch_out";
-  for (int i = 1; i < argc; ++i) {
-    const auto flag = [&](const char* name) {
-      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
-    };
-    if (flag("--scenarios")) {
-      mix.scenarios = std::atoi(argv[++i]);
-      if (mix.scenarios < 1) return usage();
-    } else if (flag("--seed")) {
-      opts.batch_seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag("--threads")) {
-      opts.threads = std::atoi(argv[++i]);
-    } else if (flag("--max-attempts")) {
-      opts.max_attempts = std::atoi(argv[++i]);
-      if (opts.max_attempts < 1) return usage();
-    } else if (flag("--out")) {
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
-      opts.degrade = false;
-    } else if (flag("--chaos-node-death")) {
-      opts.chaos.node_death = std::atof(argv[++i]);
-    } else if (flag("--chaos-straggler")) {
-      opts.chaos.straggler = std::atof(argv[++i]);
-    } else if (flag("--chaos-storage")) {
-      opts.chaos.storage_fault = std::atof(argv[++i]);
-    } else if (flag("--chaos-payload")) {
-      opts.chaos.payload_corruption = std::atof(argv[++i]);
-    } else if (flag("--chaos-numerics")) {
-      opts.chaos.numerics = std::atof(argv[++i]);
-    } else if (flag("--poison")) {
-      for (int id : parse_nodes(argv[++i])) {
-        opts.chaos.poison_scenarios.push_back(id);
-      }
-    } else {
-      return usage();
+  std::string dataset;
+  bool journal = true;
+  std::vector<svc::ScenarioSpec> specs;
+
+  if (std::strcmp(argv[0], "--resume") == 0) {
+    // batch --resume <dir> [--threads N]: everything else — seed, options,
+    // scenario specs — comes out of the journal header, so a resume cannot
+    // silently run a different batch than the one that crashed.
+    if (argc < 2) return usage();
+    out_dir = argv[1];
+    opts.journal_path = out_dir + "/batch.journal";
+    svc::BatchJournal::Replay replay;
+    try {
+      replay = svc::BatchJournal::replay(opts.journal_path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: cannot replay %s: %s\n",
+                   opts.journal_path.c_str(), e.what());
+      return 2;
     }
+    if (!replay.existed) {
+      std::fprintf(stderr, "error: no resumable journal at %s\n",
+                   opts.journal_path.c_str());
+      return 2;
+    }
+    const std::string journal_path = opts.journal_path;
+    opts = replay.options;
+    opts.journal_path = journal_path;
+    opts.resume = true;
+    specs = replay.specs;
+    dataset = specs.empty() ? std::string("TEST") : specs.front().dataset;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        opts.threads = std::atoi(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
+  } else {
+    dataset = argv[0];
+    if (dataset != "TEST" && dataset != "LA" && dataset != "NE") {
+      // Fail fast on a typo'd dataset instead of quarantining every
+      // scenario with the same ConfigError and exiting 0.
+      std::fprintf(stderr, "error: unknown batch dataset: %s\n",
+                   dataset.c_str());
+      return 2;
+    }
+    mix.dataset = dataset;
+    for (int i = 1; i < argc; ++i) {
+      const auto flag = [&](const char* name) {
+        return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+      };
+      if (flag("--scenarios")) {
+        mix.scenarios = std::atoi(argv[++i]);
+        if (mix.scenarios < 1) return usage();
+      } else if (flag("--seed")) {
+        opts.batch_seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (flag("--threads")) {
+        opts.threads = std::atoi(argv[++i]);
+      } else if (flag("--max-attempts")) {
+        opts.max_attempts = std::atoi(argv[++i]);
+        if (opts.max_attempts < 1) return usage();
+      } else if (flag("--out")) {
+        out_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+        opts.degrade = false;
+      } else if (std::strcmp(argv[i], "--no-journal") == 0) {
+        journal = false;
+      } else if (flag("--watchdog-budget")) {
+        opts.watchdog_budget_factor = std::atof(argv[++i]);
+      } else if (flag("--queue-depth")) {
+        opts.max_queue_depth = std::atoi(argv[++i]);
+      } else if (flag("--max-in-flight")) {
+        opts.max_in_flight = std::atoi(argv[++i]);
+      } else if (flag("--chaos-node-death")) {
+        opts.chaos.node_death = std::atof(argv[++i]);
+      } else if (flag("--chaos-straggler")) {
+        opts.chaos.straggler = std::atof(argv[++i]);
+      } else if (flag("--chaos-storage")) {
+        opts.chaos.storage_fault = std::atof(argv[++i]);
+      } else if (flag("--chaos-payload")) {
+        opts.chaos.payload_corruption = std::atof(argv[++i]);
+      } else if (flag("--chaos-numerics")) {
+        opts.chaos.numerics = std::atof(argv[++i]);
+      } else if (flag("--chaos-hang")) {
+        opts.chaos.hang = std::atof(argv[++i]);
+      } else if (flag("--poison")) {
+        for (int id : parse_nodes(argv[++i])) {
+          opts.chaos.poison_scenarios.push_back(id);
+        }
+      } else {
+        return usage();
+      }
+    }
+    specs = svc::make_job_mix(opts.batch_seed, mix);
+    if (journal) opts.journal_path = out_dir + "/batch.journal";
   }
 
   std::filesystem::create_directories(out_dir);
@@ -361,15 +425,27 @@ int cmd_batch(int argc, char** argv) {
   opts.trace = &recorder;
   opts.metrics = &registry;
 
-  const std::vector<svc::ScenarioSpec> specs =
-      svc::make_job_mix(opts.batch_seed, mix);
-  std::printf("batch: %d %s scenario(s), seed %llu, %d thread(s), chaos %s\n",
-              mix.scenarios, dataset.c_str(),
+  // CI crash harness: AIRSHED_KILL_RECORD / AIRSHED_KILL_PHASE SIGKILL this
+  // process at the chosen journal append; a wrapper then re-runs with
+  // --resume and asserts the archive is byte-identical.
+  if (fault::arm_kill_point_from_env()) {
+    std::printf("kill point armed from environment\n");
+  }
+
+  std::printf("batch: %zu %s scenario(s), seed %llu, %d thread(s), chaos %s%s\n",
+              specs.size(), dataset.c_str(),
               static_cast<unsigned long long>(opts.batch_seed), threads,
-              opts.chaos.any() ? "on" : "off");
+              opts.chaos.any() ? "on" : "off",
+              opts.resume ? ", resuming" : "");
 
   svc::BatchSupervisor supervisor(opts);
-  const svc::BatchReport report = supervisor.run(specs);
+  svc::BatchReport report;
+  try {
+    report = supervisor.run(specs);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   for (const svc::ScenarioResult& r : report.results) {
     std::printf("  %-8s %2dh  %-11s attempts %zu  checksum %s\n",
@@ -377,11 +453,20 @@ int cmd_batch(int argc, char** argv) {
                 r.attempts.size(),
                 r.checksum.empty() ? "-" : r.checksum.c_str());
   }
-  std::printf("rounds %d: %d ok, %d degraded, %d quarantined; "
-              "%d retries, %d infra / %d scenario faults, %d breaker trip(s)\n",
+  std::printf("rounds %d: %d ok, %d degraded, %d quarantined, %d shed; "
+              "%d retries, %d infra / %d scenario faults, %d breaker trip(s), "
+              "%d watchdog fire(s)\n",
               report.rounds, report.completed, report.degraded,
-              report.quarantined, report.retries, report.infra_faults,
-              report.scenario_faults, report.breaker_trips);
+              report.quarantined, report.shed, report.retries,
+              report.infra_faults, report.scenario_faults,
+              report.breaker_trips, report.watchdog_fires);
+  if (report.resumed) {
+    std::printf("resume: %d commit(s) verified+skipped, %d failure(s) "
+                "replayed, %d artifact(s) quarantined, %d re-executed%s\n",
+                report.replayed_commits, report.replayed_failures,
+                report.replay_quarantined, report.reexecuted,
+                report.journal_torn_tail ? ", torn tail truncated" : "");
+  }
 
   const std::string report_path = out_dir + "/batch_report.json";
   const std::string metrics_path = out_dir + "/metrics.json";

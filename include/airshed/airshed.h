@@ -30,8 +30,10 @@
 #include "airshed/dist/distarray.hpp"
 #include "airshed/dist/layout.hpp"
 #include "airshed/durable/container.hpp"
+#include "airshed/durable/journal.hpp"
 #include "airshed/emis/emissions.hpp"
 #include "airshed/fault/fault_plan.hpp"
+#include "airshed/fault/killpoint.hpp"
 #include "airshed/fault/recovery.hpp"
 #include "airshed/fxsim/comm_cost.hpp"
 #include "airshed/fxsim/foreign.hpp"
@@ -56,6 +58,7 @@
 #include "airshed/perf/model.hpp"
 #include "airshed/popexp/popexp.hpp"
 #include "airshed/svc/archive.hpp"
+#include "airshed/svc/journal.hpp"
 #include "airshed/svc/scenario.hpp"
 #include "airshed/svc/supervisor.hpp"
 #include "airshed/transport/onedim.hpp"

@@ -61,9 +61,11 @@ inline constexpr int kMaxWriteRetries = 8;
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// write with bounded retry of transient EINTR/short-write failures,
-/// fsync, then rename over the target. Throws StorageError (section
-/// "atomic-write", offset = bytes landed) on persistent I/O failure; the
-/// temp file is removed and the previous `path` content is untouched.
+/// fsync, rename over the target, then fsync the parent DIRECTORY so the
+/// committed rename survives power loss, not just process death. Throws
+/// StorageError (section "atomic-write", offset = bytes landed) on
+/// persistent I/O failure; the temp file is removed and the previous
+/// `path` content is untouched.
 void atomic_write_file(const std::string& path, std::string_view bytes);
 
 /// Test seam: replaces the write(2) call inside atomic_write_file. The

@@ -1,0 +1,132 @@
+// airshed::durable — append-mode write-ahead record journal.
+//
+// The framed container (container.hpp) is a whole-file format: its footer
+// digest makes it atomic-or-invalid, which is exactly wrong for a
+// write-ahead log that must survive a crash after ANY prefix of appends.
+// The journal is the complementary primitive: a header followed by a flat
+// stream of length-prefixed records, each carrying its own CRC32C, each
+// append fsync'd before the side effect it covers. A crash can only ever
+// leave a *torn tail* — a partial or CRC-failing final record — which
+// replay detects and truncates, recovering every record that was durably
+// committed before it:
+//
+//   header:   8-byte magic "ASHDJNL\n"
+//             format tag (length-prefixed string, e.g. "airshed-batch-journal")
+//             format version (u32), CRC32C(magic..version) (u32)
+//   record:   payload length (u32), payload bytes, CRC32C(payload) (u32)
+//   ... records repeat; there is no footer — the file is always appendable.
+//
+// All integers are little-endian. A bit flip inside a committed record (as
+// opposed to a torn tail) fails that record's CRC while later records still
+// frame correctly; replay treats any invalid record as the end of the valid
+// prefix and reports it, so damage never silently reorders history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "airshed/durable/container.hpp"
+
+namespace airshed::durable {
+
+// ---------------------------------------------------------------------------
+// Crash-injection seam (the airshed::fault kill-point chaos class installs
+// this; durable itself never depends on fault).
+// ---------------------------------------------------------------------------
+
+/// What the kill-point chaos hook may do to one journal append.
+enum class JournalKillAction {
+  None,        ///< append normally
+  KillBefore,  ///< SIGKILL the process before any byte of the record lands
+  KillMid,     ///< write a partial record frame (no fsync), then SIGKILL —
+               ///< the torn-tail case replay must truncate
+  KillAfter,   ///< complete the append (write + fsync), then SIGKILL
+};
+
+const char* to_string(JournalKillAction action);
+
+/// Consulted once per JournalWriter::append with the 0-based index of the
+/// record about to be written (header excluded). Returning anything but
+/// None terminates the process with SIGKILL at the chosen instant. Install
+/// from single-threaded setup only; pass an empty function to disarm.
+using JournalKillHook = std::function<JournalKillAction(std::uint64_t record_index)>;
+void set_journal_kill_hook(JournalKillHook hook);
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// The durably committed prefix of a journal file.
+struct JournalReplay {
+  bool existed = false;       ///< file was present with a valid header
+  std::string format;
+  std::uint32_t version = 0;
+  std::vector<std::string> records;  ///< intact record payloads, in order
+  /// Bytes of header + intact records; a resuming writer truncates here.
+  std::uint64_t valid_bytes = 0;
+  /// True when trailing bytes past the valid prefix were discarded (a torn
+  /// append — the crash signature the journal is designed to absorb).
+  bool torn_tail = false;
+};
+
+/// Reads the valid prefix of the journal at `path`. A missing file, or one
+/// whose header is incomplete (creation itself was interrupted), returns
+/// `existed = false`. A header that is complete but corrupt, or a format
+/// tag mismatch, throws StorageError — that is damage, not a torn tail.
+/// Does not modify the file; pass `valid_bytes` to JournalWriter to
+/// truncate the tail on resume.
+JournalReplay replay_journal(const std::string& path,
+                             std::string_view expect_format = {});
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends fsync'd records to a journal file. Construction either creates
+/// a fresh journal (header written, fsync'd, parent directory fsync'd so
+/// the file name itself survives power loss) or resumes an existing one at
+/// `resume_at` bytes (the replay's valid prefix; any torn tail beyond it
+/// is truncated away first).
+class JournalWriter {
+ public:
+  /// Fresh journal: truncates `path` and writes the header.
+  JournalWriter(std::string path, std::string format, std::uint32_t version);
+  /// Resuming writer: truncates to `replay.valid_bytes` and appends after
+  /// the intact prefix. The replay must come from the same `path`.
+  JournalWriter(std::string path, const JournalReplay& replay);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one framed record and fsyncs the file before returning: when
+  /// append() returns, the record is durable. Throws StorageError on I/O
+  /// failure. The kill hook (if armed) may terminate the process here.
+  void append(std::string_view payload);
+
+  const std::string& path() const { return path_; }
+  /// Records appended through THIS writer (not counting replayed ones).
+  std::uint64_t appended() const { return appended_; }
+  /// Current durable size in bytes.
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  void open_and_truncate(std::uint64_t keep_bytes, bool write_header,
+                         const std::string& format, std::uint32_t version);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t record_index_ = 0;  ///< global index incl. replayed records
+};
+
+/// fsyncs the directory containing `path` so a just-renamed or just-created
+/// entry survives power loss (POSIX requires a directory fsync to persist
+/// the name). Throws StorageError on failure.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace airshed::durable

@@ -1,0 +1,57 @@
+// airshed::fault — kill-point chaos: crash the process at a chosen
+// journal offset.
+//
+// The sixth fault class, and the only one that attacks the supervisor
+// itself rather than the work it supervises. A kill point arms the
+// durable-journal crash seam (durable::set_journal_kill_hook) so that the
+// process is SIGKILLed — genuinely, not via exception — immediately
+// before, halfway through, or immediately after a specific journal append.
+// Sweeping the record index over a batch's whole journal proves the
+// crash-resume contract exhaustively: every record boundary, plus the
+// torn-tail case that mid-append kills leave behind.
+//
+// Like every other fault class the kill point is deterministic: the index
+// and phase are either given explicitly, drawn from a seed, or read from
+// the environment (AIRSHED_KILL_RECORD / AIRSHED_KILL_PHASE) so CI can arm
+// a child process without recompiling.
+#pragma once
+
+#include <cstdint>
+
+#include "airshed/durable/journal.hpp"
+
+namespace airshed::fault {
+
+/// Arms the global kill point: the process is SIGKILLed at journal append
+/// number `record_index` (0-based, counted across every journal the
+/// process writes, header record included) with the given phase. Replaces
+/// any previously armed kill point.
+void arm_kill_point(std::uint64_t record_index,
+                    durable::JournalKillAction action);
+
+/// Seeded variant: draws the record index uniformly in [0, max_records)
+/// and the phase from {KillBefore, KillMid, KillAfter}, pure in `seed`.
+/// Returns the armed index (for logging the crash site).
+std::uint64_t arm_seeded_kill_point(std::uint64_t seed,
+                                    std::uint64_t max_records);
+
+/// Arms from the environment: AIRSHED_KILL_RECORD holds the record index,
+/// AIRSHED_KILL_PHASE one of "before" | "mid" | "after" (default "after").
+/// Returns false (and arms nothing) when AIRSHED_KILL_RECORD is unset or
+/// unparsable. This is the CI hook: a harness forks `airshed_cli batch`,
+/// arms the child via its environment, and resumes after the SIGKILL.
+bool arm_kill_point_from_env();
+
+/// Disarms any armed kill point (installs the empty hook).
+void disarm_kill_point();
+
+/// RAII disarm for test scopes that outlive their kill expectation (a
+/// parent process that armed a point but was not the one killed).
+struct KillPointGuard {
+  KillPointGuard() = default;
+  ~KillPointGuard() { disarm_kill_point(); }
+  KillPointGuard(const KillPointGuard&) = delete;
+  KillPointGuard& operator=(const KillPointGuard&) = delete;
+};
+
+}  // namespace airshed::fault

@@ -60,7 +60,10 @@ class BatchArchive {
   static StoredResult read_result(const std::string& path);
 
   /// Renames a corrupt artifact to "<path>.corrupt" (the vault's
-  /// quarantine idiom). Returns the new path; missing files return "".
+  /// quarantine idiom), or "<path>.corrupt.N" (smallest free N >= 1) when
+  /// earlier quarantines of the same path already occupy the unnumbered
+  /// slot — a repeat corruption never overwrites prior evidence. Returns
+  /// the new path; missing files return "".
   static std::string quarantine(const std::string& path);
 
   /// One manifest row: the authoritative generation for a scenario.

@@ -19,6 +19,19 @@
 // so the batch report (BatchReport::canonical_json) is bit-identical at
 // every thread count, including which scenarios were degraded or
 // quarantined and when the breaker tripped.
+//
+// Crash-resume contract (PR 8): with BatchOptions::journal_path set, every
+// supervision step is written ahead to a durable record journal
+// (svc/journal.hpp) and fsync'd before the side effect it covers. SIGKILL
+// the supervisor at ANY instant, then rerun with resume = true: committed
+// scenarios are verified by digest and skipped (exactly-once — never
+// re-executed), corrupt artifacts are quarantined and re-run, in-flight
+// attempts re-execute under the same pure decisions, and the final archive
+// + manifest are byte-identical to an uninterrupted run at any thread
+// count. Two resident-service guards ride on the journal: a hung-scenario
+// watchdog (virtual per-attempt budget -> WatchdogError, an infrastructure
+// fault the breaker sees) and bounded admission (queue-depth shed +
+// per-round in-flight cap, both deterministic and recorded in the report).
 #pragma once
 
 #include <cstdint>
@@ -50,6 +63,17 @@ class DeadlineError : public InfraError {
   explicit DeadlineError(const std::string& what) : InfraError(what) {}
 };
 
+/// The hung-scenario watchdog fired: an attempt stopped making progress
+/// (no hour completed) and sat on its executor until the per-attempt
+/// virtual budget ran out. Distinct from DeadlineError — a straggler is
+/// slow but advancing; a hang advances never — and, like it, classified
+/// as infrastructure: hangs come from the machinery, not the inputs. The
+/// burned budget is charged to the attempt in the journal.
+class WatchdogError : public InfraError {
+ public:
+  explicit WatchdogError(const std::string& what) : InfraError(what) {}
+};
+
 /// The fault class injected into one (scenario, attempt) execution.
 enum class FaultClass {
   None,
@@ -58,6 +82,7 @@ enum class FaultClass {
   StorageFault,       ///< archive write corrupted on disk (infra)
   PayloadCorruption,  ///< result payload corrupted in flight (infra)
   Numerics,           ///< poisoned inputs -> non-finite fields (scenario)
+  Hang,               ///< the attempt stalls forever; watchdog fires (infra)
 };
 
 const char* to_string(FaultClass fault);
@@ -71,6 +96,9 @@ struct ChaosOptions {
   double storage_fault = 0.0;
   double payload_corruption = 0.0;
   double numerics = 0.0;
+  /// The attempt hangs (stops completing hours) at a seeded hour; only the
+  /// hung-scenario watchdog can reclaim the executor.
+  double hang = 0.0;
   /// Straggler slowdown distribution: bounded Pareto on [1, cap], tail
   /// index alpha (the FaultPlan straggler model).
   double straggler_alpha = 1.5;
@@ -82,7 +110,8 @@ struct ChaosOptions {
 
   bool any() const {
     return node_death > 0 || straggler > 0 || storage_fault > 0 ||
-           payload_corruption > 0 || numerics > 0 || !poison_scenarios.empty();
+           payload_corruption > 0 || numerics > 0 || hang > 0 ||
+           !poison_scenarios.empty();
   }
 };
 
@@ -114,10 +143,34 @@ struct BatchOptions {
   bool degrade = true;
   std::size_t degrade_nx = 8;
   std::size_t degrade_ny = 8;
+  /// Hung-scenario watchdog: an attempt that stops completing hours is
+  /// reclaimed after `watchdog_budget_factor * scenario hours` of virtual
+  /// time with a typed WatchdogError (infrastructure fault). <= 0 disables
+  /// the watchdog; a hang then surfaces as a deadline blowout instead.
+  double watchdog_budget_factor = 4.0;
+  /// Bounded admission: at most this many scenarios are admitted into the
+  /// batch queue; the rest are shed deterministically (highest scenario
+  /// ids first — the keep-lowest-id policy) and reported with status Shed.
+  /// 0 = unbounded.
+  int max_queue_depth = 0;
+  /// At most this many scenarios dispatch per round (in-flight cap,
+  /// lowest pending ids first). 0 = unbounded. Purely a throttle: it
+  /// changes round structure, never outcomes.
+  int max_in_flight = 0;
   ChaosOptions chaos;
   /// Durable archive directory; empty = no on-disk archive (payload /
   /// storage chaos is then simulated on the in-memory encoding).
   std::string archive_dir;
+  /// Write-ahead batch journal file; empty = no journal (and no resume).
+  /// With a journal, every supervision step is fsync'd before the side
+  /// effect it covers, so the batch survives SIGKILL at any instant.
+  std::string journal_path;
+  /// Replay `journal_path`, verify committed artifacts by digest, skip the
+  /// verified work and re-execute only in-flight/missing scenarios. The
+  /// final archive + manifest are byte-identical to an uninterrupted run.
+  /// Throws ConfigError when the journal is missing or belongs to a batch
+  /// with a different (options, specs) digest.
+  bool resume = false;
   /// Optional host-span recorder. Needs at least as many lanes as the
   /// resolved thread count. Purely observational.
   obs::TraceRecorder* trace = nullptr;
@@ -126,7 +179,7 @@ struct BatchOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-enum class ScenarioStatus { Ok, Degraded, Quarantined };
+enum class ScenarioStatus { Ok, Degraded, Quarantined, Shed };
 
 const char* to_string(ScenarioStatus status);
 
@@ -138,6 +191,7 @@ struct AttemptRecord {
   bool degraded_run = false;  ///< coarse-grid fallback attempt
   bool ok = false;
   bool infra = false;   ///< failure classified as infrastructure
+  bool watchdog = false;  ///< the hung-scenario watchdog reclaimed it
   double slowdown = 1.0;
   /// Backoff scheduled before the NEXT attempt (0 when terminal).
   double backoff_ms = 0.0;
@@ -171,14 +225,23 @@ struct BatchReport {
   int completed = 0;    ///< status Ok
   int degraded = 0;
   int quarantined = 0;
+  int shed = 0;         ///< rejected by bounded admission (status Shed)
   int retries = 0;      ///< attempts beyond the first, summed
   int infra_faults = 0;
   int scenario_faults = 0;
   int breaker_trips = 0;
+  int watchdog_fires = 0;  ///< attempts reclaimed by the hung watchdog
+  // Crash-resume accounting (all zero for a fresh run).
+  bool resumed = false;
+  int replayed_commits = 0;    ///< scenarios skipped: journal commit verified
+  int replayed_failures = 0;   ///< failed attempts reconstructed from journal
+  int replay_quarantined = 0;  ///< committed artifacts found corrupt, re-run
+  int reexecuted = 0;          ///< scenarios (re)executed after the replay
+  bool journal_torn_tail = false;  ///< resume truncated a torn append
   std::vector<ScenarioResult> results;  ///< scenario-id order
   std::vector<BreakerEvent> breaker_events;
 
-  /// Thread-count-invariant JSON ("airshed-batch-report-v1"): everything
+  /// Thread-count-invariant JSON ("airshed-batch-report-v2"): everything
   /// above, no wall-clock and no thread count — byte-identical for the
   /// same (batch_seed, specs, options) at 1, 2 or N threads.
   obs::JsonWriter canonical_json() const;
@@ -202,6 +265,10 @@ double straggler_factor(std::uint64_t batch_seed, int scenario_id, int attempt,
 int death_hour(std::uint64_t batch_seed, int scenario_id, int attempt,
                int hours);
 
+/// Hour after which a Hang attempt stops progressing, in [0, hours).
+int hang_hour(std::uint64_t batch_seed, int scenario_id, int attempt,
+              int hours);
+
 /// Backoff before `attempt` (>= 1): exponential with seeded jitter.
 double backoff_ms(std::uint64_t batch_seed, int scenario_id, int attempt,
                   const BatchOptions& opts);
@@ -221,7 +288,9 @@ class BatchSupervisor {
 
   /// Executes every scenario to a terminal status. Never throws for
   /// scenario-level failures (that is the point); throws only on
-  /// supervisor-level misconfiguration (e.g. unwritable archive dir).
+  /// supervisor-level misconfiguration (e.g. unwritable archive dir, a
+  /// pre-existing unsealed journal without resume, or a resume against a
+  /// journal whose (options, specs) digest does not match).
   BatchReport run(const std::vector<ScenarioSpec>& specs);
 
  private:

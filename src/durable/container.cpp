@@ -1,6 +1,8 @@
 #include "airshed/durable/container.hpp"
 
 #include <fcntl.h>
+
+#include "airshed/durable/journal.hpp"
 #include <unistd.h>
 
 #include <bit>
@@ -135,6 +137,11 @@ void atomic_write_file(const std::string& path, std::string_view bytes) {
                        "failed renaming " + tmp + " over " + path + ": " +
                            ec.message());
   }
+
+  // The rename is only durable once the DIRECTORY entry is flushed: fsyncing
+  // the file alone survives process death but not power loss. POSIX persists
+  // the name via an fsync of the containing directory.
+  fsync_parent_dir(path);
 }
 
 // ---------------------------------------------------------------------------

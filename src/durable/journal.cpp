@@ -1,0 +1,287 @@
+#include "airshed/durable/journal.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "airshed/util/hash.hpp"
+
+namespace airshed::durable {
+
+namespace {
+
+constexpr std::string_view kJournalMagic = "ASHDJNL\n";
+constexpr std::size_t kMaxFormatLen = 64;
+constexpr std::uint32_t kMaxRecordLen = 1u << 26;  // 64 MiB per record
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(std::string_view s, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(s[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string encode_header(std::string_view format, std::uint32_t version) {
+  std::string out;
+  out += kJournalMagic;
+  put_u32(out, static_cast<std::uint32_t>(format.size()));
+  out += format;
+  put_u32(out, version);
+  put_u32(out, crc32c(out));
+  return out;
+}
+
+JournalKillHook g_kill_hook;
+
+[[noreturn]] void kill_self() {
+  // A genuine SIGKILL: no atexit handlers, no stack unwinding, no flush —
+  // exactly the crash the journal must survive.
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(137);  // unreachable; placate [[noreturn]]
+}
+
+/// Writes all of `bytes` to `fd` with bounded EINTR retry.
+void write_all(int fd, std::string_view bytes, const std::string& path,
+               std::uint64_t base_offset) {
+  std::size_t off = 0;
+  int stalled = 0;
+  while (off < bytes.size()) {
+    const long n =
+        static_cast<long>(::write(fd, bytes.data() + off, bytes.size() - off));
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      stalled = 0;
+      continue;
+    }
+    const bool transient = n == 0 || errno == EINTR || errno == EAGAIN;
+    if (!transient || ++stalled >= kMaxWriteRetries) {
+      throw StorageError(path, "journal-append", base_offset + off,
+                         std::string("failed appending journal record: ") +
+                             (n < 0 ? std::strerror(errno)
+                                    : "no progress (short writes)"));
+    }
+  }
+}
+
+void fsync_fd(int fd, const std::string& path, std::uint64_t offset,
+              const char* what) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw StorageError(path, "journal-append", offset,
+                       std::string("failed fsyncing ") + what + ": " +
+                           std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+const char* to_string(JournalKillAction action) {
+  switch (action) {
+    case JournalKillAction::None:       return "none";
+    case JournalKillAction::KillBefore: return "kill-before";
+    case JournalKillAction::KillMid:    return "kill-mid";
+    case JournalKillAction::KillAfter:  return "kill-after";
+  }
+  return "unknown";
+}
+
+void set_journal_kill_hook(JournalKillHook hook) {
+  g_kill_hook = std::move(hook);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  namespace fs = std::filesystem;
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    throw StorageError(path, "dir-sync", 0,
+                       "cannot open parent directory " + parent.string() +
+                           ": " + std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw StorageError(path, "dir-sync", 0,
+                       "failed fsyncing parent directory " + parent.string() +
+                           ": " + std::strerror(saved_errno));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+JournalReplay replay_journal(const std::string& path,
+                             std::string_view expect_format) {
+  JournalReplay out;
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const StorageError&) {
+    return out;  // no file: a fresh journal
+  }
+  const std::string_view s(bytes);
+
+  // Header. An incomplete header means creation itself was interrupted —
+  // nothing was ever durably journaled, so treat it as a fresh journal.
+  std::size_t pos = kJournalMagic.size();
+  if (s.size() < pos + 4) {
+    out.torn_tail = !s.empty();
+    return out;
+  }
+  if (s.substr(0, kJournalMagic.size()) != kJournalMagic) {
+    throw StorageError(path, "header", 0, "bad journal magic");
+  }
+  const std::uint32_t fmt_len = get_u32(s, pos);
+  pos += 4;
+  if (fmt_len == 0 || fmt_len > kMaxFormatLen) {
+    throw StorageError(path, "header", pos - 4,
+                       "journal format tag length out of bounds: " +
+                           std::to_string(fmt_len));
+  }
+  if (s.size() < pos + fmt_len + 8) {
+    out.torn_tail = true;
+    return out;
+  }
+  out.format = std::string(s.substr(pos, fmt_len));
+  pos += fmt_len;
+  const std::uint32_t version = get_u32(s, pos);
+  pos += 4;
+  const std::uint32_t stored_crc = get_u32(s, pos);
+  if (crc32c(s.substr(0, pos)) != stored_crc) {
+    throw StorageError(path, "header", pos, "journal header CRC mismatch");
+  }
+  pos += 4;
+  if (!expect_format.empty() && out.format != expect_format) {
+    throw StorageError(path, "header", kJournalMagic.size(),
+                       "journal holds a '" + out.format + "', expected a '" +
+                           std::string(expect_format) + "'");
+  }
+  out.existed = true;
+  out.version = version;
+  out.valid_bytes = pos;
+
+  // Records: advance while each frames and checksums correctly; the first
+  // defect ends the valid prefix (a torn append, or damage past which no
+  // record may be trusted).
+  while (pos < s.size()) {
+    if (s.size() - pos < 4) break;
+    const std::uint32_t len = get_u32(s, pos);
+    if (len > kMaxRecordLen) break;
+    if (s.size() - pos < 4 + static_cast<std::size_t>(len) + 4) break;
+    const std::string_view payload = s.substr(pos + 4, len);
+    const std::uint32_t crc = get_u32(s, pos + 4 + len);
+    if (crc32c(payload) != crc) break;
+    out.records.emplace_back(payload);
+    pos += 4 + len + 4;
+    out.valid_bytes = pos;
+  }
+  out.torn_tail = out.valid_bytes < s.size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+JournalWriter::JournalWriter(std::string path, std::string format,
+                             std::uint32_t version)
+    : path_(std::move(path)) {
+  AIRSHED_REQUIRE(!format.empty() && format.size() <= kMaxFormatLen,
+                  "journal format tag must be 1..64 bytes");
+  open_and_truncate(0, true, format, version);
+}
+
+JournalWriter::JournalWriter(std::string path, const JournalReplay& replay)
+    : path_(std::move(path)), record_index_(replay.records.size()) {
+  AIRSHED_REQUIRE(replay.existed,
+                  "JournalWriter resume requires a replayed journal header");
+  open_and_truncate(replay.valid_bytes, false, {}, 0);
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::open_and_truncate(std::uint64_t keep_bytes,
+                                      bool write_header,
+                                      const std::string& format,
+                                      std::uint32_t version) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw StorageError(path_, "journal-open", 0,
+                       std::string("cannot open journal: ") +
+                           std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(keep_bytes), SEEK_SET) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw StorageError(path_, "journal-open", keep_bytes,
+                       "cannot truncate journal to its valid prefix: " +
+                           reason);
+  }
+  offset_ = keep_bytes;
+  if (write_header) {
+    const std::string header = encode_header(format, version);
+    write_all(fd_, header, path_, offset_);
+    offset_ += header.size();
+  }
+  // Header (or the truncation) durable before the first record, and the
+  // file NAME durable before any record claims to cover a side effect.
+  fsync_fd(fd_, path_, offset_, "journal");
+  fsync_parent_dir(path_);
+}
+
+void JournalWriter::append(std::string_view payload) {
+  AIRSHED_REQUIRE(fd_ >= 0, "JournalWriter is closed");
+  AIRSHED_REQUIRE(payload.size() <= kMaxRecordLen,
+                  "journal record exceeds the 64 MiB bound");
+
+  const JournalKillAction action =
+      g_kill_hook ? g_kill_hook(record_index_) : JournalKillAction::None;
+  if (action == JournalKillAction::KillBefore) kill_self();
+
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  put_u32(frame, crc32c(payload));
+
+  if (action == JournalKillAction::KillMid) {
+    // A torn append: half the frame lands (page cache survives the process;
+    // replay must truncate it), then the process dies mid-write.
+    write_all(fd_, std::string_view(frame).substr(0, frame.size() / 2 + 1),
+              path_, offset_);
+    kill_self();
+  }
+
+  write_all(fd_, frame, path_, offset_);
+  fsync_fd(fd_, path_, offset_, "journal record");
+  offset_ += frame.size();
+  ++appended_;
+  ++record_index_;
+
+  if (action == JournalKillAction::KillAfter) kill_self();
+}
+
+}  // namespace airshed::durable

@@ -1,0 +1,57 @@
+#include "airshed/fault/killpoint.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "airshed/util/hash.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed::fault {
+
+void arm_kill_point(std::uint64_t record_index,
+                    durable::JournalKillAction action) {
+  durable::set_journal_kill_hook(
+      [record_index, action](std::uint64_t index) {
+        return index == record_index ? action
+                                     : durable::JournalKillAction::None;
+      });
+}
+
+std::uint64_t arm_seeded_kill_point(std::uint64_t seed,
+                                    std::uint64_t max_records) {
+  Rng rng(seed ^ fnv1a_bytes("fault-killpoint"));
+  const std::uint64_t index = rng.uniform_index(max_records > 0 ? max_records : 1);
+  durable::JournalKillAction action;
+  switch (rng.uniform_index(3)) {
+    case 0: action = durable::JournalKillAction::KillBefore; break;
+    case 1: action = durable::JournalKillAction::KillMid; break;
+    default: action = durable::JournalKillAction::KillAfter; break;
+  }
+  arm_kill_point(index, action);
+  return index;
+}
+
+bool arm_kill_point_from_env() {
+  const char* record = std::getenv("AIRSHED_KILL_RECORD");
+  if (record == nullptr || *record == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long index = std::strtoull(record, &end, 10);
+  if (end == record || *end != '\0') return false;
+  durable::JournalKillAction action = durable::JournalKillAction::KillAfter;
+  if (const char* phase = std::getenv("AIRSHED_KILL_PHASE")) {
+    const std::string p(phase);
+    if (p == "before") {
+      action = durable::JournalKillAction::KillBefore;
+    } else if (p == "mid") {
+      action = durable::JournalKillAction::KillMid;
+    } else if (p != "after" && !p.empty()) {
+      return false;
+    }
+  }
+  arm_kill_point(index, action);
+  return true;
+}
+
+void disarm_kill_point() { durable::set_journal_kill_hook({}); }
+
+}  // namespace airshed::fault

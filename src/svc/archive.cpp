@@ -136,7 +136,13 @@ BatchArchive::StoredResult BatchArchive::read_result(const std::string& path) {
 std::string BatchArchive::quarantine(const std::string& path) {
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) return {};
-  const std::string target = path + ".corrupt";
+  // "<path>.corrupt" first; if that quarantine slot is already occupied
+  // (the same artifact went bad on an earlier run or resume), number the
+  // suffix instead of silently overwriting the prior evidence.
+  std::string target = path + ".corrupt";
+  for (int n = 1; fs::exists(target, ec) && !ec; ++n) {
+    target = path + ".corrupt." + std::to_string(n);
+  }
   fs::rename(path, target, ec);
   if (ec) return {};
   return target;

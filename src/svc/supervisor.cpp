@@ -5,12 +5,15 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <numeric>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "airshed/core/uniform_model.hpp"
 #include "airshed/durable/container.hpp"
 #include "airshed/par/pool.hpp"
+#include "airshed/svc/journal.hpp"
 #include "airshed/util/hash.hpp"
 #include "airshed/util/rng.hpp"
 
@@ -43,6 +46,7 @@ const char* to_string(FaultClass fault) {
     case FaultClass::StorageFault: return "storage-fault";
     case FaultClass::PayloadCorruption: return "payload-corruption";
     case FaultClass::Numerics: return "numerics";
+    case FaultClass::Hang: return "hang";
   }
   return "unknown";
 }
@@ -52,6 +56,7 @@ const char* to_string(ScenarioStatus status) {
     case ScenarioStatus::Ok: return "ok";
     case ScenarioStatus::Degraded: return "degraded";
     case ScenarioStatus::Quarantined: return "quarantined";
+    case ScenarioStatus::Shed: return "shed";
   }
   return "unknown";
 }
@@ -70,6 +75,8 @@ FaultClass injected_fault(std::uint64_t batch_seed, int scenario_id,
   if (u < edge) return FaultClass::PayloadCorruption;
   edge += chaos.numerics;
   if (u < edge) return FaultClass::Numerics;
+  edge += chaos.hang;
+  if (u < edge) return FaultClass::Hang;
   return FaultClass::None;
 }
 
@@ -83,6 +90,13 @@ double straggler_factor(std::uint64_t batch_seed, int scenario_id, int attempt,
 int death_hour(std::uint64_t batch_seed, int scenario_id, int attempt,
                int hours) {
   Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-death");
+  return static_cast<int>(
+      rng.uniform_index(static_cast<std::uint64_t>(std::max(1, hours))));
+}
+
+int hang_hour(std::uint64_t batch_seed, int scenario_id, int attempt,
+              int hours) {
+  Rng rng = decision_stream(batch_seed, scenario_id, attempt, "svc-hang");
   return static_cast<int>(
       rng.uniform_index(static_cast<std::uint64_t>(std::max(1, hours))));
 }
@@ -121,6 +135,21 @@ void record_metrics(obs::MetricsRegistry& reg, const BatchReport& report) {
   set("svc/breaker_trips", report.breaker_trips,
       "circuit-breaker open transitions");
   set("svc/rounds", report.rounds, "supervisor dispatch rounds");
+  set("svc/shed", report.shed, "scenarios rejected by bounded admission");
+  set("svc/watchdog_fires", report.watchdog_fires,
+      "attempts reclaimed by the hung-scenario watchdog");
+  set("svc/resumed", report.resumed ? 1 : 0,
+      "1 when this run resumed a crashed batch from its journal");
+  set("svc/replayed_commits", report.replayed_commits,
+      "scenarios skipped on resume: journal commit verified by digest");
+  set("svc/replayed_failures", report.replayed_failures,
+      "failed attempts reconstructed from the journal on resume");
+  set("svc/replay_quarantined", report.replay_quarantined,
+      "committed artifacts found corrupt during resume verification");
+  set("svc/reexecuted", report.reexecuted,
+      "scenarios (re)executed after journal replay");
+  set("svc/journal_torn_tail", report.journal_torn_tail ? 1 : 0,
+      "1 when resume truncated a torn journal append");
   obs::Histogram& attempts = reg.histogram(
       "svc/attempts", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0},
       "attempts per scenario (fine + degraded)");
@@ -132,7 +161,7 @@ void record_metrics(obs::MetricsRegistry& reg, const BatchReport& report) {
 obs::JsonWriter BatchReport::canonical_json() const {
   obs::JsonWriter j;
   j.begin_object();
-  j.key("schema").value("airshed-batch-report-v1");
+  j.key("schema").value("airshed-batch-report-v2");
   j.key("batch_seed").value(static_cast<long long>(batch_seed));
   j.key("rounds").value(rounds);
   j.key("totals").begin_object();
@@ -140,10 +169,20 @@ obs::JsonWriter BatchReport::canonical_json() const {
   j.key("completed").value(completed);
   j.key("degraded").value(degraded);
   j.key("quarantined").value(quarantined);
+  j.key("shed").value(shed);
   j.key("retries").value(retries);
   j.key("infra_faults").value(infra_faults);
   j.key("scenario_faults").value(scenario_faults);
   j.key("breaker_trips").value(breaker_trips);
+  j.key("watchdog_fires").value(watchdog_fires);
+  j.end_object();
+  j.key("resume").begin_object();
+  j.key("resumed").value(resumed);
+  j.key("replayed_commits").value(replayed_commits);
+  j.key("replayed_failures").value(replayed_failures);
+  j.key("replay_quarantined").value(replay_quarantined);
+  j.key("reexecuted").value(reexecuted);
+  j.key("journal_torn_tail").value(journal_torn_tail);
   j.end_object();
   j.key("breaker_events").begin_array();
   for (const BreakerEvent& e : breaker_events) {
@@ -174,6 +213,7 @@ obs::JsonWriter BatchReport::canonical_json() const {
       j.key("degraded_run").value(a.degraded_run);
       j.key("ok").value(a.ok);
       j.key("infra").value(a.infra);
+      j.key("watchdog").value(a.watchdog);
       j.key("slowdown").value(a.slowdown);
       j.key("backoff_ms").value(a.backoff_ms);
       j.key("error").value(a.error);
@@ -203,6 +243,7 @@ struct Slot {
   FaultClass fault = FaultClass::None;
   bool ok = false;
   bool infra = false;
+  bool watchdog = false;
   double slowdown = 1.0;
   std::string error;
   std::uint64_t checksum = 0;
@@ -246,6 +287,9 @@ BatchSupervisor::BatchSupervisor(BatchOptions opts) : opts_(std::move(opts)) {
 
 BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
   const BatchOptions& o = opts_;
+  if (o.resume && o.journal_path.empty()) {
+    throw ConfigError("BatchOptions::resume requires a journal_path");
+  }
   std::optional<BatchArchive> archive;
   if (!o.archive_dir.empty()) archive.emplace(o.archive_dir);
 
@@ -257,6 +301,186 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
 
   BatchReport report;
   report.batch_seed = o.batch_seed;
+
+  // Bounded admission, before any dispatch or journaling: keep the lowest
+  // scenario ids up to the queue depth, shed the rest. Pure in the options
+  // and spec list, so a resumed run re-derives the identical shed set — it
+  // is deliberately never journaled.
+  std::vector<char> done(slots.size(), 0);
+  if (o.max_queue_depth > 0 &&
+      slots.size() > static_cast<std::size_t>(o.max_queue_depth)) {
+    std::vector<std::size_t> order(slots.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return slots[a].spec.id < slots[b].spec.id;
+                     });
+    for (std::size_t k = static_cast<std::size_t>(o.max_queue_depth);
+         k < order.size(); ++k) {
+      Slot& slot = slots[order[k]];
+      slot.result.status = ScenarioStatus::Shed;
+      slot.result.quarantine_reason =
+          "shed: admission queue depth " + std::to_string(o.max_queue_depth) +
+          " exceeded";
+      ++report.shed;
+      done[order[k]] = 1;
+    }
+  }
+
+  // Write-ahead journal: fresh header, or replay + resume. Replay first
+  // reconstructs every durably recorded decision, then verifies each
+  // journaled commit against the artifact actually on disk — a commit
+  // record is a claim, the digest check is the proof.
+  std::optional<BatchJournal> journal;
+  bool sealed_replay = false;
+  int start_round = 0;
+  if (!o.journal_path.empty()) {
+    if (!o.resume) {
+      BatchJournal::Replay prior = BatchJournal::replay(o.journal_path);
+      if (prior.existed && !prior.sealed) {
+        throw ConfigError("journal " + o.journal_path +
+                          " holds an unsealed batch; resume it instead of "
+                          "overwriting its history");
+      }
+      journal.emplace(o.journal_path, o, specs);
+    } else {
+      BatchJournal::Replay rep = BatchJournal::replay(o.journal_path);
+      if (!rep.existed) {
+        throw ConfigError("resume requested but journal " + o.journal_path +
+                          " has no intact batch header");
+      }
+      if (rep.batch_seed != o.batch_seed ||
+          rep.options_digest != BatchJournal::options_digest(o, specs)) {
+        throw ConfigError(
+            "resume refused: journal " + o.journal_path +
+            " was written by a batch with different seed, options or "
+            "scenarios");
+      }
+      report.resumed = true;
+      report.journal_torn_tail = rep.torn_tail;
+      sealed_replay = rep.sealed;
+
+      std::unordered_map<int, std::size_t> by_id;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        by_id[slots[i].spec.id] = i;
+      }
+      std::vector<std::optional<BatchJournal::Record>> committed(slots.size());
+      for (const BatchJournal::Record& rec : rep.records) {
+        const auto it = by_id.find(rec.id);
+        if (it == by_id.end()) continue;  // digest-matched: cannot happen
+        start_round = std::max(start_round, rec.round + 1);
+        Slot& slot = slots[it->second];
+        if (rec.type == BatchJournal::RecordType::Start) continue;
+        if (rec.type == BatchJournal::RecordType::Commit) {
+          committed[it->second] = rec;
+          continue;
+        }
+        // Failed: reconstruct the attempt and re-apply the recorded
+        // decision, landing the scenario exactly where the ladder left it.
+        AttemptRecord a;
+        a.attempt = rec.attempt;
+        a.round = rec.round;
+        a.injected = rec.fault;
+        a.degraded_run = rec.degraded;
+        a.ok = false;
+        a.infra = rec.infra;
+        a.watchdog = rec.watchdog;
+        a.slowdown = rec.slowdown;
+        a.backoff_ms = rec.backoff_ms;
+        a.error = rec.error;
+        slot.result.attempts.push_back(std::move(a));
+        ++report.replayed_failures;
+        if (rec.infra) {
+          ++report.infra_faults;
+        } else {
+          ++report.scenario_faults;
+        }
+        if (rec.watchdog) ++report.watchdog_fires;
+        switch (rec.decision) {
+          case BatchJournal::FailDecision::Retry:
+            slot.attempt = rec.attempt + 1;
+            ++report.retries;
+            break;
+          case BatchJournal::FailDecision::Degrade:
+            slot.attempt = rec.attempt + 1;
+            slot.degrade_mode = true;
+            ++report.retries;
+            break;
+          case BatchJournal::FailDecision::Quarantine:
+            slot.result.status = ScenarioStatus::Quarantined;
+            slot.result.quarantine_reason = rec.error;
+            ++report.quarantined;
+            done[it->second] = 1;
+            break;
+        }
+      }
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!committed[i]) continue;
+        const BatchJournal::Record& rec = *committed[i];
+        Slot& slot = slots[i];
+        bool good = true;
+        if (archive && !rec.file.empty()) {
+          const std::string path =
+              (std::filesystem::path(o.archive_dir) / rec.file).string();
+          try {
+            good = BatchArchive::read_result(path).checksum == rec.checksum;
+          } catch (const durable::StorageError&) {
+            good = false;
+          }
+          if (!good) BatchArchive::quarantine(path);
+        }
+        if (good) {
+          AttemptRecord a;
+          a.attempt = rec.attempt;
+          a.round = rec.round;
+          a.injected = rec.fault;
+          a.degraded_run = rec.degraded;
+          a.ok = true;
+          a.slowdown = rec.slowdown;
+          slot.result.attempts.push_back(std::move(a));
+          slot.result.status = rec.degraded ? ScenarioStatus::Degraded
+                                            : ScenarioStatus::Ok;
+          slot.result.checksum = hash_hex(rec.checksum);
+          slot.result.archive_file = rec.file;
+          if (rec.degraded) {
+            ++report.degraded;
+          } else {
+            ++report.completed;
+          }
+          ++report.replayed_commits;
+          done[i] = 1;
+        } else {
+          // Committed but the artifact is damaged or gone: the evidence is
+          // quarantined above; re-execute the committed attempt from
+          // scratch (pure decisions rewrite byte-identical results).
+          ++report.replay_quarantined;
+          slot.attempt = rec.attempt;
+          slot.degrade_mode = rec.degraded;
+        }
+      }
+      // Scrub debris of the attempt that was in flight when the process
+      // died: its side effects (an uncommitted artifact, or a quarantined
+      // *.corrupt generation) may have landed before the Failed record
+      // did. Re-execution rewrites them deterministically; left in place,
+      // a repeated quarantine would shift to a numbered suffix and the
+      // archive would no longer match an uninterrupted run byte for byte.
+      // Commit-verified slots are excluded: their artifact is the record.
+      if (archive) {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          if (done[i] || committed[i]) continue;
+          const std::string stale =
+              archive->result_path(slots[i].spec.id, slots[i].attempt);
+          std::filesystem::remove(stale);
+          std::filesystem::remove(stale + ".corrupt");
+          for (int n = 1;
+               std::filesystem::remove(stale + ".corrupt." + std::to_string(n));
+               ++n) {
+          }
+        }
+      }
+      journal.emplace(o.journal_path, rep);
+    }
+  }
 
   // Keep the canonical report independent of where the archive lives:
   // artifact references are relative to the archive dir, and error texts
@@ -285,6 +509,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
 
     slot.ok = false;
     slot.infra = false;
+    slot.watchdog = false;
     slot.error.clear();
     slot.archive_file.clear();
     slot.slowdown = 1.0;
@@ -339,14 +564,35 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
                               ? death_hour(o.batch_seed, id, attempt,
                                            slot.spec.hours)
                               : -1;
+        const int hang = slot.fault == FaultClass::Hang
+                             ? hang_hour(o.batch_seed, id, attempt,
+                                         slot.spec.hours)
+                             : -1;
 
         int hours_done = 0;
-        const HourCallback watchdog = [&](const HourlyStats&,
-                                          const ConcentrationField&) {
+        const HourCallback hour_guard = [&](const HourlyStats&,
+                                            const ConcentrationField&) {
           ++hours_done;
           if (death >= 0 && hours_done > death) {
             throw InfraError("node executing scenario " + std::to_string(id) +
                              " died after hour " + std::to_string(death));
+          }
+          if (hang >= 0 && hours_done > hang) {
+            // The attempt stops completing hours here and sits on its
+            // executor. With the watchdog armed it is reclaimed after the
+            // virtual per-attempt budget; without it the hang surfaces as
+            // a deadline blowout once the budget-free clock runs out.
+            const double budget =
+                o.watchdog_budget_factor * static_cast<double>(slot.spec.hours);
+            if (o.watchdog_budget_factor > 0.0) {
+              throw WatchdogError(
+                  "scenario " + std::to_string(id) + " hung after hour " +
+                  std::to_string(hang) + ": watchdog reclaimed it after " +
+                  std::to_string(budget) + " virtual hours");
+            }
+            throw DeadlineError("scenario " + std::to_string(id) +
+                                " hung after hour " + std::to_string(hang) +
+                                " with no watchdog armed: deadline blown");
           }
           if (static_cast<double>(hours_done) * slot.slowdown >
               o.deadline_factor * static_cast<double>(slot.spec.hours)) {
@@ -357,7 +603,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           }
         };
 
-        ModelRunResult r = AirshedModel(*ds, mo).run(watchdog);
+        ModelRunResult r = AirshedModel(*ds, mo).run(hour_guard);
         digest = field_digest(r.outputs);
         hourly = std::move(r.outputs.hourly);
         status = "ok";
@@ -402,6 +648,10 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     } catch (const durable::StorageError& e) {
       slot.infra = true;
       slot.error = sanitize(e.what());
+    } catch (const WatchdogError& e) {
+      slot.infra = true;
+      slot.watchdog = true;
+      slot.error = e.what();
     } catch (const InfraError& e) {  // includes DeadlineError
       slot.infra = true;
       slot.error = e.what();
@@ -416,8 +666,13 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
   par::WorkerPool pool(o.threads);
   if (o.trace) pool.set_observer(o.trace);
 
-  std::vector<std::size_t> pending(slots.size());
-  for (std::size_t i = 0; i < slots.size(); ++i) pending[i] = i;
+  std::vector<std::size_t> pending;
+  pending.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+  if (report.resumed) report.reexecuted = static_cast<int>(pending.size());
+  report.rounds = start_round;
 
   BreakerState breaker = BreakerState::Closed;
   int consecutive_infra = 0;
@@ -445,6 +700,23 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       runnable.push_back(pending.front());
     } else {
       runnable = pending;
+      // In-flight cap: dispatch the lowest pending ids, queue the rest for
+      // the next round. A throttle only — it reshapes rounds, not outcomes.
+      if (o.max_in_flight > 0 &&
+          runnable.size() > static_cast<std::size_t>(o.max_in_flight)) {
+        runnable.resize(static_cast<std::size_t>(o.max_in_flight));
+      }
+    }
+
+    // Start records land (fsync'd) before any attempt byte executes: after
+    // a crash, replay knows exactly which scenarios may have uncommitted
+    // artifacts in the archive. Appended serially in scenario-id order so
+    // the journal bytes are thread-count-invariant.
+    if (journal) {
+      for (std::size_t idx : runnable) {
+        journal->start(slots[idx].spec.id, slots[idx].attempt, round,
+                       slots[idx].degrade_mode);
+      }
     }
 
     pool.set_phase("svc attempt", PhaseCategory::Recovery, round);
@@ -472,8 +744,12 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       rec.degraded_run = slot.degrade_mode;
       rec.ok = slot.ok;
       rec.infra = !slot.ok && slot.infra;
+      rec.watchdog = !slot.ok && slot.watchdog;
       rec.slowdown = slot.slowdown;
       rec.error = slot.error;
+      if (rec.watchdog) ++report.watchdog_fires;
+      BatchJournal::FailDecision jdecision =
+          BatchJournal::FailDecision::Quarantine;
 
       if (slot.ok) {
         consecutive_infra = 0;
@@ -488,6 +764,20 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           ++report.degraded;
         } else {
           ++report.completed;
+        }
+        if (journal) {
+          // The artifact is durable and read-back-validated; only now does
+          // the commit record make it replay-trustworthy.
+          BatchJournal::Record jr;
+          jr.id = slot.spec.id;
+          jr.attempt = rec.attempt;
+          jr.round = round;
+          jr.degraded = slot.degrade_mode;
+          jr.fault = slot.fault;
+          jr.slowdown = slot.slowdown;
+          jr.checksum = slot.checksum;
+          jr.file = slot.result.archive_file;
+          journal->commit(jr);
         }
       } else {
         if (rec.infra) {
@@ -511,6 +801,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           ++slot.attempt;
           ++report.retries;
           still_pending.push_back(idx);
+          jdecision = BatchJournal::FailDecision::Retry;
           obs::ObsSpan span(o.trace, 0, "svc retry", PhaseCategory::Recovery,
                             round, slot.spec.id);
         } else if (o.degrade) {
@@ -518,6 +809,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           ++slot.attempt;
           ++report.retries;
           still_pending.push_back(idx);
+          jdecision = BatchJournal::FailDecision::Degrade;
           obs::ObsSpan span(o.trace, 0, "svc degrade", PhaseCategory::Recovery,
                             round, slot.spec.id);
         } else {
@@ -526,6 +818,24 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           ++report.quarantined;
           obs::ObsSpan span(o.trace, 0, "svc quarantine",
                             PhaseCategory::Recovery, round, slot.spec.id);
+        }
+        if (journal) {
+          // Failed record lands before the decision's side effect (the
+          // next-round retry / degrade run), so a crash between them only
+          // ever re-executes work, never forgets a decision.
+          BatchJournal::Record jr;
+          jr.id = slot.spec.id;
+          jr.attempt = rec.attempt;
+          jr.round = round;
+          jr.degraded = rec.degraded_run;
+          jr.fault = rec.injected;
+          jr.slowdown = slot.slowdown;
+          jr.infra = rec.infra;
+          jr.watchdog = rec.watchdog;
+          jr.error = rec.error;
+          jr.decision = jdecision;
+          jr.backoff_ms = rec.backoff_ms;
+          journal->failed(jr);
         }
       }
       const bool attempt_infra = rec.infra;
@@ -562,7 +872,8 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       BatchArchive::ManifestEntry e;
       e.id = r.spec.id;
       e.status = to_string(r.status);
-      const bool committed = r.status != ScenarioStatus::Quarantined;
+      const bool committed = r.status == ScenarioStatus::Ok ||
+                             r.status == ScenarioStatus::Degraded;
       e.attempt = committed && !r.attempts.empty()
                       ? r.attempts.back().attempt
                       : -1;
@@ -576,6 +887,13 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       entries.push_back(std::move(e));
     }
     archive->write_manifest(o.batch_seed, entries);
+  }
+
+  // Seal only after the manifest landed: an unsealed journal is the
+  // durable signal that a crash interrupted the batch.
+  if (journal && !sealed_replay) {
+    journal->seal(report.completed, report.degraded, report.quarantined,
+                  report.shed);
   }
 
   if (o.metrics) record_metrics(*o.metrics, report);

@@ -18,6 +18,7 @@
 #include "airshed/core/model.hpp"
 #include "airshed/core/uniform_model.hpp"
 #include "airshed/durable/container.hpp"
+#include "airshed/durable/journal.hpp"
 #include "airshed/io/dataset.hpp"
 #include "airshed/io/vault.hpp"
 #include "airshed/util/hash.hpp"
@@ -629,6 +630,101 @@ TEST(ExecutorStorageFaults, PayloadCorruptionChargesVerifyAndRetransmit) {
               1e-9 * r.recovery.total_overhead_s());
   // Determinism of the whole report.
   EXPECT_EQ(r.total_seconds, simulate_execution(t, cfg).total_seconds);
+}
+
+// --------------------------------------------------------------- journal
+
+TEST_F(DurableDir, JournalAppendAndReplayRoundTrip) {
+  const std::string p = path("wal.journal");
+  {
+    durable::JournalWriter w(p, "airshed-test-journal", 3);
+    w.append("alpha");
+    w.append(std::string("\x00\x01\x02", 3));  // binary-safe payloads
+    w.append("");                              // empty record is legal
+    EXPECT_EQ(w.appended(), 3u);
+  }
+  const durable::JournalReplay r =
+      durable::replay_journal(p, "airshed-test-journal");
+  EXPECT_TRUE(r.existed);
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_EQ(r.format, "airshed-test-journal");
+  EXPECT_EQ(r.version, 3u);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0], "alpha");
+  EXPECT_EQ(r.records[1], std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(r.records[2], "");
+  EXPECT_EQ(r.valid_bytes, fs::file_size(p));
+}
+
+TEST_F(DurableDir, JournalMissingFileAndWrongFormat) {
+  EXPECT_FALSE(durable::replay_journal(path("absent.journal")).existed);
+  durable::JournalWriter w(path("wal.journal"), "airshed-test-journal", 1);
+  w.append("x");
+  EXPECT_THROW(durable::replay_journal(path("wal.journal"), "other-format"),
+               StorageError);
+}
+
+TEST_F(DurableDir, JournalTornTailIsTruncatedAtEveryCutPoint) {
+  const std::string p = path("wal.journal");
+  {
+    durable::JournalWriter w(p, "airshed-test-journal", 1);
+    w.append("first record");
+    w.append("second record");
+  }
+  const durable::JournalReplay full = durable::replay_journal(p);
+  const std::string bytes = durable::read_file_bytes(p);
+  ASSERT_EQ(full.valid_bytes, bytes.size());
+
+  // Every truncation point inside the SECOND record's frame must replay to
+  // exactly the first record plus a reported torn tail; a resuming writer
+  // must then restore a fully valid two-record journal.
+  const std::uint64_t first_end =
+      full.valid_bytes - (4 + std::string("second record").size() + 4);
+  for (std::uint64_t cut = first_end + 1; cut < bytes.size(); ++cut) {
+    durable::atomic_write_file(p, std::string_view(bytes).substr(0, cut));
+    const durable::JournalReplay torn = durable::replay_journal(p);
+    EXPECT_TRUE(torn.existed);
+    EXPECT_TRUE(torn.torn_tail) << "cut at " << cut;
+    ASSERT_EQ(torn.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(torn.records[0], "first record");
+    EXPECT_EQ(torn.valid_bytes, first_end);
+
+    durable::JournalWriter resume(p, torn);
+    resume.append("second record");
+    const durable::JournalReplay healed = durable::replay_journal(p);
+    ASSERT_EQ(healed.records.size(), 2u);
+    EXPECT_EQ(healed.records[1], "second record");
+    EXPECT_FALSE(healed.torn_tail);
+  }
+}
+
+TEST_F(DurableDir, JournalBitFlipInCommittedRecordEndsValidPrefix) {
+  const std::string p = path("wal.journal");
+  {
+    durable::JournalWriter w(p, "airshed-test-journal", 1);
+    w.append("first record");
+    w.append("second record");
+  }
+  std::string bytes = durable::read_file_bytes(p);
+  // Flip one payload bit of the second record (its CRC must catch it, and
+  // the valid prefix must stop at the first record).
+  bytes[bytes.size() - 4 - 3] ^= 0x10;
+  durable::atomic_write_file(p, bytes);
+  const durable::JournalReplay r = durable::replay_journal(p);
+  EXPECT_TRUE(r.existed);
+  EXPECT_TRUE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "first record");
+}
+
+TEST_F(DurableDir, JournalIncompleteHeaderReadsAsNonexistent) {
+  const std::string p = path("wal.journal");
+  { durable::JournalWriter w(p, "airshed-test-journal", 1); }
+  const std::string bytes = durable::read_file_bytes(p);
+  for (std::uint64_t cut = 0; cut < bytes.size(); ++cut) {
+    durable::atomic_write_file(p, std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(durable::replay_journal(p).existed) << "cut at " << cut;
+  }
 }
 
 }  // namespace

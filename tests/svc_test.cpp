@@ -7,17 +7,27 @@
 // manifests at 1, 2 and 8 threads.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "airshed/core/model.hpp"
 #include "airshed/core/uniform_model.hpp"
 #include "airshed/durable/container.hpp"
+#include "airshed/durable/journal.hpp"
+#include "airshed/fault/killpoint.hpp"
 #include "airshed/obs/metrics.hpp"
 #include "airshed/svc/archive.hpp"
+#include "airshed/svc/journal.hpp"
 #include "airshed/svc/scenario.hpp"
 #include "airshed/svc/supervisor.hpp"
+#include "airshed/util/error.hpp"
 #include "airshed/util/hash.hpp"
 
 namespace airshed {
@@ -155,6 +165,7 @@ ChaosOptions full_chaos() {
   chaos.storage_fault = 0.1;
   chaos.payload_corruption = 0.05;
   chaos.numerics = 0.1;
+  chaos.hang = 0.1;
   chaos.poison_scenarios = {2};
   return chaos;
 }
@@ -436,6 +447,299 @@ TEST_F(SvcDir, MetricsPublishTheReportCounts) {
   EXPECT_EQ(registry.counter("svc/scenario_faults").value(),
             report.scenario_faults);
   EXPECT_GT(report.scenario_faults, 0);  // the poisoned scenario
+}
+
+// ---------------------------------------------------------------------------
+// Crash–resume: the write-ahead batch journal (PR 8 tentpole).
+// ---------------------------------------------------------------------------
+
+/// Every file in the archive dir, name -> bytes, excluding the journal
+/// (whose record *rounds* legitimately differ between an uninterrupted run
+/// and a resumed one — the contract is archive + manifest identity).
+std::map<std::string, std::string> archive_bytes(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name == "batch.journal") continue;
+    out[name] = durable::read_file_bytes(e.path().string());
+  }
+  return out;
+}
+
+BatchOptions journaled_opts(std::uint64_t seed, const std::string& dir) {
+  BatchOptions opts;
+  opts.batch_seed = seed;
+  opts.threads = 1;
+  opts.archive_dir = dir;
+  opts.journal_path = dir + "/batch.journal";
+  return opts;
+}
+
+/// The headline robustness property: SIGKILL the supervisor at EVERY
+/// journal record boundary (torn mid-append and just after the fsync), then
+/// resume — the final archive and manifest are byte-identical to an
+/// uninterrupted run, across resume thread counts.
+TEST_F(SvcDir, SigkillAtEveryJournalRecordBoundaryResumesByteIdentical) {
+  const auto specs = svc::make_job_mix(7, tiny_mix(3));
+
+  // Uninterrupted reference.
+  const std::string ref_dir = path("ref");
+  BatchOptions ref_opts = journaled_opts(7, ref_dir);
+  ref_opts.chaos = full_chaos();
+  const BatchReport ref_report = BatchSupervisor(ref_opts).run(specs);
+  EXPECT_GT(ref_report.retries, 0);  // the chaos plan must bite
+  const auto ref_files = archive_bytes(ref_dir);
+  const std::uint64_t frames =
+      svc::BatchJournal::replay(ref_dir + "/batch.journal").raw.records.size();
+  ASSERT_GT(frames, 6u);
+
+  int point = 0;
+  for (std::uint64_t k = 0; k < frames; ++k) {
+    for (durable::JournalKillAction action :
+         {durable::JournalKillAction::KillMid,
+          durable::JournalKillAction::KillAfter}) {
+      const std::string dir = path("crash_" + std::to_string(point));
+      const pid_t child = fork();
+      ASSERT_GE(child, 0);
+      if (child == 0) {
+        // In the child: arm the kill point and run the batch. The armed
+        // append SIGKILLs the process; anything else is a test bug.
+        fault::arm_kill_point(k, action);
+        BatchOptions opts = journaled_opts(7, dir);
+        opts.chaos = full_chaos();
+        try {
+          BatchSupervisor(opts).run(specs);
+        } catch (...) {
+          _exit(3);
+        }
+        _exit(0);
+      }
+      int status = 0;
+      ASSERT_EQ(::waitpid(child, &status, 0), child);
+      ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+          << "kill point " << k << " did not fire (status " << status << ")";
+
+      // Recover: resume if the journal header survived, start fresh if the
+      // crash predates a durable header. Rotate thread counts to prove the
+      // resume is thread-count invariant.
+      BatchOptions opts = journaled_opts(7, dir);
+      opts.chaos = full_chaos();
+      opts.threads = point % 3 == 0 ? 1 : (point % 3 == 1 ? 2 : 8);
+      opts.resume = svc::BatchJournal::replay(dir + "/batch.journal").existed;
+      const BatchReport report = BatchSupervisor(opts).run(specs);
+      EXPECT_EQ(report.resumed, opts.resume);
+      EXPECT_EQ(archive_bytes(dir), ref_files)
+          << "kill point " << k << " action "
+          << (action == durable::JournalKillAction::KillMid ? "mid" : "after")
+          << " resume threads " << opts.threads;
+      fs::remove_all(dir);
+      ++point;
+    }
+  }
+}
+
+/// Resuming a sealed batch replays every commit from the journal and
+/// re-executes nothing — the metrics prove completed scenarios never run
+/// twice.
+TEST_F(SvcDir, ResumeOfSealedBatchReplaysCommitsWithoutReexecution) {
+  const auto specs = svc::make_job_mix(21, tiny_mix(3));
+  BatchOptions opts = journaled_opts(21, path("a"));
+  const BatchReport first = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(first.completed, 3);
+
+  obs::MetricsRegistry registry;
+  opts.resume = true;
+  opts.metrics = &registry;
+  const BatchReport again = BatchSupervisor(opts).run(specs);
+  EXPECT_TRUE(again.resumed);
+  EXPECT_EQ(again.replayed_commits, 3);
+  EXPECT_EQ(again.reexecuted, 0);
+  EXPECT_EQ(again.completed, 3);
+  EXPECT_EQ(registry.counter("svc/replayed_commits").value(), 3);
+  EXPECT_EQ(registry.counter("svc/reexecuted").value(), 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(again.results[i].checksum, first.results[i].checksum);
+    EXPECT_EQ(again.results[i].status, ScenarioStatus::Ok);
+  }
+}
+
+/// A journaled commit is a claim, not the proof: resume re-validates the
+/// artifact digest, quarantines a damaged file, and re-executes the
+/// scenario to a byte-identical replacement.
+TEST_F(SvcDir, ResumeQuarantinesCorruptCommittedArtifactAndRewritesIt) {
+  const auto specs = svc::make_job_mix(33, tiny_mix(2));
+  BatchOptions opts = journaled_opts(33, path("a"));
+  const BatchReport first = BatchSupervisor(opts).run(specs);
+  ASSERT_EQ(first.completed, 2);
+
+  const BatchArchive archive(path("a"));
+  const BatchArchive::Manifest manifest = archive.read_manifest();
+  const std::string victim = path("a/" + manifest.entries[0].file);
+  std::string bytes = durable::read_file_bytes(victim);
+  bytes[bytes.size() / 2] ^= 0x40;
+  std::ofstream(victim, std::ios::binary | std::ios::trunc) << bytes;
+  const std::string pristine = durable::read_file_bytes(
+      path("a/" + manifest.entries[1].file));
+
+  opts.resume = true;
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(report.replay_quarantined, 1);
+  EXPECT_EQ(report.replayed_commits, 1);
+  EXPECT_EQ(report.reexecuted, 1);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.results[0].checksum, first.results[0].checksum);
+
+  // The damaged generation is preserved as evidence; the rewritten file
+  // validates again, and the untouched artifact was not rewritten.
+  EXPECT_TRUE(fs::exists(victim + ".corrupt"));
+  EXPECT_EQ(BatchArchive::read_result(victim).checksum,
+            manifest.entries[0].checksum);
+  EXPECT_EQ(durable::read_file_bytes(path("a/" + manifest.entries[1].file)),
+            pristine);
+}
+
+/// The virtual-time watchdog reclaims hung scenarios: a typed infra fault
+/// feeds the retry ladder (and the breaker) instead of wedging the batch.
+TEST_F(SvcDir, WatchdogReclaimsHungScenarios) {
+  const auto specs = svc::make_job_mix(19, tiny_mix(2));
+  BatchOptions opts;
+  opts.batch_seed = 19;
+  opts.threads = 2;
+  opts.max_attempts = 2;
+  opts.chaos.hang = 1.0;  // every fine-grid attempt wedges
+  opts.archive_dir = path("a");
+
+  const BatchReport report = BatchSupervisor(opts).run(specs);
+  EXPECT_GE(report.watchdog_fires, 2);
+  bool saw_watchdog = false;
+  for (const svc::ScenarioResult& r : report.results) {
+    // Degradation rescues every hang victim (the coarse grid runs
+    // chaos-free).
+    EXPECT_EQ(r.status, ScenarioStatus::Degraded);
+    for (const svc::AttemptRecord& a : r.attempts) {
+      if (!a.watchdog) continue;
+      saw_watchdog = true;
+      EXPECT_TRUE(a.infra);
+      EXPECT_NE(a.error.find("watchdog"), std::string::npos) << a.error;
+    }
+  }
+  EXPECT_TRUE(saw_watchdog);
+
+  // Watchdog disabled: the same hang is only caught by the deadline (when
+  // one is armed), never classified as a watchdog fire.
+  opts.watchdog_budget_factor = 0.0;
+  opts.archive_dir = path("b");
+  const BatchReport undogged = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(undogged.watchdog_fires, 0);
+}
+
+/// Bounded admission: over-depth scenarios are shed deterministically
+/// (keep-lowest-id), recorded in the report and manifest, and the in-flight
+/// cap throttles without changing any result.
+TEST_F(SvcDir, AdmissionShedsDeterministicallyAndInFlightCapPreservesResults) {
+  const auto specs = svc::make_job_mix(9, tiny_mix(8));
+
+  BatchOptions opts;
+  opts.batch_seed = 9;
+  opts.threads = 4;
+  opts.max_queue_depth = 5;
+  opts.archive_dir = path("a");
+  const BatchReport a = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(a.shed, 3);
+  EXPECT_EQ(a.completed, 5);
+  for (int id = 0; id < 8; ++id) {
+    const svc::ScenarioResult& r = a.results[static_cast<std::size_t>(id)];
+    if (id < 5) {
+      EXPECT_EQ(r.status, ScenarioStatus::Ok) << id;
+    } else {
+      EXPECT_EQ(r.status, ScenarioStatus::Shed) << id;
+      EXPECT_NE(r.quarantine_reason.find("shed"), std::string::npos);
+      EXPECT_TRUE(r.attempts.empty());  // shed work never executes
+    }
+  }
+  const BatchArchive::Manifest m = BatchArchive(path("a")).read_manifest();
+  ASSERT_EQ(m.entries.size(), 8u);
+  EXPECT_EQ(m.entries[7].status, "shed");
+  EXPECT_EQ(m.entries[7].attempt, -1);
+  EXPECT_TRUE(m.entries[7].file.empty());
+
+  // Same seed, different thread count: identical report bytes.
+  opts.threads = 1;
+  opts.archive_dir = path("b");
+  const BatchReport b = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(a.canonical_json().str(), b.canonical_json().str());
+
+  // The in-flight cap only throttles dispatch; every kept scenario still
+  // completes with the identical checksum.
+  opts.max_in_flight = 2;
+  opts.archive_dir = path("c");
+  const BatchReport c = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(c.shed, 3);
+  EXPECT_EQ(c.completed, 5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(c.results[i].status, a.results[i].status);
+    EXPECT_EQ(c.results[i].checksum, a.results[i].checksum);
+  }
+}
+
+/// Guard rails: a fresh run refuses to overwrite an unsealed journal, and
+/// resume refuses a journal from a different batch.
+TEST_F(SvcDir, JournalGuardsRefuseOverwriteAndMismatchedResume) {
+  const auto specs = svc::make_job_mix(21, tiny_mix(2));
+  BatchOptions opts = journaled_opts(21, path("a"));
+  fs::create_directories(path("a"));
+
+  {
+    // Simulate a crashed batch: header + one start record, never sealed.
+    svc::BatchJournal j(opts.journal_path, opts, specs);
+    j.start(0, 0, 0, false);
+  }
+  EXPECT_THROW(BatchSupervisor(opts).run(specs), ConfigError);
+
+  // Resume under a different seed (and so a different decision stream).
+  BatchOptions other = opts;
+  other.batch_seed = 22;
+  other.resume = true;
+  EXPECT_THROW(BatchSupervisor(other).run(specs), ConfigError);
+
+  // Resume with no journal at all.
+  BatchOptions missing = journaled_opts(21, path("b"));
+  fs::create_directories(path("b"));
+  missing.resume = true;
+  EXPECT_THROW(BatchSupervisor(missing).run(specs), ConfigError);
+
+  // The crashed batch resumes cleanly; once sealed, its journal MAY be
+  // overwritten by a fresh run.
+  BatchOptions cont = opts;
+  cont.resume = true;
+  const BatchReport done = BatchSupervisor(cont).run(specs);
+  EXPECT_TRUE(done.resumed);
+  EXPECT_EQ(done.completed + done.degraded + done.quarantined, 2);
+  const BatchReport redo = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(redo.resumed, false);
+}
+
+/// Repeat quarantines of the same artifact path number their evidence
+/// files instead of overwriting prior generations.
+TEST_F(SvcDir, QuarantineNumbersRepeatedCollisions) {
+  BatchArchive archive(path("a"));
+  ScenarioSpec spec;
+  spec.id = 1;
+  spec.name = "scn-001";
+  spec.dataset = "TEST";
+  spec.hours = 1;
+
+  const std::string file = archive.write_result(spec, "ok", 1, 1, {});
+  EXPECT_EQ(BatchArchive::quarantine(file), file + ".corrupt");
+  archive.write_result(spec, "ok", 1, 2, {});
+  EXPECT_EQ(BatchArchive::quarantine(file), file + ".corrupt.1");
+  archive.write_result(spec, "ok", 1, 3, {});
+  EXPECT_EQ(BatchArchive::quarantine(file), file + ".corrupt.2");
+  EXPECT_TRUE(fs::exists(file + ".corrupt"));
+  EXPECT_TRUE(fs::exists(file + ".corrupt.1"));
+  EXPECT_TRUE(fs::exists(file + ".corrupt.2"));
+  EXPECT_EQ(BatchArchive::read_result(file + ".corrupt").checksum, 1u);
+  EXPECT_EQ(BatchArchive::read_result(file + ".corrupt.2").checksum, 3u);
 }
 
 }  // namespace
