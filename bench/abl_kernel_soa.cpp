@@ -207,8 +207,8 @@ int main(int argc, char** argv) {
   const Dataset la = la_basin_dataset();
   const UniformDataset la_uniform = la_uniform_dataset();
   const std::vector<ModelCase> cases = {
-      {"LA_multiscale", la.mesh.vertex_count(),
-       static_cast<std::size_t>(la.layers),
+      {"LA_multiscale", la.mesh().vertex_count(),
+       static_cast<std::size_t>(la.layers()),
        [&](const ModelOptions& o) { return AirshedModel(la, o).run(); }},
       {"LA_uniform", la_uniform.points(),
        static_cast<std::size_t>(la_uniform.layers),

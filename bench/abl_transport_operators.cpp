@@ -36,10 +36,10 @@ OperatorCost run_mini_model(const Dataset& ds, std::size_t points,
   cost.points = points;
   cost.transport_parallelism = transport_parallelism;
 
-  ConcentrationField conc(kSpeciesCount, ds.layers, points);
+  ConcentrationField conc(kSpeciesCount, ds.layers(), points);
   for (int s = 0; s < kSpeciesCount; ++s) {
     const double bg = background_ppm(static_cast<Species>(s));
-    for (int k = 0; k < ds.layers; ++k) {
+    for (int k = 0; k < ds.layers(); ++k) {
       for (std::size_t v = 0; v < points; ++v) conc(s, k, v) = bg;
     }
   }
@@ -53,11 +53,11 @@ OperatorCost run_mini_model(const Dataset& ds, std::size_t points,
       const double dt = 1.0 / steps;
       const double t_mid = t0 + (j + 0.5) * dt;
       cost.transport_work += advance_transport(conc, t0, 0.5 * dt);
-      const double sun = ds.met.photolysis_factor(t_mid);
+      const double sun = ds.met().photolysis_factor(t_mid);
       for (std::size_t v = 0; v < points; ++v) {
-        for (int k = 0; k < ds.layers; ++k) {
+        for (int k = 0; k < ds.layers(); ++k) {
           for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, v);
-          const double temp = ds.met.temperature(positions[v], t_mid, k);
+          const double temp = ds.met().temperature(positions[v], t_mid, k);
           cost.chemistry_work +=
               chem.integrate(cell, dt * 60.0, temp, sun).work_flops;
           for (int s = 0; s < kSpeciesCount; ++s) conc(s, k, v) = cell[s];
@@ -86,28 +86,28 @@ int main() {
   }
 
   // --- Multiscale 2-D SUPG -------------------------------------------------
-  SupgTransport supg(ds.mesh);
-  std::vector<std::vector<Point2>> wind(ds.layers);
+  SupgTransport supg(ds.mesh());
+  std::vector<std::vector<Point2>> wind(ds.layers());
   auto refresh_wind = [&](auto& positions, double t) {
-    for (int k = 0; k < ds.layers; ++k) {
+    for (int k = 0; k < ds.layers(); ++k) {
       wind[k].resize(positions.size());
       const double frac =
-          ds.layers > 1 ? static_cast<double>(k) / (ds.layers - 1) : 0.0;
+          ds.layers() > 1 ? static_cast<double>(k) / (ds.layers() - 1) : 0.0;
       for (std::size_t v = 0; v < positions.size(); ++v) {
-        wind[k][v] = ds.met.wind(positions[v], t, frac);
+        wind[k][v] = ds.met().wind(positions[v], t, frac);
       }
     }
   };
 
-  std::vector<Point2> mesh_pts(ds.mesh.points().begin(),
-                               ds.mesh.points().end());
+  std::vector<Point2> mesh_pts(ds.mesh().points().begin(),
+                               ds.mesh().points().end());
   const OperatorCost multiscale = run_mini_model(
-      ds, ds.points(), mesh_pts, static_cast<std::size_t>(ds.layers),
+      ds, ds.points(), mesh_pts, static_cast<std::size_t>(ds.layers()),
       [&](ConcentrationField& conc, double t, double dt) {
         refresh_wind(mesh_pts, t);
         double work = 0.0;
-        for (int k = 0; k < ds.layers; ++k) {
-          work += supg.advance_layer(conc, k, wind[k], ds.met.kh(t), dt, bg)
+        for (int k = 0; k < ds.layers(); ++k) {
+          work += supg.advance_layer(conc, k, wind[k], ds.met().kh(t), dt, bg)
                       .work_flops;
         }
         return work;
@@ -122,13 +122,13 @@ int main() {
   std::vector<Point2> cell_pts = ugrid.all_centers();
   const OperatorCost uniform = run_mini_model(
       ds, ugrid.cell_count(), cell_pts,
-      onedim.sweep_parallelism(static_cast<std::size_t>(ds.layers)),
+      onedim.sweep_parallelism(static_cast<std::size_t>(ds.layers())),
       [&](ConcentrationField& conc, double t, double dt) {
         refresh_wind(cell_pts, t);
         double work = 0.0;
-        for (int k = 0; k < ds.layers; ++k) {
+        for (int k = 0; k < ds.layers(); ++k) {
           work += onedim
-                      .advance_layer(conc, k, wind[k], ds.met.kh(t), dt, bg)
+                      .advance_layer(conc, k, wind[k], ds.met().kh(t), dt, bg)
                       .work_flops;
         }
         return work;

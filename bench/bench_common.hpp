@@ -64,9 +64,9 @@ inline WorkTrace load_trace(const std::string& name, int hours = kHours) {
 }
 
 /// The BENCH_*.json artifacts use the project's shared schema writer
-/// (airshed/obs/json.hpp): insertion-ordered keys, %.17g doubles with
-/// non-finite -> null, fully escaped strings. See docs/BENCHMARKS.md for
-/// the per-bench field reference.
+/// (airshed/obs/json.hpp): insertion-ordered keys, shortest round-trip
+/// doubles with non-finite -> null, fully escaped strings. See
+/// docs/BENCHMARKS.md for the per-bench field reference.
 using JsonWriter = obs::JsonWriter;
 
 /// Wall-clock measurement of one bench configuration: `warmup` untimed runs

@@ -51,12 +51,12 @@ BENCHMARK(BM_YoungBorisStep)->Arg(0)->Arg(1)->ArgName("sun");
 
 void BM_SupgAdvanceLayer(benchmark::State& state) {
   const Dataset ds = la_basin_dataset();
-  SupgTransport op(ds.mesh);
+  SupgTransport op(ds.mesh());
   ConcentrationField conc(kSpeciesCount, 1, ds.points(), 0.04);
   std::vector<Point2> vel(ds.points());
-  const auto pts = ds.mesh.points();
+  const auto pts = ds.mesh().points();
   for (std::size_t v = 0; v < pts.size(); ++v) {
-    vel[v] = ds.met.wind(pts[v], 12.0, 0.0);
+    vel[v] = ds.met().wind(pts[v], 12.0, 0.0);
   }
   std::vector<double> bg(kSpeciesCount, 0.04);
   for (auto _ : state) {
@@ -64,7 +64,7 @@ void BM_SupgAdvanceLayer(benchmark::State& state) {
     benchmark::DoNotOptimize(conc.flat().data());
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<long long>(ds.mesh.triangle_count()));
+                          static_cast<long long>(ds.mesh().triangle_count()));
 }
 BENCHMARK(BM_SupgAdvanceLayer);
 

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   PopulationRaster raster = PopulationRaster::from_density(
       ds.emissions.domain(), 24, 24,
       [&](Point2 p) { return ds.emissions.urban_density(p) + 0.01; }, people);
-  ExposureModel exposure(std::move(raster), ds.mesh);
+  ExposureModel exposure(std::move(raster), ds.mesh());
 
   std::printf("Airshed + PopExp: %zu grid points, %.1fM people on a %zux%zu "
               "raster\n", ds.points(), people / 1e6,

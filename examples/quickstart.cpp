@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   // 1. Build a scenario: synthetic geography, meteorology and emissions.
   Dataset ds = test_basin_dataset();
   std::printf("dataset %s: %zu grid points, %zu triangles, %d layers, %d species\n",
-              ds.name.c_str(), ds.points(), ds.mesh.triangle_count(),
-              ds.layers, kSpeciesCount);
+              ds.name().c_str(), ds.points(), ds.mesh().triangle_count(),
+              ds.layers(), kSpeciesCount);
 
   // 2. Run the physics (the Fig 1 loop): hourly inputs, operator-split
   //    transport / chemistry steps, hourly outputs.

@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
 
   Dataset ds = northeast_dataset();
   std::printf("Regional forecast: %s — %zu grid points, %zu triangles, "
-              "%d layers\n", ds.name.c_str(), ds.points(),
-              ds.mesh.triangle_count(), ds.layers);
+              "%d layers\n", ds.name().c_str(), ds.points(),
+              ds.mesh().triangle_count(), ds.layers());
   std::printf("simulating %d hours from 05:00...\n\n", hours);
 
   ModelOptions opts;

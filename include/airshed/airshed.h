@@ -58,6 +58,7 @@
 #include "airshed/perf/model.hpp"
 #include "airshed/popexp/popexp.hpp"
 #include "airshed/svc/archive.hpp"
+#include "airshed/svc/input_cache.hpp"
 #include "airshed/svc/journal.hpp"
 #include "airshed/svc/scenario.hpp"
 #include "airshed/svc/supervisor.hpp"

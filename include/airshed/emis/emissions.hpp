@@ -44,6 +44,11 @@ struct ControlScenario {
   double nh3_scale = 1.0;
 
   static ControlScenario baseline() { return {}; }
+
+  /// Memberwise equality. Defaulted so a new knob can never silently
+  /// escape scenario comparison or the batch-journal digest.
+  friend bool operator==(const ControlScenario&,
+                         const ControlScenario&) = default;
 };
 
 /// Deterministic emission inventory over a rectangular domain.

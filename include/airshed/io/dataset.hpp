@@ -8,6 +8,8 @@
 // refines greedily until the triangulation reaches the paper's point count.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,20 +34,58 @@ struct DatasetSpec {
   ControlScenario controls;
 };
 
-/// A fully constructed scenario: mesh + physics drivers.
-struct Dataset {
+/// The expensive, control-independent core of a scenario: geography,
+/// refined multiscale mesh and meteorology. Grid refinement is driven by
+/// urban density (city geometry only — never by emission controls or
+/// stacks), so every scenario differing only in its emission overlay shares
+/// one base bit for bit. Published as shared_ptr<const DatasetBase> and
+/// never mutated after construction; SharedInputCache (airshed::svc) hands
+/// the same instance to every scenario that resolves to the same base
+/// digest.
+struct DatasetBase {
   std::string name;
   TriMesh mesh;
   int layers = 5;
   Meteorology met;
-  EmissionInventory emissions;
   std::vector<double> layer_dz_m;
-
-  std::size_t points() const { return mesh.vertex_count(); }
 };
 
+/// A fully constructed scenario: an immutable shared base plus the cheap
+/// per-scenario emission overlay (controls, perturbations, extra stacks).
+/// Copying a Dataset copies the overlay and a reference to the base.
+struct Dataset {
+  std::shared_ptr<const DatasetBase> base;
+  EmissionInventory emissions;
+
+  const std::string& name() const { return base->name; }
+  const TriMesh& mesh() const { return base->mesh; }
+  int layers() const { return base->layers; }
+  const Meteorology& met() const { return base->met; }
+  const std::vector<double>& layer_dz_m() const { return base->layer_dz_m; }
+  std::size_t points() const { return base->mesh.vertex_count(); }
+};
+
+/// Builds the immutable base: validates the spec, refines the multiscale
+/// grid around the spec's cities until the triangulation reaches
+/// target_points, and bundles the meteorology. Ignores `controls` and
+/// `stacks` — they belong to the emission overlay.
+std::shared_ptr<const DatasetBase> build_dataset_base(const DatasetSpec& spec);
+
+/// FNV-1a digest over exactly the spec fields build_dataset_base consumes
+/// (name, domain, grid shape, target points, layers, met params, cities).
+/// Two specs with equal digests build bit-identical bases; controls and
+/// stacks do not contribute.
+std::uint64_t dataset_base_digest(const DatasetSpec& spec);
+
+/// Applies the spec's emission overlay (stacks + controls) to an already
+/// built base. The base must come from a spec with the same base digest;
+/// throws ConfigError when the names disagree (the cheap sanity check).
+Dataset assemble_dataset(std::shared_ptr<const DatasetBase> base,
+                         const DatasetSpec& spec);
+
 /// Builds the multiscale grid (refined around the spec's cities until the
-/// vertex count reaches target_points) and bundles the drivers.
+/// vertex count reaches target_points) and bundles the drivers. Equivalent
+/// to assemble_dataset(build_dataset_base(spec), spec).
 Dataset build_dataset(const DatasetSpec& spec);
 
 /// Los Angeles basin scenario: ~700 grid points, 5 layers; coastal

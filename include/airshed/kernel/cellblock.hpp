@@ -292,6 +292,8 @@ struct KernelOptions {
   bool tripwire = true;
   /// Numeric profile of the lane-parallel chemistry kernels.
   LaneMode lane_mode = LaneMode::strict;
+
+  friend bool operator==(const KernelOptions&, const KernelOptions&) = default;
 };
 
 }  // namespace airshed::kernel

@@ -8,8 +8,10 @@
 //
 //   * keys are emitted in insertion order (callers emit a fixed order, so
 //     artifact diffs are stable);
-//   * doubles round-trip (%.17g) and non-finite values become null (NaN or
-//     Inf must never produce syntactically invalid JSON);
+//   * doubles are emitted as the shortest %g form that parses back to the
+//     exact bit pattern (0.15 prints as "0.15", never
+//     "0.14999999999999999"); non-finite values become null (NaN or Inf
+//     must never produce syntactically invalid JSON);
 //   * strings are fully escaped: quote, backslash, and every control
 //     character (named escapes where JSON has them, \u00XX otherwise);
 //   * commas are managed by a nesting stack, so callers just alternate
@@ -18,6 +20,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -45,8 +48,22 @@ class JsonWriter {
     if (!std::isfinite(v)) {
       out_ += "null";
     } else {
+      // Integral values below 1e17 render as plain integers (exactly what
+      // %.17g produced for them): counters, histogram bounds and virtual
+      // timestamps stay grep-able instead of flipping to "2.5e+05" when
+      // the exponent reaches the minimal round-trip precision below.
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      if (v == std::floor(v) && std::fabs(v) < 1e17) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+      } else {
+        // Shortest round-trip form: raise the precision until strtod
+        // gives the exact value back. 17 significant digits always
+        // round-trip, so the loop terminates; most values stop earlier.
+        for (int prec = 1; prec <= 17; ++prec) {
+          std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+          if (std::strtod(buf, nullptr) == v) break;
+        }
+      }
       out_ += buf;
     }
     return *this;

@@ -37,7 +37,11 @@ namespace airshed::svc {
 class BatchJournal {
  public:
   static constexpr const char* kFormat = "airshed-batch-journal";
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: decision blob gains schedule / share_inputs / resident; Commit
+  /// and Failed records gain the attempt's queue wait (rounds). Version is
+  /// checked on replay — a v1 journal cannot silently resume under v2
+  /// decisions (and vice versa).
+  static constexpr std::uint32_t kVersion = 2;
 
   enum class RecordType : std::uint32_t {
     Header = 1,
@@ -62,6 +66,9 @@ class BatchJournal {
     int id = -1;
     int attempt = 0;
     int round = 0;
+    /// Rounds the attempt waited after becoming dispatchable (Commit and
+    /// Failed records; resume reconstructs the wait histogram from it).
+    int wait = 0;
     bool degraded = false;  ///< the attempt ran the coarse fallback grid
     FaultClass fault = FaultClass::None;
     double slowdown = 1.0;

@@ -21,6 +21,8 @@
 
 namespace airshed::svc {
 
+class SharedInputCache;
+
 /// One parameterized run: everything the supervisor needs to (re)build the
 /// scenario's inputs from scratch, deterministically.
 struct ScenarioSpec {
@@ -33,20 +35,9 @@ struct ScenarioSpec {
   /// group (emission-uncertainty perturbation).
   double emission_perturbation = 1.0;
 
-  friend bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
-    // ControlScenario predates defaulted comparisons; spell it out.
-    return a.id == b.id && a.name == b.name && a.dataset == b.dataset &&
-           a.hours == b.hours &&
-           a.controls.nox_scale == b.controls.nox_scale &&
-           a.controls.voc_scale == b.controls.voc_scale &&
-           a.controls.co_scale == b.controls.co_scale &&
-           a.controls.so2_scale == b.controls.so2_scale &&
-           a.controls.nh3_scale == b.controls.nh3_scale &&
-           a.emission_perturbation == b.emission_perturbation;
-  }
-  friend bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) {
-    return !(a == b);
-  }
+  /// Memberwise equality (ControlScenario compares memberwise too): a new
+  /// spec field is compared automatically instead of silently escaping.
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
 /// Parameters of a seeded batch job mix.
@@ -84,8 +75,13 @@ DatasetSpec scenario_dataset_spec(const ScenarioSpec& spec);
 /// corrupt elevated point source (infinite emission rate) is appended — the
 /// supervisor's numerics-fault injection, caught by the SoA block-commit
 /// tripwire (kernel::NumericsError) instead of silently propagating.
+/// With `cache` non-null the immutable base (mesh + meteorology) comes
+/// from the shared input cache and only the emission overlay is built per
+/// scenario; the poison stack lives in the overlay, so poisoned scenarios
+/// share bases too. Bit-identical with or without a cache.
 Dataset build_scenario_dataset(const ScenarioSpec& spec,
-                               bool poison_stack = false);
+                               bool poison_stack = false,
+                               SharedInputCache* cache = nullptr);
 
 /// Builds the scenario's coarse uniform-grid counterpart (the graceful-
 /// degradation target): same domain / meteorology / controls, `nx` x `ny`

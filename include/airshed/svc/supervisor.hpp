@@ -115,6 +115,22 @@ struct ChaosOptions {
   }
 };
 
+/// Dispatch-order policy for the per-round runnable set. Only observable
+/// when max_in_flight caps a round: every runnable scenario still runs
+/// every round otherwise, and outcomes are schedule-independent either
+/// way (decisions stay pure per scenario).
+enum class Schedule {
+  /// Dispatch in scenario-id order (the historical policy).
+  Fifo,
+  /// Deterministic fair share: round-robin across datasets (so one huge
+  /// dataset cannot starve the others' scenarios), shortest expected work
+  /// first within a dataset (hours x target grid points), ids as the tie
+  /// break. Pure in the spec list — no load feedback, no wall clock.
+  Fair,
+};
+
+const char* to_string(Schedule schedule);
+
 struct BatchOptions {
   std::uint64_t batch_seed = 42;
   /// Worker-pool size for scenario-level parallelism (0 = AIRSHED_THREADS
@@ -157,6 +173,19 @@ struct BatchOptions {
   /// lowest pending ids first). 0 = unbounded. Purely a throttle: it
   /// changes round structure, never outcomes.
   int max_in_flight = 0;
+  /// Dispatch-order policy under the in-flight cap (see Schedule).
+  Schedule schedule = Schedule::Fifo;
+  /// Share immutable dataset bases (mesh + meteorology + layers) across
+  /// scenarios through a content-addressed SharedInputCache: scenarios
+  /// differing only in emission controls build the base once. Results are
+  /// bit-identical with sharing on or off (the base build is pure in the
+  /// spec); off rebuilds every base per scenario (the historical cost).
+  bool share_inputs = true;
+  /// Resident-engine mode: workers keep warm per-thread solver instances
+  /// across attempts (core ResidentEngine) and consult a batch-scoped
+  /// frozen rate-constant table seeded by the first attempt of the batch
+  /// (chem SharedRateTable). Results are bit-identical on or off.
+  bool resident = false;
   ChaosOptions chaos;
   /// Durable archive directory; empty = no on-disk archive (payload /
   /// storage chaos is then simulated on the in-memory encoding).
@@ -187,6 +216,10 @@ const char* to_string(ScenarioStatus status);
 struct AttemptRecord {
   int attempt = 0;      ///< 0-based; degrade attempts keep counting
   int round = 0;        ///< supervisor round that ran it
+  /// Rounds this attempt waited in the queue after becoming dispatchable
+  /// (0 = ran the round it became ready; >0 only under max_in_flight or
+  /// an open breaker). Deterministic given the options.
+  int wait_rounds = 0;
   FaultClass injected = FaultClass::None;
   bool degraded_run = false;  ///< coarse-grid fallback attempt
   bool ok = false;
@@ -238,12 +271,32 @@ struct BatchReport {
   int replay_quarantined = 0;  ///< committed artifacts found corrupt, re-run
   int reexecuted = 0;          ///< scenarios (re)executed after the replay
   bool journal_torn_tail = false;  ///< resume truncated a torn append
+
+  // Throughput accounting. `schedule` and the queue-wait histogram are
+  // deterministic given (batch_seed, specs, options) and go into
+  // canonical_json; the sharing/engine counters and setup seconds below
+  // them depend on share_inputs / resident / wall clock and are reported
+  // ONLY here and through record_metrics — canonical_json stays
+  // byte-identical with sharing and residency on or off.
+  Schedule schedule = Schedule::Fifo;
+  /// Histogram of AttemptRecord::wait_rounds over all executed attempts,
+  /// bucket i = attempts that waited exactly i rounds (last bucket: >=).
+  std::vector<long long> queue_wait_rounds{0, 0, 0, 0, 0};
+
+  long long input_cache_hits = 0;    ///< shared-base requests served warm
+  long long input_cache_misses = 0;  ///< distinct bases built
+  long long rate_cache_shared_hits = 0;  ///< frozen-table rate lookups
+  long long engine_reuses = 0;  ///< attempts that reused a warm engine
+  double setup_s = 0.0;  ///< wall seconds in dataset build + solver setup
+
   std::vector<ScenarioResult> results;  ///< scenario-id order
   std::vector<BreakerEvent> breaker_events;
 
-  /// Thread-count-invariant JSON ("airshed-batch-report-v2"): everything
-  /// above, no wall-clock and no thread count — byte-identical for the
-  /// same (batch_seed, specs, options) at 1, 2 or N threads.
+  /// Thread-count-invariant JSON ("airshed-batch-report-v3"): everything
+  /// above except the sharing/engine counters (see the field comments),
+  /// no wall-clock and no thread count — byte-identical for the same
+  /// (batch_seed, specs, options) at 1, 2 or N threads, with input
+  /// sharing and resident engines on or off.
   obs::JsonWriter canonical_json() const;
 };
 

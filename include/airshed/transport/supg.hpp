@@ -31,6 +31,9 @@ struct TransportOptions {
   /// weight folds that efficiency gap into the single-rate machine model
   /// (calibration documented in EXPERIMENTS.md).
   double work_weight = 4.5;
+
+  friend bool operator==(const TransportOptions&,
+                         const TransportOptions&) = default;
 };
 
 struct TransportStepResult {

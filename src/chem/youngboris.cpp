@@ -10,6 +10,22 @@
 
 namespace airshed {
 
+void SharedRateTable::capture(double temp_k, double sun,
+                              std::span<const double> k) {
+  AIRSHED_REQUIRE(!frozen_, "SharedRateTable::capture after freeze()");
+  const Key key{std::bit_cast<std::uint64_t>(temp_k),
+                std::bit_cast<std::uint64_t>(sun)};
+  table_.try_emplace(key, k.begin(), k.end());
+}
+
+const std::vector<double>* SharedRateTable::find(double temp_k,
+                                                 double sun) const {
+  const Key key{std::bit_cast<std::uint64_t>(temp_k),
+                std::bit_cast<std::uint64_t>(sun)};
+  const auto it = table_.find(key);
+  return it != table_.end() ? &it->second : nullptr;
+}
+
 YoungBorisSolver::YoungBorisSolver(const Mechanism& mech,
                                    YoungBorisOptions opts)
     : mech_(&mech), opts_(opts) {
@@ -55,9 +71,19 @@ void YoungBorisSolver::evict_one_rate_entry() {
 }
 
 void YoungBorisSolver::load_rates(double temp_k, double sun) {
+  // Batch-scoped shared table first: checked before the private cache so
+  // the shared-hit count never depends on what this solver ran earlier.
+  if (shared_rates_) {
+    if (const std::vector<double>* k = shared_rates_->find(temp_k, sun)) {
+      std::copy(k->begin(), k->end(), rates_.begin());
+      ++rate_cache_shared_hits_;
+      return;
+    }
+  }
   if (!opts_.cache_rates || opts_.rate_cache_entries == 0) {
     mech_->compute_rates(temp_k, sun, rates_);
     ++rate_evals_;
+    if (capture_rates_) capture_rates_->capture(temp_k, sun, rates_);
     return;
   }
   const RateKey key{std::bit_cast<std::uint64_t>(temp_k),
@@ -70,14 +96,22 @@ void YoungBorisSolver::load_rates(double temp_k, double sun) {
   }
   mech_->compute_rates(temp_k, sun, rates_);
   ++rate_evals_;
+  if (capture_rates_) capture_rates_->capture(temp_k, sun, rates_);
   if (rate_cache_.size() >= opts_.rate_cache_entries) evict_one_rate_entry();
   rate_cache_.emplace(key, CachedRates{rates_, true});
 }
 
 std::span<const double> YoungBorisSolver::rates_ref(double temp_k, double sun) {
+  if (shared_rates_) {
+    if (const std::vector<double>* k = shared_rates_->find(temp_k, sun)) {
+      ++rate_cache_shared_hits_;
+      return *k;  // frozen table: the span stays valid for the whole batch
+    }
+  }
   if (!opts_.cache_rates || opts_.rate_cache_entries == 0) {
     mech_->compute_rates(temp_k, sun, rates_);
     ++rate_evals_;
+    if (capture_rates_) capture_rates_->capture(temp_k, sun, rates_);
     return rates_;
   }
   const RateKey key{std::bit_cast<std::uint64_t>(temp_k),
@@ -89,6 +123,7 @@ std::span<const double> YoungBorisSolver::rates_ref(double temp_k, double sun) {
   }
   mech_->compute_rates(temp_k, sun, rates_);
   ++rate_evals_;
+  if (capture_rates_) capture_rates_->capture(temp_k, sun, rates_);
   if (rate_cache_.size() >= opts_.rate_cache_entries) evict_one_rate_entry();
   return rate_cache_.emplace(key, CachedRates{rates_, true})
       .first->second.k;

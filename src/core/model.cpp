@@ -4,6 +4,8 @@
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 
 #include "airshed/aerosol/aerosol.hpp"
 #include "airshed/chem/yb_block.hpp"
@@ -37,7 +39,50 @@ struct ChemBlockScratch {
   std::vector<const double*> elev;
 };
 
+/// Per-solver counter snapshot taken at run start; the run's HostProfile
+/// reports deltas against it, so a reused ResidentEngine solver never
+/// leaks a previous run's counts into this run.
+struct SolverCounters {
+  long long hits = 0, shared = 0, evals = 0, evictions = 0;
+  long long dense = 0, live = 0, rounds = 0, substeps = 0;
+
+  static SolverCounters of(const YoungBorisSolver& yb) {
+    return {yb.rate_cache_hits(), yb.rate_cache_shared_hits(),
+            yb.rate_evals(),      yb.rate_cache_evictions(),
+            yb.lane_evals_dense(), yb.lane_evals_live(),
+            yb.block_rounds(),    yb.substeps_total()};
+  }
+};
+
 }  // namespace
+
+/// Warm per-thread solver state. `base` (declared first, destroyed last)
+/// keeps the mesh and layer structure alive while SupgTransport /
+/// VerticalTransport hold references into it.
+struct ResidentEngine::State {
+  std::shared_ptr<const DatasetBase> base;
+  TransportOptions transport;
+  YoungBorisOptions chem_opts;
+  kernel::KernelOptions kernel;
+  int nthreads = 0;
+  std::int64_t run_serial = 0;  ///< distinct rate-epoch base per run
+  long long runs = 0;
+  long long reuses = 0;
+  std::optional<par::PerThread<SupgTransport>> supg;
+  std::optional<par::PerThread<YoungBorisBlockSolver>> chem;
+  std::optional<par::PerThread<VerticalTransport>> vert;
+  std::optional<par::PerThread<ChemBlockScratch>> scratch;
+};
+
+ResidentEngine::ResidentEngine() = default;
+ResidentEngine::~ResidentEngine() = default;
+ResidentEngine::ResidentEngine(ResidentEngine&&) noexcept = default;
+ResidentEngine& ResidentEngine::operator=(ResidentEngine&&) noexcept = default;
+
+long long ResidentEngine::runs() const { return state_ ? state_->runs : 0; }
+long long ResidentEngine::reuses() const {
+  return state_ ? state_->reuses : 0;
+}
 
 AirshedModel::AirshedModel(const Dataset& dataset, ModelOptions opts)
     : dataset_(&dataset), opts_(opts) {
@@ -45,10 +90,10 @@ AirshedModel::AirshedModel(const Dataset& dataset, ModelOptions opts)
 }
 
 ConcentrationField AirshedModel::initial_conditions(const Dataset& dataset) {
-  ConcentrationField conc(kSpeciesCount, dataset.layers, dataset.points());
+  ConcentrationField conc(kSpeciesCount, dataset.layers(), dataset.points());
   for (int s = 0; s < kSpeciesCount; ++s) {
     const double bg = background_ppm(static_cast<Species>(s));
-    for (int k = 0; k < dataset.layers; ++k) {
+    for (int k = 0; k < dataset.layers(); ++k) {
       for (std::size_t v = 0; v < dataset.points(); ++v) {
         conc(s, k, v) = bg;
       }
@@ -59,7 +104,7 @@ ConcentrationField AirshedModel::initial_conditions(const Dataset& dataset) {
 
 ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
   return run_hours(0, initial_conditions(*dataset_),
-                   Array3<double>(kPmComponents, dataset_->layers,
+                   Array3<double>(kPmComponents, dataset_->layers(),
                                   dataset_->points(), 0.0),
                    on_hour, {});
 }
@@ -67,7 +112,7 @@ ModelRunResult AirshedModel::run(const HourCallback& on_hour) {
 ModelRunResult AirshedModel::run_with_checkpoints(
     const CheckpointCallback& on_checkpoint, const HourCallback& on_hour) {
   return run_hours(0, initial_conditions(*dataset_),
-                   Array3<double>(kPmComponents, dataset_->layers,
+                   Array3<double>(kPmComponents, dataset_->layers(),
                                   dataset_->points(), 0.0),
                    on_hour, on_checkpoint);
 }
@@ -75,25 +120,26 @@ ModelRunResult AirshedModel::run_with_checkpoints(
 ModelRunResult AirshedModel::resume(const CheckpointRecord& from,
                                     const HourCallback& on_hour) {
   const Dataset& ds = *dataset_;
-  if (from.dataset != ds.name) {
+  if (from.dataset != ds.name()) {
     throw ConfigError("AirshedModel::resume: checkpoint is for dataset '" +
-                      from.dataset + "', model is bound to '" + ds.name + "'");
+                      from.dataset + "', model is bound to '" + ds.name() +
+                      "'");
   }
   if (from.conc.dim0() != static_cast<std::size_t>(kSpeciesCount) ||
-      from.conc.dim1() != static_cast<std::size_t>(ds.layers) ||
+      from.conc.dim1() != static_cast<std::size_t>(ds.layers()) ||
       from.conc.dim2() != ds.points()) {
     throw ConfigError(
         "AirshedModel::resume: checkpoint concentration shape does not match "
         "dataset '" +
-        ds.name + "'");
+        ds.name() + "'");
   }
   if (from.pm.dim0() != static_cast<std::size_t>(kPmComponents) ||
-      from.pm.dim1() != static_cast<std::size_t>(ds.layers) ||
+      from.pm.dim1() != static_cast<std::size_t>(ds.layers()) ||
       from.pm.dim2() != ds.points()) {
     throw ConfigError(
         "AirshedModel::resume: checkpoint particulate shape does not match "
         "dataset '" +
-        ds.name + "'");
+        ds.name() + "'");
   }
   if (from.next_hour < 0 || from.next_hour > opts_.hours) {
     throw ConfigError("AirshedModel::resume: checkpoint next_hour " +
@@ -119,10 +165,10 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
                                        const CheckpointCallback& on_checkpoint) {
   const Dataset& ds = *dataset_;
   const std::size_t nv = ds.points();
-  const int nl = ds.layers;
+  const int nl = ds.layers();
 
   ModelRunResult result;
-  result.trace.dataset = ds.name;
+  result.trace.dataset = ds.name();
   result.trace.species = kSpeciesCount;
   result.trace.layers = static_cast<std::size_t>(nl);
   result.trace.points = nv;
@@ -139,6 +185,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   // layers, chemistry + vertical transport over columns. Each thread owns
   // its solver instances (scratch is stateful), each item its output slot,
   // so results are bit-identical for every thread count.
+  const auto setup_start = std::chrono::steady_clock::now();
   int requested = par::resolve_threads(opts_.host_threads);
   if (!opts_.oversubscribe) {
     // Compute-bound pools gain nothing past the core count; oversubscribing
@@ -149,23 +196,67 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   par::WorkerPool pool(requested);
   const int nthreads = pool.threads();
   const kernel::KernelOptions& ko = opts_.kernel;
-  par::PerThread<SupgTransport> supg(
-      nthreads, [&] { return SupgTransport(ds.mesh, opts_.transport); });
-  par::PerThread<YoungBorisBlockSolver> chem(nthreads, [&] {
-    return YoungBorisBlockSolver(Mechanism::cb4_condensed(), opts_.chem,
-                                 ko.lane_mode);
-  });
-  par::PerThread<VerticalTransport> vert(
-      nthreads, [&] { return VerticalTransport(ds.layer_dz_m); });
   const std::size_t cell_block =
       static_cast<std::size_t>(std::max(1, ko.block));
-  par::PerThread<ChemBlockScratch> chem_scratch(nthreads, [&] {
-    return ChemBlockScratch(static_cast<int>(ko.blocked ? cell_block : 1));
-  });
+
+  // Per-thread solver state lives in a ResidentEngine: the caller's (warm
+  // across runs) or a run-local throwaway. Reuse is keyed on the immutable
+  // dataset base's identity plus the option set and thread count; anything
+  // else rebuilds in place.
+  ResidentEngine local_engine;
+  ResidentEngine& engine = opts_.engine ? *opts_.engine : local_engine;
+  if (!engine.state_) engine.state_ = std::make_unique<ResidentEngine::State>();
+  ResidentEngine::State& st = *engine.state_;
+  const bool reuse = st.supg.has_value() && st.base == ds.base &&
+                     st.transport == opts_.transport &&
+                     st.chem_opts == opts_.chem && st.kernel == ko &&
+                     st.nthreads == nthreads;
+  ++st.runs;
+  if (reuse) {
+    ++st.reuses;
+  } else {
+    st.base = ds.base;
+    st.transport = opts_.transport;
+    st.chem_opts = opts_.chem;
+    st.kernel = ko;
+    st.nthreads = nthreads;
+    st.supg.emplace(nthreads,
+                    [&] { return SupgTransport(ds.mesh(), opts_.transport); });
+    st.chem.emplace(nthreads, [&] {
+      return YoungBorisBlockSolver(Mechanism::cb4_condensed(), opts_.chem,
+                                   ko.lane_mode);
+    });
+    st.vert.emplace(nthreads,
+                    [&] { return VerticalTransport(ds.layer_dz_m()); });
+    st.scratch.emplace(nthreads, [&] {
+      return ChemBlockScratch(static_cast<int>(ko.blocked ? cell_block : 1));
+    });
+  }
+  par::PerThread<SupgTransport>& supg = *st.supg;
+  par::PerThread<YoungBorisBlockSolver>& chem = *st.chem;
+  par::PerThread<VerticalTransport>& vert = *st.vert;
+  par::PerThread<ChemBlockScratch>& chem_scratch = *st.scratch;
+  // Distinct per-run epoch base: set_rate_epoch(base + h) clears the
+  // private rate caches at every hour of every run, so a reused solver can
+  // never serve a previous run's epoch (hits stay a pure per-run function;
+  // results would be bit-identical even if it could — cache purity).
+  const std::int64_t epoch_base = st.run_serial++ << 20;
+  for (YoungBorisBlockSolver& solver : chem) {
+    solver.scalar().set_shared_rates(opts_.shared_rates, opts_.capture_rates);
+  }
   HostProfile* prof = opts_.profile;
+  std::vector<SolverCounters> counters0;
   if (prof) {
     *prof = HostProfile{};
     prof->threads = nthreads;
+    counters0.reserve(static_cast<std::size_t>(nthreads));
+    for (const YoungBorisBlockSolver& solver : chem) {
+      counters0.push_back(SolverCounters::of(solver.scalar()));
+    }
+    prof->setup_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      setup_start)
+            .count();
   }
   obs::TraceRecorder* rec = opts_.trace;
   if (rec) {
@@ -187,7 +278,9 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
   for (int h = first_hour; h < opts_.hours; ++h) {
     const double hour_start = opts_.start_hour + h;
     // Rate constants frozen on (temp, sun) are reusable within the hour.
-    for (YoungBorisBlockSolver& solver : chem) solver.set_rate_epoch(h);
+    for (YoungBorisBlockSolver& solver : chem) {
+      solver.set_rate_epoch(epoch_base + h);
+    }
     HourlyInputs in = [&] {
       PhaseTimer timer(prof ? &prof->io_s : nullptr);
       obs::ObsSpan span(rec, 0, "inputhour", PhaseCategory::IoProcessing, h);
@@ -233,9 +326,9 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
 
       // ---- Chemistry + vertical transport (Lcz, dt) ---------------------
       const double t_mid = t_step + 0.5 * dt_hours;
-      const double sun = ds.met.photolysis_factor(t_mid);
+      const double sun = ds.met().photolysis_factor(t_mid);
       const double dt_min = dt_hours * 60.0;
-      const double lapse = ds.met.params().lapse_k_per_layer;
+      const double lapse = ds.met().params().lapse_k_per_layer;
 
       // Columns are independent; each writes only its own (s, k, v) cells
       // and its own chem_column_work slot.
@@ -362,7 +455,7 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
     if (on_checkpoint) {
       obs::ObsSpan span(rec, 0, "checkpoint", PhaseCategory::Recovery, h);
       CheckpointRecord record;
-      record.dataset = ds.name;
+      record.dataset = ds.name();
       record.next_hour = h + 1;
       record.conc = conc;
       record.pm = pm;
@@ -372,15 +465,17 @@ ModelRunResult AirshedModel::run_hours(int first_hour, ConcentrationField conc0,
 
   if (prof) {
     prof->thread_busy_s = pool.busy_seconds();
-    for (const YoungBorisBlockSolver& solver : chem) {
-      const YoungBorisSolver& yb = solver.scalar();
-      prof->rate_cache_hits += yb.rate_cache_hits();
-      prof->rate_evals += yb.rate_evals();
-      prof->rate_cache_evictions += yb.rate_cache_evictions();
-      prof->lane_evals_dense += yb.lane_evals_dense();
-      prof->lane_evals_live += yb.lane_evals_live();
-      prof->block_rounds += yb.block_rounds();
-      prof->chem_substeps += yb.substeps_total();
+    for (int t = 0; t < nthreads; ++t) {
+      const SolverCounters now = SolverCounters::of(chem[t].scalar());
+      const SolverCounters& was = counters0[static_cast<std::size_t>(t)];
+      prof->rate_cache_hits += now.hits - was.hits;
+      prof->rate_cache_shared_hits += now.shared - was.shared;
+      prof->rate_evals += now.evals - was.evals;
+      prof->rate_cache_evictions += now.evictions - was.evictions;
+      prof->lane_evals_dense += now.dense - was.dense;
+      prof->lane_evals_live += now.live - was.live;
+      prof->block_rounds += now.rounds - was.rounds;
+      prof->chem_substeps += now.substeps - was.substeps;
     }
   }
   return result;

@@ -104,6 +104,8 @@ void record_metrics(obs::MetricsRegistry& registry,
                     const HostProfile& profile) {
   registry.gauge("host/threads", "resolved worker-pool size")
       .set(profile.threads);
+  registry.gauge("host/setup_s", "wall seconds in pool + solver setup")
+      .set(profile.setup_s);
   registry.gauge("host/transport_s", "wall seconds in pooled transport")
       .set(profile.transport_s);
   registry.gauge("host/chemistry_s", "wall seconds in pooled chemistry")
@@ -121,6 +123,10 @@ void record_metrics(obs::MetricsRegistry& registry,
   // effectiveness and the SIMD lane occupancy of the blocked path.
   registry.counter("chem/rate_cache/hits", "rate-constant cache hits")
       .inc(profile.rate_cache_hits);
+  registry
+      .counter("chem/rate_cache/shared_hits",
+               "lookups served by the batch-scoped shared rate table")
+      .inc(profile.rate_cache_shared_hits);
   registry.counter("chem/rate_cache/evals", "full rate-constant evaluations")
       .inc(profile.rate_evals);
   registry.counter("chem/rate_cache/evictions", "single-victim evictions")

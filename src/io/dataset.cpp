@@ -1,8 +1,10 @@
 #include "airshed/io/dataset.hpp"
 
+#include <bit>
 #include <numeric>
 
 #include "airshed/util/error.hpp"
+#include "airshed/util/hash.hpp"
 #include "airshed/util/rng.hpp"
 
 namespace airshed {
@@ -29,7 +31,42 @@ TriMesh shuffle_vertex_order(const TriMesh& mesh, std::uint64_t seed) {
 
 }  // namespace
 
-Dataset build_dataset(const DatasetSpec& spec) {
+std::uint64_t dataset_base_digest(const DatasetSpec& spec) {
+  std::uint64_t h = fnv1a_bytes(spec.name);
+  const auto mix_u64 = [&h](std::uint64_t v) { h = h * kFnvPrime ^ v; };
+  const auto mix_f64 = [&](double v) { mix_u64(std::bit_cast<std::uint64_t>(v)); };
+  mix_f64(spec.domain.xmin);
+  mix_f64(spec.domain.ymin);
+  mix_f64(spec.domain.xmax);
+  mix_f64(spec.domain.ymax);
+  mix_u64(static_cast<std::uint64_t>(spec.base_nx));
+  mix_u64(static_cast<std::uint64_t>(spec.base_ny));
+  mix_u64(static_cast<std::uint64_t>(spec.max_level));
+  mix_u64(static_cast<std::uint64_t>(spec.target_points));
+  mix_u64(static_cast<std::uint64_t>(spec.layers));
+  mix_f64(spec.met.ambient_wind_kmh);
+  mix_f64(spec.met.eddy_wind_kmh);
+  mix_f64(spec.met.sea_breeze_fraction);
+  mix_f64(spec.met.shear_per_layer);
+  mix_f64(spec.met.kh_km2h);
+  mix_f64(spec.met.kz_day_m2s);
+  mix_f64(spec.met.kz_night_m2s);
+  mix_f64(spec.met.t_mean_k);
+  mix_f64(spec.met.t_diurnal_k);
+  mix_f64(spec.met.lapse_k_per_layer);
+  mix_f64(spec.met.latitude_deg);
+  mix_u64(static_cast<std::uint64_t>(spec.met.day_of_year));
+  mix_u64(spec.cities.size());
+  for (const CitySpec& c : spec.cities) {
+    mix_f64(c.center.x);
+    mix_f64(c.center.y);
+    mix_f64(c.radius_km);
+    mix_f64(c.strength);
+  }
+  return h;
+}
+
+std::shared_ptr<const DatasetBase> build_dataset_base(const DatasetSpec& spec) {
   if (spec.name.empty()) {
     throw ConfigError("DatasetSpec.name must be non-empty");
   }
@@ -60,28 +97,41 @@ Dataset build_dataset(const DatasetSpec& spec) {
   }
 
   MultiscaleGrid grid(spec.domain, spec.base_nx, spec.base_ny, spec.max_level);
-  EmissionInventory emissions(spec.domain, spec.cities, spec.stacks,
-                              spec.controls);
-
   // Refinement priority: urban density plus a floor, so cities are resolved
   // finely and open space stays coarse — the multiscale property that makes
-  // the URM efficient (paper §2.1).
+  // the URM efficient (paper §2.1). The density sums city kernels only, so
+  // the mesh is identical for every emission-control overlay of this base.
+  EmissionInventory density(spec.domain, spec.cities, {}, {});
   grid.refine_to_target(
-      [&](Point2 p) { return emissions.urban_density(p) + 0.02; },
+      [&](Point2 p) { return density.urban_density(p) + 0.02; },
       spec.target_points);
 
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
   for (char ch : spec.name) seed = seed * 131 + static_cast<unsigned char>(ch);
 
-  Dataset ds{
+  return std::make_shared<const DatasetBase>(DatasetBase{
       spec.name,
       shuffle_vertex_order(grid.triangulate(), seed),
       spec.layers,
       Meteorology(spec.domain, spec.met),
-      std::move(emissions),
       Meteorology::layer_thickness_m(spec.layers),
-  };
-  return ds;
+  });
+}
+
+Dataset assemble_dataset(std::shared_ptr<const DatasetBase> base,
+                         const DatasetSpec& spec) {
+  AIRSHED_REQUIRE(base != nullptr, "assemble_dataset: base must be non-null");
+  if (base->name != spec.name) {
+    throw ConfigError("assemble_dataset: base '" + base->name +
+                      "' does not match spec '" + spec.name + "'");
+  }
+  EmissionInventory emissions(spec.domain, spec.cities, spec.stacks,
+                              spec.controls);
+  return Dataset{std::move(base), std::move(emissions)};
+}
+
+Dataset build_dataset(const DatasetSpec& spec) {
+  return assemble_dataset(build_dataset_base(spec), spec);
 }
 
 DatasetSpec la_basin_spec(ControlScenario controls) {

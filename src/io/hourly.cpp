@@ -18,7 +18,7 @@ InputGenerator::InputGenerator(const Dataset& dataset,
 HourlyInputs InputGenerator::generate(int hour) const {
   const Dataset& ds = *dataset_;
   const std::size_t nv = ds.points();
-  const int nl = ds.layers;
+  const int nl = ds.layers();
   const double t_mid = static_cast<double>(hour) + 0.5;
 
   HourlyInputs in;
@@ -27,29 +27,29 @@ HourlyInputs InputGenerator::generate(int hour) const {
   // Wind per layer, sampled mid-hour (hourly inputs are piecewise constant,
   // as in the original observation files).
   in.wind_kmh.resize(nl);
-  const auto pts = ds.mesh.points();
+  const auto pts = ds.mesh().points();
   for (int k = 0; k < nl; ++k) {
     in.wind_kmh[k].resize(nv);
     const double frac = nl > 1 ? static_cast<double>(k) / (nl - 1) : 0.0;
     for (std::size_t v = 0; v < nv; ++v) {
-      in.wind_kmh[k][v] = ds.met.wind(pts[v], t_mid, frac);
+      in.wind_kmh[k][v] = ds.met().wind(pts[v], t_mid, frac);
     }
   }
-  in.kh_km2h = ds.met.kh(t_mid);
+  in.kh_km2h = ds.met().kh(t_mid);
 
   in.kz_m2s.resize(nl > 1 ? nl - 1 : 0);
   for (int k = 0; k + 1 < nl; ++k) {
-    in.kz_m2s[k] = ds.met.kz(t_mid, k, nl);
+    in.kz_m2s[k] = ds.met().kz(t_mid, k, nl);
   }
 
   in.layer_temp_k.resize(nl);
   const Point2 center = ds.emissions.domain().center();
   for (int k = 0; k < nl; ++k) {
-    in.layer_temp_k[k] = ds.met.temperature(center, t_mid, k);
+    in.layer_temp_k[k] = ds.met().temperature(center, t_mid, k);
   }
   in.vertex_temp_k.resize(nv);
   for (std::size_t v = 0; v < nv; ++v) {
-    in.vertex_temp_k[v] = ds.met.temperature(pts[v], t_mid, 0);
+    in.vertex_temp_k[v] = ds.met().temperature(pts[v], t_mid, 0);
   }
 
   // Surface emissions (species, vertex).
@@ -82,7 +82,7 @@ HourlyInputs InputGenerator::generate(int hour) const {
 
   // Runtime-determined step count from the CFL bound of the hour's wind
   // (worst layer governs; aloft layers have the strongest wind).
-  SupgTransport supg(ds.mesh, transport_opts_);
+  SupgTransport supg(ds.mesh(), transport_opts_);
   double dt_stable = 1.0;
   for (int k = 0; k < nl; ++k) {
     dt_stable = std::min(dt_stable,
@@ -100,7 +100,7 @@ HourlyInputs InputGenerator::generate(int hour) const {
 
 double InputGenerator::outputhour_work_flops() const {
   const double elements = static_cast<double>(kSpeciesCount) *
-                          static_cast<double>(dataset_->layers) *
+                          static_cast<double>(dataset_->layers()) *
                           static_cast<double>(dataset_->points());
   return work_.output_flops_per_element * elements;
 }
@@ -114,8 +114,8 @@ HourlyStats compute_hourly_stats(const Dataset& ds,
   const auto o3 = static_cast<std::size_t>(index_of(Species::O3));
   const auto no2 = static_cast<std::size_t>(index_of(Species::NO2));
   const auto co = static_cast<std::size_t>(index_of(Species::CO));
-  const auto pts = ds.mesh.points();
-  const auto lumped = ds.mesh.lumped_area();
+  const auto pts = ds.mesh().points();
+  const auto lumped = ds.mesh().lumped_area();
 
   double area = 0.0, o3_sum = 0.0, no2_sum = 0.0, co_sum = 0.0, pm_sum = 0.0;
   for (std::size_t v = 0; v < ds.points(); ++v) {

@@ -1,0 +1,53 @@
+#include "airshed/svc/input_cache.hpp"
+
+namespace airshed::svc {
+
+std::shared_ptr<const DatasetBase> SharedInputCache::get(
+    const DatasetSpec& spec) {
+  const std::uint64_t key = dataset_base_digest(spec);
+  std::promise<std::shared_ptr<const DatasetBase>> promise;
+  std::shared_future<std::shared_ptr<const DatasetBase>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      builder = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+  if (builder) {
+    // Build outside the lock so other keys proceed concurrently; waiters
+    // on THIS key block on the shared future instead of the mutex.
+    try {
+      promise.set_value(build_dataset_base(spec));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(key);  // a failed build is not cached
+    }
+  }
+  return future.get();
+}
+
+long long SharedInputCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+long long SharedInputCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t SharedInputCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace airshed::svc

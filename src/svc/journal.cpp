@@ -69,7 +69,13 @@ std::string encode_decisions(const BatchOptions& o,
       .u64(o.degrade_ny)
       .f64(o.watchdog_budget_factor)
       .u32(static_cast<std::uint32_t>(o.max_queue_depth))
-      .u32(static_cast<std::uint32_t>(o.max_in_flight));
+      .u32(static_cast<std::uint32_t>(o.max_in_flight))
+      // v2 throughput decisions: the schedule changes dispatch order, and
+      // sharing/residency are pinned so a resume runs under the exact
+      // engine configuration the journal's history was produced with.
+      .u32(static_cast<std::uint32_t>(o.schedule))
+      .u32(o.share_inputs ? 1u : 0u)
+      .u32(o.resident ? 1u : 0u);
   const ChaosOptions& c = o.chaos;
   w.f64(c.node_death)
       .f64(c.straggler)
@@ -100,6 +106,9 @@ void decode_decisions(PayloadReader& r, BatchOptions& o,
   o.watchdog_budget_factor = r.f64();
   o.max_queue_depth = static_cast<int>(r.u32());
   o.max_in_flight = static_cast<int>(r.u32());
+  o.schedule = static_cast<Schedule>(r.u32());
+  o.share_inputs = r.u32() != 0;
+  o.resident = r.u32() != 0;
   ChaosOptions& c = o.chaos;
   c.node_death = r.f64();
   c.straggler = r.f64();
@@ -147,12 +156,14 @@ std::string encode_record(const BatchJournal::Record& r) {
     case BatchJournal::RecordType::Commit:
       w.u32(static_cast<std::uint32_t>(r.fault))
           .f64(r.slowdown)
+          .u32(static_cast<std::uint32_t>(r.wait))
           .u64(r.checksum)
           .str(r.file);
       break;
     case BatchJournal::RecordType::Failed:
       w.u32(static_cast<std::uint32_t>(r.fault))
           .f64(r.slowdown)
+          .u32(static_cast<std::uint32_t>(r.wait))
           .u32(r.infra ? 1u : 0u)
           .u32(r.watchdog ? 1u : 0u)
           .str(r.error)
@@ -177,6 +188,15 @@ BatchJournal::Replay BatchJournal::replay(const std::string& path) {
   Replay out;
   out.raw = durable::replay_journal(path, kFormat);
   if (!out.raw.existed) return out;
+  if (out.raw.version != kVersion) {
+    throw StorageError(path, "journal header", 0,
+                       "batch journal version " +
+                           std::to_string(out.raw.version) +
+                           " does not match this build's version " +
+                           std::to_string(kVersion) +
+                           "; finish or discard the batch with the matching "
+                           "build");
+  }
   out.torn_tail = out.raw.torn_tail;
   if (out.raw.records.empty()) {
     // Header frame landed but the first record (the batch header payload)
@@ -229,12 +249,14 @@ BatchJournal::Replay BatchJournal::replay(const std::string& path) {
       case RecordType::Commit:
         rec.fault = static_cast<FaultClass>(r.u32());
         rec.slowdown = r.f64();
+        rec.wait = static_cast<int>(r.u32());
         rec.checksum = r.u64();
         rec.file = r.str();
         break;
       case RecordType::Failed:
         rec.fault = static_cast<FaultClass>(r.u32());
         rec.slowdown = r.f64();
+        rec.wait = static_cast<int>(r.u32());
         rec.infra = r.u32() != 0;
         rec.watchdog = r.u32() != 0;
         rec.error = r.str();

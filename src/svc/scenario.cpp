@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "airshed/svc/input_cache.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/util/hash.hpp"
 #include "airshed/util/rng.hpp"
@@ -90,7 +91,8 @@ DatasetSpec scenario_dataset_spec(const ScenarioSpec& spec) {
                     " (expected TEST, LA or NE)");
 }
 
-Dataset build_scenario_dataset(const ScenarioSpec& spec, bool poison_stack) {
+Dataset build_scenario_dataset(const ScenarioSpec& spec, bool poison_stack,
+                               SharedInputCache* cache) {
   DatasetSpec ds = scenario_dataset_spec(spec);
   if (poison_stack) {
     // Corrupt elevated source: an infinite emission rate slips past the
@@ -105,6 +107,7 @@ Dataset build_scenario_dataset(const ScenarioSpec& spec, bool poison_stack) {
     bad.rate_ppm_m_min = std::numeric_limits<double>::infinity();
     ds.stacks.push_back(bad);
   }
+  if (cache) return assemble_dataset(cache->get(ds), ds);
   return build_dataset(ds);
 }
 

@@ -10,9 +10,11 @@
 #include <thread>
 #include <unordered_map>
 
+#include "airshed/chem/youngboris.hpp"
 #include "airshed/core/uniform_model.hpp"
 #include "airshed/durable/container.hpp"
 #include "airshed/par/pool.hpp"
+#include "airshed/svc/input_cache.hpp"
 #include "airshed/svc/journal.hpp"
 #include "airshed/util/hash.hpp"
 #include "airshed/util/rng.hpp"
@@ -57,6 +59,14 @@ const char* to_string(ScenarioStatus status) {
     case ScenarioStatus::Degraded: return "degraded";
     case ScenarioStatus::Quarantined: return "quarantined";
     case ScenarioStatus::Shed: return "shed";
+  }
+  return "unknown";
+}
+
+const char* to_string(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::Fifo: return "fifo";
+    case Schedule::Fair: return "fair";
   }
   return "unknown";
 }
@@ -156,12 +166,33 @@ void record_metrics(obs::MetricsRegistry& reg, const BatchReport& report) {
   for (const ScenarioResult& r : report.results) {
     attempts.observe(static_cast<double>(r.attempts.size()));
   }
+
+  // Throughput-engine counters (PR 9): input-base sharing, the frozen
+  // batch rate table, warm-engine reuse, setup wall time and queue waits.
+  set("svc/input_cache_hits", report.input_cache_hits,
+      "shared dataset-base requests served from the input cache");
+  set("svc/input_cache_misses", report.input_cache_misses,
+      "distinct dataset bases built (input-cache misses)");
+  set("svc/rate_cache_shared_hits", report.rate_cache_shared_hits,
+      "rate lookups served by the frozen batch-scoped table");
+  set("svc/engine_reuses", report.engine_reuses,
+      "attempts that reused a warm resident engine");
+  reg.gauge("svc/setup_s", "wall seconds in dataset build + solver setup")
+      .set(report.setup_s);
+  obs::Histogram& wait = reg.histogram(
+      "svc/queue_wait_rounds", {0.0, 1.0, 2.0, 4.0, 8.0},
+      "rounds each attempt waited after becoming dispatchable");
+  for (const ScenarioResult& r : report.results) {
+    for (const AttemptRecord& a : r.attempts) {
+      wait.observe(static_cast<double>(a.wait_rounds));
+    }
+  }
 }
 
 obs::JsonWriter BatchReport::canonical_json() const {
   obs::JsonWriter j;
   j.begin_object();
-  j.key("schema").value("airshed-batch-report-v2");
+  j.key("schema").value("airshed-batch-report-v3");
   j.key("batch_seed").value(static_cast<long long>(batch_seed));
   j.key("rounds").value(rounds);
   j.key("totals").begin_object();
@@ -183,6 +214,15 @@ obs::JsonWriter BatchReport::canonical_json() const {
   j.key("replay_quarantined").value(replay_quarantined);
   j.key("reexecuted").value(reexecuted);
   j.key("journal_torn_tail").value(journal_torn_tail);
+  j.end_object();
+  // Deterministic throughput facts only: the schedule is an option and the
+  // wait histogram follows from it. Sharing / resident counters stay out —
+  // canonical bytes are invariant to share_inputs and resident.
+  j.key("throughput").begin_object();
+  j.key("schedule").value(to_string(schedule));
+  j.key("queue_wait_rounds").begin_array();
+  for (long long c : queue_wait_rounds) j.value(c);
+  j.end_array();
   j.end_object();
   j.key("breaker_events").begin_array();
   for (const BreakerEvent& e : breaker_events) {
@@ -209,6 +249,7 @@ obs::JsonWriter BatchReport::canonical_json() const {
       j.begin_object();
       j.key("attempt").value(a.attempt);
       j.key("round").value(a.round);
+      j.key("wait_rounds").value(a.wait_rounds);
       j.key("fault").value(to_string(a.injected));
       j.key("degraded_run").value(a.degraded_run);
       j.key("ok").value(a.ok);
@@ -236,6 +277,9 @@ struct Slot {
   ScenarioSpec spec;
   int attempt = 0;             ///< next attempt number
   bool degrade_mode = false;   ///< next attempt runs the coarse grid
+  /// Round since which the next attempt has been dispatchable (queue-wait
+  /// accounting; reset by the serial decision pass).
+  int ready_round = 0;
   std::optional<Dataset> clean_ds;  ///< cached fine-grid inputs
   ScenarioResult result;
 
@@ -249,6 +293,8 @@ struct Slot {
   std::uint64_t checksum = 0;
   std::vector<HourlyStats> hourly;
   std::string archive_file;
+  double setup_s = 0.0;        ///< dataset build + solver setup wall seconds
+  long long shared_hits = 0;   ///< frozen-table rate lookups this attempt
 };
 
 enum class BreakerState { Closed, Open, HalfOpen };
@@ -380,6 +426,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
         AttemptRecord a;
         a.attempt = rec.attempt;
         a.round = rec.round;
+        a.wait_rounds = rec.wait;
         a.injected = rec.fault;
         a.degraded_run = rec.degraded;
         a.ok = false;
@@ -433,6 +480,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           AttemptRecord a;
           a.attempt = rec.attempt;
           a.round = rec.round;
+          a.wait_rounds = rec.wait;
           a.injected = rec.fault;
           a.degraded_run = rec.degraded;
           a.ok = true;
@@ -498,10 +546,23 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     return text;
   };
 
+  // Throughput engine (PR 9): one content-addressed cache of immutable
+  // dataset bases for the whole batch, one frozen batch-scoped rate table
+  // seeded by the first dispatched attempt (resident mode), and one warm
+  // ResidentEngine per pool thread. Results are bit-identical with every
+  // combination on or off; only wall time and the obs counters move.
+  SharedInputCache input_cache;
+  SharedRateTable rate_table;
+  par::WorkerPool pool(o.threads);
+  if (o.trace) pool.set_observer(o.trace);
+  std::vector<ResidentEngine> engines(
+      static_cast<std::size_t>(pool.threads()));
+
   // Executes one attempt of `slot` on pool thread `t`, catching everything:
   // a scenario failure must never escape into the pool (which would rethrow
-  // it after the barrier and abort the batch).
-  const auto run_attempt = [&](Slot& slot, int t) {
+  // it after the barrier and abort the batch). `warm` marks the batch's
+  // rate-table seeding attempt (resident mode, pre-freeze).
+  const auto run_attempt = [&](Slot& slot, int t, bool warm) {
     const int id = slot.spec.id;
     const int attempt = slot.attempt;
     obs::ObsSpan span(o.trace, t, "scenario attempt", PhaseCategory::Recovery,
@@ -513,6 +574,8 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     slot.error.clear();
     slot.archive_file.clear();
     slot.slowdown = 1.0;
+    slot.setup_s = 0.0;
+    slot.shared_hits = 0;
     // Degrade attempts run chaos-free: the fallback must not inherit the
     // failure modes it exists to escape.
     slot.fault = slot.degrade_mode
@@ -528,13 +591,27 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       ModelOptions mo;
       mo.hours = slot.spec.hours;
       mo.host_threads = 1;  // scenario-level parallelism only: no nested pools
+      HostProfile attempt_prof;
+      mo.profile = &attempt_prof;
+      if (o.resident) {
+        mo.engine = &engines[static_cast<std::size_t>(t)];
+        // The table is written only by the warm attempt and consulted only
+        // once frozen (a pool barrier separates the two), so readers never
+        // race the writer.
+        mo.shared_rates = rate_table.frozen() ? &rate_table : nullptr;
+        mo.capture_rates = warm && !rate_table.frozen() ? &rate_table : nullptr;
+      }
 
       std::uint64_t digest = 0;
       std::vector<HourlyStats> hourly;
       std::string status;
       if (slot.degrade_mode) {
+        const auto build_t0 = std::chrono::steady_clock::now();
         UniformDataset coarse =
             build_degraded_dataset(slot.spec, o.degrade_nx, o.degrade_ny);
+        slot.setup_s += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - build_t0)
+                            .count();
         ModelRunResult r = UniformAirshedModel(coarse, mo).run();
         digest = field_digest(r.outputs);
         hourly = std::move(r.outputs.hourly);
@@ -545,17 +622,23 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
             std::find(o.chaos.poison_scenarios.begin(),
                       o.chaos.poison_scenarios.end(),
                       id) != o.chaos.poison_scenarios.end();
+        SharedInputCache* cache = o.share_inputs ? &input_cache : nullptr;
         const Dataset* ds = nullptr;
         std::optional<Dataset> poisoned;
+        const auto build_t0 = std::chrono::steady_clock::now();
         if (poison) {
-          poisoned.emplace(build_scenario_dataset(slot.spec, true));
+          poisoned.emplace(build_scenario_dataset(slot.spec, true, cache));
           ds = &*poisoned;
         } else {
           if (!slot.clean_ds) {
-            slot.clean_ds.emplace(build_scenario_dataset(slot.spec));
+            slot.clean_ds.emplace(
+                build_scenario_dataset(slot.spec, false, cache));
           }
           ds = &*slot.clean_ds;
         }
+        slot.setup_s += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - build_t0)
+                            .count();
 
         if (slot.fault == FaultClass::Straggler) {
           slot.slowdown = straggler_factor(o.batch_seed, id, attempt, o.chaos);
@@ -608,6 +691,10 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
         hourly = std::move(r.outputs.hourly);
         status = "ok";
       }
+      // Harvest the attempt's engine-side counters (wall-clock only — the
+      // canonical report never sees them).
+      slot.setup_s += attempt_prof.setup_s;
+      slot.shared_hits = attempt_prof.rate_cache_shared_hits;
 
       // Commit: encode the durable artifact, let the chaos plan attack it,
       // and accept the result only after read-back validation — a corrupt
@@ -663,9 +750,6 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     }
   };
 
-  par::WorkerPool pool(o.threads);
-  if (o.trace) pool.set_observer(o.trace);
-
   std::vector<std::size_t> pending;
   pending.reserve(slots.size());
   for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -673,6 +757,58 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
   }
   if (report.resumed) report.reexecuted = static_cast<int>(pending.size());
   report.rounds = start_round;
+  for (std::size_t i : pending) slots[i].ready_round = start_round;
+
+  // Fair-share schedule precompute: a deterministic work proxy (requested
+  // hours x the dataset's target mesh size — both known before any build)
+  // and a fair-share group per distinct dataset name, numbered by first
+  // appearance in spec order so the interleave is input-order-stable.
+  std::vector<double> expected_work(slots.size(), 0.0);
+  std::vector<std::size_t> ds_group(slots.size(), 0);
+  std::size_t n_groups = 0;
+  if (o.schedule == Schedule::Fair) {
+    std::vector<std::string> group_names;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const ScenarioSpec& s = slots[i].spec;
+      expected_work[i] =
+          static_cast<double>(s.hours) *
+          static_cast<double>(scenario_dataset_spec(s).target_points);
+      const auto it =
+          std::find(group_names.begin(), group_names.end(), s.dataset);
+      ds_group[i] = static_cast<std::size_t>(it - group_names.begin());
+      if (it == group_names.end()) group_names.push_back(s.dataset);
+    }
+    n_groups = group_names.size();
+  }
+
+  // Dispatch order for one round. Fifo preserves pending (scenario-id)
+  // order; Fair sorts by (expected work, id) — shortest first — then
+  // round-robins across dataset groups so one dataset's long scenarios
+  // cannot starve another's. Pure in (specs, schedule): identical at any
+  // thread count, and only observable when max_in_flight (or a breaker
+  // probe) truncates the round.
+  const auto dispatch_order =
+      [&](const std::vector<std::size_t>& pend) -> std::vector<std::size_t> {
+    if (o.schedule == Schedule::Fifo) return pend;
+    std::vector<std::size_t> by_work = pend;
+    std::stable_sort(by_work.begin(), by_work.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (expected_work[a] != expected_work[b]) {
+                         return expected_work[a] < expected_work[b];
+                       }
+                       return slots[a].spec.id < slots[b].spec.id;
+                     });
+    std::vector<std::vector<std::size_t>> buckets(n_groups);
+    for (std::size_t idx : by_work) buckets[ds_group[idx]].push_back(idx);
+    std::vector<std::size_t> order;
+    order.reserve(pend.size());
+    for (std::size_t pos = 0; order.size() < pend.size(); ++pos) {
+      for (const std::vector<std::size_t>& b : buckets) {
+        if (pos < b.size()) order.push_back(b[pos]);
+      }
+    }
+    return order;
+  };
 
   BreakerState breaker = BreakerState::Closed;
   int consecutive_infra = 0;
@@ -689,18 +825,19 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     const int round = report.rounds++;
 
     // Dispatch set for this round, by breaker state. Half-open probes with
-    // the single lowest pending scenario id.
+    // the schedule's front-of-queue attempt.
+    const std::vector<std::size_t> order = dispatch_order(pending);
     std::vector<std::size_t> runnable;
     if (breaker == BreakerState::Open) {
       if (--cooldown > 0) continue;  // burn a cooldown round, dispatch nothing
       breaker = BreakerState::HalfOpen;
       breaker_event("half-open", round);
-      runnable.push_back(pending.front());
+      runnable.push_back(order.front());
     } else if (breaker == BreakerState::HalfOpen) {
-      runnable.push_back(pending.front());
+      runnable.push_back(order.front());
     } else {
-      runnable = pending;
-      // In-flight cap: dispatch the lowest pending ids, queue the rest for
+      runnable = order;
+      // In-flight cap: dispatch the schedule's head, queue the rest for
       // the next round. A throttle only — it reshapes rounds, not outcomes.
       if (o.max_in_flight > 0 &&
           runnable.size() > static_cast<std::size_t>(o.max_in_flight)) {
@@ -711,18 +848,26 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     // Start records land (fsync'd) before any attempt byte executes: after
     // a crash, replay knows exactly which scenarios may have uncommitted
     // artifacts in the archive. Appended serially in scenario-id order so
-    // the journal bytes are thread-count-invariant.
+    // the journal bytes are thread-count-invariant (and schedule-stable
+    // within a round).
     if (journal) {
-      for (std::size_t idx : runnable) {
+      std::vector<std::size_t> started = runnable;
+      std::sort(started.begin(), started.end());
+      for (std::size_t idx : started) {
         journal->start(slots[idx].spec.id, slots[idx].attempt, round,
                        slots[idx].degrade_mode);
       }
     }
 
+    // Resident warm round: exactly one attempt — the schedule's head — gets
+    // the capture handle; the table freezes behind this round's barrier, so
+    // every later round reads an immutable table.
+    const bool warm_round = o.resident && !rate_table.frozen();
     pool.set_phase("svc attempt", PhaseCategory::Recovery, round);
     pool.for_each(runnable.size(), [&](int t, std::size_t i) {
-      run_attempt(slots[runnable[i]], t);
+      run_attempt(slots[runnable[i]], t, warm_round && i == 0);
     });
+    if (warm_round) rate_table.freeze();
 
     // Serial decision pass in scenario-id order: breaker accounting and
     // retry / degrade / quarantine transitions are execution-order-free.
@@ -740,6 +885,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       AttemptRecord rec;
       rec.attempt = slot.attempt;
       rec.round = round;
+      rec.wait_rounds = round - slot.ready_round;
       rec.injected = slot.fault;
       rec.degraded_run = slot.degrade_mode;
       rec.ok = slot.ok;
@@ -747,6 +893,8 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
       rec.watchdog = !slot.ok && slot.watchdog;
       rec.slowdown = slot.slowdown;
       rec.error = slot.error;
+      report.setup_s += slot.setup_s;
+      report.rate_cache_shared_hits += slot.shared_hits;
       if (rec.watchdog) ++report.watchdog_fires;
       BatchJournal::FailDecision jdecision =
           BatchJournal::FailDecision::Quarantine;
@@ -775,6 +923,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           jr.degraded = slot.degrade_mode;
           jr.fault = slot.fault;
           jr.slowdown = slot.slowdown;
+          jr.wait = rec.wait_rounds;
           jr.checksum = slot.checksum;
           jr.file = slot.result.archive_file;
           journal->commit(jr);
@@ -799,6 +948,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           rec.backoff_ms =
               backoff_ms(o.batch_seed, slot.spec.id, slot.attempt + 1, o);
           ++slot.attempt;
+          slot.ready_round = round + 1;
           ++report.retries;
           still_pending.push_back(idx);
           jdecision = BatchJournal::FailDecision::Retry;
@@ -807,6 +957,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
         } else if (o.degrade) {
           slot.degrade_mode = true;
           ++slot.attempt;
+          slot.ready_round = round + 1;
           ++report.retries;
           still_pending.push_back(idx);
           jdecision = BatchJournal::FailDecision::Degrade;
@@ -830,6 +981,7 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
           jr.degraded = rec.degraded_run;
           jr.fault = rec.injected;
           jr.slowdown = slot.slowdown;
+          jr.wait = rec.wait_rounds;
           jr.infra = rec.infra;
           jr.watchdog = rec.watchdog;
           jr.error = rec.error;
@@ -862,8 +1014,25 @@ BatchReport BatchSupervisor::run(const std::vector<ScenarioSpec>& specs) {
     pending = std::move(still_pending);
   }
 
+  report.schedule = o.schedule;
+  report.input_cache_hits = input_cache.hits();
+  report.input_cache_misses = input_cache.misses();
+  for (const ResidentEngine& e : engines) report.engine_reuses += e.reuses();
+
   report.results.reserve(slots.size());
   for (Slot& slot : slots) report.results.push_back(std::move(slot.result));
+
+  // Queue-wait histogram over every attempt in the final report (replayed
+  // ones included, via the journal's wait field): deterministic given the
+  // options, so it belongs in the canonical report.
+  for (const ScenarioResult& r : report.results) {
+    for (const AttemptRecord& a : r.attempts) {
+      const std::size_t bucket =
+          std::min(static_cast<std::size_t>(std::max(a.wait_rounds, 0)),
+                   report.queue_wait_rounds.size() - 1);
+      ++report.queue_wait_rounds[bucket];
+    }
+  }
 
   if (archive) {
     std::vector<BatchArchive::ManifestEntry> entries;

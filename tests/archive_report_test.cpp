@@ -24,7 +24,7 @@ const ModelRunResult& shared_run() {
 
 RunArchive build_archive() {
   const Dataset ds = test_basin_dataset();
-  RunArchive archive(ds.name, kSpeciesCount, ds.layers, ds.points());
+  RunArchive archive(ds.name(), kSpeciesCount, ds.layers(), ds.points());
   Dataset ds2 = test_basin_dataset();
   ModelOptions opts;
   opts.hours = 2;

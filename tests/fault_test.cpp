@@ -474,7 +474,7 @@ TEST(Validation, DatasetSpecBoundaries) {
 
 TEST(NumericalGuards, SupgRejectsNonFiniteField) {
   Dataset ds = test_basin_dataset();
-  SupgTransport supg(ds.mesh, TransportOptions{});
+  SupgTransport supg(ds.mesh(), TransportOptions{});
   ConcentrationField conc = AirshedModel::initial_conditions(ds);
   conc(0, 0, 0) = std::numeric_limits<double>::quiet_NaN();
   std::vector<Point2> wind(ds.points(), Point2{10.0, 0.0});

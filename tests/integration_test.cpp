@@ -29,9 +29,9 @@ namespace {
 void run_hour(const Dataset& ds, const HourlyInputs& in, double hour_start,
               ConcentrationField& conc, Array3<double>& pm,
               const AirshedLayouts* layouts) {
-  SupgTransport supg(ds.mesh);
+  SupgTransport supg(ds.mesh());
   YoungBorisSolver chem(Mechanism::cb4_condensed());
-  VerticalTransport vert(ds.layer_dz_m);
+  VerticalTransport vert(ds.layer_dz_m());
   AerosolModule aerosol;
 
   std::array<double, kSpeciesCount> background{}, deposition{}, colflux{};
@@ -42,7 +42,7 @@ void run_hour(const Dataset& ds, const HourlyInputs& in, double hour_start,
   std::array<double, kSpeciesCount> cell{};
   const std::vector<double> no_elevated;
   const std::size_t nv = ds.points();
-  const int nl = ds.layers;
+  const int nl = ds.layers();
 
   // Distributed mirror of `conc`.
   std::unique_ptr<DistArray3> dist;
@@ -79,8 +79,8 @@ void run_hour(const Dataset& ds, const HourlyInputs& in, double hour_start,
     }
   };
   auto chemistry_column = [&](std::size_t v, double t_mid, double dt_min) {
-    const double sun = ds.met.photolysis_factor(t_mid);
-    const double lapse = ds.met.params().lapse_k_per_layer;
+    const double sun = ds.met().photolysis_factor(t_mid);
+    const double lapse = ds.met().params().lapse_k_per_layer;
     for (int k = 0; k < nl; ++k) {
       for (int s = 0; s < kSpeciesCount; ++s) cell[s] = conc(s, k, v);
       chem.integrate(cell, dt_min, in.vertex_temp_k[v] - lapse * k, sun);
@@ -136,13 +136,13 @@ TEST_P(DistributedEquivalenceSweep, PartitionedLoopMatchesSequential) {
   const HourlyInputs in = gen.generate(static_cast<int>(hour_start));
 
   ConcentrationField conc_seq = AirshedModel::initial_conditions(ds);
-  Array3<double> pm_seq(kPmComponents, ds.layers, ds.points(), 0.0);
+  Array3<double> pm_seq(kPmComponents, ds.layers(), ds.points(), 0.0);
   run_hour(ds, in, hour_start, conc_seq, pm_seq, nullptr);
 
   const AirshedLayouts layouts =
-      AirshedLayouts::make(kSpeciesCount, ds.layers, ds.points(), nodes);
+      AirshedLayouts::make(kSpeciesCount, ds.layers(), ds.points(), nodes);
   ConcentrationField conc_par = AirshedModel::initial_conditions(ds);
-  Array3<double> pm_par(kPmComponents, ds.layers, ds.points(), 0.0);
+  Array3<double> pm_par(kPmComponents, ds.layers(), ds.points(), 0.0);
   run_hour(ds, in, hour_start, conc_par, pm_par, &layouts);
 
   // Per-entity kernels are independent, so the partitioned execution must

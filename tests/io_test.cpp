@@ -14,27 +14,27 @@ namespace {
 
 TEST(DatasetBuilder, LaHitsPaperScaleCounts) {
   const Dataset la = la_basin_dataset();
-  EXPECT_EQ(la.name, "LA");
-  EXPECT_EQ(la.layers, 5);
+  EXPECT_EQ(la.name(), "LA");
+  EXPECT_EQ(la.layers(), 5);
   // Greedy refinement lands within a few vertices of the paper's 700.
   EXPECT_GE(la.points(), 700u);
   EXPECT_LE(la.points(), 715u);
-  EXPECT_EQ(la.layer_dz_m.size(), 5u);
+  EXPECT_EQ(la.layer_dz_m().size(), 5u);
 }
 
 TEST(DatasetBuilder, NeHitsPaperScaleCounts) {
   const Dataset ne = northeast_dataset();
   EXPECT_GE(ne.points(), 3328u);
   EXPECT_LE(ne.points(), 3345u);
-  EXPECT_EQ(ne.layers, 5);
+  EXPECT_EQ(ne.layers(), 5);
 }
 
 TEST(DatasetBuilder, ConstructionIsDeterministic) {
   const Dataset a = la_basin_dataset();
   const Dataset b = la_basin_dataset();
   ASSERT_EQ(a.points(), b.points());
-  const auto pa = a.mesh.points();
-  const auto pb = b.mesh.points();
+  const auto pa = a.mesh().points();
+  const auto pb = b.mesh().points();
   for (std::size_t v = 0; v < pa.size(); ++v) {
     EXPECT_EQ(pa[v].x, pb[v].x);
     EXPECT_EQ(pa[v].y, pb[v].y);
@@ -47,7 +47,7 @@ TEST(DatasetBuilder, VertexOrderIsShuffledNotSpatiallySorted) {
   // the mean distance between consecutive vertices should be a large
   // fraction of the domain size.
   const Dataset la = la_basin_dataset();
-  const auto pts = la.mesh.points();
+  const auto pts = la.mesh().points();
   double mean_step = 0.0;
   for (std::size_t v = 1; v < pts.size(); ++v) {
     mean_step += norm(pts[v] - pts[v - 1]);
@@ -67,12 +67,12 @@ TEST(InputGenerator, FieldsHaveConsistentShapes) {
   const Dataset ds = test_basin_dataset();
   InputGenerator gen(ds);
   const HourlyInputs in = gen.generate(8);
-  ASSERT_EQ(in.wind_kmh.size(), static_cast<std::size_t>(ds.layers));
+  ASSERT_EQ(in.wind_kmh.size(), static_cast<std::size_t>(ds.layers()));
   for (const auto& layer : in.wind_kmh) {
     EXPECT_EQ(layer.size(), ds.points());
   }
-  EXPECT_EQ(in.kz_m2s.size(), static_cast<std::size_t>(ds.layers - 1));
-  EXPECT_EQ(in.layer_temp_k.size(), static_cast<std::size_t>(ds.layers));
+  EXPECT_EQ(in.kz_m2s.size(), static_cast<std::size_t>(ds.layers() - 1));
+  EXPECT_EQ(in.layer_temp_k.size(), static_cast<std::size_t>(ds.layers()));
   EXPECT_EQ(in.vertex_temp_k.size(), ds.points());
   EXPECT_EQ(in.surface_flux.rows(), static_cast<std::size_t>(kSpeciesCount));
   EXPECT_EQ(in.surface_flux.cols(), ds.points());
@@ -104,11 +104,11 @@ TEST(InputGenerator, ElevatedSourcesMapToNearestVertex) {
   ASSERT_EQ(in.elevated_flux.size(), 1u);
   const auto& [vertex, flux] = *in.elevated_flux.begin();
   // The chosen vertex is near the stack.
-  const Point2 p = ds.mesh.points()[vertex];
+  const Point2 p = ds.mesh().points()[vertex];
   EXPECT_LT(norm(p - Point2{30.0, 30.0}), 15.0);
   // The flux lands on SO2 at layer 1.
   const std::size_t idx =
-      static_cast<std::size_t>(index_of(Species::SO2)) * ds.layers + 1;
+      static_cast<std::size_t>(index_of(Species::SO2)) * ds.layers() + 1;
   EXPECT_GT(flux[idx], 0.0);
   double total = 0.0;
   for (double f : flux) total += f;
@@ -130,14 +130,14 @@ TEST(InputGenerator, NightWindsGiveFewerStepsThanWindyHours) {
 
 TEST(HourlyStatsFn, FindsMaximumAndMeans) {
   const Dataset ds = test_basin_dataset();
-  ConcentrationField conc(kSpeciesCount, ds.layers, ds.points(), 0.01);
-  Array3<double> pm(kPmComponents, ds.layers, ds.points(), 0.0);
+  ConcentrationField conc(kSpeciesCount, ds.layers(), ds.points(), 0.01);
+  Array3<double> pm(kPmComponents, ds.layers(), ds.points(), 0.0);
   const std::size_t hot = 7;
   conc(index_of(Species::O3), 0, hot) = 0.25;
   const HourlyStats st = compute_hourly_stats(ds, conc, pm, 14);
   EXPECT_EQ(st.hour, 14);
   EXPECT_DOUBLE_EQ(st.max_surface_o3_ppm, 0.25);
-  const Point2 expect = ds.mesh.points()[hot];
+  const Point2 expect = ds.mesh().points()[hot];
   EXPECT_DOUBLE_EQ(st.max_o3_location.x, expect.x);
   EXPECT_GT(st.mean_surface_o3_ppm, 0.01);   // pulled up by the hot spot
   EXPECT_LT(st.mean_surface_o3_ppm, 0.05);
@@ -146,8 +146,8 @@ TEST(HourlyStatsFn, FindsMaximumAndMeans) {
 
 TEST(HourlyStatsFn, RejectsShapeMismatch) {
   const Dataset ds = test_basin_dataset();
-  ConcentrationField wrong(kSpeciesCount, ds.layers, 3, 0.0);
-  Array3<double> pm(kPmComponents, ds.layers, 3, 0.0);
+  ConcentrationField wrong(kSpeciesCount, ds.layers(), 3, 0.0);
+  Array3<double> pm(kPmComponents, ds.layers(), 3, 0.0);
   EXPECT_THROW(compute_hourly_stats(ds, wrong, pm, 0), Error);
 }
 

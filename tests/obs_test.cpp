@@ -5,7 +5,9 @@
 // runs produce byte-identical science).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <span>
 #include <string>
@@ -24,6 +26,7 @@
 #include "airshed/obs/trace.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/util/hash.hpp"
+#include "airshed/util/rng.hpp"
 
 namespace airshed {
 namespace {
@@ -51,8 +54,38 @@ TEST(ObsJson, CommasNestAndDoublesRoundTrip) {
   json.end_array();
   json.key("tiny").value(0.1);
   json.end_object();
-  EXPECT_EQ(json.str(),
-            "{\"a\":[1,2.5,{}],\"tiny\":0.10000000000000001}");
+  // Shortest round-trip form: 0.1 stays "0.1", not the 17-digit expansion.
+  EXPECT_EQ(json.str(), "{\"a\":[1,2.5,{}],\"tiny\":0.1}");
+}
+
+TEST(ObsJson, DoublesUseShortestRoundTripForm) {
+  const auto rendered = [](double v) {
+    obs::JsonWriter json;
+    json.value(v);
+    return json.str();
+  };
+  // Human-friendly decimals render as typed, not as their nearest-double
+  // 17-digit expansion.
+  EXPECT_EQ(rendered(0.15), "0.15");
+  EXPECT_EQ(rendered(1e-5), "1e-05");
+  EXPECT_EQ(rendered(2.0), "2");
+  EXPECT_EQ(rendered(-123.456), "-123.456");
+  // Integral values keep plain notation when it is no longer than the
+  // exponential form ("10", not "1e+01"; "250000", not "2.5e+05") —
+  // histogram bounds and virtual-time stamps stay grep-able.
+  EXPECT_EQ(rendered(10.0), "10");
+  EXPECT_EQ(rendered(250000.0), "250000");
+  EXPECT_EQ(rendered(1e6), "1000000");
+  EXPECT_EQ(rendered(-500000.0), "-500000");
+  EXPECT_EQ(rendered(1e18), "1e+18");  // longer in fixed form: stays %g
+  // And every rendering still parses back to the exact same double, even
+  // for values that genuinely need all 17 digits.
+  Rng rng(2026);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-1e9, 1e9) * std::pow(10.0, rng.uniform(-12.0, 12.0));
+    const std::string s = rendered(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
 }
 
 // ---------------------------------------------------------- TraceRecorder

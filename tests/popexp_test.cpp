@@ -55,7 +55,7 @@ TEST(PopulationRaster, RejectsZeroPeople)
 }
 
 TEST(ExposureModel, AccumulatesDoseFromConcentrations) {
-  ExposureModel model(make_raster(), shared_dataset().mesh);
+  ExposureModel model(make_raster(), shared_dataset().mesh());
   const ExposureResult r =
       model.accumulate_hour(shared_run().outputs.conc);
   EXPECT_GT(r.person_ppm_hours_o3, 0.0);
@@ -67,8 +67,8 @@ TEST(ExposureModel, AccumulatesDoseFromConcentrations) {
 }
 
 TEST(ExposureModel, DoseScalesWithPopulation) {
-  ExposureModel small(make_raster(1e5), shared_dataset().mesh);
-  ExposureModel large(make_raster(1e6), shared_dataset().mesh);
+  ExposureModel small(make_raster(1e5), shared_dataset().mesh());
+  ExposureModel large(make_raster(1e6), shared_dataset().mesh());
   const auto& conc = shared_run().outputs.conc;
   const double d_small = small.accumulate_hour(conc).person_ppm_hours_o3;
   const double d_large = large.accumulate_hour(conc).person_ppm_hours_o3;
@@ -76,7 +76,7 @@ TEST(ExposureModel, DoseScalesWithPopulation) {
 }
 
 TEST(ExposureModel, CumulativeDoseGrowsHourByHour) {
-  ExposureModel model(make_raster(), shared_dataset().mesh);
+  ExposureModel model(make_raster(), shared_dataset().mesh());
   const auto& conc = shared_run().outputs.conc;
   model.accumulate_hour(conc);
   double after1 = 0.0;

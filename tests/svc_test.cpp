@@ -13,6 +13,7 @@
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "airshed/fault/killpoint.hpp"
 #include "airshed/obs/metrics.hpp"
 #include "airshed/svc/archive.hpp"
+#include "airshed/svc/input_cache.hpp"
 #include "airshed/svc/journal.hpp"
 #include "airshed/svc/scenario.hpp"
 #include "airshed/svc/supervisor.hpp"
@@ -740,6 +742,272 @@ TEST_F(SvcDir, QuarantineNumbersRepeatedCollisions) {
   EXPECT_TRUE(fs::exists(file + ".corrupt.2"));
   EXPECT_EQ(BatchArchive::read_result(file + ".corrupt").checksum, 1u);
   EXPECT_EQ(BatchArchive::read_result(file + ".corrupt.2").checksum, 3u);
+}
+
+// ---------------------------------------------------- throughput engine
+
+/// FNV digest over a mesh's vertex coordinates: the immutability tripwire
+/// for the shared input cache.
+std::uint64_t mesh_bytes_digest(const TriMesh& mesh) {
+  const std::span<const Point2> pts = mesh.points();
+  return fnv1a_bytes(std::string_view(
+      reinterpret_cast<const char*>(pts.data()), pts.size() * sizeof(Point2)));
+}
+
+/// The tentpole invariant: input sharing, resident engines and the fair
+/// schedule are throughput knobs only. Under full chaos, every combination
+/// at 1, 2 and 8 threads produces byte-identical manifests — and within a
+/// schedule, byte-identical canonical reports.
+TEST_F(SvcDir, SharingResidencyScheduleSweepIsByteIdentical) {
+  const auto specs = svc::make_job_mix(7, tiny_mix(6));
+
+  std::map<std::string, std::string> reference_report;  // keyed by schedule
+  std::string reference_manifest;
+  int config = 0;
+  for (bool share : {false, true}) {
+    for (bool resident : {false, true}) {
+      for (svc::Schedule schedule : {svc::Schedule::Fifo, svc::Schedule::Fair}) {
+        for (int threads : {1, 2, 8}) {
+          BatchOptions opts;
+          opts.batch_seed = 7;
+          opts.threads = threads;
+          opts.chaos = full_chaos();
+          opts.share_inputs = share;
+          opts.resident = resident;
+          opts.schedule = schedule;
+          opts.archive_dir = path("archive_" + std::to_string(config++));
+
+          const BatchReport report = BatchSupervisor(opts).run(specs);
+          const std::string json = report.canonical_json().str();
+          const std::string manifest = durable::read_file_bytes(
+              BatchArchive(opts.archive_dir).manifest_path());
+          const std::string key = svc::to_string(schedule);
+          if (!reference_manifest.empty()) {
+            EXPECT_EQ(manifest, reference_manifest)
+                << "share=" << share << " resident=" << resident
+                << " schedule=" << key << " threads=" << threads;
+          } else {
+            reference_manifest = manifest;
+            EXPECT_GT(report.retries, 0);  // chaos must bite
+          }
+          if (reference_report.count(key)) {
+            EXPECT_EQ(json, reference_report[key])
+                << "share=" << share << " resident=" << resident
+                << " threads=" << threads;
+          } else {
+            reference_report[key] = json;
+          }
+          // The sharing counters move with the knobs, never the science.
+          if (share) {
+            EXPECT_GT(report.input_cache_hits, 0);
+            EXPECT_GE(report.input_cache_misses, 1);
+          } else {
+            EXPECT_EQ(report.input_cache_hits, 0);
+            EXPECT_EQ(report.input_cache_misses, 0);
+          }
+          if (!resident) {
+            EXPECT_EQ(report.engine_reuses, 0);
+            EXPECT_EQ(report.rate_cache_shared_hits, 0);
+          }
+        }
+      }
+    }
+  }
+  // Fifo and fair write different canonical reports (the schedule and the
+  // wait histogram are part of the contract), but the same manifests.
+  EXPECT_NE(reference_report["fifo"], reference_report["fair"]);
+}
+
+/// Resident mode must actually reuse warm engines and serve rate lookups
+/// from the frozen shared table once the batch spans multiple rounds.
+TEST_F(SvcDir, ResidentModeReusesEnginesAndSharesRates) {
+  const auto specs = svc::make_job_mix(11, tiny_mix(4));
+  BatchOptions opts;
+  opts.batch_seed = 11;
+  opts.threads = 1;
+  opts.max_in_flight = 1;  // 4 rounds: rounds 2..4 read the frozen table
+  opts.resident = true;
+  opts.archive_dir = path("a");
+  const BatchReport warm = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(warm.completed, 4);
+  EXPECT_GT(warm.engine_reuses, 0);
+  EXPECT_GT(warm.rate_cache_shared_hits, 0);
+
+  // And the counters stay out of the canonical report: a cold run matches.
+  opts.resident = false;
+  opts.archive_dir = path("b");
+  const BatchReport cold = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(cold.engine_reuses, 0);
+  EXPECT_EQ(warm.canonical_json().str(), cold.canonical_json().str());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(warm.results[i].checksum, cold.results[i].checksum);
+  }
+}
+
+/// The fair schedule reorders dispatch (shortest expected work first,
+/// round-robin across datasets) without changing any outcome, and its
+/// report is deterministic across thread counts.
+TEST_F(SvcDir, FairScheduleReordersDispatchWithoutChangingOutcomes) {
+  // Two datasets with very different mesh sizes in one batch, so the
+  // work-proxy sort and the dataset interleave both engage.
+  auto specs = svc::make_job_mix(3, tiny_mix(4));
+  auto la = svc::make_job_mix(3, [] {
+    JobMixOptions mix;
+    mix.scenarios = 2;
+    mix.dataset = "LA";
+    mix.hours_min = 1;
+    mix.hours_max = 1;
+    return mix;
+  }());
+  for (ScenarioSpec& s : la) {
+    s.id += 4;
+    s.name = "la-" + std::to_string(s.id);
+    specs.push_back(s);
+  }
+
+  BatchOptions opts;
+  opts.batch_seed = 3;
+  opts.threads = 2;
+  opts.max_in_flight = 2;  // the cap makes the order observable
+  opts.schedule = svc::Schedule::Fair;
+  opts.archive_dir = path("fair");
+  const BatchReport fair = BatchSupervisor(opts).run(specs);
+
+  opts.schedule = svc::Schedule::Fifo;
+  opts.archive_dir = path("fifo");
+  const BatchReport fifo = BatchSupervisor(opts).run(specs);
+
+  ASSERT_EQ(fair.results.size(), fifo.results.size());
+  for (std::size_t i = 0; i < fair.results.size(); ++i) {
+    EXPECT_EQ(fair.results[i].status, fifo.results[i].status) << i;
+    EXPECT_EQ(fair.results[i].checksum, fifo.results[i].checksum) << i;
+  }
+  // TEST scenarios are far cheaper than LA, so under the fair schedule at
+  // least one TEST attempt must land in round 0 before every LA attempt.
+  int first_la_round = 1 << 20, first_test_round = 1 << 20;
+  for (const svc::ScenarioResult& r : fair.results) {
+    const int round = r.attempts.empty() ? 1 << 20 : r.attempts.front().round;
+    if (r.spec.dataset == "LA") first_la_round = std::min(first_la_round, round);
+    if (r.spec.dataset == "TEST") {
+      first_test_round = std::min(first_test_round, round);
+    }
+  }
+  EXPECT_LE(first_test_round, first_la_round);
+
+  // Thread-count determinism of the fair report, histogram included.
+  opts.schedule = svc::Schedule::Fair;
+  opts.threads = 8;
+  opts.archive_dir = path("fair8");
+  const BatchReport fair8 = BatchSupervisor(opts).run(specs);
+  EXPECT_EQ(fair.canonical_json().str(), fair8.canonical_json().str());
+}
+
+/// Scenarios sharing a base digest get the SAME immutable DatasetBase
+/// instance, and running the model never mutates it.
+TEST_F(SvcDir, SharedInputCacheHandsOutOneImmutableBase) {
+  svc::SharedInputCache cache;
+  const auto specs = svc::make_job_mix(17, tiny_mix(3));
+  const Dataset a = svc::build_scenario_dataset(specs[0], false, &cache);
+  const Dataset b = svc::build_scenario_dataset(specs[1], false, &cache);
+  const Dataset poisoned = svc::build_scenario_dataset(specs[2], true, &cache);
+  EXPECT_EQ(a.base, b.base);         // identity, not just equality
+  EXPECT_EQ(a.base, poisoned.base);  // poison lives in the overlay
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 2);
+
+  const std::uint64_t before = mesh_bytes_digest(a.mesh());
+  ModelOptions mo;
+  mo.hours = specs[0].hours;
+  mo.host_threads = 1;
+  (void)AirshedModel(a, mo).run();
+  EXPECT_EQ(mesh_bytes_digest(b.mesh()), before);
+  EXPECT_EQ(mesh_bytes_digest(a.mesh()), before);
+}
+
+/// The journal header pins the throughput configuration: a resume under a
+/// different schedule / sharing / residency refuses to run.
+TEST_F(SvcDir, ResumeRefusesMismatchedThroughputConfig) {
+  const auto specs = svc::make_job_mix(21, tiny_mix(2));
+  BatchOptions opts = journaled_opts(21, path("a"));
+  opts.resident = true;
+  opts.schedule = svc::Schedule::Fair;
+  fs::create_directories(path("a"));
+  {
+    // Crashed batch: header + one start record, never sealed.
+    svc::BatchJournal j(opts.journal_path, opts, specs);
+    j.start(0, 0, 0, false);
+  }
+
+  for (const auto& mutate : std::vector<std::function<void(BatchOptions&)>>{
+           [](BatchOptions& o) { o.share_inputs = false; },
+           [](BatchOptions& o) { o.resident = false; },
+           [](BatchOptions& o) { o.schedule = svc::Schedule::Fifo; }}) {
+    BatchOptions bad = opts;
+    bad.resume = true;
+    mutate(bad);
+    EXPECT_THROW(BatchSupervisor(bad).run(specs), ConfigError);
+  }
+
+  // The matching configuration resumes cleanly.
+  BatchOptions good = opts;
+  good.resume = true;
+  const BatchReport done = BatchSupervisor(good).run(specs);
+  EXPECT_TRUE(done.resumed);
+  EXPECT_EQ(done.completed, 2);
+}
+
+/// SIGKILL drill with the full throughput engine on: sharing + residency +
+/// fair schedule, killed at every journal record boundary, resumes to a
+/// byte-identical archive.
+TEST_F(SvcDir, SigkillResumeWithThroughputEngineIsByteIdentical) {
+  const auto specs = svc::make_job_mix(7, tiny_mix(3));
+  const auto engine_opts = [&](const std::string& dir) {
+    BatchOptions opts = journaled_opts(7, dir);
+    opts.chaos = full_chaos();
+    opts.share_inputs = true;
+    opts.resident = true;
+    opts.schedule = svc::Schedule::Fair;
+    return opts;
+  };
+
+  const std::string ref_dir = path("ref");
+  BatchOptions ref = engine_opts(ref_dir);
+  const BatchReport ref_report = BatchSupervisor(ref).run(specs);
+  EXPECT_GT(ref_report.retries, 0);
+  const auto ref_files = archive_bytes(ref_dir);
+  const std::uint64_t frames =
+      svc::BatchJournal::replay(ref_dir + "/batch.journal").raw.records.size();
+  ASSERT_GT(frames, 3u);
+
+  int point = 0;
+  for (std::uint64_t k = 0; k < frames; ++k) {
+    const std::string dir = path("crash_" + std::to_string(point));
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      fault::arm_kill_point(k, durable::JournalKillAction::KillAfter);
+      BatchOptions opts = engine_opts(dir);
+      try {
+        BatchSupervisor(opts).run(specs);
+      } catch (...) {
+        _exit(3);
+      }
+      _exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "kill point " << k << " did not fire";
+
+    BatchOptions opts = engine_opts(dir);
+    opts.threads = point % 2 == 0 ? 2 : 8;
+    opts.resume = svc::BatchJournal::replay(dir + "/batch.journal").existed;
+    const BatchReport report = BatchSupervisor(opts).run(specs);
+    EXPECT_EQ(report.resumed, opts.resume);
+    EXPECT_EQ(archive_bytes(dir), ref_files) << "kill point " << k;
+    fs::remove_all(dir);
+    ++point;
+  }
 }
 
 }  // namespace
