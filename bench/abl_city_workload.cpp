@@ -1,0 +1,292 @@
+// City workload bench: what the procedural generator feeds the batch layer.
+//
+// Two questions, answered with committed measurements:
+//
+//  1. Grid skew — does a generated city actually stress the multiscale
+//     grid the way the fixed LA dataset does? For each dataset we build
+//     the DatasetBase and measure how refinement concentrates: the
+//     per-base-cell vertex distribution (max/mean ratio, top-decile
+//     share) and the core concentration factor (fraction of mesh
+//     vertices inside the refinement-core disks divided by the disks'
+//     area fraction — 1.0 would mean a uniform grid, the paper's
+//     multiscale premise is >> 1).
+//
+//  2. Input path — what does a city cost to materialize, and does the
+//     shared input cache collapse salted ensembles the way it collapses
+//     control sweeps? Wall time for generate (districts + roads +
+//     diurnal), lower (emission raster) and the dataset-base build, plus
+//     a road-salted ensemble pushed through svc::SharedInputCache with
+//     the miss count committed (road/diurnal salts share one base by
+//     construction, so misses == 1).
+//
+// Emits BENCH_city_workload.json. `--smoke` shrinks the cities and doubles
+// as the CI correctness gate (exit 1 on any failed check).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <airshed/airshed.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace airshed;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+struct SkewStats {
+  std::size_t points = 0;
+  std::size_t base_cells = 0;
+  double mean_per_cell = 0.0;
+  double max_per_cell = 0.0;
+  double max_over_mean = 0.0;
+  double top_decile_share = 0.0;  ///< vertex share of the busiest 10% cells
+  double core_area_fraction = 0.0;
+  double core_vertex_fraction = 0.0;
+  double core_concentration = 0.0;  ///< vertex fraction / area fraction
+};
+
+/// Membership in any refinement-core disk (one Gaussian sigma radius).
+bool in_cores(const std::vector<CitySpec>& cores, Point2 p) {
+  for (const CitySpec& c : cores) {
+    if (norm(p - c.center) <= c.radius_km) return true;
+  }
+  return false;
+}
+
+SkewStats grid_skew(const DatasetSpec& spec, const DatasetBase& base) {
+  SkewStats s;
+  const std::span<const Point2> pts = base.mesh.points();
+  s.points = pts.size();
+  s.base_cells = static_cast<std::size_t>(spec.base_nx) *
+                 static_cast<std::size_t>(spec.base_ny);
+
+  // Per-base-cell vertex histogram.
+  std::vector<double> counts(s.base_cells, 0.0);
+  for (const Point2& p : pts) {
+    const double fx = (p.x - spec.domain.xmin) / spec.domain.width();
+    const double fy = (p.y - spec.domain.ymin) / spec.domain.height();
+    const int ix = std::clamp(static_cast<int>(fx * spec.base_nx), 0,
+                              spec.base_nx - 1);
+    const int iy = std::clamp(static_cast<int>(fy * spec.base_ny), 0,
+                              spec.base_ny - 1);
+    counts[static_cast<std::size_t>(iy) * static_cast<std::size_t>(spec.base_nx) +
+           static_cast<std::size_t>(ix)] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) {
+    total += c;
+    s.max_per_cell = std::max(s.max_per_cell, c);
+  }
+  s.mean_per_cell = total / static_cast<double>(s.base_cells);
+  s.max_over_mean = s.mean_per_cell > 0.0 ? s.max_per_cell / s.mean_per_cell : 0.0;
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const std::size_t decile = std::max<std::size_t>(1, s.base_cells / 10);
+  double top = 0.0;
+  for (std::size_t i = 0; i < decile; ++i) top += counts[i];
+  s.top_decile_share = total > 0.0 ? top / total : 0.0;
+
+  // Core concentration: vertex share vs area share of the core disks. The
+  // area is measured by deterministic grid sampling (handles overlapping
+  // disks and domain clipping exactly enough).
+  constexpr int kSamples = 256;
+  std::size_t inside = 0;
+  for (int j = 0; j < kSamples; ++j) {
+    for (int i = 0; i < kSamples; ++i) {
+      const Point2 p{spec.domain.xmin + (i + 0.5) / kSamples * spec.domain.width(),
+                     spec.domain.ymin + (j + 0.5) / kSamples * spec.domain.height()};
+      if (in_cores(spec.cities, p)) ++inside;
+    }
+  }
+  s.core_area_fraction =
+      static_cast<double>(inside) / (static_cast<double>(kSamples) * kSamples);
+  std::size_t core_pts = 0;
+  for (const Point2& p : pts) {
+    if (in_cores(spec.cities, p)) ++core_pts;
+  }
+  s.core_vertex_fraction =
+      s.points > 0 ? static_cast<double>(core_pts) / static_cast<double>(s.points)
+                   : 0.0;
+  s.core_concentration = s.core_area_fraction > 0.0
+                             ? s.core_vertex_fraction / s.core_area_fraction
+                             : 0.0;
+  return s;
+}
+
+void write_skew(bench::JsonWriter& json, const SkewStats& s) {
+  json.key("points").value(static_cast<long long>(s.points));
+  json.key("base_cells").value(static_cast<long long>(s.base_cells));
+  json.key("vertices_per_cell_mean").value(s.mean_per_cell);
+  json.key("vertices_per_cell_max").value(s.max_per_cell);
+  json.key("max_over_mean").value(s.max_over_mean);
+  json.key("top_decile_share").value(s.top_decile_share);
+  json.key("core_area_fraction").value(s.core_area_fraction);
+  json.key("core_vertex_fraction").value(s.core_vertex_fraction);
+  json.key("core_concentration").value(s.core_concentration);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("airshed-bench-city-workload-v1");
+  json.key("smoke").value(smoke);
+
+  // ------------------------------------------------------------ grid skew
+  // Generated cities at LA's point budget (the default CityOptions) across
+  // a few seeds, against the fixed LA dataset.
+  auto city_options = [&](std::uint64_t seed) {
+    city::CityOptions o;
+    o.seed = seed;
+    if (smoke) {
+      o.blocks_x = 16;
+      o.blocks_y = 16;
+      o.target_points = 120;
+      o.max_level = 2;
+      o.layers = 3;
+    }
+    return o;
+  };
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{1} : std::vector<std::uint64_t>{1, 2, 3};
+
+  json.key("grid_skew").begin_array();
+  double min_city_concentration = 1e300;
+  for (std::uint64_t seed : seeds) {
+    const city::CityOptions o = city_options(seed);
+    const DatasetSpec spec = city::city_dataset_spec(o);
+    const auto base = build_dataset_base(spec);
+    const SkewStats s = grid_skew(spec, *base);
+    min_city_concentration = std::min(min_city_concentration, s.core_concentration);
+    std::printf("%-10s %4zu pts  max/mean %5.2f  top-decile %4.1f%%  "
+                "core conc %5.2fx (%.0f%% of vertices on %.0f%% of area)\n",
+                spec.name.c_str(), s.points, s.max_over_mean,
+                100.0 * s.top_decile_share, s.core_concentration,
+                100.0 * s.core_vertex_fraction, 100.0 * s.core_area_fraction);
+    json.begin_object();
+    json.key("dataset").value(spec.name);
+    json.key("spec").value(city::format_city_spec(o));
+    write_skew(json, s);
+    json.end_object();
+  }
+  {
+    const DatasetSpec la = la_basin_spec();
+    const auto base = build_dataset_base(la);
+    const SkewStats s = grid_skew(la, *base);
+    std::printf("%-10s %4zu pts  max/mean %5.2f  top-decile %4.1f%%  "
+                "core conc %5.2fx (%.0f%% of vertices on %.0f%% of area)\n",
+                la.name.c_str(), s.points, s.max_over_mean,
+                100.0 * s.top_decile_share, s.core_concentration,
+                100.0 * s.core_vertex_fraction, 100.0 * s.core_area_fraction);
+    json.begin_object();
+    json.key("dataset").value(la.name);
+    json.key("spec").value("LA");
+    write_skew(json, s);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Refinement must concentrate on the generated cores — the whole reason
+  // cities exist as batch fuel (skewed, not uniform, meshes). The smoke
+  // city is so small that the radius clamp makes its cores cover half the
+  // domain, which caps the achievable concentration; the full-size gate is
+  // the meaningful one.
+  check(min_city_concentration > (smoke ? 1.15 : 1.5),
+        "generated-city refinement concentrates on cores");
+
+  // ----------------------------------------------------------- input path
+  // Cost to materialize one city, stage by stage.
+  const city::CityOptions o = city_options(1);
+  const int repeats = smoke ? 1 : 5;
+  const auto gen = bench::measure_wall(1, repeats, [&] {
+    (void)city::generate_city(o);
+  });
+  const city::CityModel model = city::generate_city(o);
+  const auto lower = bench::measure_wall(1, repeats, [&] {
+    (void)city::lower_emissions(model);
+  });
+  const DatasetSpec spec = city::city_dataset_spec(o);
+  const auto base_build = bench::measure_wall(1, repeats, [&] {
+    (void)build_dataset_base(spec);
+  });
+  std::printf("input path: generate %.2f ms, lower %.2f ms, base build "
+              "%.2f ms (median of %d)\n",
+              1e3 * gen.median_s, 1e3 * lower.median_s,
+              1e3 * base_build.median_s, repeats);
+
+  // A road-salted ensemble through the shared input cache: every variant
+  // resolves to the same base digest, so the expensive build runs once.
+  const int ensemble = smoke ? 4 : 16;
+  svc::SharedInputCache cache;
+  std::vector<svc::ScenarioSpec> specs;
+  for (int id = 0; id < ensemble; ++id) {
+    city::CityOptions v = o;
+    v.road_salt = static_cast<std::uint64_t>(id);
+    svc::ScenarioSpec s;
+    s.id = id;
+    s.name = "city-" + std::to_string(id);
+    s.dataset = city::format_city_spec(v);
+    specs.push_back(s);
+  }
+  const auto with_cache = bench::measure_wall(0, 1, [&] {
+    for (const svc::ScenarioSpec& s : specs) {
+      (void)svc::build_scenario_dataset(s, false, &cache);
+    }
+  });
+  const auto without_cache = bench::measure_wall(0, 1, [&] {
+    for (const svc::ScenarioSpec& s : specs) {
+      (void)svc::build_scenario_dataset(s, false, nullptr);
+    }
+  });
+  std::printf("salted ensemble (%d variants): %lld miss(es) / %lld hit(s), "
+              "with cache %.1f ms, without %.1f ms\n",
+              ensemble, cache.misses(), cache.hits(),
+              1e3 * with_cache.median_s, 1e3 * without_cache.median_s);
+  check(cache.misses() == 1,
+        "road-salted ensemble shares one dataset base (misses == 1)");
+  check(cache.hits() == ensemble - 1, "every other variant hits the cache");
+
+  json.key("input_path").begin_object();
+  json.key("generate_ms").value(1e3 * gen.median_s);
+  json.key("lower_ms").value(1e3 * lower.median_s);
+  json.key("base_build_ms").value(1e3 * base_build.median_s);
+  json.key("repeats").value(repeats);
+  json.key("ensemble").begin_object();
+  json.key("variants").value(ensemble);
+  json.key("salt").value("road_salt");
+  json.key("cache_misses").value(static_cast<long long>(cache.misses()));
+  json.key("cache_hits").value(static_cast<long long>(cache.hits()));
+  json.key("with_cache_ms").value(1e3 * with_cache.median_s);
+  json.key("without_cache_ms").value(1e3 * without_cache.median_s);
+  json.key("speedup").value(with_cache.median_s > 0.0
+                                ? without_cache.median_s / with_cache.median_s
+                                : 0.0);
+  json.end_object();
+  json.end_object();
+
+  json.key("checks_failed").value(g_failures);
+  json.end_object();
+  bench::write_bench_json("city_workload", json);
+
+  if (g_failures > 0) {
+    std::printf("%d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("all checks passed\n");
+  return 0;
+}

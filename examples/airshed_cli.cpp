@@ -3,6 +3,12 @@
 //   airshed_cli run <dataset> [hours] [--archive file] [--trace file]
 //       Run the physics, print hourly statistics, optionally archive the
 //       hourly fields and/or save the work trace.
+//   airshed_cli city <city:spec> [--run] [--hours N] [--archive file]
+//       Generate a procedural city (airshed::city) from a seeded spec
+//       string, print its canonical spec + summary (land use, roads,
+//       traffic, refinement cores, stacks, dataset base digest), and
+//       optionally run the physics on it. The printed canonical spec is
+//       what you feed to `run`, `trace` or `batch` as the dataset.
 //   airshed_cli simulate <trace> <machine> [--nodes a,b,c] [--task-parallel]
 //       Replay a saved trace on a simulated machine.
 //   airshed_cli series <archive>
@@ -44,7 +50,8 @@
 //       Perfetto-loadable), metrics.json (airshed-metrics-v1) and trace.obs
 //       (durable container) into the output directory.
 //
-// Datasets: TEST, LA, NE, LA-uniform. Machines: paragon, t3d, t3e.
+// Datasets: TEST, LA, NE, LA-uniform, or a procedural "city:..." spec
+// (run / trace / batch / city). Machines: paragon, t3d, t3e.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -63,15 +70,17 @@ using namespace airshed;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  airshed_cli run <TEST|LA|NE|LA-uniform> [hours]"
+               "  airshed_cli run <TEST|LA|NE|LA-uniform|city:...> [hours]"
                " [--archive file] [--trace file]\n"
+               "  airshed_cli city <city:spec> [--run] [--hours N]"
+               " [--archive file]\n"
                "  airshed_cli simulate <trace> <paragon|t3d|t3e>"
                " [--nodes a,b,c] [--task-parallel] [--cyclic]\n"
                "  airshed_cli series <archive>\n"
                "  airshed_cli verify <checkpoint|archive|trace|manifest>\n"
                "  airshed_cli verify --dir <batch-output-dir>\n"
-               "  airshed_cli batch <TEST|LA|NE> [--scenarios N] [--seed S]"
-               " [--threads N]\n"
+               "  airshed_cli batch <TEST|LA|NE|city:...> [--scenarios N]"
+               " [--seed S] [--threads N]\n"
                "               [--max-attempts N] [--out dir] [--no-degrade]"
                " [--poison id,...]\n"
                "               [--no-journal] [--watchdog-budget F]"
@@ -83,10 +92,35 @@ int usage() {
                "                --chaos-payload|--chaos-numerics|"
                "--chaos-hang P]\n"
                "  airshed_cli batch --resume <batch-output-dir> [--threads N]\n"
-               "  airshed_cli trace <TEST|LA|NE|LA-uniform> [hours]"
+               "  airshed_cli trace <TEST|LA|NE|LA-uniform|city:...> [hours]"
                " [--machine paragon|t3d|t3e]\n"
                "               [--nodes P] [--threads N] [--out dir]\n");
   return 2;
+}
+
+/// Named unknown-flag diagnosis: every subcommand funnels unrecognized
+/// arguments here so the error says WHICH flag was wrong, not just "usage:".
+/// (A value-taking flag at the end of the line lands here too — the flag is
+/// recognized but its value is missing.)
+int unknown_flag(const char* subcommand, const char* arg) {
+  std::fprintf(stderr, "error: %s: unknown flag or missing value: %s\n",
+               subcommand, arg);
+  return usage();
+}
+
+/// Resolves a multiscale dataset name — a fixed paper dataset or a
+/// procedural "city:..." spec — into a built Dataset. Throws ConfigError
+/// (reported as "error: ..." by main) for anything else instead of silently
+/// substituting TEST.
+Dataset build_named_dataset(const std::string& name) {
+  if (name == "TEST") return test_basin_dataset();
+  if (name == "LA") return la_basin_dataset();
+  if (name == "NE") return northeast_dataset();
+  if (city::is_city_spec(name)) {
+    return build_dataset(city::city_dataset_spec(city::parse_city_spec(name)));
+  }
+  throw ConfigError("unknown dataset: " + name +
+                    " (expected TEST, LA, NE, LA-uniform or city:...)");
 }
 
 std::vector<int> parse_nodes(const std::string& arg) {
@@ -113,6 +147,8 @@ int cmd_run(int argc, char** argv) {
       archive_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return unknown_flag("run", argv[i]);
     } else {
       hours = std::atoi(argv[i]);
       if (hours < 1) return usage();
@@ -143,9 +179,7 @@ int cmd_run(int argc, char** argv) {
     }
     run = UniformAirshedModel(ds, opts).run(on_hour);
   } else {
-    Dataset ds = name == "LA"   ? la_basin_dataset()
-                 : name == "NE" ? northeast_dataset()
-                                : test_basin_dataset();
+    Dataset ds = build_named_dataset(name);
     std::printf("running %s: %zu points, %d layers, %d hours\n",
                 ds.name().c_str(), ds.points(), ds.layers(), hours);
     if (!archive_path.empty()) {
@@ -167,6 +201,89 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_city(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string spec_arg = argv[0];
+  bool run_physics = false;
+  int hours = 6;
+  std::string archive_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--run") == 0) {
+      run_physics = true;
+    } else if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+      hours = std::atoi(argv[++i]);
+      if (hours < 1) return usage();
+    } else if (std::strcmp(argv[i], "--archive") == 0 && i + 1 < argc) {
+      archive_path = argv[++i];
+      run_physics = true;
+    } else {
+      return unknown_flag("city", argv[i]);
+    }
+  }
+
+  const city::CityOptions options = city::parse_city_spec(spec_arg);
+  const city::CityModel model = city::generate_city(options);
+  const city::CitySummary s = city::summarize(model);
+  const DatasetSpec spec = city::city_dataset_spec(options);
+
+  const auto pct = [&](std::size_t n) {
+    return 100.0 * static_cast<double>(n) / static_cast<double>(s.blocks);
+  };
+  std::printf("city %s\n", options.resolved_name().c_str());
+  std::printf("  spec      %s\n", city::format_city_spec(options).c_str());
+  std::printf("  domain    %.0f x %.0f km (%d x %d blocks of %.2f km)\n",
+              model.domain.width(), model.domain.height(), options.blocks_x,
+              options.blocks_y, options.block_km);
+  std::printf("  land use  industrial %zu (%.0f%%), commercial %zu (%.0f%%), "
+              "residential %zu (%.0f%%), park %zu (%.0f%%)\n",
+              s.industrial_blocks, pct(s.industrial_blocks),
+              s.commercial_blocks, pct(s.commercial_blocks),
+              s.residential_blocks, pct(s.residential_blocks), s.park_blocks,
+              pct(s.park_blocks));
+  std::printf("  roads     %zu highway + %zu arterial segment(s), total flow "
+              "%.1f, peak block %.2f\n",
+              s.highway_segments, s.arterial_segments, s.total_traffic,
+              s.peak_block_traffic);
+  for (const CitySpec& c : model.cores) {
+    std::printf("  core      (%.1f, %.1f) km, radius %.1f km, strength %.2f\n",
+                c.center.x, c.center.y, c.radius_km, c.strength);
+  }
+  std::printf("  stacks    %zu elevated source(s)\n", s.stacks);
+  std::printf("  emissions NOx flux at morning rush %.4f ppm*m/min "
+              "(domain sum)\n", s.nox_flux_rush);
+  std::printf("  dataset   target %zu points, %d layers, base digest %s\n",
+              spec.target_points, spec.layers,
+              hash_hex(dataset_base_digest(spec)).c_str());
+
+  if (!run_physics) return 0;
+
+  Dataset ds = build_dataset(spec);
+  std::printf("running %s: %zu points, %d layers, %d hours\n",
+              ds.name().c_str(), ds.points(), ds.layers(), hours);
+  std::unique_ptr<RunArchive> archive;
+  if (!archive_path.empty()) {
+    archive = std::make_unique<RunArchive>(ds.name(), kSpeciesCount,
+                                           ds.layers(), ds.points());
+  }
+  ModelOptions opts;
+  opts.hours = hours;
+  AirshedModel(ds, opts).run([&](const HourlyStats& st,
+                                 const ConcentrationField& conc) {
+    std::printf("hour %02d: max O3 %.4f ppm at (%.0f, %.0f), mean O3 %.4f, "
+                "mean NO2 %.5f\n",
+                st.hour, st.max_surface_o3_ppm, st.max_o3_location.x,
+                st.max_o3_location.y, st.mean_surface_o3_ppm,
+                st.mean_surface_no2_ppm);
+    if (archive) archive->append(st, conc);
+  });
+  if (archive) {
+    archive->save(archive_path);
+    std::printf("archived %zu hours to %s\n", archive->hour_count(),
+                archive_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_simulate(int argc, char** argv) {
   if (argc < 2) return usage();
   const WorkTrace trace = WorkTrace::load(argv[0]);
@@ -182,7 +299,7 @@ int cmd_simulate(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cyclic") == 0) {
       chem_dist = DimDist::Cyclic;
     } else {
-      return usage();
+      return unknown_flag("simulate", argv[i]);
     }
   }
 
@@ -361,15 +478,26 @@ int cmd_batch(int argc, char** argv) {
       if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         opts.threads = std::atoi(argv[++i]);
       } else {
-        return usage();
+        return unknown_flag("batch --resume", argv[i]);
       }
     }
   } else {
     dataset = argv[0];
-    if (dataset != "TEST" && dataset != "LA" && dataset != "NE") {
+    if (city::is_city_spec(dataset)) {
+      // Validate the spec up front (fail fast on a malformed key) and pin
+      // the canonical form so the journal header and resume-config check
+      // never see two spellings of the same city.
+      try {
+        dataset = city::format_city_spec(city::parse_city_spec(dataset));
+      } catch (const ConfigError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (dataset != "TEST" && dataset != "LA" && dataset != "NE") {
       // Fail fast on a typo'd dataset instead of quarantining every
       // scenario with the same ConfigError and exiting 0.
-      std::fprintf(stderr, "error: unknown batch dataset: %s\n",
+      std::fprintf(stderr, "error: unknown batch dataset: %s "
+                   "(expected TEST, LA, NE or city:...)\n",
                    dataset.c_str());
       return 2;
     }
@@ -431,7 +559,7 @@ int cmd_batch(int argc, char** argv) {
           opts.chaos.poison_scenarios.push_back(id);
         }
       } else {
-        return usage();
+        return unknown_flag("batch", argv[i]);
       }
     }
     specs = svc::make_job_mix(opts.batch_seed, mix);
@@ -524,6 +652,8 @@ int cmd_trace(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return unknown_flag("trace", argv[i]);
     } else {
       hours = std::atoi(argv[i]);
       if (hours < 1) return usage();
@@ -552,9 +682,7 @@ int cmd_trace(int argc, char** argv) {
   if (name == "LA-uniform") {
     run = UniformAirshedModel(la_uniform_dataset(), opts).run();
   } else {
-    const Dataset ds = name == "LA"   ? la_basin_dataset()
-                       : name == "NE" ? northeast_dataset()
-                                      : test_basin_dataset();
+    const Dataset ds = build_named_dataset(name);
     run = AirshedModel(ds, opts).run();
   }
   obs::TraceSession session = recorder.drain();
@@ -610,6 +738,9 @@ int main(int argc, char** argv) {
   try {
     if (std::strcmp(argv[1], "run") == 0) {
       return cmd_run(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "city") == 0) {
+      return cmd_city(argc - 2, argv + 2);
     }
     if (std::strcmp(argv[1], "simulate") == 0) {
       return cmd_simulate(argc - 2, argv + 2);

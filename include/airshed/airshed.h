@@ -21,6 +21,8 @@
 #include "airshed/chem/species.hpp"
 #include "airshed/chem/yb_block.hpp"
 #include "airshed/chem/youngboris.hpp"
+#include "airshed/city/generator.hpp"
+#include "airshed/city/options.hpp"
 #include "airshed/core/executor.hpp"
 #include "airshed/core/model.hpp"
 #include "airshed/core/report.hpp"

@@ -1,0 +1,108 @@
+// airshed::city — options and the `city:` scenario-spec string codec.
+//
+// A CityOptions value is the complete, canonical description of one
+// procedurally generated city: the generator is a pure function of it, so
+// the same options reproduce byte-identical land use, roads, emission
+// rasters and dataset-base digests on every platform, thread count and
+// journal resume. The textual form ("city:seed=42,bx=32,...") is what flows
+// through ScenarioSpec::dataset, the batch journal header and the CLI — a
+// generated scenario is fully reconstructible from its spec string alone.
+//
+// Three salt knobs open independent sub-streams per generator layer
+// (districts / roads / diurnal): perturbing one regenerates only that layer
+// while the others stay byte-identical, which is how ensemble studies vary
+// e.g. the road-traffic realization without moving the districts (and, for
+// road/diurnal salts, without invalidating the shared dataset base).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace airshed::city {
+
+/// Every knob of the procedural city generator. Defaults describe a mid-
+/// sized single-core city comparable to the LA dataset's point budget.
+struct CityOptions {
+  /// Master seed: all generator streams derive from it.
+  std::uint64_t seed = 1;
+  /// Dataset name; empty = derived ("CITY-s<seed>"). Part of the base
+  /// digest, so distinct names never share cached bases.
+  std::string name;
+
+  // --- land-use / district layer ---
+  /// City extent in blocks (the land-use and emission raster resolution).
+  int blocks_x = 48;
+  int blocks_y = 48;
+  /// Block edge length in km (domain = blocks * block_km).
+  double block_km = 1.5;
+  /// Number of district region-growth seeds (>= 3; the first three are
+  /// pinned to industrial / commercial / residential so no city is ever
+  /// missing a land-use class entirely).
+  int district_seeds = 14;
+  /// Approximate land-area fractions per district class; the residual is
+  /// residential. Must each be >= 0 and sum to <= 1.
+  double industrial_fraction = 0.18;
+  double commercial_fraction = 0.22;
+  double park_fraction = 0.12;
+
+  // --- road / traffic layer ---
+  /// Cross-city highways (class-3 roads).
+  int highways = 2;
+  /// Blocks between class-2 arterials (0 disables arterials).
+  int arterial_spacing = 6;
+  /// Overall traffic intensity multiplier (mean segment flow).
+  double traffic_demand = 1.0;
+
+  // --- diurnal layer ---
+  /// Rush-hour peak scale (1 = the reference double-peak profile).
+  double rush_amplitude = 1.0;
+  /// Rush-hour peak width in hours.
+  double rush_width_h = 1.8;
+
+  // --- refinement / model shape ---
+  /// Maximum refinement cores exported as CitySpec kernels (>= 1 always
+  /// emitted). Cores derive from land use only — never from roads or the
+  /// diurnal draw — so road/diurnal salted variants share one mesh.
+  int max_cores = 4;
+  /// Elevated industrial stacks placed on the strongest industrial blocks.
+  int stack_count = 3;
+  int base_nx = 4;
+  int base_ny = 4;
+  int max_level = 3;
+  std::size_t target_points = 700;
+  int layers = 5;
+
+  // --- per-layer salts (independent sub-streams) ---
+  std::uint64_t district_salt = 0;
+  std::uint64_t road_salt = 0;
+  std::uint64_t diurnal_salt = 0;
+
+  /// The dataset name actually used: `name`, or "CITY-s<seed>" when empty.
+  std::string resolved_name() const;
+
+  /// Memberwise equality — a new knob is compared (and round-tripped by the
+  /// spec codec tests) automatically instead of silently escaping.
+  friend bool operator==(const CityOptions&, const CityOptions&) = default;
+};
+
+/// True when `spec` carries the "city:" scheme prefix.
+bool is_city_spec(const std::string& spec);
+
+/// Parses a "city:key=value,key=value,..." spec string (the bare key=value
+/// list without the scheme prefix is also accepted). Unknown keys and
+/// malformed values throw ConfigError naming the offending key; values not
+/// mentioned keep their defaults. An empty body ("city:") is the default
+/// city. Validates ranges (see CityOptions field docs) before returning.
+CityOptions parse_city_spec(const std::string& spec);
+
+/// Canonical textual form: "city:" plus every knob that differs from the
+/// default, in fixed field order (seed always included). Round-trips:
+/// parse_city_spec(format_city_spec(o)) == o for any valid o.
+std::string format_city_spec(const CityOptions& options);
+
+/// Range-checks every knob, throwing ConfigError naming the bad field.
+/// parse_city_spec calls this; call it directly for programmatic options.
+void validate(const CityOptions& options);
+
+}  // namespace airshed::city

@@ -11,6 +11,7 @@
 // operator divides by the receiving layer thickness.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "airshed/chem/species.hpp"
@@ -51,17 +52,68 @@ struct ControlScenario {
                          const ControlScenario&) = default;
 };
 
+/// Gridded anthropogenic area-source overlay: a raster of per-cell emission
+/// group fluxes derived from an explicit source model (land use, road
+/// traffic) instead of the analytic city Gaussians. Built by the
+/// `airshed::city` procedural generator and attached to a DatasetSpec; when
+/// present, the inventory's anthropogenic surface term samples this raster
+/// (scaled by the same per-group controls) and the Gaussian city kernels
+/// serve only as the grid-refinement / urban-density proxy.
+///
+/// Group fluxes are ppm*m/min aggregates over each group's species; the
+/// inventory splits them with the same per-species speciation ratios the
+/// analytic model uses. `traffic_frac` is the share of a cell's flux that
+/// follows the rush-hour diurnal profile (the rest follows a flat daytime
+/// activity curve); `vegetation` weights the biogenic isoprene source.
+/// Immutable once attached to a spec (shared by pointer, never mutated) —
+/// it is part of the per-scenario emission overlay, NOT of the shared
+/// DatasetBase, so scenarios differing only in this raster share one base.
+struct AreaSourceField {
+  BBox domain;
+  int nx = 0;  ///< raster cells east-west
+  int ny = 0;  ///< raster cells north-south
+  /// Per-cell group fluxes (row-major, j * nx + i), ppm*m/min.
+  std::vector<double> nox, voc, co, so2, nh3;
+  /// Per-cell share of flux following the rush-hour profile, in [0, 1].
+  std::vector<double> traffic_frac;
+  /// Per-cell vegetation weight for the biogenic isoprene source, [0, 1].
+  std::vector<double> vegetation;
+  /// Rush-hour diurnal shape (mean activity ~1 over 24 h).
+  double rush_am_hour = 7.5;
+  double rush_pm_hour = 17.5;
+  double rush_width_h = 1.8;
+  double rush_amplitude = 1.0;
+
+  bool empty() const { return nx <= 0 || ny <= 0; }
+
+  /// Nearest-cell sample of one raster layer; 0 outside the domain.
+  double sample(const std::vector<double>& layer, Point2 p) const;
+
+  /// Rush-hour activity profile at hour-of-day `hod` (double-peaked,
+  /// parameterized by the rush_* fields; mean approximately 1 over 24 h).
+  double activity(double hod) const;
+
+  /// Memberwise equality (rasters compared element-wise).
+  friend bool operator==(const AreaSourceField&,
+                         const AreaSourceField&) = default;
+};
+
 /// Deterministic emission inventory over a rectangular domain.
 class EmissionInventory {
  public:
   EmissionInventory(BBox domain, std::vector<CitySpec> cities,
                     std::vector<PointSource> point_sources,
-                    ControlScenario controls = ControlScenario::baseline());
+                    ControlScenario controls = ControlScenario::baseline(),
+                    std::shared_ptr<const AreaSourceField> area = nullptr);
 
   const BBox& domain() const { return domain_; }
   const std::vector<CitySpec>& cities() const { return cities_; }
   const std::vector<PointSource>& point_sources() const { return points_; }
   const ControlScenario& controls() const { return controls_; }
+  /// The gridded area-source overlay, or null for the analytic model.
+  const std::shared_ptr<const AreaSourceField>& area_sources() const {
+    return area_;
+  }
 
   /// Returns a copy with different control settings (for scenario studies).
   EmissionInventory with_controls(ControlScenario controls) const;
@@ -79,6 +131,7 @@ class EmissionInventory {
   std::vector<CitySpec> cities_;
   std::vector<PointSource> points_;
   ControlScenario controls_;
+  std::shared_ptr<const AreaSourceField> area_;
 };
 
 /// Diurnal traffic activity profile in [~0.25, ~1.6], double-peaked at the

@@ -32,6 +32,12 @@ struct DatasetSpec {
   std::vector<CitySpec> cities;
   std::vector<PointSource> stacks;
   ControlScenario controls;
+  /// Optional gridded anthropogenic overlay (the airshed::city generator's
+  /// land-use + traffic emission raster). Part of the per-scenario emission
+  /// overlay like `stacks` and `controls`: it does NOT contribute to
+  /// dataset_base_digest, so generated scenarios differing only in their
+  /// emission raster (e.g. road- or diurnal-salted variants) share a base.
+  std::shared_ptr<const AreaSourceField> area_sources;
 };
 
 /// The expensive, control-independent core of a scenario: geography,
@@ -73,12 +79,12 @@ std::shared_ptr<const DatasetBase> build_dataset_base(const DatasetSpec& spec);
 
 /// FNV-1a digest over exactly the spec fields build_dataset_base consumes
 /// (name, domain, grid shape, target points, layers, met params, cities).
-/// Two specs with equal digests build bit-identical bases; controls and
-/// stacks do not contribute.
+/// Two specs with equal digests build bit-identical bases; controls, stacks
+/// and the area-source raster do not contribute.
 std::uint64_t dataset_base_digest(const DatasetSpec& spec);
 
-/// Applies the spec's emission overlay (stacks + controls) to an already
-/// built base. The base must come from a spec with the same base digest;
+/// Applies the spec's emission overlay (stacks + controls + optional
+/// area-source raster) to an already built base. The base must come from a spec with the same base digest;
 /// throws ConfigError when the names disagree (the cheap sanity check).
 Dataset assemble_dataset(std::shared_ptr<const DatasetBase> base,
                          const DatasetSpec& spec);

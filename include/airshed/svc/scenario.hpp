@@ -1,8 +1,9 @@
 // airshed::svc — parameterized scenario specs and seeded job mixes.
 //
 // A scenario is one fully-determined model run: a base dataset (TEST / LA /
-// NE), policy control knobs (the paper's motivating emission-control
-// studies), an ensemble emission perturbation, and an episode length. A
+// NE, or a procedural "city:..." spec — see airshed/city/options.hpp),
+// policy control knobs (the paper's motivating emission-control studies),
+// an ensemble emission perturbation, and an episode length. A
 // batch is a vector of scenarios drawn deterministically from one batch
 // seed, with episode lengths following a bounded Pareto — production
 // parallel workloads are heavy-tailed (arXiv:1801.03898), so the job mix
@@ -28,7 +29,10 @@ class SharedInputCache;
 struct ScenarioSpec {
   int id = 0;                 ///< unique within the batch, >= 0
   std::string name;           ///< human-readable label ("scn-007")
-  std::string dataset = "TEST";  ///< base geography: TEST | LA | NE
+  /// Base geography: TEST | LA | NE, or a "city:..." procedural spec
+  /// string (fully self-describing, so it journals and resumes like the
+  /// fixed names).
+  std::string dataset = "TEST";
   int hours = 4;              ///< episode length (heavy-tailed in a job mix)
   ControlScenario controls;   ///< per-group policy knobs (NOx/VOC/CO/SO2/NH3)
   /// Ensemble multiplier applied on top of `controls` to every emission
@@ -68,7 +72,7 @@ std::vector<ScenarioSpec> make_job_mix(std::uint64_t batch_seed,
 
 /// The DatasetSpec a scenario resolves to: the named base spec with the
 /// scenario's controls (scaled by its emission perturbation) applied.
-/// Throws ConfigError for an unknown dataset name.
+/// Throws ConfigError for an unknown dataset name or malformed city spec.
 DatasetSpec scenario_dataset_spec(const ScenarioSpec& spec);
 
 /// Builds the scenario's multiscale dataset. When `poison_stack` is set, a

@@ -1,0 +1,734 @@
+#include "airshed/city/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <numbers>
+#include <queue>
+#include <tuple>
+
+#include "airshed/util/error.hpp"
+#include "airshed/util/hash.hpp"
+#include "airshed/util/rng.hpp"
+
+namespace airshed::city {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Salted sub-streams.
+//
+// Mirrors svc's scenario_stream idiom: each generator layer opens an
+// independent hash-derived stream of the master seed, so the draw count of
+// one layer never shifts another layer's values, and perturbing one salt
+// regenerates exactly one layer.
+// ---------------------------------------------------------------------------
+Rng layer_stream(std::uint64_t seed, const char* label, std::uint64_t salt) {
+  std::uint64_t h = fnv1a_bytes(label);
+  h = h * kFnvPrime ^ seed;
+  h = h * kFnvPrime ^ salt;
+  return Rng(h);
+}
+
+/// Stateless per-(block, channel) noise in [0, 1): identical regardless of
+/// visit order, which keeps the region-growth frontier deterministic.
+double block_noise(std::uint64_t stream_seed, int block, int channel) {
+  std::uint64_t h = fnv1a(stream_seed);
+  h = fnv1a(static_cast<std::uint64_t>(block), h);
+  h = fnv1a(static_cast<std::uint64_t>(channel), h);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::size_t block_index(const CityOptions& o, int x, int y) {
+  return static_cast<std::size_t>(y) * static_cast<std::size_t>(o.blocks_x) +
+         static_cast<std::size_t>(x);
+}
+
+Point2 block_center(const CityOptions& o, int x, int y) {
+  return {(static_cast<double>(x) + 0.5) * o.block_km,
+          (static_cast<double>(y) + 0.5) * o.block_km};
+}
+
+// ---------------------------------------------------------------------------
+// District layer: seeded multi-source region growth.
+// ---------------------------------------------------------------------------
+struct DistrictSeed {
+  int x = 0;
+  int y = 0;
+  LandUse use = LandUse::Residential;
+  double step_cost = 1.0;  ///< growth cost per block (cheap = large region)
+};
+
+std::vector<DistrictSeed> place_district_seeds(const CityOptions& o, Rng& rng) {
+  const double res_fraction = std::max(
+      0.05, 1.0 - o.industrial_fraction - o.commercial_fraction -
+                o.park_fraction);
+
+  // Class of each seed: the first three are pinned so every city has all
+  // three built-up classes; the rest are drawn from the target fractions.
+  std::vector<LandUse> classes = {LandUse::Industrial, LandUse::Commercial,
+                                  LandUse::Residential};
+  while (static_cast<int>(classes.size()) < o.district_seeds) {
+    const double u = rng.uniform();
+    if (u < o.industrial_fraction) {
+      classes.push_back(LandUse::Industrial);
+    } else if (u < o.industrial_fraction + o.commercial_fraction) {
+      classes.push_back(LandUse::Commercial);
+    } else if (u <
+               o.industrial_fraction + o.commercial_fraction + o.park_fraction) {
+      classes.push_back(LandUse::Park);
+    } else {
+      classes.push_back(LandUse::Residential);
+    }
+  }
+
+  int per_class[4] = {0, 0, 0, 0};
+  for (LandUse c : classes) ++per_class[static_cast<int>(c)];
+
+  auto target_fraction = [&](LandUse c) {
+    switch (c) {
+      case LandUse::Industrial: return std::max(o.industrial_fraction, 0.02);
+      case LandUse::Commercial: return std::max(o.commercial_fraction, 0.02);
+      case LandUse::Park: return std::max(o.park_fraction, 0.02);
+      case LandUse::Residential: return res_fraction;
+    }
+    return res_fraction;
+  };
+
+  std::vector<DistrictSeed> seeds;
+  seeds.reserve(classes.size());
+  const double cx = 0.5 * (o.blocks_x - 1);
+  const double cy = 0.5 * (o.blocks_y - 1);
+  for (LandUse c : classes) {
+    DistrictSeed s;
+    s.use = c;
+    // Placement bias: commercial gravitates to the center, industrial to the
+    // periphery, the rest is uniform. Draws are unconditional so the stream
+    // position depends only on the seed count, not on accept/reject history.
+    const double u = rng.uniform();
+    const double v = rng.uniform();
+    if (c == LandUse::Commercial) {
+      s.x = static_cast<int>(cx + (u - 0.5) * 0.45 * o.blocks_x);
+      s.y = static_cast<int>(cy + (v - 0.5) * 0.45 * o.blocks_y);
+    } else if (c == LandUse::Industrial) {
+      // Uniform within an outer ring: push a uniform draw outward.
+      const double ang = 2.0 * std::numbers::pi * u;
+      const double rad = 0.30 + 0.18 * v;  // fraction of the half-extent
+      s.x = static_cast<int>(cx + std::cos(ang) * rad * o.blocks_x);
+      s.y = static_cast<int>(cy + std::sin(ang) * rad * o.blocks_y);
+    } else {
+      s.x = static_cast<int>(u * o.blocks_x);
+      s.y = static_cast<int>(v * o.blocks_y);
+    }
+    s.x = std::clamp(s.x, 0, o.blocks_x - 1);
+    s.y = std::clamp(s.y, 0, o.blocks_y - 1);
+    // Growth rate: a class's regions collectively cover target_fraction of
+    // the city, so each region's step cost is inversely proportional to the
+    // area share it is responsible for.
+    const double share =
+        target_fraction(c) / static_cast<double>(per_class[static_cast<int>(c)]);
+    s.step_cost = 1.0 / std::max(share, 1e-3);
+    seeds.push_back(s);
+  }
+  return seeds;
+}
+
+std::vector<LandUse> grow_districts(const CityOptions& o,
+                                    const std::vector<DistrictSeed>& seeds,
+                                    std::uint64_t noise_seed) {
+  const std::size_t n =
+      static_cast<std::size_t>(o.blocks_x) * static_cast<std::size_t>(o.blocks_y);
+  std::vector<int> owner(n, -1);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+
+  // Deterministic multi-source Dijkstra. Ties break on (cost, region, block)
+  // via the tuple ordering, so the frontier pop order is total and
+  // platform-independent.
+  using Node = std::tuple<double, int, int>;  // (cost, region, block)
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> frontier;
+
+  for (std::size_t r = 0; r < seeds.size(); ++r) {
+    const std::size_t b = block_index(o, seeds[r].x, seeds[r].y);
+    // Later seeds landing on an occupied block simply lose the tie at cost 0
+    // (region index breaks it); their class still exists via growth budget.
+    frontier.emplace(0.0, static_cast<int>(r), static_cast<int>(b));
+  }
+
+  while (!frontier.empty()) {
+    const auto [cost, region, block] = frontier.top();
+    frontier.pop();
+    const auto b = static_cast<std::size_t>(block);
+    if (owner[b] >= 0) continue;
+    owner[b] = region;
+    dist[b] = cost;
+
+    const int x = block % o.blocks_x;
+    const int y = block / o.blocks_x;
+    constexpr int dx[4] = {1, -1, 0, 0};
+    constexpr int dy[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const int nx = x + dx[k];
+      const int ny = y + dy[k];
+      if (nx < 0 || nx >= o.blocks_x || ny < 0 || ny >= o.blocks_y) continue;
+      const std::size_t nb = block_index(o, nx, ny);
+      if (owner[nb] >= 0) continue;
+      // Hash-based edge noise roughens the district boundaries without
+      // making the result depend on visit order.
+      const double noise =
+          0.55 + 0.9 * block_noise(noise_seed, static_cast<int>(nb), region);
+      frontier.emplace(cost + seeds[static_cast<std::size_t>(region)].step_cost *
+                                  noise,
+                       region, static_cast<int>(nb));
+    }
+  }
+
+  std::vector<LandUse> landuse(n, LandUse::Residential);
+  for (std::size_t b = 0; b < n; ++b) {
+    landuse[b] = seeds[static_cast<std::size_t>(owner[b])].use;
+  }
+  return landuse;
+}
+
+// ---------------------------------------------------------------------------
+// Road layer: highways + arterials with a gravity-lite commute model.
+// ---------------------------------------------------------------------------
+double production_weight(LandUse u) {
+  switch (u) {
+    case LandUse::Residential: return 1.0;
+    case LandUse::Commercial: return 0.35;
+    case LandUse::Industrial: return 0.25;
+    case LandUse::Park: return 0.05;
+  }
+  return 0.0;
+}
+
+double attraction_weight(LandUse u) {
+  switch (u) {
+    case LandUse::Commercial: return 1.2;
+    case LandUse::Industrial: return 1.0;
+    case LandUse::Residential: return 0.15;
+    case LandUse::Park: return 0.05;
+  }
+  return 0.0;
+}
+
+/// Commute intensity per block: geometric mean of exponentially distance-
+/// weighted trip production and attraction potentials (gravity-lite — the
+/// full doubly-constrained gravity model without the iterative balancing).
+std::vector<double> commute_intensity(const CityOptions& o,
+                                      const std::vector<LandUse>& landuse) {
+  const std::size_t n = landuse.size();
+  const double reach =
+      0.25 * static_cast<double>(std::max(o.blocks_x, o.blocks_y));
+
+  // Separable exponential kernel: one X pass then one Y pass keeps this
+  // O(n * max(bx, by)) instead of O(n^2).
+  auto smooth = [&](std::vector<double> field) {
+    std::vector<double> tmp(n, 0.0);
+    const int half = static_cast<int>(std::ceil(3.0 * reach));
+    for (int y = 0; y < o.blocks_y; ++y) {
+      for (int x = 0; x < o.blocks_x; ++x) {
+        double acc = 0.0;
+        for (int k = std::max(0, x - half);
+             k <= std::min(o.blocks_x - 1, x + half); ++k) {
+          acc += field[block_index(o, k, y)] *
+                 std::exp(-std::abs(x - k) / reach);
+        }
+        tmp[block_index(o, x, y)] = acc;
+      }
+    }
+    std::vector<double> out(n, 0.0);
+    for (int y = 0; y < o.blocks_y; ++y) {
+      for (int x = 0; x < o.blocks_x; ++x) {
+        double acc = 0.0;
+        for (int k = std::max(0, y - half);
+             k <= std::min(o.blocks_y - 1, y + half); ++k) {
+          acc += tmp[block_index(o, x, k)] * std::exp(-std::abs(y - k) / reach);
+        }
+        out[block_index(o, x, y)] = acc;
+      }
+    }
+    return out;
+  };
+
+  std::vector<double> prod(n), attr(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    prod[b] = production_weight(landuse[b]);
+    attr[b] = attraction_weight(landuse[b]);
+  }
+  prod = smooth(std::move(prod));
+  attr = smooth(std::move(attr));
+
+  std::vector<double> intensity(n, 0.0);
+  double mean = 0.0;
+  for (std::size_t b = 0; b < n; ++b) {
+    intensity[b] = std::sqrt(prod[b] * attr[b]);
+    mean += intensity[b];
+  }
+  mean /= static_cast<double>(n);
+  if (mean > 0.0) {
+    for (double& v : intensity) v /= mean;
+  }
+  return intensity;
+}
+
+void build_roads(const CityOptions& o, const std::vector<double>& intensity,
+                 Rng& rng, std::uint64_t noise_seed,
+                 std::vector<RoadSegment>& roads,
+                 std::vector<double>& block_traffic) {
+  std::vector<bool> highway_row(static_cast<std::size_t>(o.blocks_y), false);
+  std::vector<bool> highway_col(static_cast<std::size_t>(o.blocks_x), false);
+
+  // Highways: alternately horizontal / vertical, placed in the middle band
+  // of the perpendicular axis so they cross the built-up area.
+  for (int h = 0; h < o.highways; ++h) {
+    const double u = rng.uniform();
+    if (h % 2 == 0) {
+      const int y = std::clamp(
+          static_cast<int>((0.3 + 0.4 * u) * o.blocks_y), 0, o.blocks_y - 1);
+      highway_row[static_cast<std::size_t>(y)] = true;
+    } else {
+      const int x = std::clamp(
+          static_cast<int>((0.3 + 0.4 * u) * o.blocks_x), 0, o.blocks_x - 1);
+      highway_col[static_cast<std::size_t>(x)] = true;
+    }
+  }
+
+  std::vector<bool> arterial_row(static_cast<std::size_t>(o.blocks_y), false);
+  std::vector<bool> arterial_col(static_cast<std::size_t>(o.blocks_x), false);
+  if (o.arterial_spacing > 0) {
+    const int off = o.arterial_spacing / 2;
+    for (int y = off; y < o.blocks_y; y += o.arterial_spacing) {
+      if (!highway_row[static_cast<std::size_t>(y)]) {
+        arterial_row[static_cast<std::size_t>(y)] = true;
+      }
+    }
+    for (int x = off; x < o.blocks_x; x += o.arterial_spacing) {
+      if (!highway_col[static_cast<std::size_t>(x)]) {
+        arterial_col[static_cast<std::size_t>(x)] = true;
+      }
+    }
+  }
+
+  // Raw per-segment loads: commute intensity at the block, a class
+  // multiplier, and per-segment hash noise.
+  roads.clear();
+  auto emit = [&](int x, int y, bool horizontal, int road_class) {
+    const std::size_t b = block_index(o, x, y);
+    const double mult = road_class == 3 ? 2.6 : 1.0;
+    const double noise =
+        0.85 + 0.3 * block_noise(noise_seed, static_cast<int>(b),
+                                 horizontal ? 101 : 102);
+    RoadSegment seg;
+    seg.x = x;
+    seg.y = y;
+    seg.horizontal = horizontal;
+    seg.road_class = road_class;
+    seg.traffic = mult * intensity[b] * noise;
+    roads.push_back(seg);
+  };
+  for (int y = 0; y < o.blocks_y; ++y) {
+    if (!highway_row[static_cast<std::size_t>(y)]) continue;
+    for (int x = 0; x < o.blocks_x; ++x) emit(x, y, true, 3);
+  }
+  for (int x = 0; x < o.blocks_x; ++x) {
+    if (!highway_col[static_cast<std::size_t>(x)]) continue;
+    for (int y = 0; y < o.blocks_y; ++y) emit(x, y, false, 3);
+  }
+  for (int y = 0; y < o.blocks_y; ++y) {
+    if (!arterial_row[static_cast<std::size_t>(y)]) continue;
+    for (int x = 0; x < o.blocks_x; ++x) emit(x, y, true, 2);
+  }
+  for (int x = 0; x < o.blocks_x; ++x) {
+    if (!arterial_col[static_cast<std::size_t>(x)]) continue;
+    for (int y = 0; y < o.blocks_y; ++y) emit(x, y, false, 2);
+  }
+
+  // Normalise so the mean explicit-segment flow equals traffic_demand.
+  if (!roads.empty()) {
+    double total = 0.0;
+    for (const RoadSegment& s : roads) total += s.traffic;
+    const double scale = total > 0.0 ? o.traffic_demand *
+                                           static_cast<double>(roads.size()) /
+                                           total
+                                     : 0.0;
+    for (RoadSegment& s : roads) s.traffic *= scale;
+  }
+
+  std::sort(roads.begin(), roads.end(), [](const RoadSegment& a,
+                                           const RoadSegment& b) {
+    return std::tie(b.road_class, a.y, a.x, b.horizontal) <
+           std::tie(a.road_class, b.y, b.x, a.horizontal);
+  });
+
+  // Per-block aggregate: explicit segments plus the implicit local street
+  // grid (everything below arterial class, folded into one term).
+  block_traffic.assign(intensity.size(), 0.0);
+  for (const RoadSegment& s : roads) {
+    block_traffic[block_index(o, s.x, s.y)] += s.traffic;
+  }
+  for (std::size_t b = 0; b < intensity.size(); ++b) {
+    block_traffic[b] += 0.3 * o.traffic_demand * intensity[b];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Refinement cores: land-use intensity clusters.
+// ---------------------------------------------------------------------------
+double builtup_weight(LandUse u) {
+  switch (u) {
+    case LandUse::Industrial: return 1.0;
+    case LandUse::Commercial: return 0.9;
+    case LandUse::Residential: return 0.45;
+    case LandUse::Park: return 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<double> smoothed_builtup(const CityOptions& o,
+                                     const std::vector<LandUse>& landuse) {
+  const std::size_t n = landuse.size();
+  std::vector<double> raw(n);
+  for (std::size_t b = 0; b < n; ++b) raw[b] = builtup_weight(landuse[b]);
+
+  const double sigma = 0.06 * static_cast<double>(std::max(o.blocks_x, o.blocks_y));
+  const int half = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  auto kernel = [&](int d) {
+    return std::exp(-0.5 * d * d / (sigma * sigma));
+  };
+
+  std::vector<double> tmp(n, 0.0), out(n, 0.0);
+  for (int y = 0; y < o.blocks_y; ++y) {
+    for (int x = 0; x < o.blocks_x; ++x) {
+      double acc = 0.0, wsum = 0.0;
+      for (int k = std::max(0, x - half); k <= std::min(o.blocks_x - 1, x + half);
+           ++k) {
+        const double w = kernel(x - k);
+        acc += raw[block_index(o, k, y)] * w;
+        wsum += w;
+      }
+      tmp[block_index(o, x, y)] = acc / wsum;
+    }
+  }
+  for (int y = 0; y < o.blocks_y; ++y) {
+    for (int x = 0; x < o.blocks_x; ++x) {
+      double acc = 0.0, wsum = 0.0;
+      for (int k = std::max(0, y - half); k <= std::min(o.blocks_y - 1, y + half);
+           ++k) {
+        const double w = kernel(y - k);
+        acc += tmp[block_index(o, x, k)] * w;
+        wsum += w;
+      }
+      out[block_index(o, x, y)] = acc / wsum;
+    }
+  }
+  return out;
+}
+
+std::vector<CitySpec> extract_cores(const CityOptions& o,
+                                    const std::vector<double>& smoothed) {
+  // Rank blocks by smoothed intensity (index breaks ties) and greedily pick
+  // peaks with a minimum separation, exactly like classic non-max
+  // suppression. At least one core is always emitted.
+  std::vector<std::size_t> order(smoothed.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (smoothed[a] != smoothed[b]) return smoothed[a] > smoothed[b];
+    return a < b;
+  });
+
+  const double min_sep_blocks =
+      0.22 * static_cast<double>(std::max(o.blocks_x, o.blocks_y));
+  const double peak = std::max(smoothed[order[0]], 1e-9);
+
+  std::vector<std::size_t> picked;
+  for (std::size_t b : order) {
+    if (static_cast<int>(picked.size()) >= o.max_cores) break;
+    // Secondary cores must be genuine centers, not the shoulder of the
+    // primary one.
+    if (!picked.empty() && smoothed[b] < 0.45 * peak) break;
+    const int x = static_cast<int>(b) % o.blocks_x;
+    const int y = static_cast<int>(b) / o.blocks_x;
+    bool far_enough = true;
+    for (std::size_t p : picked) {
+      const int px = static_cast<int>(p) % o.blocks_x;
+      const int py = static_cast<int>(p) / o.blocks_x;
+      const double d = std::hypot(static_cast<double>(x - px),
+                                  static_cast<double>(y - py));
+      if (d < min_sep_blocks) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) picked.push_back(b);
+  }
+
+  std::vector<CitySpec> cores;
+  cores.reserve(picked.size());
+  for (std::size_t b : picked) {
+    const int x = static_cast<int>(b) % o.blocks_x;
+    const int y = static_cast<int>(b) / o.blocks_x;
+    // Radius: walk outward along +x until the intensity falls to half the
+    // peak value — the cluster's half-width — clamped to sane bounds.
+    const double half_value = 0.5 * smoothed[b];
+    int reach = 1;
+    while (x + reach < o.blocks_x &&
+           smoothed[block_index(o, x + reach, y)] > half_value &&
+           reach < o.blocks_x) {
+      ++reach;
+    }
+    const double min_r = 1.5 * o.block_km;
+    const double max_r = 0.25 * std::min(o.blocks_x, o.blocks_y) * o.block_km;
+    CitySpec c;
+    c.center = block_center(o, x, y);
+    c.radius_km = std::clamp(static_cast<double>(reach) * o.block_km, min_r,
+                             std::max(min_r, max_r));
+    c.strength = smoothed[b] / peak;
+    cores.push_back(c);
+  }
+  return cores;
+}
+
+// ---------------------------------------------------------------------------
+// Stacks: the strongest industrial blocks host elevated sources.
+// ---------------------------------------------------------------------------
+std::vector<PointSource> place_stacks(const CityOptions& o,
+                                      const std::vector<LandUse>& landuse,
+                                      const std::vector<double>& smoothed,
+                                      Rng& rng) {
+  std::vector<std::size_t> industrial;
+  for (std::size_t b = 0; b < landuse.size(); ++b) {
+    if (landuse[b] == LandUse::Industrial) industrial.push_back(b);
+  }
+  std::sort(industrial.begin(), industrial.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (smoothed[a] != smoothed[b]) return smoothed[a] > smoothed[b];
+              return a < b;
+            });
+
+  std::vector<PointSource> stacks;
+  const int count =
+      std::min<int>(o.stack_count, static_cast<int>(industrial.size()));
+  for (int i = 0; i < count; ++i) {
+    const std::size_t b = industrial[static_cast<std::size_t>(i)];
+    const int x = static_cast<int>(b) % o.blocks_x;
+    const int y = static_cast<int>(b) / o.blocks_x;
+    PointSource s;
+    s.location = block_center(o, x, y);
+    s.layer = 1;
+    // Mostly SO2 plants, with the second-strongest site an NOx emitter —
+    // the same mix the fixed LA/NE specs use.
+    s.species = i == 1 ? Species::NO : Species::SO2;
+    s.rate_ppm_m_min = rng.uniform(1.2e-2, 3.6e-2);
+    stacks.push_back(s);
+  }
+  return stacks;
+}
+
+// ---------------------------------------------------------------------------
+// Met: seed-only jitter (shared across all salted variants).
+// ---------------------------------------------------------------------------
+MetParams jitter_met(Rng& rng) {
+  MetParams m;
+  m.ambient_wind_kmh = 14.0 * rng.uniform(0.8, 1.2);
+  m.eddy_wind_kmh = 10.0 * rng.uniform(0.8, 1.2);
+  m.sea_breeze_fraction = rng.uniform(0.45, 0.75);
+  m.t_mean_k = rng.uniform(288.0, 294.0);
+  m.latitude_deg = rng.uniform(30.0, 45.0);
+  m.day_of_year = 170 + static_cast<int>(rng.uniform_index(61));
+  return m;
+}
+
+// Reference group flux magnitudes at a fully built-up block (ppm*m/min) —
+// the analytic model's per-group base_flux sums, so a generated city's
+// inventory lands in the same magnitude band as the LA dataset.
+constexpr double kNoxGroupFlux = 1.0e-2;
+constexpr double kVocGroupFlux = 2.21e-2;
+constexpr double kCoGroupFlux = 6.0e-2;
+constexpr double kSo2GroupFlux = 9.0e-4;
+constexpr double kNh3GroupFlux = 1.1e-3;
+
+/// Stationary (land-use) source intensity per class, ProcIsoCity-style:
+/// industry dominates, commerce is secondary, homes and parks are small.
+double stationary_weight(LandUse u) {
+  switch (u) {
+    case LandUse::Industrial: return 0.72;
+    case LandUse::Commercial: return 0.18;
+    case LandUse::Residential: return 0.04;
+    case LandUse::Park: return 0.01;
+  }
+  return 0.0;
+}
+
+double vegetation_weight(LandUse u) {
+  switch (u) {
+    case LandUse::Park: return 1.0;
+    case LandUse::Residential: return 0.35;
+    case LandUse::Commercial: return 0.10;
+    case LandUse::Industrial: return 0.05;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* to_string(LandUse use) {
+  switch (use) {
+    case LandUse::Park: return "park";
+    case LandUse::Residential: return "residential";
+    case LandUse::Commercial: return "commercial";
+    case LandUse::Industrial: return "industrial";
+  }
+  return "unknown";
+}
+
+CityModel generate_city(const CityOptions& options) {
+  validate(options);
+
+  CityModel model;
+  model.options = options;
+  model.domain = BBox{0.0, 0.0, options.blocks_x * options.block_km,
+                      options.blocks_y * options.block_km};
+
+  // Districts (district_salt stream).
+  Rng districts =
+      layer_stream(options.seed, "city-districts", options.district_salt);
+  const std::uint64_t district_noise = districts.next_u64();
+  const std::vector<DistrictSeed> seeds = place_district_seeds(options, districts);
+  model.landuse = grow_districts(options, seeds, district_noise);
+
+  // Roads + traffic (road_salt stream; reads land use but never feeds back
+  // into it, cores or met — the base-sharing contract).
+  Rng roads = layer_stream(options.seed, "city-roads", options.road_salt);
+  const std::uint64_t road_noise = roads.next_u64();
+  const std::vector<double> intensity = commute_intensity(options, model.landuse);
+  build_roads(options, intensity, roads, road_noise, model.roads,
+              model.block_traffic);
+
+  // Refinement cores from land use ONLY, and met from the master seed ONLY:
+  // both are inputs to dataset_base_digest, so road-/diurnal-salted variants
+  // of one city must reproduce them bit for bit.
+  const std::vector<double> smoothed = smoothed_builtup(options, model.landuse);
+  model.cores = extract_cores(options, smoothed);
+
+  Rng stacks = layer_stream(options.seed, "city-stacks", options.district_salt);
+  model.stacks = place_stacks(options, model.landuse, smoothed, stacks);
+
+  Rng met = layer_stream(options.seed, "city-met", 0);
+  model.met = jitter_met(met);
+
+  return model;
+}
+
+std::shared_ptr<const AreaSourceField> lower_emissions(const CityModel& model) {
+  const CityOptions& o = model.options;
+  const std::size_t n = model.landuse.size();
+
+  auto field = std::make_shared<AreaSourceField>();
+  field->domain = model.domain;
+  field->nx = o.blocks_x;
+  field->ny = o.blocks_y;
+  field->nox.assign(n, 0.0);
+  field->voc.assign(n, 0.0);
+  field->co.assign(n, 0.0);
+  field->so2.assign(n, 0.0);
+  field->nh3.assign(n, 0.0);
+  field->traffic_frac.assign(n, 0.0);
+  field->vegetation.assign(n, 0.0);
+
+  // Diurnal shape (diurnal_salt stream): jittered rush peaks.
+  Rng diurnal = layer_stream(o.seed, "city-diurnal", o.diurnal_salt);
+  field->rush_am_hour = 7.5 + diurnal.uniform(-0.6, 0.6);
+  field->rush_pm_hour = 17.5 + diurnal.uniform(-0.6, 0.6);
+  field->rush_width_h = o.rush_width_h * diurnal.uniform(0.9, 1.1);
+  field->rush_amplitude = o.rush_amplitude * diurnal.uniform(0.9, 1.1);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const LandUse use = model.landuse[b];
+    const double stationary = stationary_weight(use);
+    // Traffic term, on the same ~[0, 1] scale as the stationary weights:
+    // the normalised per-block flow saturating at ~3x the mean.
+    const double traffic =
+        std::min(1.0, model.block_traffic[b] / std::max(o.traffic_demand, 1e-9) /
+                          3.0);
+
+    // NOx / CO / VOC are traffic-dominated; SO2 is almost purely
+    // industrial; NH3 rides the green space (urban agriculture fringe).
+    const double mobile_mix = 0.35 * stationary + 0.65 * traffic;
+    field->nox[b] = kNoxGroupFlux * mobile_mix;
+    field->co[b] = kCoGroupFlux * mobile_mix;
+    field->voc[b] = kVocGroupFlux * (0.45 * stationary + 0.55 * traffic);
+    field->so2[b] = kSo2GroupFlux * (0.92 * stationary + 0.08 * traffic);
+    field->nh3[b] =
+        kNh3GroupFlux * (use == LandUse::Park ? 0.8 : 0.15 + 0.1 * stationary);
+
+    const double mobile = 0.65 * traffic;
+    field->traffic_frac[b] =
+        mobile_mix > 0.0 ? std::clamp(mobile / mobile_mix, 0.0, 1.0) : 0.0;
+
+    const double road_penalty =
+        0.5 * std::min(1.0, model.block_traffic[b] / std::max(o.traffic_demand, 1e-9));
+    field->vegetation[b] =
+        std::clamp(vegetation_weight(use) - road_penalty, 0.0, 1.0);
+  }
+
+  return field;
+}
+
+DatasetSpec city_dataset_spec(const CityOptions& options,
+                              ControlScenario controls) {
+  const CityModel model = generate_city(options);
+  DatasetSpec s;
+  s.name = options.resolved_name();
+  s.domain = model.domain;
+  s.base_nx = options.base_nx;
+  s.base_ny = options.base_ny;
+  s.max_level = options.max_level;
+  s.target_points = options.target_points;
+  s.layers = options.layers;
+  s.met = model.met;
+  s.cities = model.cores;
+  s.stacks = model.stacks;
+  s.controls = controls;
+  s.area_sources = lower_emissions(model);
+  return s;
+}
+
+CitySummary summarize(const CityModel& model) {
+  CitySummary s;
+  s.blocks = model.landuse.size();
+  for (LandUse u : model.landuse) {
+    switch (u) {
+      case LandUse::Industrial: ++s.industrial_blocks; break;
+      case LandUse::Commercial: ++s.commercial_blocks; break;
+      case LandUse::Residential: ++s.residential_blocks; break;
+      case LandUse::Park: ++s.park_blocks; break;
+    }
+  }
+  for (const RoadSegment& r : model.roads) {
+    if (r.road_class >= 3) {
+      ++s.highway_segments;
+    } else {
+      ++s.arterial_segments;
+    }
+    s.total_traffic += r.traffic;
+  }
+  for (double t : model.block_traffic) {
+    s.peak_block_traffic = std::max(s.peak_block_traffic, t);
+  }
+  s.cores = model.cores.size();
+  s.stacks = model.stacks.size();
+
+  const auto field = lower_emissions(model);
+  const double h = field->rush_am_hour;
+  const double steady = 0.85 + 0.3 * std::sin(std::numbers::pi * h / 24.0);
+  for (std::size_t b = 0; b < field->nox.size(); ++b) {
+    const double tf = field->traffic_frac[b];
+    const double diurnal = (1.0 - tf) * steady + tf * field->activity(h);
+    s.nox_flux_rush += field->nox[b] * diurnal;
+  }
+  return s;
+}
+
+}  // namespace airshed::city

@@ -1,0 +1,270 @@
+#include "airshed/city/options.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "airshed/util/error.hpp"
+
+namespace airshed::city {
+
+namespace {
+
+constexpr std::string_view kScheme = "city:";
+
+[[noreturn]] void bad_key(const std::string& key, const std::string& why) {
+  throw ConfigError("city spec: " + why + ": '" + key + "'");
+}
+
+std::uint64_t parse_u64(const std::string& key, std::string_view v) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    bad_key(key, "malformed unsigned integer for key");
+  }
+  return out;
+}
+
+int parse_int(const std::string& key, std::string_view v) {
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    bad_key(key, "malformed integer for key");
+  }
+  return out;
+}
+
+double parse_f64(const std::string& key, std::string_view v) {
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size() || !std::isfinite(out)) {
+    bad_key(key, "malformed number for key");
+  }
+  return out;
+}
+
+/// The codec's field table: one row per knob, fixed order. format emits in
+/// this order; parse accepts any order.
+struct Field {
+  const char* key;
+  void (*set)(CityOptions&, const std::string& key, std::string_view value);
+  std::string (*get)(const CityOptions&);
+  bool (*is_default)(const CityOptions&, const CityOptions& defaults);
+};
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+std::string f64_str(double v) {
+  // Shortest decimal that round-trips a double, so format/parse is lossless.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::from_chars(buf, buf + std::char_traits<char>::length(buf), parsed);
+  for (int prec = 1; prec <= 16; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    std::from_chars(shorter,
+                    shorter + std::char_traits<char>::length(shorter), parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+#define CITY_U64_FIELD(key_name, member)                                    \
+  Field{key_name,                                                           \
+        [](CityOptions& o, const std::string& k, std::string_view v) {      \
+          o.member = parse_u64(k, v);                                       \
+        },                                                                  \
+        [](const CityOptions& o) { return u64_str(o.member); },             \
+        [](const CityOptions& o, const CityOptions& d) {                    \
+          return o.member == d.member;                                      \
+        }}
+
+#define CITY_INT_FIELD(key_name, member)                                    \
+  Field{key_name,                                                           \
+        [](CityOptions& o, const std::string& k, std::string_view v) {      \
+          o.member = parse_int(k, v);                                       \
+        },                                                                  \
+        [](const CityOptions& o) { return std::to_string(o.member); },      \
+        [](const CityOptions& o, const CityOptions& d) {                    \
+          return o.member == d.member;                                      \
+        }}
+
+#define CITY_F64_FIELD(key_name, member)                                    \
+  Field{key_name,                                                           \
+        [](CityOptions& o, const std::string& k, std::string_view v) {      \
+          o.member = parse_f64(k, v);                                       \
+        },                                                                  \
+        [](const CityOptions& o) { return f64_str(o.member); },             \
+        [](const CityOptions& o, const CityOptions& d) {                    \
+          return o.member == d.member;                                      \
+        }}
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> table = {
+      CITY_U64_FIELD("seed", seed),
+      Field{"name",
+            [](CityOptions& o, const std::string&, std::string_view v) {
+              o.name.assign(v);
+            },
+            [](const CityOptions& o) { return o.name; },
+            [](const CityOptions& o, const CityOptions& d) {
+              return o.name == d.name;
+            }},
+      CITY_INT_FIELD("bx", blocks_x),
+      CITY_INT_FIELD("by", blocks_y),
+      CITY_F64_FIELD("block_km", block_km),
+      CITY_INT_FIELD("districts", district_seeds),
+      CITY_F64_FIELD("industrial", industrial_fraction),
+      CITY_F64_FIELD("commercial", commercial_fraction),
+      CITY_F64_FIELD("park", park_fraction),
+      CITY_INT_FIELD("highways", highways),
+      CITY_INT_FIELD("arterial", arterial_spacing),
+      CITY_F64_FIELD("demand", traffic_demand),
+      CITY_F64_FIELD("rush", rush_amplitude),
+      CITY_F64_FIELD("rush_width", rush_width_h),
+      CITY_INT_FIELD("cores", max_cores),
+      CITY_INT_FIELD("stacks", stack_count),
+      CITY_INT_FIELD("base_nx", base_nx),
+      CITY_INT_FIELD("base_ny", base_ny),
+      CITY_INT_FIELD("max_level", max_level),
+      Field{"points",
+            [](CityOptions& o, const std::string& k, std::string_view v) {
+              o.target_points = static_cast<std::size_t>(parse_u64(k, v));
+            },
+            [](const CityOptions& o) {
+              return u64_str(static_cast<std::uint64_t>(o.target_points));
+            },
+            [](const CityOptions& o, const CityOptions& d) {
+              return o.target_points == d.target_points;
+            }},
+      CITY_INT_FIELD("layers", layers),
+      CITY_U64_FIELD("district_salt", district_salt),
+      CITY_U64_FIELD("road_salt", road_salt),
+      CITY_U64_FIELD("diurnal_salt", diurnal_salt),
+  };
+  return table;
+}
+
+#undef CITY_U64_FIELD
+#undef CITY_INT_FIELD
+#undef CITY_F64_FIELD
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw ConfigError("city options: " + what);
+}
+
+}  // namespace
+
+std::string CityOptions::resolved_name() const {
+  return name.empty() ? "CITY-s" + std::to_string(seed) : name;
+}
+
+bool is_city_spec(const std::string& spec) {
+  return spec.rfind(kScheme, 0) == 0;
+}
+
+CityOptions parse_city_spec(const std::string& spec) {
+  std::string_view body = spec;
+  if (is_city_spec(spec)) body.remove_prefix(kScheme.size());
+
+  CityOptions options;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string_view::npos) comma = body.size();
+    const std::string_view item = body.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    const std::string key(eq == std::string_view::npos ? item
+                                                       : item.substr(0, eq));
+    if (eq == std::string_view::npos) {
+      bad_key(key, "expected key=value, got bare token");
+    }
+    const std::string_view value = item.substr(eq + 1);
+
+    bool found = false;
+    for (const Field& f : fields()) {
+      if (key == f.key) {
+        f.set(options, key, value);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string known;
+      for (const Field& f : fields()) {
+        if (!known.empty()) known += ", ";
+        known += f.key;
+      }
+      throw ConfigError("city spec: unknown key '" + key + "' (known keys: " +
+                        known + ")");
+    }
+  }
+
+  validate(options);
+  return options;
+}
+
+std::string format_city_spec(const CityOptions& options) {
+  static const CityOptions defaults;
+  std::string out(kScheme);
+  bool first = true;
+  for (const Field& f : fields()) {
+    const bool always = std::string_view(f.key) == "seed";
+    if (!always && f.is_default(options, defaults)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += f.key;
+    out += '=';
+    out += f.get(options);
+  }
+  return out;
+}
+
+void validate(const CityOptions& o) {
+  check(o.blocks_x >= 4 && o.blocks_x <= 512 && o.blocks_y >= 4 &&
+            o.blocks_y <= 512,
+        "blocks_x/blocks_y must be in [4, 512] (got " +
+            std::to_string(o.blocks_x) + "x" + std::to_string(o.blocks_y) +
+            ")");
+  check(o.block_km > 0.0 && o.block_km <= 50.0,
+        "block_km must be in (0, 50]");
+  check(o.district_seeds >= 3 && o.district_seeds <= 256,
+        "districts must be in [3, 256]");
+  check(o.industrial_fraction >= 0.0 && o.commercial_fraction >= 0.0 &&
+            o.park_fraction >= 0.0,
+        "land-use fractions must be >= 0");
+  check(o.industrial_fraction + o.commercial_fraction + o.park_fraction <=
+            1.0 + 1e-12,
+        "land-use fractions must sum to <= 1");
+  check(o.highways >= 0 && o.highways <= 16, "highways must be in [0, 16]");
+  check(o.arterial_spacing >= 0 && o.arterial_spacing <= 64,
+        "arterial must be in [0, 64]");
+  check(o.traffic_demand >= 0.0 && o.traffic_demand <= 100.0,
+        "demand must be in [0, 100]");
+  check(o.rush_amplitude >= 0.0 && o.rush_amplitude <= 10.0,
+        "rush must be in [0, 10]");
+  check(o.rush_width_h > 0.0 && o.rush_width_h <= 12.0,
+        "rush_width must be in (0, 12]");
+  check(o.max_cores >= 1 && o.max_cores <= 32, "cores must be in [1, 32]");
+  check(o.stack_count >= 0 && o.stack_count <= 64,
+        "stacks must be in [0, 64]");
+  check(o.base_nx >= 1 && o.base_ny >= 1 && o.base_nx <= 64 && o.base_ny <= 64,
+        "base_nx/base_ny must be in [1, 64]");
+  check(o.max_level >= 0 && o.max_level <= 8, "max_level must be in [0, 8]");
+  check(o.target_points >= 16 && o.target_points <= 200000,
+        "points must be in [16, 200000]");
+  check(o.layers >= 1 && o.layers <= 32, "layers must be in [1, 32]");
+  for (char c : o.name) {
+    check((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_',
+          "name must match [A-Za-z0-9_-]+ (the spec-string codec reserves "
+          "',' and '=')");
+  }
+}
+
+}  // namespace airshed::city

@@ -135,7 +135,8 @@ UniformDataset build_uniform_dataset(const DatasetSpec& spec, std::size_t nx,
       UniformGrid(spec.domain, nx, ny),
       spec.layers,
       Meteorology(spec.domain, spec.met),
-      EmissionInventory(spec.domain, spec.cities, spec.stacks, spec.controls),
+      EmissionInventory(spec.domain, spec.cities, spec.stacks, spec.controls,
+                        spec.area_sources),
       Meteorology::layer_thickness_m(spec.layers),
   };
 }

@@ -46,7 +46,49 @@ bool is_voc(Species s) {
   }
 }
 
+/// Share of an emission group's aggregate flux carried by species s — the
+/// base_flux ratios, so a gridded group flux speciates exactly like the
+/// analytic city plume does.
+double speciation_fraction(Species s) {
+  double group_total = 0.0;
+  if (is_nox(s)) {
+    for (Species g : {Species::NO, Species::NO2}) group_total += base_flux(g);
+  } else if (is_voc(s)) {
+    for (Species g : {Species::FORM, Species::ALD2, Species::PAR, Species::OLE,
+                      Species::ETH, Species::TOL, Species::XYL}) {
+      group_total += base_flux(g);
+    }
+  } else {
+    return 1.0;  // CO and SO2 are their own groups
+  }
+  return base_flux(s) / group_total;
+}
+
 }  // namespace
+
+double AreaSourceField::sample(const std::vector<double>& layer,
+                               Point2 p) const {
+  if (empty() || !domain.contains(p)) return 0.0;
+  const double fx = (p.x - domain.xmin) / domain.width();
+  const double fy = (p.y - domain.ymin) / domain.height();
+  const int i = std::min(nx - 1, static_cast<int>(fx * nx));
+  const int j = std::min(ny - 1, static_cast<int>(fy * ny));
+  const std::size_t idx =
+      static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+      static_cast<std::size_t>(i);
+  return idx < layer.size() ? layer[idx] : 0.0;
+}
+
+double AreaSourceField::activity(double hod) const {
+  const double h = std::fmod(hod + 24.0, 24.0);
+  auto peak = [&](double center, double amp) {
+    const double d = h - center;
+    return amp * std::exp(-0.5 * d * d / (rush_width_h * rush_width_h));
+  };
+  return 0.22 + rush_amplitude * (peak(rush_am_hour, 0.95) +
+                                  peak(rush_pm_hour, 0.85)) +
+         0.25 * std::sin(std::numbers::pi * h / 24.0);
+}
 
 double traffic_profile(double hour_of_day) {
   const double h = std::fmod(hour_of_day + 24.0, 24.0);
@@ -59,11 +101,13 @@ double traffic_profile(double hour_of_day) {
          0.25 * std::sin(std::numbers::pi * h / 24.0);
 }
 
-EmissionInventory::EmissionInventory(BBox domain, std::vector<CitySpec> cities,
-                                     std::vector<PointSource> point_sources,
-                                     ControlScenario controls)
+EmissionInventory::EmissionInventory(
+    BBox domain, std::vector<CitySpec> cities,
+    std::vector<PointSource> point_sources, ControlScenario controls,
+    std::shared_ptr<const AreaSourceField> area)
     : domain_(domain), cities_(std::move(cities)),
-      points_(std::move(point_sources)), controls_(controls) {
+      points_(std::move(point_sources)), controls_(controls),
+      area_(std::move(area)) {
   AIRSHED_REQUIRE(!cities_.empty(), "inventory needs at least one city");
   for (const CitySpec& c : cities_) {
     AIRSHED_REQUIRE(c.radius_km > 0.0, "city radius must be positive");
@@ -71,6 +115,17 @@ EmissionInventory::EmissionInventory(BBox domain, std::vector<CitySpec> cities,
   for (const PointSource& p : points_) {
     AIRSHED_REQUIRE(p.layer >= 0, "point source layer must be >= 0");
     AIRSHED_REQUIRE(p.rate_ppm_m_min >= 0.0, "point source rate negative");
+  }
+  if (area_) {
+    AIRSHED_REQUIRE(!area_->empty(), "area-source field must be non-empty");
+    const std::size_t cells = static_cast<std::size_t>(area_->nx) *
+                              static_cast<std::size_t>(area_->ny);
+    for (const std::vector<double>* layer :
+         {&area_->nox, &area_->voc, &area_->co, &area_->so2, &area_->nh3,
+          &area_->traffic_frac, &area_->vegetation}) {
+      AIRSHED_REQUIRE(layer->size() == cells,
+                      "area-source raster size mismatch");
+    }
   }
 }
 
@@ -96,17 +151,23 @@ double EmissionInventory::surface_flux(Species s, Point2 p,
   const double hod = std::fmod(t_hours, 24.0);
   const double urban = urban_density(p);
 
-  // Biogenic isoprene: rural vegetation, proportional to daylight.
+  // Biogenic isoprene: rural vegetation, proportional to daylight. With an
+  // area field the generator's explicit vegetation raster replaces the
+  // "everything non-urban is vegetated" proxy.
   if (s == Species::ISOP) {
     const double sun = std::max(
         0.0, std::sin(std::numbers::pi * (hod - 6.0) / 12.0));
-    const double rural = std::max(0.0, 1.0 - 0.8 * std::min(urban, 1.0));
+    const double rural =
+        area_ ? area_->sample(area_->vegetation, p)
+              : std::max(0.0, 1.0 - 0.8 * std::min(urban, 1.0));
     return 2.2e-3 * rural * sun;
   }
-  // Agricultural ammonia: rural, weakly diurnal.
+  // Agricultural / land-use ammonia: rural, weakly diurnal.
   if (s == Species::NH3) {
-    const double rural = std::max(0.15, 1.0 - 0.7 * std::min(urban, 1.0));
-    return controls_.nh3_scale * 1.1e-3 * rural *
+    const double rural =
+        area_ ? area_->sample(area_->nh3, p)
+              : std::max(0.15, 1.0 - 0.7 * std::min(urban, 1.0)) * 1.1e-3;
+    return controls_.nh3_scale * rural *
            (0.8 + 0.4 * std::sin(std::numbers::pi * hod / 24.0));
   }
 
@@ -114,10 +175,37 @@ double EmissionInventory::surface_flux(Species s, Point2 p,
   if (base == 0.0) return 0.0;
 
   double scale = 1.0;
-  if (is_nox(s)) scale = controls_.nox_scale;
-  else if (is_voc(s)) scale = controls_.voc_scale;
-  else if (s == Species::CO) scale = controls_.co_scale;
-  else if (s == Species::SO2) scale = controls_.so2_scale;
+  const std::vector<double>* group = nullptr;
+  if (is_nox(s)) {
+    scale = controls_.nox_scale;
+    if (area_) group = &area_->nox;
+  } else if (is_voc(s)) {
+    scale = controls_.voc_scale;
+    if (area_) group = &area_->voc;
+  } else if (s == Species::CO) {
+    scale = controls_.co_scale;
+    if (area_) group = &area_->co;
+  } else if (s == Species::SO2) {
+    scale = controls_.so2_scale;
+    if (area_) group = &area_->so2;
+  }
+
+  if (group) {
+    // Gridded source model: the cell's group flux, speciated with the same
+    // ratios as the analytic plume, follows a per-cell mix of the rush-hour
+    // profile and a flat daytime activity curve. The Gaussian city kernels
+    // contribute refinement priority only — never flux — so the raster is
+    // the single anthropogenic source of truth and nothing double-counts.
+    const double cell = area_->sample(*group, p);
+    const double tf = area_->traffic_frac.empty()
+                          ? 0.0
+                          : area_->sample(area_->traffic_frac, p);
+    const double steady =
+        0.85 + 0.3 * std::sin(std::numbers::pi * hod / 24.0);
+    const double diurnal = (1.0 - tf) * steady + tf * area_->activity(hod);
+    // The same distributed-source rural floor as the analytic model.
+    return scale * (cell * speciation_fraction(s) * diurnal + base * 0.03);
+  }
 
   // Urban anthropogenic emissions follow traffic; a small rural floor
   // represents distributed sources.

@@ -126,7 +126,7 @@ Dataset assemble_dataset(std::shared_ptr<const DatasetBase> base,
                       "' does not match spec '" + spec.name + "'");
   }
   EmissionInventory emissions(spec.domain, spec.cities, spec.stacks,
-                              spec.controls);
+                              spec.controls, spec.area_sources);
   return Dataset{std::move(base), std::move(emissions)};
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "airshed/city/generator.hpp"
 #include "airshed/svc/input_cache.hpp"
 #include "airshed/util/error.hpp"
 #include "airshed/util/hash.hpp"
@@ -87,8 +88,11 @@ DatasetSpec scenario_dataset_spec(const ScenarioSpec& spec) {
   if (spec.dataset == "TEST") return test_basin_spec(c);
   if (spec.dataset == "LA") return la_basin_spec(c);
   if (spec.dataset == "NE") return northeast_spec(c);
+  if (city::is_city_spec(spec.dataset)) {
+    return city::city_dataset_spec(city::parse_city_spec(spec.dataset), c);
+  }
   throw ConfigError("unknown scenario dataset: " + spec.dataset +
-                    " (expected TEST, LA or NE)");
+                    " (expected TEST, LA, NE or a city:... spec)");
 }
 
 Dataset build_scenario_dataset(const ScenarioSpec& spec, bool poison_stack,

@@ -2,10 +2,13 @@
 """Check that relative links in the repo's markdown files resolve.
 
 Scans every tracked *.md file for inline links and images
-([text](target), ![alt](target)), ignores absolute URLs and pure
-anchors, and verifies that each relative target exists on disk
-(anchors and query strings are stripped first). Exits non-zero and
-lists every broken link otherwise.
+([text](target), ![alt](target)), ignores absolute URLs, and verifies
+that each relative target exists on disk. Anchors (`#fragment`) into
+markdown files — both same-file `#...` links and `other.md#...` — are
+validated against the target file's headings using GitHub's
+heading-slug rules (lowercase, punctuation stripped, spaces to
+hyphens, `-N` suffixes for duplicates). Exits non-zero and lists every
+broken link or anchor otherwise.
 
 Usage: python3 tools/check_links.py [root]
 """
@@ -14,6 +17,7 @@ import sys
 from pathlib import Path
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*$")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = {".git", "build", "traces", "node_modules"}
 
@@ -22,6 +26,42 @@ def markdown_files(root: Path):
     for path in sorted(root.rglob("*.md")):
         if not SKIP_DIRS.intersection(part for part in path.parts):
             yield path
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (inline markup stripped)."""
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links -> text
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+_ANCHOR_CACHE: dict = {}
+
+
+def heading_anchors(md: Path):
+    """All anchors a markdown file defines (cached per file)."""
+    if md in _ANCHOR_CACHE:
+        return _ANCHOR_CACHE[md]
+    anchors = set()
+    seen: dict = {}
+    in_fence = False
+    for line in md.read_text(encoding="utf-8", errors="replace").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    _ANCHOR_CACHE[md] = anchors
+    return anchors
 
 
 def check_file(md: Path, root: Path):
@@ -36,17 +76,22 @@ def check_file(md: Path, root: Path):
             continue
         for match in LINK_RE.finditer(line):
             target = match.group(1)
-            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            if target.startswith(SKIP_SCHEMES):
                 continue
-            plain = target.split("#", 1)[0].split("?", 1)[0]
+            plain, _, fragment = target.partition("#")
+            plain = plain.split("?", 1)[0]
             if not plain:
-                continue
-            if plain.startswith("/"):
+                resolved = md  # pure '#anchor': points into this file
+            elif plain.startswith("/"):
                 resolved = root / plain.lstrip("/")
             else:
                 resolved = md.parent / plain
             if not resolved.exists():
-                broken.append((lineno, target))
+                broken.append((lineno, target, "broken link"))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in heading_anchors(resolved):
+                    broken.append((lineno, target, "broken anchor"))
     return broken
 
 
@@ -57,8 +102,8 @@ def main() -> int:
     failures = 0
     for md in markdown_files(root):
         total_files += 1
-        for lineno, target in check_file(md, root):
-            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
+        for lineno, target, why in check_file(md, root):
+            print(f"{md.relative_to(root)}:{lineno}: {why} -> {target}")
             failures += 1
     print(f"checked {total_files} markdown files, {failures} broken links")
     return 1 if failures else 0
